@@ -1,0 +1,13 @@
+//! The benchmark harness: runnable reproductions of every table and
+//! figure in the paper's evaluation (Chapter 5 measurements, Chapter 6
+//! media experiments, and the Chapter 2 baselines).
+//!
+//! Run `cargo run -p publishing-bench --bin paper_tables` to print every
+//! figure; the Criterion benches in `benches/` time the same scenarios.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod scenarios;
+
+pub use scenarios::*;

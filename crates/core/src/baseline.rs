@@ -1,0 +1,331 @@
+//! Chapter 2 baselines: recovery lines (with the domino effect) and
+//! shadow processes.
+//!
+//! These exist so the evaluation can compare publishing against the
+//! methods it displaced. They operate on abstract interaction histories —
+//! exactly the level Figures 1.2 and 2.1 are drawn at.
+
+use publishing_sim::rng::DetRng;
+use publishing_sim::time::{SimDuration, SimTime};
+
+/// One process's history: checkpoint times plus (as part of a
+/// [`History`]) its interactions.
+#[derive(Debug, Clone, Default)]
+pub struct ProcessHistory {
+    /// Times checkpoints were taken, ascending. Time zero (the start
+    /// state) is always an implicit checkpoint.
+    pub checkpoints: Vec<SimTime>,
+}
+
+/// An interaction between two processes at an instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interaction {
+    /// When it happened.
+    pub at: SimTime,
+    /// One party (sender, for directional interactions).
+    pub from: usize,
+    /// The other (receiver).
+    pub to: usize,
+}
+
+/// A multi-process execution history.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// Per-process checkpoint histories.
+    pub processes: Vec<ProcessHistory>,
+    /// All interactions, any order.
+    pub interactions: Vec<Interaction>,
+}
+
+impl History {
+    /// Creates a history for `n` processes.
+    pub fn new(n: usize) -> Self {
+        History {
+            processes: vec![ProcessHistory::default(); n],
+            interactions: Vec::new(),
+        }
+    }
+
+    /// Adds a checkpoint for process `p` at `at`.
+    pub fn checkpoint(&mut self, p: usize, at: SimTime) {
+        self.processes[p].checkpoints.push(at);
+        self.processes[p].checkpoints.sort();
+    }
+
+    /// Adds an interaction.
+    pub fn interact(&mut self, from: usize, to: usize, at: SimTime) {
+        self.interactions.push(Interaction { at, from, to });
+    }
+
+    /// Generates a random history: Poisson interactions between uniform
+    /// pairs, periodic-with-jitter checkpoints per process.
+    pub fn random(
+        rng: &mut DetRng,
+        n: usize,
+        horizon: SimTime,
+        mean_interaction_gap: SimDuration,
+        mean_checkpoint_gap: SimDuration,
+    ) -> Self {
+        let mut h = History::new(n);
+        let mut t = SimTime::ZERO;
+        loop {
+            let gap = rng.exponential(mean_interaction_gap.as_secs_f64());
+            t += SimDuration::from_secs_f64(gap);
+            if t >= horizon {
+                break;
+            }
+            let from = rng.index(n);
+            let mut to = rng.index(n);
+            while to == from && n > 1 {
+                to = rng.index(n);
+            }
+            h.interact(from, to, t);
+        }
+        for p in 0..n {
+            let mut t = SimTime::ZERO;
+            loop {
+                let gap = rng.exponential(mean_checkpoint_gap.as_secs_f64());
+                t += SimDuration::from_secs_f64(gap);
+                if t >= horizon {
+                    break;
+                }
+                h.checkpoint(p, t);
+            }
+        }
+        h
+    }
+}
+
+/// The result of a recovery-line search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryLine {
+    /// Per-process restart times (the checkpoint each process rolls back
+    /// to; time zero = the start state).
+    pub restart_at: Vec<SimTime>,
+}
+
+impl RecoveryLine {
+    /// Total work discarded if the crash happened at `crash_at`:
+    /// Σ (crash_at − restart_at) over all processes.
+    pub fn work_lost(&self, crash_at: SimTime) -> SimDuration {
+        self.restart_at
+            .iter()
+            .map(|&r| crash_at.saturating_since(r))
+            .fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+/// Finds the recovery line after `crashed` fails at `crash_at`, using the
+/// Figure 2.1 sliding-ring algorithm with Rule 1 (undirected
+/// interactions): checkpoints of two processes are consistent only if no
+/// interaction between them separates them.
+pub fn recovery_line_rule1(h: &History, crashed: usize, crash_at: SimTime) -> RecoveryLine {
+    recovery_line(h, crashed, crash_at, false)
+}
+
+/// Russell's Rule 2 variant (§2.1): interactions are directional
+/// messages and saved messages can be replayed, so a checkpoint pair is
+/// inconsistent only when a message was *sent* by the earlier-checkpointed
+/// process to the later-checkpointed one.
+pub fn recovery_line_rule2(h: &History, crashed: usize, crash_at: SimTime) -> RecoveryLine {
+    recovery_line(h, crashed, crash_at, true)
+}
+
+fn recovery_line(
+    h: &History,
+    crashed: usize,
+    crash_at: SimTime,
+    directional: bool,
+) -> RecoveryLine {
+    let n = h.processes.len();
+    // Ring positions: non-crashed processes start at "now" (their current
+    // state counts as a checkpoint); the crashed one slides to its last
+    // checkpoint before the crash.
+    let mut ring: Vec<SimTime> = vec![crash_at; n];
+    ring[crashed] = last_checkpoint_before(&h.processes[crashed], crash_at);
+    loop {
+        let mut slipped = false;
+        for i in &h.interactions {
+            if i.at > crash_at {
+                continue;
+            }
+            // Under Rule 1 both orientations invalidate; under Rule 2 only
+            // a send from the earlier-restarting process to the later one
+            // does (the receiver would otherwise see the message twice or
+            // never).
+            let pairs: &[(usize, usize)] = if directional {
+                &[(i.from, i.to)]
+            } else {
+                &[(i.from, i.to), (i.to, i.from)]
+            };
+            for &(src, dst) in pairs {
+                // Inconsistent iff src restarts before the interaction but
+                // dst restarts after it: src will re-send (or never send),
+                // dst already saw it.
+                if ring[src] < i.at && ring[dst] >= i.at {
+                    let slid = last_checkpoint_before(&h.processes[dst], i.at);
+                    if slid < ring[dst] {
+                        ring[dst] = slid;
+                        slipped = true;
+                    }
+                }
+            }
+        }
+        if !slipped {
+            return RecoveryLine { restart_at: ring };
+        }
+    }
+}
+
+fn last_checkpoint_before(p: &ProcessHistory, t: SimTime) -> SimTime {
+    p.checkpoints
+        .iter()
+        .rev()
+        .find(|&&c| c < t)
+        .copied()
+        .unwrap_or(SimTime::ZERO)
+}
+
+/// Steady-state overhead model for shadow processes (§2.3): every update
+/// the primary applies must be mirrored to the shadow by an explicit
+/// message, costing sender CPU, receiver CPU, and network bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct ShadowCosts {
+    /// CPU to build and send one shadow-update message.
+    pub update_send: SimDuration,
+    /// CPU at the shadow to apply it.
+    pub update_apply: SimDuration,
+    /// Bytes per update message.
+    pub update_bytes: u64,
+}
+
+impl ShadowCosts {
+    /// Total extra CPU for `updates` state changes.
+    pub fn cpu_overhead(&self, updates: u64) -> SimDuration {
+        (self.update_send + self.update_apply).saturating_mul(updates)
+    }
+
+    /// Total extra network bytes for `updates` state changes.
+    pub fn network_overhead(&self, updates: u64) -> u64 {
+        self.update_bytes * updates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    /// The Figure 1.2 / 2.1 example: three processes; crash of B slides A
+    /// back past interaction X, and the rings settle at checkpoint set 2.
+    #[test]
+    fn figure_2_1_example_settles_at_consistent_set() {
+        let mut h = History::new(3); // 0 = A, 1 = B, 2 = C
+                                     // Checkpoints (set 1 is the start state at t = 0).
+        h.checkpoint(0, ms(10)); // A2
+        h.checkpoint(0, ms(40)); // A3
+        h.checkpoint(1, ms(12)); // B2
+        h.checkpoint(1, ms(45)); // B3
+        h.checkpoint(2, ms(11)); // C2
+                                 // Interactions: A↔B at t = 30 (X), B↔C at t = 20.
+        h.interact(0, 1, ms(30));
+        h.interact(1, 2, ms(20));
+        let line = recovery_line_rule1(&h, 1, ms(50));
+        // B slides to 45; 45 > 30 keeps A at "now"? No: B's ring at 45 is
+        // after X(30) and A is at 50 — consistent. B↔C at 20 is before
+        // both B(45) and C(now) — consistent. So only B rolls back.
+        assert_eq!(line.restart_at[1], ms(45));
+        assert_eq!(line.restart_at[0], ms(50));
+
+        // Now crash B earlier, between X and B3: the domino bites.
+        let line = recovery_line_rule1(&h, 1, ms(44));
+        // B slides to 12 (its checkpoint before 44 is 12); X(30) is after
+        // B's ring(12) with A at 44 → A invalidated back to 10; B↔C(20)
+        // after B(12) with C at 44 → C back to 11.
+        assert_eq!(line.restart_at[1], ms(12));
+        assert_eq!(line.restart_at[0], ms(10));
+        assert_eq!(line.restart_at[2], ms(11));
+    }
+
+    #[test]
+    fn rule2_strictly_no_worse_than_rule1() {
+        let mut rng = DetRng::new(42);
+        for _ in 0..50 {
+            let h = History::random(
+                &mut rng,
+                4,
+                SimTime::from_secs(10),
+                SimDuration::from_millis(200),
+                SimDuration::from_secs(1),
+            );
+            let crash_at = SimTime::from_secs(10);
+            for crashed in 0..4 {
+                let l1 = recovery_line_rule1(&h, crashed, crash_at);
+                let l2 = recovery_line_rule2(&h, crashed, crash_at);
+                assert!(
+                    l2.work_lost(crash_at) <= l1.work_lost(crash_at),
+                    "directional replay should never lose more work"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn domino_effect_can_reach_start_state() {
+        // The classic staircase: each checkpoint is bracketed by crossing
+        // interactions, so no consistent set later than the start state
+        // exists (Randell's unbounded-rollback pathology).
+        let mut h = History::new(2);
+        for k in 1..=5u64 {
+            h.interact(1, 0, ms(k * 10 - 2));
+            h.checkpoint(0, ms(k * 10));
+            h.interact(0, 1, ms(k * 10 + 2));
+            h.checkpoint(1, ms(k * 10 + 4));
+        }
+        let line = recovery_line_rule1(&h, 0, ms(55));
+        assert_eq!(line.restart_at[0], SimTime::ZERO);
+        assert_eq!(line.restart_at[1], SimTime::ZERO);
+        // Work lost is the whole run, twice.
+        assert_eq!(line.work_lost(ms(55)), SimDuration::from_millis(110));
+    }
+
+    #[test]
+    fn isolated_process_rolls_back_alone() {
+        let mut h = History::new(3);
+        h.checkpoint(0, ms(20));
+        let line = recovery_line_rule1(&h, 0, ms(30));
+        assert_eq!(line.restart_at, vec![ms(20), ms(30), ms(30)]);
+        assert_eq!(line.work_lost(ms(30)), SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn shadow_costs_scale_linearly() {
+        let c = ShadowCosts {
+            update_send: SimDuration::from_millis(2),
+            update_apply: SimDuration::from_millis(1),
+            update_bytes: 256,
+        };
+        assert_eq!(c.cpu_overhead(100), SimDuration::from_millis(300));
+        assert_eq!(c.network_overhead(100), 25_600);
+    }
+
+    #[test]
+    fn random_history_is_deterministic() {
+        let mk = |seed| {
+            let mut rng = DetRng::new(seed);
+            History::random(
+                &mut rng,
+                3,
+                SimTime::from_secs(5),
+                SimDuration::from_millis(100),
+                SimDuration::from_secs(1),
+            )
+            .interactions
+        };
+        assert_eq!(mk(1), mk(1));
+        assert_ne!(mk(1), mk(2));
+    }
+}

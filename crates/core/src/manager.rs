@@ -1,0 +1,733 @@
+//! The recovery manager, watchdogs, and recovery processes (§3.3.2,
+//! §3.3.3, §4.6, §4.7).
+//!
+//! The manager lives on the recording node. Watchdog timers ping every
+//! processing node ("it is a good idea for each processor to send a
+//! message from time to time, even if it has nothing to say"); a missed
+//! reply declares the node crashed. Crash notices from kernels report
+//! single-process faults. Either way, a *recovery job* per crashed
+//! process drives the §3.3.3 sequence: recreate at the last checkpoint,
+//! replay the published messages in read order, then a
+//! prepare/straggler/commit handshake that closes the race between the
+//! end of replay and newly arriving live traffic.
+//!
+//! The manager is a pure state machine: it consumes protocol replies and
+//! timer callbacks plus read access to the [`Recorder`] database, and
+//! emits [`MgrCmd`]s the recorder node executes.
+
+use crate::recorder::Recorder;
+use publishing_demos::ids::{NodeId, ProcessId};
+use publishing_demos::kernel::encode_ctl;
+use publishing_demos::protocol::{self, codes, ReportedState};
+use publishing_sim::codec::{Encode, Encoder};
+use publishing_sim::stats::Counter;
+use publishing_sim::time::{SimDuration, SimTime};
+use std::collections::{BTreeMap, HashMap};
+
+/// A command for the recorder node to execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MgrCmd {
+    /// Send a guaranteed control message to a node's kernel endpoint.
+    SendKernel {
+        /// Destination node.
+        node: NodeId,
+        /// Encoded control body (code + payload).
+        body: Vec<u8>,
+    },
+    /// Send an unguaranteed datagram to a node's kernel endpoint
+    /// (watchdog pings; no retransmission toward dead nodes).
+    SendKernelDatagram {
+        /// Destination node.
+        node: NodeId,
+        /// Encoded control body.
+        body: Vec<u8>,
+    },
+    /// Physically restart a crashed node (the §4.6 operator action /
+    /// spare processor assuming its identity); the world calls back
+    /// [`RecoveryManager::on_node_restarted`] once done.
+    RestartNode {
+        /// Node to restart.
+        node: NodeId,
+        /// Its new incarnation.
+        incarnation: u32,
+    },
+    /// Arm a manager timer.
+    SetTimer {
+        /// Callback time.
+        at: SimTime,
+        /// Token for [`RecoveryManager::on_timer`].
+        token: u64,
+    },
+    /// A process finished recovering (informational).
+    RecoveryDone {
+        /// The recovered process.
+        pid: ProcessId,
+    },
+}
+
+/// Watchdog and recovery pacing.
+#[derive(Debug, Clone)]
+pub struct ManagerConfig {
+    /// Watchdog ping interval (per node).
+    pub ping_interval: SimDuration,
+    /// How long to wait for an ALIVE reply before declaring a crash.
+    pub ping_timeout: SimDuration,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        ManagerConfig {
+            ping_interval: SimDuration::from_millis(500),
+            ping_timeout: SimDuration::from_millis(400),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// RECREATE sent; waiting for the kernel's confirmation.
+    WaitRecreate,
+    /// Replays and PREPARE_FINISH sent; waiting for the prepare reply.
+    Preparing {
+        /// Next read index to replay when stragglers appear.
+        next_index: u64,
+    },
+}
+
+#[derive(Debug)]
+struct Job {
+    phase: Phase,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeState {
+    Up,
+    /// Declared crashed; restart requested.
+    Restarting,
+}
+
+#[derive(Debug)]
+struct Watch {
+    state: NodeState,
+    incarnation: u32,
+    outstanding: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TimerKind {
+    Ping(NodeId),
+    PingTimeout(NodeId, u64),
+}
+
+/// Counters the manager maintains.
+#[derive(Debug, Default, Clone)]
+pub struct ManagerStats {
+    /// Process crashes handled.
+    pub process_recoveries: Counter,
+    /// Node crashes detected by watchdog timeout.
+    pub node_crashes: Counter,
+    /// Messages replayed.
+    pub replayed: Counter,
+    /// Recoveries completed.
+    pub completed: Counter,
+    /// Recursive crashes (crash during recovery, §3.5).
+    pub recursive: Counter,
+    /// Stale state replies ignored (§3.4 restart numbers).
+    pub stale_replies: Counter,
+}
+
+/// The recovery manager.
+pub struct RecoveryManager {
+    cfg: ManagerConfig,
+    nodes: BTreeMap<NodeId, Watch>,
+    jobs: BTreeMap<ProcessId, Job>,
+    timers: HashMap<u64, TimerKind>,
+    next_token: u64,
+    next_nonce: u64,
+    stats: ManagerStats,
+}
+
+impl RecoveryManager {
+    /// Creates a manager watching no nodes yet.
+    pub fn new(cfg: ManagerConfig) -> Self {
+        RecoveryManager {
+            cfg,
+            nodes: BTreeMap::new(),
+            jobs: BTreeMap::new(),
+            timers: HashMap::new(),
+            next_token: 0,
+            next_nonce: 0,
+            stats: ManagerStats::default(),
+        }
+    }
+
+    /// Returns the manager's counters.
+    pub fn stats(&self) -> &ManagerStats {
+        &self.stats
+    }
+
+    /// Returns `true` while any recovery job is in flight.
+    pub fn busy(&self) -> bool {
+        !self.jobs.is_empty()
+    }
+
+    /// Returns the number of nodes currently believed crashed.
+    pub fn nodes_restarting(&self) -> usize {
+        self.nodes
+            .values()
+            .filter(|w| w.state == NodeState::Restarting)
+            .count()
+    }
+
+    fn timer(&mut self, at: SimTime, kind: TimerKind, out: &mut Vec<MgrCmd>) {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.timers.insert(token, kind);
+        out.push(MgrCmd::SetTimer { at, token });
+    }
+
+    /// Starts watching a node: arms its watchdog (§4.6: "creates, on the
+    /// recording node, a watch process for each processor").
+    pub fn watch_node(&mut self, now: SimTime, node: NodeId) -> Vec<MgrCmd> {
+        let mut out = Vec::new();
+        self.nodes.insert(
+            node,
+            Watch {
+                state: NodeState::Up,
+                incarnation: 0,
+                outstanding: None,
+            },
+        );
+        self.timer(
+            now + self.cfg.ping_interval,
+            TimerKind::Ping(node),
+            &mut out,
+        );
+        out
+    }
+
+    /// Handles a manager timer.
+    pub fn on_timer(&mut self, now: SimTime, recorder: &mut Recorder, token: u64) -> Vec<MgrCmd> {
+        let mut out = Vec::new();
+        let Some(kind) = self.timers.remove(&token) else {
+            return out;
+        };
+        match kind {
+            TimerKind::Ping(node) => {
+                let Some(w) = self.nodes.get_mut(&node) else {
+                    return out;
+                };
+                if w.state == NodeState::Up {
+                    let nonce = self.next_nonce;
+                    self.next_nonce += 1;
+                    w.outstanding = Some(nonce);
+                    let mut e = Encoder::new();
+                    e.u32(codes::ARE_YOU_ALIVE).u64(nonce);
+                    out.push(MgrCmd::SendKernelDatagram {
+                        node,
+                        body: e.finish(),
+                    });
+                    self.timer(
+                        now + self.cfg.ping_timeout,
+                        TimerKind::PingTimeout(node, nonce),
+                        &mut out,
+                    );
+                }
+                self.timer(
+                    now + self.cfg.ping_interval,
+                    TimerKind::Ping(node),
+                    &mut out,
+                );
+            }
+            TimerKind::PingTimeout(node, nonce) => {
+                let Some(w) = self.nodes.get_mut(&node) else {
+                    return out;
+                };
+                if w.state == NodeState::Up && w.outstanding == Some(nonce) {
+                    // §4.6: no reply within the interval — the node crashed.
+                    self.stats.node_crashes.inc();
+                    w.state = NodeState::Restarting;
+                    w.incarnation += 1;
+                    let incarnation = w.incarnation;
+                    out.push(MgrCmd::RestartNode { node, incarnation });
+                }
+                let _ = recorder;
+            }
+        }
+        out
+    }
+
+    /// Called by the world after it physically restarted `node`:
+    /// broadcasts the restart so peers renumber, then starts recovery for
+    /// every process the recorder knows on that node.
+    pub fn on_node_restarted(
+        &mut self,
+        now: SimTime,
+        recorder: &mut Recorder,
+        node: NodeId,
+        incarnation: u32,
+    ) -> Vec<MgrCmd> {
+        let mut out = Vec::new();
+        let Some(w) = self.nodes.get_mut(&node) else {
+            return out;
+        };
+        w.state = NodeState::Up;
+        w.outstanding = None;
+        w.incarnation = incarnation;
+        let restarted = protocol::NodeRestarted { node, incarnation };
+        let body = encode_ctl(codes::NODE_RESTARTED, &restarted);
+        let peers: Vec<NodeId> = self.nodes.keys().copied().filter(|&n| n != node).collect();
+        for peer in peers {
+            out.push(MgrCmd::SendKernel {
+                node: peer,
+                body: body.clone(),
+            });
+        }
+        // Any recovery jobs that were talking to the node's previous
+        // incarnation died with it; forget them so fresh jobs can start.
+        self.jobs.retain(|p, _| p.node != node);
+        let pids: Vec<ProcessId> = recorder.known_pids().filter(|p| p.node == node).collect();
+        for pid in pids {
+            out.extend(self.start_recovery(now, recorder, pid));
+        }
+        out
+    }
+
+    /// Starts (or restarts, §3.5) recovery of one process.
+    pub fn start_recovery(
+        &mut self,
+        _now: SimTime,
+        recorder: &mut Recorder,
+        pid: ProcessId,
+    ) -> Vec<MgrCmd> {
+        let mut out = Vec::new();
+        if self.jobs.contains_key(&pid) {
+            // A recovery is already in flight; a second trigger (e.g. a
+            // state-query reply racing a retransmitted crash notice) must
+            // not wipe its progress. Genuine recursive crashes remove the
+            // job first (§3.5).
+            return out;
+        }
+        let Some(entry) = recorder.entry(pid) else {
+            return out;
+        };
+        if !entry.recoverable {
+            // §6.6.1: the process opted out of recovery; its crash is
+            // final and nothing was published for it.
+            return out;
+        }
+        let program_name = entry.program_name.clone();
+        let initial_links = entry.initial_links.clone();
+        if program_name.is_empty() {
+            // We never saw a creation notice; nothing to recreate from.
+            return out;
+        }
+        self.stats.process_recoveries.inc();
+        recorder.set_recovering(pid, true);
+        let req = protocol::Recreate {
+            pid,
+            program_name,
+            checkpoint: recorder.checkpoint_image(pid).map(|b| b.to_vec()),
+            suppress: recorder.suppress_vector(pid),
+            initial_links,
+        };
+        self.jobs.insert(
+            pid,
+            Job {
+                phase: Phase::WaitRecreate,
+            },
+        );
+        out.push(MgrCmd::SendKernel {
+            node: pid.node,
+            body: encode_ctl(codes::RECREATE, &req),
+        });
+        out
+    }
+
+    /// Handles a RECREATE_REPLY: streams the replay and the prepare.
+    pub fn on_recreate_reply(
+        &mut self,
+        _now: SimTime,
+        recorder: &Recorder,
+        pid: ProcessId,
+        ok: bool,
+    ) -> Vec<MgrCmd> {
+        let mut out = Vec::new();
+        let Some(job) = self.jobs.get_mut(&pid) else {
+            return out;
+        };
+        if job.phase != Phase::WaitRecreate || !ok {
+            return out;
+        }
+        // §3.3.3 step 3: send all messages received between the last
+        // checkpoint and the crash, in original (read) order. FIFO
+        // transport keeps them ordered ahead of the prepare.
+        let stream = recorder.replay_stream(pid);
+        let mut next_index = recorder.entry(pid).map(|e| e.read_floor).unwrap_or(0);
+        for (idx, msg) in stream {
+            let rep = protocol::Replay {
+                dst: pid,
+                read_seq: idx,
+                msg,
+            };
+            out.push(MgrCmd::SendKernel {
+                node: pid.node,
+                body: encode_ctl(codes::REPLAY, &rep),
+            });
+            self.stats.replayed.inc();
+            next_index = idx + 1;
+        }
+        let mut e = Encoder::new();
+        e.u32(codes::PREPARE_FINISH);
+        pid.encode(&mut e);
+        out.push(MgrCmd::SendKernel {
+            node: pid.node,
+            body: e.finish(),
+        });
+        job.phase = Phase::Preparing { next_index };
+        out
+    }
+
+    /// Handles a PREPARE_FINISH_REPLY: replays stragglers published since
+    /// the first pass, then commits.
+    pub fn on_prepare_reply(
+        &mut self,
+        _now: SimTime,
+        recorder: &mut Recorder,
+        pid: ProcessId,
+    ) -> Vec<MgrCmd> {
+        let mut out = Vec::new();
+        let Some(job) = self.jobs.get_mut(&pid) else {
+            return out;
+        };
+        let Phase::Preparing { next_index } = job.phase else {
+            return out;
+        };
+        for (idx, msg) in recorder.replay_stream(pid) {
+            if idx < next_index {
+                continue;
+            }
+            let rep = protocol::Replay {
+                dst: pid,
+                read_seq: idx,
+                msg,
+            };
+            out.push(MgrCmd::SendKernel {
+                node: pid.node,
+                body: encode_ctl(codes::REPLAY, &rep),
+            });
+            self.stats.replayed.inc();
+        }
+        let mut e = Encoder::new();
+        e.u32(codes::COMMIT_FINISH);
+        pid.encode(&mut e);
+        out.push(MgrCmd::SendKernel {
+            node: pid.node,
+            body: e.finish(),
+        });
+        self.jobs.remove(&pid);
+        recorder.set_recovering(pid, false);
+        self.stats.completed.inc();
+        out.push(MgrCmd::RecoveryDone { pid });
+        out
+    }
+
+    /// Handles a §3.3.2 crash notice from a kernel.
+    pub fn on_crash_notice(
+        &mut self,
+        now: SimTime,
+        recorder: &mut Recorder,
+        pid: ProcessId,
+    ) -> Vec<MgrCmd> {
+        // A crash of a recovering process is the §3.5 recursive case:
+        // terminate the old job and start over.
+        if self.jobs.remove(&pid).is_some() {
+            self.stats.recursive.inc();
+        }
+        self.start_recovery(now, recorder, pid)
+    }
+
+    /// Declines a restart this manager proposed (another recorder of
+    /// higher priority is responsible, §6.3). The watchdog keeps pinging;
+    /// if the node stays dead — say the responsible recorder failed during
+    /// recovery — the timeout fires again and responsibility is
+    /// re-evaluated, which is exactly §6.3's periodic re-query.
+    pub fn cancel_restart(&mut self, node: NodeId) {
+        if let Some(w) = self.nodes.get_mut(&node) {
+            if w.state == NodeState::Restarting {
+                w.state = NodeState::Up;
+                w.outstanding = None;
+                w.incarnation = w.incarnation.saturating_sub(1);
+            }
+        }
+    }
+
+    /// The nodes this manager watches.
+    pub fn watched_nodes(&self) -> Vec<NodeId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// Handles a watchdog ALIVE reply.
+    pub fn on_alive_reply(&mut self, node: NodeId, nonce: u64) {
+        if let Some(w) = self.nodes.get_mut(&node) {
+            if w.outstanding == Some(nonce) {
+                w.outstanding = None;
+            }
+        }
+    }
+
+    /// Drives the §3.3.4 recorder-restart protocol: queries every known
+    /// process's state.
+    pub fn on_recorder_restart(
+        &mut self,
+        now: SimTime,
+        recorder: &mut Recorder,
+        known: &[ProcessId],
+    ) -> Vec<MgrCmd> {
+        let mut out = Vec::new();
+        self.jobs.clear();
+        for &pid in known {
+            let q = protocol::StateQuery {
+                pid,
+                restart_number: recorder.restart_number(),
+            };
+            out.push(MgrCmd::SendKernel {
+                node: pid.node,
+                body: encode_ctl(codes::STATE_QUERY, &q),
+            });
+        }
+        // Re-arm watchdogs.
+        let nodes: Vec<NodeId> = self.nodes.keys().copied().collect();
+        for node in nodes {
+            if let Some(w) = self.nodes.get_mut(&node) {
+                w.outstanding = None;
+                w.state = NodeState::Up;
+            }
+            self.timer(
+                now + self.cfg.ping_interval,
+                TimerKind::Ping(node),
+                &mut out,
+            );
+        }
+        out
+    }
+
+    /// Handles a STATE_REPLY during recorder restart (§3.3.4's four
+    /// cases; stale restart numbers are ignored per §3.4).
+    pub fn on_state_reply(
+        &mut self,
+        now: SimTime,
+        recorder: &mut Recorder,
+        reply: &protocol::StateReply,
+    ) -> Vec<MgrCmd> {
+        if reply.restart_number != recorder.restart_number() {
+            self.stats.stale_replies.inc();
+            return Vec::new();
+        }
+        match reply.state {
+            ReportedState::Functioning => Vec::new(),
+            ReportedState::Crashed | ReportedState::Unknown | ReportedState::Recovering => {
+                // Crashed while (or before) we were down — or an orphaned
+                // half-recovery; recreate destroys and starts clean.
+                self.start_recovery(now, recorder, reply.pid)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::PublishCost;
+    use publishing_stable::disk::DiskParams;
+
+    fn recorder() -> Recorder {
+        Recorder::new(NodeId(9), DiskParams::default(), 1, PublishCost::MediaLayer)
+    }
+
+    fn setup_process(r: &mut Recorder) -> ProcessId {
+        let pid = ProcessId::new(1, 1);
+        let ios = r.on_created(SimTime::ZERO, pid, "echo", vec![], true);
+        for io in ios {
+            r.on_disk(io.at, io);
+        }
+        pid
+    }
+
+    #[test]
+    fn watchdog_pings_periodically() {
+        let mut m = RecoveryManager::new(ManagerConfig::default());
+        let mut r = recorder();
+        let cmds = m.watch_node(SimTime::ZERO, NodeId(1));
+        let (at, token) = match &cmds[0] {
+            MgrCmd::SetTimer { at, token } => (*at, *token),
+            other => panic!("unexpected {other:?}"),
+        };
+        let cmds = m.on_timer(at, &mut r, token);
+        assert!(cmds
+            .iter()
+            .any(|c| matches!(c, MgrCmd::SendKernelDatagram { node, .. } if *node == NodeId(1))));
+        // Both a timeout and the next ping are armed.
+        assert_eq!(
+            cmds.iter()
+                .filter(|c| matches!(c, MgrCmd::SetTimer { .. }))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn missed_ping_declares_node_crashed() {
+        let mut m = RecoveryManager::new(ManagerConfig::default());
+        let mut r = recorder();
+        let cmds = m.watch_node(SimTime::ZERO, NodeId(1));
+        let (at, token) = match &cmds[0] {
+            MgrCmd::SetTimer { at, token } => (*at, *token),
+            _ => panic!(),
+        };
+        let cmds = m.on_timer(at, &mut r, token);
+        // Find the timeout timer (first SetTimer after the ping).
+        let timeout = cmds
+            .iter()
+            .filter_map(|c| match c {
+                MgrCmd::SetTimer { at, token } => Some((*at, *token)),
+                _ => None,
+            })
+            .next()
+            .unwrap();
+        let cmds = m.on_timer(timeout.0, &mut r, timeout.1);
+        assert!(cmds.iter().any(
+            |c| matches!(c, MgrCmd::RestartNode { node, incarnation: 1 } if *node == NodeId(1))
+        ));
+        assert_eq!(m.stats().node_crashes.get(), 1);
+        assert_eq!(m.nodes_restarting(), 1);
+    }
+
+    #[test]
+    fn alive_reply_cancels_timeout() {
+        let mut m = RecoveryManager::new(ManagerConfig::default());
+        let mut r = recorder();
+        let cmds = m.watch_node(SimTime::ZERO, NodeId(1));
+        let (at, token) = match &cmds[0] {
+            MgrCmd::SetTimer { at, token } => (*at, *token),
+            _ => panic!(),
+        };
+        let cmds = m.on_timer(at, &mut r, token);
+        // Extract the ping nonce from the datagram body.
+        let nonce = cmds
+            .iter()
+            .find_map(|c| match c {
+                MgrCmd::SendKernelDatagram { body, .. } => {
+                    Some(u64::from_le_bytes(body[4..12].try_into().unwrap()))
+                }
+                _ => None,
+            })
+            .unwrap();
+        m.on_alive_reply(NodeId(1), nonce);
+        let timeout = cmds
+            .iter()
+            .filter_map(|c| match c {
+                MgrCmd::SetTimer { at, token } => Some((*at, *token)),
+                _ => None,
+            })
+            .next()
+            .unwrap();
+        let cmds = m.on_timer(timeout.0, &mut r, timeout.1);
+        assert!(!cmds.iter().any(|c| matches!(c, MgrCmd::RestartNode { .. })));
+        assert_eq!(m.stats().node_crashes.get(), 0);
+    }
+
+    #[test]
+    fn process_recovery_walks_phases() {
+        let mut m = RecoveryManager::new(ManagerConfig::default());
+        let mut r = recorder();
+        let pid = setup_process(&mut r);
+        let cmds = m.start_recovery(SimTime::ZERO, &mut r, pid);
+        assert!(matches!(&cmds[0], MgrCmd::SendKernel { node, .. } if *node == pid.node));
+        assert!(r.entry(pid).unwrap().recovering);
+        assert!(m.busy());
+
+        let cmds = m.on_recreate_reply(SimTime::ZERO, &r, pid, true);
+        // No messages published yet: just the prepare.
+        assert_eq!(cmds.len(), 1);
+
+        let cmds = m.on_prepare_reply(SimTime::ZERO, &mut r, pid);
+        assert!(cmds
+            .iter()
+            .any(|c| matches!(c, MgrCmd::RecoveryDone { .. })));
+        assert!(!m.busy());
+        assert!(!r.entry(pid).unwrap().recovering);
+        assert_eq!(m.stats().completed.get(), 1);
+    }
+
+    #[test]
+    fn recovery_replays_published_messages() {
+        use publishing_demos::ids::{Channel, MessageId};
+        use publishing_demos::message::{Message, MessageHeader};
+        let mut m = RecoveryManager::new(ManagerConfig::default());
+        let mut r = recorder();
+        let pid = setup_process(&mut r);
+        for i in 1..=3u64 {
+            let msg = Message {
+                header: MessageHeader {
+                    id: MessageId {
+                        sender: ProcessId::new(2, 1),
+                        seq: i,
+                    },
+                    to: pid,
+                    code: 0,
+                    channel: Channel(0),
+                    deliver_to_kernel: false,
+                },
+                passed_link: None,
+                body: vec![i as u8],
+            };
+            r.on_data(SimTime::ZERO, &msg);
+            let ios = r.on_ack(SimTime::ZERO, msg.header.id, pid);
+            for io in ios {
+                r.on_disk(io.at, io);
+            }
+        }
+        m.start_recovery(SimTime::ZERO, &mut r, pid);
+        let cmds = m.on_recreate_reply(SimTime::ZERO, &r, pid, true);
+        // 3 replays + 1 prepare.
+        assert_eq!(cmds.len(), 4);
+        assert_eq!(m.stats().replayed.get(), 3);
+    }
+
+    #[test]
+    fn unknown_process_cannot_recover() {
+        let mut m = RecoveryManager::new(ManagerConfig::default());
+        let mut r = recorder();
+        let cmds = m.start_recovery(SimTime::ZERO, &mut r, ProcessId::new(5, 5));
+        assert!(cmds.is_empty());
+    }
+
+    #[test]
+    fn recursive_crash_restarts_job() {
+        let mut m = RecoveryManager::new(ManagerConfig::default());
+        let mut r = recorder();
+        let pid = setup_process(&mut r);
+        m.start_recovery(SimTime::ZERO, &mut r, pid);
+        // The recovering process crashes again (§3.5).
+        let cmds = m.on_crash_notice(SimTime::ZERO, &mut r, pid);
+        assert!(cmds.iter().any(|c| matches!(c, MgrCmd::SendKernel { .. })));
+        assert_eq!(m.stats().recursive.get(), 1);
+    }
+
+    #[test]
+    fn stale_state_replies_ignored() {
+        let mut m = RecoveryManager::new(ManagerConfig::default());
+        let mut r = recorder();
+        let pid = setup_process(&mut r);
+        r.restart(SimTime::from_millis(1)); // restart_number = 1
+        let reply = protocol::StateReply {
+            pid,
+            state: ReportedState::Crashed,
+            restart_number: 0,
+        };
+        let cmds = m.on_state_reply(SimTime::from_millis(2), &mut r, &reply);
+        assert!(cmds.is_empty());
+        assert_eq!(m.stats().stale_replies.get(), 1);
+    }
+}

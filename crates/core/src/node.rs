@@ -1,0 +1,497 @@
+//! The recording node: recorder + recovery manager + watchdogs +
+//! checkpoint policy behind one network endpoint (Figure 3.2's "recording
+//! node … in charge of recording all messages on the network and of
+//! initiating and directing all recovery operations").
+
+use crate::checkpoint::CheckpointPolicy;
+use crate::manager::{ManagerConfig, MgrCmd, RecoveryManager};
+use crate::recorder::{PublishCost, Recorder};
+use publishing_demos::ids::{Channel, MessageId, NodeId, ProcessId};
+use publishing_demos::kernel::{decode_ctl, encode_ctl};
+use publishing_demos::message::{Message, MessageHeader};
+use publishing_demos::protocol::{self, codes};
+use publishing_demos::transport::{TAction, Transport, TransportConfig, Wire};
+use publishing_net::frame::{Destination, Frame, StationId};
+use publishing_sim::codec::{Decode, Decoder, Encode, Encoder};
+use publishing_sim::time::{SimDuration, SimTime};
+use publishing_stable::disk::DiskParams;
+use publishing_stable::store::StoreIo;
+use std::collections::{HashMap, HashSet};
+
+/// An action the recorder node asks the world to perform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RNAction {
+    /// Put a frame on the medium.
+    Transmit(Frame),
+    /// Call [`RecorderNode::on_timer`] with `token` at `at`.
+    SetTimer {
+        /// Callback time.
+        at: SimTime,
+        /// Token to hand back.
+        token: u64,
+    },
+    /// Physically restart a crashed node, then call
+    /// [`RecorderNode::confirm_node_restarted`].
+    RestartNode {
+        /// The node.
+        node: NodeId,
+        /// Its new incarnation.
+        incarnation: u32,
+    },
+    /// A process finished recovering.
+    RecoveryDone {
+        /// The process.
+        pid: ProcessId,
+    },
+}
+
+/// Configuration for a recorder node.
+#[derive(Debug, Clone)]
+pub struct RecorderConfig {
+    /// Watchdog pacing.
+    pub manager: ManagerConfig,
+    /// Checkpoint policy applied to every process.
+    pub policy: CheckpointPolicy,
+    /// How often the policy is evaluated.
+    pub policy_tick: SimDuration,
+    /// Disk service parameters (Fig 5.2).
+    pub disk: DiskParams,
+    /// Number of disks (Fig 5.5 sweeps 1–3).
+    pub n_disks: usize,
+    /// Per-message publishing CPU (§5.2.2).
+    pub publish_cost: PublishCost,
+    /// Transport parameters for the node's own endpoint.
+    pub transport: TransportConfig,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig {
+            manager: ManagerConfig::default(),
+            policy: CheckpointPolicy::Periodic(SimDuration::from_secs(2)),
+            policy_tick: SimDuration::from_millis(250),
+            disk: DiskParams::default(),
+            n_disks: 1,
+            publish_cost: PublishCost::MediaLayer,
+            transport: TransportConfig::default(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum RTimer {
+    Transport(u64),
+    Manager(u64),
+    Disk(StoreIo),
+    PolicyTick,
+}
+
+/// The recording node.
+pub struct RecorderNode {
+    node: NodeId,
+    cfg: RecorderConfig,
+    recorder: Recorder,
+    manager: RecoveryManager,
+    transport: Transport,
+    kernel_seq: u64,
+    timers: HashMap<u64, RTimer>,
+    next_token: u64,
+    checkpoint_requested: HashSet<ProcessId>,
+    up: bool,
+}
+
+impl RecorderNode {
+    /// Creates a recorder node.
+    pub fn new(node: NodeId, cfg: RecorderConfig) -> Self {
+        let recorder = Recorder::new(node, cfg.disk.clone(), cfg.n_disks, cfg.publish_cost);
+        let manager = RecoveryManager::new(cfg.manager.clone());
+        let transport = Transport::new(node, cfg.transport.clone());
+        RecorderNode {
+            node,
+            cfg,
+            recorder,
+            manager,
+            transport,
+            kernel_seq: 0,
+            timers: HashMap::new(),
+            next_token: 0,
+            checkpoint_requested: HashSet::new(),
+            up: true,
+        }
+    }
+
+    /// Returns the node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Returns this node's station.
+    pub fn station(&self) -> StationId {
+        StationId(self.node.0)
+    }
+
+    /// Returns `true` while the recorder is up.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Read access to the recorder database.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Read access to the recovery manager.
+    pub fn manager(&self) -> &RecoveryManager {
+        &self.manager
+    }
+
+    /// Begins operation: watchdogs for `nodes`, plus the checkpoint-policy
+    /// tick.
+    pub fn start(&mut self, now: SimTime, nodes: &[NodeId]) -> Vec<RNAction> {
+        let mut out = Vec::new();
+        for &n in nodes {
+            let cmds = self.manager.watch_node(now, n);
+            self.apply_cmds(now, cmds, &mut out);
+        }
+        self.arm(now + self.cfg.policy_tick, RTimer::PolicyTick, &mut out);
+        out
+    }
+
+    fn arm(&mut self, at: SimTime, kind: RTimer, out: &mut Vec<RNAction>) {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.timers.insert(token, kind);
+        out.push(RNAction::SetTimer { at, token });
+    }
+
+    fn next_kernel_id(&mut self) -> MessageId {
+        self.kernel_seq += 1;
+        let seq = ((self.transport.incarnation() as u64) << 40) | self.kernel_seq;
+        MessageId {
+            sender: ProcessId::kernel_of(self.node),
+            seq,
+        }
+    }
+
+    fn kernel_send(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        body: Vec<u8>,
+        guaranteed: bool,
+        out: &mut Vec<RNAction>,
+    ) {
+        let id = self.next_kernel_id();
+        let to = ProcessId::kernel_of(node);
+        let header = MessageHeader {
+            id,
+            to,
+            code: 0,
+            channel: Channel::DEFAULT,
+            deliver_to_kernel: false,
+        };
+        let msg = Message {
+            header,
+            passed_link: None,
+            body,
+        };
+        let actions = if guaranteed {
+            self.transport.send_guaranteed(now, node, msg)
+        } else {
+            self.transport.send_datagram(now, node, msg)
+        };
+        self.apply_transport(now, actions, out);
+    }
+
+    fn apply_transport(&mut self, now: SimTime, actions: Vec<TAction>, out: &mut Vec<RNAction>) {
+        for a in actions {
+            match a {
+                TAction::Transmit { dst_node, payload } => {
+                    let frame = Frame::new(
+                        self.station(),
+                        Destination::Station(StationId(dst_node.0)),
+                        payload,
+                    );
+                    out.push(RNAction::Transmit(frame));
+                }
+                TAction::Deliver(msg) => self.handle_kernel_msg(now, msg, out),
+                TAction::SetTimer { at, token } => self.arm(at, RTimer::Transport(token), out),
+            }
+        }
+    }
+
+    fn apply_cmds(&mut self, now: SimTime, cmds: Vec<MgrCmd>, out: &mut Vec<RNAction>) {
+        for c in cmds {
+            match c {
+                MgrCmd::SendKernel { node, body } => self.kernel_send(now, node, body, true, out),
+                MgrCmd::SendKernelDatagram { node, body } => {
+                    self.kernel_send(now, node, body, false, out)
+                }
+                MgrCmd::RestartNode { node, incarnation } => {
+                    out.push(RNAction::RestartNode { node, incarnation });
+                }
+                MgrCmd::SetTimer { at, token } => self.arm(at, RTimer::Manager(token), out),
+                MgrCmd::RecoveryDone { pid } => {
+                    self.checkpoint_requested.remove(&pid);
+                    out.push(RNAction::RecoveryDone { pid });
+                }
+            }
+        }
+    }
+
+    fn schedule_ios(&mut self, ios: Vec<StoreIo>, out: &mut Vec<RNAction>) {
+        for io in ios {
+            self.arm(io.at, RTimer::Disk(io), out);
+        }
+    }
+
+    /// Handles a frame seen on the medium: passive capture of everything,
+    /// plus normal endpoint processing for frames addressed to us.
+    pub fn on_frame(&mut self, now: SimTime, frame: &Frame, recorder_ok: bool) -> Vec<RNAction> {
+        let mut out = Vec::new();
+        if !self.up || !frame.is_intact() || !recorder_ok {
+            return out;
+        }
+        let Ok(wire) = Wire::decode_all(&frame.payload) else {
+            return out;
+        };
+        match &wire {
+            Wire::Data { msg, .. } => {
+                self.recorder.on_data(now, msg);
+            }
+            Wire::Ack {
+                msg_id, dst_pid, ..
+            } => {
+                let ios = self.recorder.on_ack(now, *msg_id, *dst_pid);
+                self.schedule_ios(ios, &mut out);
+            }
+            Wire::Datagram { .. } => {}
+        }
+        if frame.dst.accepts(self.station()) {
+            let actions = self.transport.on_wire(now, wire);
+            self.apply_transport(now, actions, &mut out);
+        }
+        out
+    }
+
+    fn handle_kernel_msg(&mut self, now: SimTime, msg: Message, out: &mut Vec<RNAction>) {
+        let Some((code, payload)) = decode_ctl(&msg.body) else {
+            return;
+        };
+        match code {
+            codes::PROCESS_CREATED_NOTICE => {
+                if let Ok(n) = protocol::CreatedNotice::decode_all(payload) {
+                    let ios = self.recorder.on_created(
+                        now,
+                        n.pid,
+                        &n.program_name,
+                        n.initial_links,
+                        n.recoverable,
+                    );
+                    self.schedule_ios(ios, out);
+                }
+            }
+            codes::PROCESS_DESTROYED_NOTICE => {
+                if let Ok(n) = protocol::CreatedNotice::decode_all(payload) {
+                    let ios = self.recorder.on_destroyed(now, n.pid);
+                    self.schedule_ios(ios, out);
+                    self.checkpoint_requested.remove(&n.pid);
+                }
+            }
+            codes::READ_ORDER_NOTICE => {
+                if let Ok(n) = protocol::ReadOrderNotice::decode_all(payload) {
+                    self.recorder.on_read_order(now, &n);
+                }
+            }
+            codes::CHECKPOINT_DEPOSIT => {
+                if let Ok(d) = protocol::CheckpointDeposit::decode_all(payload) {
+                    let ios = self.recorder.on_deposit(now, &d);
+                    self.schedule_ios(ios, out);
+                }
+            }
+            codes::PROCESS_CRASH_NOTICE => {
+                if let Ok(n) = protocol::CrashNotice::decode_all(payload) {
+                    let cmds = self.manager.on_crash_notice(now, &mut self.recorder, n.pid);
+                    self.apply_cmds(now, cmds, out);
+                }
+            }
+            codes::RECREATE_REPLY => {
+                let mut d = Decoder::new(payload);
+                if let (Ok(pid), Ok(ok)) = (ProcessId::decode(&mut d), d.bool()) {
+                    let cmds = self.manager.on_recreate_reply(now, &self.recorder, pid, ok);
+                    self.apply_cmds(now, cmds, out);
+                }
+            }
+            codes::PREPARE_FINISH_REPLY => {
+                let mut d = Decoder::new(payload);
+                if let Ok(pid) = ProcessId::decode(&mut d) {
+                    let cmds = self.manager.on_prepare_reply(now, &mut self.recorder, pid);
+                    self.apply_cmds(now, cmds, out);
+                }
+            }
+            codes::STATE_REPLY => {
+                if let Ok(reply) = protocol::StateReply::decode_all(payload) {
+                    let cmds = self.manager.on_state_reply(now, &mut self.recorder, &reply);
+                    self.apply_cmds(now, cmds, out);
+                }
+            }
+            codes::ALIVE_REPLY => {
+                if let Ok(r) = protocol::AliveReply::decode_all(payload) {
+                    self.manager.on_alive_reply(r.node, r.nonce);
+                }
+            }
+            codes::NODE_RESTARTED => {
+                if let Ok(n) = protocol::NodeRestarted::decode_all(payload) {
+                    let actions = self.transport.reset_peer(now, n.node, n.incarnation);
+                    self.apply_transport(now, actions, out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Handles a timer callback.
+    pub fn on_timer(&mut self, now: SimTime, token: u64) -> Vec<RNAction> {
+        let mut out = Vec::new();
+        if !self.up {
+            return out;
+        }
+        match self.timers.remove(&token) {
+            None => {}
+            Some(RTimer::Transport(t)) => {
+                let actions = self.transport.timer(now, t);
+                self.apply_transport(now, actions, &mut out);
+            }
+            Some(RTimer::Manager(t)) => {
+                let cmds = self.manager.on_timer(now, &mut self.recorder, t);
+                self.apply_cmds(now, cmds, &mut out);
+            }
+            Some(RTimer::Disk(io)) => {
+                let durable = self.recorder.on_disk(now, io);
+                for pid in durable {
+                    self.checkpoint_requested.remove(&pid);
+                }
+                let follow = self.recorder.take_drained_ios();
+                self.schedule_ios(follow, &mut out);
+            }
+            Some(RTimer::PolicyTick) => {
+                self.policy_tick(now, &mut out);
+                let ios = self.recorder.maintain(now);
+                self.schedule_ios(ios, &mut out);
+                self.arm(now + self.cfg.policy_tick, RTimer::PolicyTick, &mut out);
+            }
+        }
+        out
+    }
+
+    fn policy_tick(&mut self, now: SimTime, out: &mut Vec<RNAction>) {
+        let due: Vec<ProcessId> = self
+            .recorder
+            .known_pids()
+            .filter(|pid| !self.checkpoint_requested.contains(pid))
+            .filter(|pid| {
+                self.recorder
+                    .entry(*pid)
+                    .map(|e| self.cfg.policy.due(now, e))
+                    .unwrap_or(false)
+            })
+            .collect();
+        for pid in due {
+            self.checkpoint_requested.insert(pid);
+            let mut e = Encoder::new();
+            e.u32(codes::REQUEST_CHECKPOINT);
+            pid.encode(&mut e);
+            self.kernel_send(now, pid.node, e.finish(), true, out);
+        }
+    }
+
+    /// The world completed a node restart; broadcast it and recover the
+    /// node's processes.
+    pub fn confirm_node_restarted(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        incarnation: u32,
+    ) -> Vec<RNAction> {
+        let mut out = Vec::new();
+        // Reset our own numbering toward the restarted node before any
+        // recovery traffic is queued.
+        let actions = self.transport.reset_peer(now, node, incarnation);
+        self.apply_transport(now, actions, &mut out);
+        let cmds = self
+            .manager
+            .on_node_restarted(now, &mut self.recorder, node, incarnation);
+        self.apply_cmds(now, cmds, &mut out);
+        out
+    }
+
+    /// Declines a proposed node restart (§6.3: a higher-priority recorder
+    /// is responsible); the watchdog keeps checking.
+    pub fn decline_node_restart(&mut self, node: NodeId) {
+        self.manager.cancel_restart(node);
+    }
+
+    /// Starts recovery of one process (driven by a crash notice normally;
+    /// public for tests and the debugger).
+    pub fn recover_process(&mut self, now: SimTime, pid: ProcessId) -> Vec<RNAction> {
+        let mut out = Vec::new();
+        let cmds = self.manager.start_recovery(now, &mut self.recorder, pid);
+        self.apply_cmds(now, cmds, &mut out);
+        out
+    }
+
+    /// Crashes the recorder (volatile state lost; store survives). While
+    /// down, the medium's recorder gating suspends all traffic (§3.3.4).
+    pub fn crash(&mut self) {
+        self.up = false;
+        self.recorder.crash();
+        self.timers.clear();
+        self.checkpoint_requested.clear();
+    }
+
+    /// Restarts the recorder (§3.3.4): rebuild from stable storage,
+    /// announce the new incarnation, query every known process's state.
+    pub fn restart(&mut self, now: SimTime) -> Vec<RNAction> {
+        let mut out = Vec::new();
+        self.up = true;
+        let incarnation = self.transport.incarnation() + 1;
+        self.transport.restart(incarnation);
+        self.kernel_seq = 0;
+        let known = self.recorder.restart(now);
+        let drained = self.recorder.take_drained_ios();
+        self.schedule_ios(drained, &mut out);
+        // Peers must renumber toward us.
+        let restarted = protocol::NodeRestarted {
+            node: self.node,
+            incarnation,
+        };
+        let body = encode_ctl(codes::NODE_RESTARTED, &restarted);
+        let nodes: Vec<NodeId> = known
+            .iter()
+            .map(|p| p.node)
+            .collect::<HashSet<_>>()
+            .into_iter()
+            .collect();
+        let mut sorted = nodes;
+        sorted.sort();
+        for n in &sorted {
+            self.kernel_send(now, *n, body.clone(), true, &mut out);
+        }
+        let cmds = self
+            .manager
+            .on_recorder_restart(now, &mut self.recorder, &known);
+        self.apply_cmds(now, cmds, &mut out);
+        self.arm(now + self.cfg.policy_tick, RTimer::PolicyTick, &mut out);
+        out
+    }
+}
+
+impl core::fmt::Debug for RecorderNode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("RecorderNode")
+            .field("node", &self.node)
+            .field("up", &self.up)
+            .field("known", &self.recorder.known_pids().count())
+            .finish()
+    }
+}

@@ -1,0 +1,1012 @@
+//! The passive recorder (§3.3, §4.5).
+//!
+//! The recorder overhears every frame on the network. Captured messages
+//! sit in a pending buffer until the destination's transport
+//! acknowledgement is observed — "it is possible to discover the order in
+//! which messages are received at the receiving node by tracing the
+//! acknowledgements" (§4.4.1) — at which point the message is assigned
+//! its arrival sequence and appended to the stable store. Read-order
+//! notices (§4.4.2) pin deviations between arrival order and read order;
+//! the *replay stream* for a process is arrival order corrected by pins.
+//!
+//! Each database entry holds what §4.5 lists: the ids of messages
+//! received since the last checkpoint, the latest checkpoint, the highest
+//! sequence acknowledged per destination (for resend suppression), and
+//! the recovering flag. The entry is a summary of what is on disk: after
+//! a recorder crash, [`Recorder::restart`] rebuilds it from the store and
+//! the battery-backed buffer (§3.3.4).
+
+use crate::recovery_time::RecoveryEstimator;
+use publishing_demos::ids::{MessageId, NodeId, ProcessId};
+use publishing_demos::message::Message;
+use publishing_demos::protocol::{CheckpointDeposit, ReadOrderNotice};
+use publishing_sim::codec::{CodecError, Decode, Decoder, Encode, Encoder};
+use publishing_sim::stats::Counter;
+use publishing_sim::time::{SimDuration, SimTime};
+use publishing_stable::disk::DiskParams;
+use publishing_stable::store::{Checkpoint, RecordKey, StableStore, StoreEvent, StoreIo};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Recorder-side per-message CPU cost, §5.2.2's three operating points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PublishCost {
+    /// The unoptimized DEMOS/MP kernel path: 57 ms per message.
+    FullStack,
+    /// After inlining the hot path: 12 ms per message.
+    Inlined,
+    /// Intercepting at the media layer: the 0.8 ms design goal.
+    MediaLayer,
+}
+
+impl PublishCost {
+    /// CPU charged per captured message.
+    pub fn per_message(self) -> SimDuration {
+        match self {
+            PublishCost::FullStack => SimDuration::from_millis(57),
+            PublishCost::Inlined => SimDuration::from_millis(12),
+            PublishCost::MediaLayer => SimDuration::from_micros(800),
+        }
+    }
+}
+
+/// Recorder-internal checkpoint metadata wrapped around the kernel's
+/// process image before it goes to stable storage, so the database can be
+/// rebuilt from disk alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CheckpointMeta {
+    program_name: String,
+    /// Creation-time links (initial state parameters).
+    initial_links: Vec<publishing_demos::link::Link>,
+    /// read_count at the checkpoint (replay floor).
+    read_floor: u64,
+    /// Read-order pins at or above the floor.
+    pins: Vec<(u64, MessageId)>,
+    /// Arrival seqs consumed before the checkpoint but above the
+    /// conservative floor (out-of-order reads not yet GC-able by range).
+    consumed_deltas: Vec<u64>,
+    /// The kernel's encoded ProcessImage (`None` for the initial
+    /// binary-image checkpoint of §3.3.1).
+    image: Option<Vec<u8>>,
+}
+
+impl Encode for CheckpointMeta {
+    fn encode(&self, e: &mut Encoder) {
+        e.str(&self.program_name);
+        e.seq(&self.initial_links, |e, l| l.encode(e));
+        e.u64(self.read_floor);
+        e.seq(&self.pins, |e, (idx, id)| {
+            e.u64(*idx);
+            id.encode(e);
+        });
+        e.seq(&self.consumed_deltas, |e, s| {
+            e.u64(*s);
+        });
+        e.option(self.image.as_ref(), |e, i| {
+            e.bytes(i);
+        });
+    }
+}
+
+impl Decode for CheckpointMeta {
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let program_name = d.str()?;
+        let initial_links = d.seq(publishing_demos::link::Link::decode)?;
+        let read_floor = d.u64()?;
+        let pins = d.seq(|d| {
+            let idx = d.u64()?;
+            let id = MessageId::decode(d)?;
+            Ok((idx, id))
+        })?;
+        let consumed_deltas = d.seq(|d| d.u64())?;
+        let image = d.option(|d| d.bytes())?;
+        Ok(CheckpointMeta {
+            program_name,
+            initial_links,
+            read_floor,
+            pins,
+            consumed_deltas,
+            image,
+        })
+    }
+}
+
+/// One §4.5 database entry.
+#[derive(Debug)]
+pub struct ProcessEntry {
+    /// The process.
+    pub pid: ProcessId,
+    /// Binary image name (from the creation notice).
+    pub program_name: String,
+    /// Creation-time links (from the creation notice).
+    pub initial_links: Vec<publishing_demos::link::Link>,
+    /// Unconsumed messages in arrival (ack) order: (arrival seq, id).
+    pub arrivals: Vec<(u64, MessageId)>,
+    /// Read-order pins at absolute read indices (§4.4.2 notices).
+    pub pins: BTreeMap<u64, MessageId>,
+    /// read_count at the latest durable checkpoint.
+    pub read_floor: u64,
+    /// Next arrival sequence to assign.
+    pub next_arrival_seq: u64,
+    /// Highest acknowledged sequence this process sent, per destination —
+    /// the §4.7 resend-suppression watermarks.
+    pub last_sent: BTreeMap<ProcessId, u64>,
+    /// Whether recovery is in progress.
+    pub recovering: bool,
+    /// §6.6.1: whether this process is recoverable at all; messages for
+    /// unrecoverable processes are not published.
+    pub recoverable: bool,
+    /// Latest durable kernel image (None = initial state only).
+    pub checkpoint_image: Option<Vec<u8>>,
+    /// Recovery-time accumulators for the checkpoint policy.
+    pub estimator: RecoveryEstimator,
+    /// Bytes of published messages since the last checkpoint (drives the
+    /// §5.1 storage-exceeds-checkpoint policy).
+    pub bytes_since_checkpoint: u64,
+}
+
+impl ProcessEntry {
+    fn new(now: SimTime, pid: ProcessId, program_name: String) -> Self {
+        ProcessEntry {
+            pid,
+            program_name,
+            initial_links: Vec::new(),
+            arrivals: Vec::new(),
+            pins: BTreeMap::new(),
+            read_floor: 0,
+            next_arrival_seq: 0,
+            last_sent: BTreeMap::new(),
+            recovering: false,
+            recoverable: true,
+            checkpoint_image: None,
+            estimator: RecoveryEstimator::new(now, 1),
+            bytes_since_checkpoint: 0,
+        }
+    }
+}
+
+/// Counters the recorder maintains.
+#[derive(Debug, Default, Clone)]
+pub struct RecorderStats {
+    /// Data frames captured into the pending buffer.
+    pub captured: Counter,
+    /// Messages sequenced (ack observed) and appended to the store.
+    pub published: Counter,
+    /// Duplicate data/ack observations ignored.
+    pub duplicates: Counter,
+    /// Acks for messages never captured (lost pending state).
+    pub orphan_acks: Counter,
+    /// Read-order notices applied.
+    pub notices: Counter,
+    /// Checkpoints made durable.
+    pub checkpoints: Counter,
+    /// CPU charged for publishing work.
+    pub cpu_used: SimDuration,
+}
+
+struct PendingDeposit {
+    meta: CheckpointMeta,
+    consumed: Vec<(u64, MessageId)>,
+    pages: u64,
+}
+
+/// The passive recorder: capture pipeline, process database, and stable
+/// store.
+pub struct Recorder {
+    node: NodeId,
+    store: StableStore,
+    db: BTreeMap<ProcessId, ProcessEntry>,
+    /// Captured but not yet acknowledged, in capture order. This buffer is
+    /// battery-backed (§3.3.4): a destination may have used and
+    /// acknowledged a frame in the instant before a recorder crash, and
+    /// "no messages or checkpoints can be lost" — restart drains it into
+    /// the streams.
+    pending: BTreeMap<u64, Message>,
+    pending_ids: HashMap<MessageId, u64>,
+    next_capture: u64,
+    /// Ids already sequenced (volatile; rebuilt from store on restart).
+    sequenced: BTreeSet<MessageId>,
+    pending_deposits: HashMap<ProcessId, PendingDeposit>,
+    drained_ios: Vec<StoreIo>,
+    restart_number: u64,
+    publish_cost: PublishCost,
+    stats: RecorderStats,
+}
+
+impl Recorder {
+    /// Creates a recorder on `node` with `n_disks` disks.
+    pub fn new(node: NodeId, disk: DiskParams, n_disks: usize, publish_cost: PublishCost) -> Self {
+        Recorder {
+            node,
+            store: StableStore::new(disk, n_disks),
+            db: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            pending_ids: HashMap::new(),
+            next_capture: 0,
+            sequenced: BTreeSet::new(),
+            pending_deposits: HashMap::new(),
+            drained_ios: Vec::new(),
+            restart_number: 0,
+            publish_cost,
+            stats: RecorderStats::default(),
+        }
+    }
+
+    /// Returns the recorder's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Returns the recorder counters.
+    pub fn stats(&self) -> &RecorderStats {
+        &self.stats
+    }
+
+    /// Returns the store (for utilization reporting).
+    pub fn store(&self) -> &StableStore {
+        &self.store
+    }
+
+    /// Returns the current §3.4 restart number.
+    pub fn restart_number(&self) -> u64 {
+        self.restart_number
+    }
+
+    /// Looks up a database entry.
+    pub fn entry(&self, pid: ProcessId) -> Option<&ProcessEntry> {
+        self.db.get(&pid)
+    }
+
+    /// Iterates known process ids.
+    pub fn known_pids(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.db.keys().copied()
+    }
+
+    /// Marks a process as (not) recovering.
+    pub fn set_recovering(&mut self, pid: ProcessId, recovering: bool) {
+        if let Some(e) = self.db.get_mut(&pid) {
+            e.recovering = recovering;
+        }
+    }
+
+    fn charge(&mut self) {
+        self.stats.cpu_used += self.publish_cost.per_message();
+    }
+
+    /// Captures a process-destined data message seen on the wire.
+    pub fn on_data(&mut self, _now: SimTime, msg: &Message) {
+        let id = msg.header.id;
+        if msg.header.to.is_kernel() {
+            return;
+        }
+        if let Some(e) = self.db.get(&msg.header.to) {
+            if !e.recoverable {
+                return;
+            }
+        }
+        if self.sequenced.contains(&id) || self.pending_ids.contains_key(&id) {
+            self.stats.duplicates.inc();
+            return;
+        }
+        self.charge();
+        self.stats.captured.inc();
+        let cap = self.next_capture;
+        self.next_capture += 1;
+        self.pending.insert(cap, msg.clone());
+        self.pending_ids.insert(id, cap);
+    }
+
+    /// Handles an observed destination acknowledgement: assigns the
+    /// message its arrival sequence and publishes it.
+    pub fn on_ack(&mut self, now: SimTime, msg_id: MessageId, dst_pid: ProcessId) -> Vec<StoreIo> {
+        if dst_pid.is_kernel() {
+            return Vec::new();
+        }
+        if self.sequenced.contains(&msg_id) {
+            self.stats.duplicates.inc();
+            return Vec::new();
+        }
+        let Some(cap) = self.pending_ids.remove(&msg_id) else {
+            self.stats.orphan_acks.inc();
+            return Vec::new();
+        };
+        let msg = self.pending.remove(&cap).expect("pending indexed");
+        self.sequence_message(now, msg)
+    }
+
+    /// Assigns the next arrival sequence for the message's destination
+    /// and appends it to the stable store.
+    fn sequence_message(&mut self, now: SimTime, msg: Message) -> Vec<StoreIo> {
+        let msg_id = msg.header.id;
+        let dst_pid = msg.header.to;
+        self.sequenced.insert(msg_id);
+        let bytes = msg.encode_to_vec();
+        let len = bytes.len();
+        let entry = self
+            .db
+            .entry(dst_pid)
+            .or_insert_with(|| ProcessEntry::new(now, dst_pid, String::new()));
+        let seq = entry.next_arrival_seq;
+        entry.next_arrival_seq += 1;
+        entry.arrivals.push((seq, msg_id));
+        entry.estimator.on_message(len);
+        entry.bytes_since_checkpoint += len as u64;
+        // Track the sender's delivered watermark toward this destination.
+        let sender = msg_id.sender;
+        if !sender.is_kernel() {
+            let se = self
+                .db
+                .entry(sender)
+                .or_insert_with(|| ProcessEntry::new(now, sender, String::new()));
+            let w = se.last_sent.entry(dst_pid).or_insert(0);
+            *w = (*w).max(msg_id.seq);
+        }
+        self.stats.published.inc();
+        self.store.append_message(
+            now,
+            RecordKey {
+                pid: dst_pid.as_u64(),
+                seq,
+            },
+            bytes,
+        )
+    }
+
+    /// Handles a creation notice: registers the process and writes its
+    /// initial (binary image) checkpoint (§3.3.1).
+    pub fn on_created(
+        &mut self,
+        now: SimTime,
+        pid: ProcessId,
+        program_name: &str,
+        initial_links: Vec<publishing_demos::link::Link>,
+        recoverable: bool,
+    ) -> Vec<StoreIo> {
+        let entry = self
+            .db
+            .entry(pid)
+            .or_insert_with(|| ProcessEntry::new(now, pid, program_name.to_string()));
+        entry.program_name = program_name.to_string();
+        entry.initial_links = initial_links.clone();
+        entry.recoverable = recoverable;
+        if !recoverable {
+            // §6.6.1: "If we do not publish messages for these processes,
+            // we may greatly increase the capability of the recorder."
+            // No initial checkpoint either; a crash is final.
+            return Vec::new();
+        }
+        let meta = CheckpointMeta {
+            program_name: program_name.to_string(),
+            initial_links,
+            read_floor: 0,
+            pins: Vec::new(),
+            consumed_deltas: Vec::new(),
+            image: None,
+        };
+        self.pending_deposits.insert(
+            pid,
+            PendingDeposit {
+                meta: meta.clone(),
+                consumed: Vec::new(),
+                pages: 1,
+            },
+        );
+        let blob = meta.encode_to_vec();
+        self.store.write_checkpoint(
+            now,
+            Checkpoint {
+                pid: pid.as_u64(),
+                upto_seq: 0,
+                blob,
+            },
+        )
+    }
+
+    /// Handles a destruction notice: forgets the process entirely.
+    pub fn on_destroyed(&mut self, now: SimTime, pid: ProcessId) -> Vec<StoreIo> {
+        if let Some(e) = self.db.remove(&pid) {
+            for (_, id) in &e.arrivals {
+                self.sequenced.remove(id);
+            }
+        }
+        self.pending_deposits.remove(&pid);
+        self.store.purge_process(now, pid.as_u64())
+    }
+
+    /// Applies a §4.4.2 read-order notice.
+    pub fn on_read_order(&mut self, now: SimTime, n: &ReadOrderNotice) {
+        let entry = self
+            .db
+            .entry(n.pid)
+            .or_insert_with(|| ProcessEntry::new(now, n.pid, String::new()));
+        entry.pins.insert(n.read_index, n.read_id);
+        self.stats.notices.inc();
+    }
+
+    /// Handles a checkpoint deposit from a node kernel.
+    pub fn on_deposit(&mut self, now: SimTime, d: &CheckpointDeposit) -> Vec<StoreIo> {
+        let Some(entry) = self.db.get_mut(&d.pid) else {
+            return Vec::new();
+        };
+        if self.pending_deposits.contains_key(&d.pid) {
+            // One checkpoint in flight at a time; drop extras.
+            return Vec::new();
+        }
+        // Project which messages the process consumed before the image
+        // was taken: read indices [read_floor, d.read_count).
+        let mut used: BTreeSet<MessageId> = BTreeSet::new();
+        let mut consumed: Vec<(u64, MessageId)> = Vec::new();
+        for idx in entry.read_floor..d.read_count {
+            let id = match entry.pins.get(&idx) {
+                Some(&id) => id,
+                None => {
+                    let Some(&(_, id)) = entry.arrivals.iter().find(|(_, id)| !used.contains(id))
+                    else {
+                        break;
+                    };
+                    id
+                }
+            };
+            used.insert(id);
+            if let Some(&(seq, _)) = entry.arrivals.iter().find(|(_, aid)| *aid == id) {
+                consumed.push((seq, id));
+            }
+        }
+        // Conservative floor: first surviving arrival seq.
+        let consumed_seqs: BTreeSet<u64> = consumed.iter().map(|(s, _)| *s).collect();
+        let floor = entry
+            .arrivals
+            .iter()
+            .map(|(s, _)| *s)
+            .find(|s| !consumed_seqs.contains(s))
+            .unwrap_or(entry.next_arrival_seq);
+        let deltas: Vec<u64> = consumed_seqs
+            .iter()
+            .copied()
+            .filter(|s| *s >= floor)
+            .collect();
+        let pins: Vec<(u64, MessageId)> = entry
+            .pins
+            .iter()
+            .filter(|(idx, _)| **idx >= d.read_count)
+            .map(|(i, id)| (*i, *id))
+            .collect();
+        let meta = CheckpointMeta {
+            program_name: entry.program_name.clone(),
+            initial_links: entry.initial_links.clone(),
+            read_floor: d.read_count,
+            pins,
+            consumed_deltas: deltas,
+            image: Some(d.image.clone()),
+        };
+        let blob = meta.encode_to_vec();
+        let pages = (blob.len() as u64).div_ceil(4096).max(1);
+        self.pending_deposits.insert(
+            d.pid,
+            PendingDeposit {
+                meta,
+                consumed,
+                pages,
+            },
+        );
+        self.store.write_checkpoint(
+            now,
+            Checkpoint {
+                pid: d.pid.as_u64(),
+                upto_seq: floor,
+                blob,
+            },
+        )
+    }
+
+    /// Completes a disk IO; surfaces durable-checkpoint events so the
+    /// checkpoint policy can observe them.
+    pub fn on_disk(&mut self, now: SimTime, io: StoreIo) -> Vec<ProcessId> {
+        let events = self.store.on_disk_complete(now, io);
+        let mut durable = Vec::new();
+        for ev in events {
+            match ev {
+                StoreEvent::CheckpointDurable { pid, .. } => {
+                    let pid = ProcessId::from_u64(pid);
+                    self.apply_durable_checkpoint(now, pid);
+                    durable.push(pid);
+                }
+                StoreEvent::FollowUpIo(io) => self.drained_ios.push(io),
+                _ => {}
+            }
+        }
+        durable
+    }
+
+    fn apply_durable_checkpoint(&mut self, now: SimTime, pid: ProcessId) {
+        let Some(dep) = self.pending_deposits.remove(&pid) else {
+            return;
+        };
+        let Some(entry) = self.db.get_mut(&pid) else {
+            return;
+        };
+        // Precisely invalidate consumed records above the conservative
+        // floor (the store already invalidated everything below it).
+        let consumed_ids: BTreeSet<MessageId> = dep.consumed.iter().map(|(_, id)| *id).collect();
+        for (seq, _) in &dep.consumed {
+            let erase = self.store.invalidate_record(
+                now,
+                RecordKey {
+                    pid: pid.as_u64(),
+                    seq: *seq,
+                },
+            );
+            self.drained_ios.extend(erase);
+        }
+        entry.arrivals.retain(|(_, id)| !consumed_ids.contains(id));
+        entry.read_floor = dep.meta.read_floor;
+        entry.pins.retain(|idx, _| *idx >= dep.meta.read_floor);
+        entry.checkpoint_image = dep.meta.image.clone();
+        entry.estimator.on_checkpoint(now, dep.pages);
+        entry.bytes_since_checkpoint = 0;
+        self.stats.checkpoints.inc();
+    }
+
+    /// Computes the replay stream for `pid`: the messages it must be fed,
+    /// in read order, starting at its checkpoint's read floor.
+    pub fn replay_stream(&self, pid: ProcessId) -> Vec<(u64, Message)> {
+        let Some(entry) = self.db.get(&pid) else {
+            return Vec::new();
+        };
+        // Message contents by id, from the store.
+        let mut by_id: HashMap<MessageId, Message> = HashMap::new();
+        for rec in self.store.messages_from(pid.as_u64(), 0) {
+            if let Ok(msg) = Message::decode_all(&rec.payload) {
+                by_id.insert(msg.header.id, msg);
+            }
+        }
+        let mut used: BTreeSet<MessageId> = BTreeSet::new();
+        let mut out = Vec::new();
+        let mut idx = entry.read_floor;
+        loop {
+            let id = match entry.pins.get(&idx) {
+                Some(&id) => id,
+                None => match entry.arrivals.iter().find(|(_, id)| !used.contains(id)) {
+                    Some(&(_, id)) => id,
+                    None => break,
+                },
+            };
+            used.insert(id);
+            match by_id.get(&id) {
+                Some(msg) => out.push((idx, msg.clone())),
+                None => break,
+            }
+            idx += 1;
+        }
+        out
+    }
+
+    /// The §4.7 suppression vector for a recovering process: per
+    /// destination, the highest sequence known delivered.
+    pub fn suppress_vector(&self, pid: ProcessId) -> Vec<(ProcessId, u64)> {
+        self.db
+            .get(&pid)
+            .map(|e| e.last_sent.iter().map(|(d, s)| (*d, *s)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Returns the latest durable kernel image for `pid`, if any.
+    pub fn checkpoint_image(&self, pid: ProcessId) -> Option<&[u8]> {
+        self.db
+            .get(&pid)
+            .and_then(|e| e.checkpoint_image.as_deref())
+    }
+
+    /// Models a recorder crash: volatile state (pending buffer, sequenced
+    /// set, database) is lost; the store and its battery-backed buffer
+    /// survive.
+    pub fn crash(&mut self) {
+        // The pending capture buffer is battery-backed and survives.
+        self.sequenced.clear();
+        self.db.clear();
+        self.pending_deposits.clear();
+        self.store.crash_volatile_state();
+    }
+
+    /// Restarts after a crash (§3.3.4): bumps the restart number and
+    /// rebuilds the database from stable storage. Returns the process ids
+    /// whose state must be queried.
+    pub fn restart(&mut self, now: SimTime) -> Vec<ProcessId> {
+        self.restart_number += 1;
+        self.crash();
+        let pids = self.store.rebuild_index();
+        for packed in pids {
+            let pid = ProcessId::from_u64(packed);
+            // Metadata from the latest durable checkpoint.
+            let Some(cp) = self.store.latest_checkpoint(packed) else {
+                continue;
+            };
+            let Ok(meta) = CheckpointMeta::decode_all(&cp.blob) else {
+                continue;
+            };
+            let mut entry = ProcessEntry::new(now, pid, meta.program_name.clone());
+            entry.initial_links = meta.initial_links.clone();
+            entry.read_floor = meta.read_floor;
+            entry.pins = meta.pins.iter().copied().collect();
+            entry.checkpoint_image = meta.image.clone();
+            let deltas: BTreeSet<u64> = meta.consumed_deltas.iter().copied().collect();
+            for rec in self.store.messages_from(packed, 0) {
+                if deltas.contains(&rec.key.seq) {
+                    let erase = self.store.invalidate_record(now, rec.key);
+                    self.drained_ios.extend(erase);
+                    continue;
+                }
+                if let Ok(msg) = Message::decode_all(&rec.payload) {
+                    entry.arrivals.push((rec.key.seq, msg.header.id));
+                    entry.next_arrival_seq = entry.next_arrival_seq.max(rec.key.seq + 1);
+                    self.sequenced.insert(msg.header.id);
+                }
+            }
+            self.db.insert(pid, entry);
+        }
+        // Rebuild sender watermarks from surviving records (a lower bound,
+        // which is the safe direction: under-suppression is deduplicated
+        // by receivers).
+        let mut watermarks: Vec<(ProcessId, ProcessId, u64)> = Vec::new();
+        for (&pid, entry) in &self.db {
+            for rec in self.store.messages_from(pid.as_u64(), 0) {
+                if entry.arrivals.iter().any(|(s, _)| *s == rec.key.seq) {
+                    if let Ok(msg) = Message::decode_all(&rec.payload) {
+                        watermarks.push((msg.header.id.sender, pid, msg.header.id.seq));
+                    }
+                }
+            }
+        }
+        for (sender, dst, seq) in watermarks {
+            if sender.is_kernel() {
+                continue;
+            }
+            if let Some(se) = self.db.get_mut(&sender) {
+                let w = se.last_sent.entry(dst).or_insert(0);
+                *w = (*w).max(seq);
+            }
+        }
+        // Drain the battery-backed pending buffer: a destination may have
+        // used (and acknowledged) a captured message in the instant before
+        // the crash; its ack observation died with our volatile state, and
+        // nobody will retransmit an acknowledged message. Sequence every
+        // survivor now, in capture order, so nothing is lost. Messages
+        // whose destination never actually received them are simply
+        // delivered on the destination's next recovery — the reliable-
+        // message guarantee.
+        let drained: Vec<Message> = std::mem::take(&mut self.pending).into_values().collect();
+        self.pending_ids.clear();
+        let mut pending_ios = Vec::new();
+        for msg in drained {
+            if self.sequenced.contains(&msg.header.id) {
+                continue;
+            }
+            if self.db.contains_key(&msg.header.to) {
+                pending_ios.extend(self.sequence_message(now, msg));
+            }
+        }
+        self.drained_ios = pending_ios;
+        self.db.keys().copied().collect()
+    }
+
+    /// IO started by the restart's pending-buffer drain; the caller must
+    /// schedule these completions.
+    pub fn take_drained_ios(&mut self) -> Vec<StoreIo> {
+        std::mem::take(&mut self.drained_ios)
+    }
+
+    /// Background maintenance: compacts one partially-invalid page (§4.5:
+    /// "before allocating a buffer to a disk page, the disk page is read
+    /// in … and the buffer is compacted"). The recorder node calls this
+    /// from its policy tick.
+    pub fn maintain(&mut self, now: SimTime) -> Vec<StoreIo> {
+        self.store.compact_one(now)
+    }
+
+    /// Returns `true` once every known process has checkpointed after
+    /// `since` — the §6.3 catch-up criterion for a rejoining recorder
+    /// ("eventually, all the processes will naturally checkpoint …
+    /// the recorder will then be up to date").
+    pub fn caught_up(&self, since: SimTime) -> bool {
+        self.db.values().all(|e| e.estimator.checkpoint_at >= since)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use publishing_demos::ids::Channel;
+    use publishing_demos::message::MessageHeader;
+
+    fn pid(n: u32, l: u32) -> ProcessId {
+        ProcessId::new(n, l)
+    }
+
+    fn msg(from: ProcessId, to: ProcessId, seq: u64, body: &[u8]) -> Message {
+        Message {
+            header: MessageHeader {
+                id: MessageId { sender: from, seq },
+                to,
+                code: 0,
+                channel: Channel(0),
+                deliver_to_kernel: false,
+            },
+            passed_link: None,
+            body: body.to_vec(),
+        }
+    }
+
+    fn recorder() -> Recorder {
+        Recorder::new(NodeId(9), DiskParams::default(), 1, PublishCost::MediaLayer)
+    }
+
+    fn drain(r: &mut Recorder, ios: Vec<StoreIo>) {
+        let mut q = ios;
+        while let Some(io) = q.pop() {
+            r.on_disk(io.at, io);
+        }
+    }
+
+    /// Capture + ack publishes in ack order, not capture order.
+    #[test]
+    fn sequencing_follows_acks() {
+        let mut r = recorder();
+        let t = SimTime::ZERO;
+        let ios = r.on_created(t, pid(2, 1), "echo", vec![], true);
+        drain(&mut r, ios);
+        let m1 = msg(pid(1, 1), pid(2, 1), 1, b"a");
+        let m2 = msg(pid(1, 1), pid(2, 1), 2, b"b");
+        r.on_data(t, &m1);
+        r.on_data(t, &m2);
+        // Acks arrive in reverse (m2's first copy reached the node; m1 was
+        // retransmitted later).
+        let ios = r.on_ack(t, m2.header.id, pid(2, 1));
+        drain(&mut r, ios);
+        let ios = r.on_ack(t, m1.header.id, pid(2, 1));
+        drain(&mut r, ios);
+        let stream = r.replay_stream(pid(2, 1));
+        let bodies: Vec<&[u8]> = stream.iter().map(|(_, m)| m.body.as_slice()).collect();
+        assert_eq!(bodies, vec![b"b".as_slice(), b"a".as_slice()]);
+    }
+
+    #[test]
+    fn duplicate_data_and_acks_ignored() {
+        let mut r = recorder();
+        let t = SimTime::ZERO;
+        let ios = r.on_created(t, pid(2, 1), "echo", vec![], true);
+        drain(&mut r, ios);
+        let m = msg(pid(1, 1), pid(2, 1), 1, b"x");
+        r.on_data(t, &m);
+        r.on_data(t, &m);
+        let ios = r.on_ack(t, m.header.id, pid(2, 1));
+        drain(&mut r, ios);
+        let ios = r.on_ack(t, m.header.id, pid(2, 1));
+        drain(&mut r, ios);
+        assert_eq!(r.stats().published.get(), 1);
+        assert_eq!(r.stats().duplicates.get(), 2);
+        assert_eq!(r.replay_stream(pid(2, 1)).len(), 1);
+    }
+
+    #[test]
+    fn kernel_traffic_not_published() {
+        let mut r = recorder();
+        let t = SimTime::ZERO;
+        let m = msg(pid(1, 1), ProcessId::kernel_of(NodeId(2)), 1, b"ctl");
+        r.on_data(t, &m);
+        let ios = r.on_ack(t, m.header.id, ProcessId::kernel_of(NodeId(2)));
+        drain(&mut r, ios);
+        assert_eq!(r.stats().captured.get(), 0);
+        assert_eq!(r.stats().published.get(), 0);
+    }
+
+    #[test]
+    fn pins_reorder_replay() {
+        let mut r = recorder();
+        let t = SimTime::ZERO;
+        let ios = r.on_created(t, pid(2, 1), "reader", vec![], true);
+        drain(&mut r, ios);
+        let msgs: Vec<Message> = (1..=3)
+            .map(|i| msg(pid(1, 1), pid(2, 1), i, &[i as u8]))
+            .collect();
+        for m in &msgs {
+            r.on_data(t, m);
+            let ios = r.on_ack(t, m.header.id, pid(2, 1));
+            drain(&mut r, ios);
+        }
+        // The process read message 3 first (urgent channel).
+        r.on_read_order(
+            t,
+            &ReadOrderNotice {
+                pid: pid(2, 1),
+                read_index: 0,
+                read_id: msgs[2].header.id,
+                head_id: msgs[0].header.id,
+            },
+        );
+        let stream = r.replay_stream(pid(2, 1));
+        let seqs: Vec<u64> = stream.iter().map(|(_, m)| m.header.id.seq).collect();
+        assert_eq!(seqs, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn checkpoint_sets_replay_floor_and_gcs() {
+        let mut r = recorder();
+        let t = SimTime::ZERO;
+        let ios = r.on_created(t, pid(2, 1), "echo", vec![], true);
+        drain(&mut r, ios);
+        for i in 1..=4u64 {
+            let m = msg(pid(1, 1), pid(2, 1), i, &[i as u8]);
+            r.on_data(t, &m);
+            let ios = r.on_ack(t, m.header.id, pid(2, 1));
+            drain(&mut r, ios);
+        }
+        // Kernel checkpoints after reading 2 messages.
+        let dep = CheckpointDeposit {
+            pid: pid(2, 1),
+            read_count: 2,
+            image: vec![0xAB; 100],
+        };
+        let ios = r.on_deposit(SimTime::from_millis(1), &dep);
+        drain(&mut r, ios);
+        assert_eq!(r.stats().checkpoints.get(), 2); // initial + this one
+        let stream = r.replay_stream(pid(2, 1));
+        let seqs: Vec<u64> = stream.iter().map(|(_, m)| m.header.id.seq).collect();
+        assert_eq!(seqs, vec![3, 4]);
+        assert_eq!(stream[0].0, 2, "replay resumes at read index 2");
+        assert_eq!(r.checkpoint_image(pid(2, 1)), Some(&[0xAB; 100][..]));
+    }
+
+    #[test]
+    fn out_of_order_consumption_checkpoints_precisely() {
+        let mut r = recorder();
+        let t = SimTime::ZERO;
+        let ios = r.on_created(t, pid(2, 1), "reader", vec![], true);
+        drain(&mut r, ios);
+        let msgs: Vec<Message> = (1..=3)
+            .map(|i| msg(pid(1, 1), pid(2, 1), i, &[i as u8]))
+            .collect();
+        for m in &msgs {
+            r.on_data(t, m);
+            let ios = r.on_ack(t, m.header.id, pid(2, 1));
+            drain(&mut r, ios);
+        }
+        // Read order was 3 (pinned), then checkpoint at read_count 1:
+        // message 3 is consumed although it arrived last.
+        r.on_read_order(
+            t,
+            &ReadOrderNotice {
+                pid: pid(2, 1),
+                read_index: 0,
+                read_id: msgs[2].header.id,
+                head_id: msgs[0].header.id,
+            },
+        );
+        let dep = CheckpointDeposit {
+            pid: pid(2, 1),
+            read_count: 1,
+            image: vec![1],
+        };
+        let ios = r.on_deposit(SimTime::from_millis(1), &dep);
+        drain(&mut r, ios);
+        let stream = r.replay_stream(pid(2, 1));
+        let seqs: Vec<u64> = stream.iter().map(|(_, m)| m.header.id.seq).collect();
+        assert_eq!(
+            seqs,
+            vec![1, 2],
+            "message 3 was consumed before the checkpoint"
+        );
+    }
+
+    #[test]
+    fn suppress_vector_tracks_ack_watermarks() {
+        let mut r = recorder();
+        let t = SimTime::ZERO;
+        let ios = r.on_created(t, pid(1, 1), "chatter", vec![], true);
+        drain(&mut r, ios);
+        let ios = r.on_created(t, pid(2, 1), "echo", vec![], true);
+        drain(&mut r, ios);
+        let ios = r.on_created(t, pid(3, 1), "echo", vec![], true);
+        drain(&mut r, ios);
+        for (seq, dst) in [(1u64, pid(2, 1)), (2, pid(3, 1)), (3, pid(2, 1))] {
+            let m = msg(pid(1, 1), dst, seq, b"z");
+            r.on_data(t, &m);
+            let ios = r.on_ack(t, m.header.id, dst);
+            drain(&mut r, ios);
+        }
+        let mut v = r.suppress_vector(pid(1, 1));
+        v.sort();
+        assert_eq!(v, vec![(pid(2, 1), 3), (pid(3, 1), 2)]);
+    }
+
+    #[test]
+    fn restart_rebuilds_database_from_store() {
+        let mut r = recorder();
+        let t = SimTime::ZERO;
+        let ios = r.on_created(t, pid(2, 1), "echo", vec![], true);
+        drain(&mut r, ios);
+        for i in 1..=5u64 {
+            let m = msg(pid(1, 1), pid(2, 1), i, &[i as u8; 32]);
+            r.on_data(t, &m);
+            let ios = r.on_ack(t, m.header.id, pid(2, 1));
+            drain(&mut r, ios);
+        }
+        let dep = CheckpointDeposit {
+            pid: pid(2, 1),
+            read_count: 2,
+            image: vec![7; 64],
+        };
+        let ios = r.on_deposit(SimTime::from_millis(1), &dep);
+        drain(&mut r, ios);
+        let before = r.replay_stream(pid(2, 1));
+        let rn0 = r.restart_number();
+
+        let pids = r.restart(SimTime::from_millis(10));
+        assert!(pids.contains(&pid(2, 1)));
+        assert_eq!(r.restart_number(), rn0 + 1);
+        let after = r.replay_stream(pid(2, 1));
+        assert_eq!(
+            before
+                .iter()
+                .map(|(i, m)| (*i, m.header.id))
+                .collect::<Vec<_>>(),
+            after
+                .iter()
+                .map(|(i, m)| (*i, m.header.id))
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(r.entry(pid(2, 1)).unwrap().program_name, "echo");
+        assert_eq!(r.checkpoint_image(pid(2, 1)), Some(&[7; 64][..]));
+    }
+
+    #[test]
+    fn restart_drops_unflushed_nothing_because_buffer_is_battery_backed() {
+        // Messages still in the open (battery-backed) buffer survive a
+        // recorder crash, per §3.3.4.
+        let mut r = recorder();
+        let t = SimTime::ZERO;
+        let ios = r.on_created(t, pid(2, 1), "echo", vec![], true);
+        drain(&mut r, ios);
+        let m = msg(pid(1, 1), pid(2, 1), 1, b"unflushed");
+        r.on_data(t, &m);
+        let ios = r.on_ack(t, m.header.id, pid(2, 1));
+        drain(&mut r, ios);
+        // No flush happened (single small message); restart must keep it.
+        r.restart(SimTime::from_millis(5));
+        let stream = r.replay_stream(pid(2, 1));
+        assert_eq!(stream.len(), 1);
+        assert_eq!(stream[0].1.body, b"unflushed");
+    }
+
+    #[test]
+    fn destroyed_process_forgotten() {
+        let mut r = recorder();
+        let t = SimTime::ZERO;
+        let ios = r.on_created(t, pid(2, 1), "echo", vec![], true);
+        drain(&mut r, ios);
+        let m = msg(pid(1, 1), pid(2, 1), 1, b"x");
+        r.on_data(t, &m);
+        let ios = r.on_ack(t, m.header.id, pid(2, 1));
+        drain(&mut r, ios);
+        let erase = r.on_destroyed(t, pid(2, 1));
+        drain(&mut r, erase);
+        assert!(r.entry(pid(2, 1)).is_none());
+        assert!(r.replay_stream(pid(2, 1)).is_empty());
+        let pids = r.restart(SimTime::from_millis(1));
+        assert!(!pids.contains(&pid(2, 1)), "purged from disk too");
+    }
+
+    #[test]
+    fn publish_cost_modes_match_paper() {
+        assert_eq!(
+            PublishCost::FullStack.per_message(),
+            SimDuration::from_millis(57)
+        );
+        assert_eq!(
+            PublishCost::Inlined.per_message(),
+            SimDuration::from_millis(12)
+        );
+        assert_eq!(
+            PublishCost::MediaLayer.per_message(),
+            SimDuration::from_micros(800)
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! The recovery-time bound of §3.2.3.
+//!
+//! Recovery replays three serialized steps — reload the checkpoint,
+//! replay the published messages, recompute to the pre-crash state — so
+//!
+//! ```text
+//! t_max = t_cfix + t_page·l_check
+//!       + t_mfix·(n_τ − n_τ0) + t_byte·Σ l_msg
+//!       + (τ − τ0)/f_cpu
+//! ```
+//!
+//! The load-dependent parameters are measured per system; the process-
+//! dependent accumulators are updated on every checkpoint and message.
+//! "If the system checkpoints a process whenever its t_max exceeds its
+//! specified recovery time, the process can always be recovered in that
+//! amount of time" — the [`crate::checkpoint`] policy that closes the
+//! loop.
+
+use publishing_sim::time::{SimDuration, SimTime};
+
+/// Load-dependent parameters, "determined empirically by measuring the
+/// system under various loads".
+#[derive(Debug, Clone, Copy)]
+pub struct LoadParams {
+    /// Fixed time to build system table entries for a process (t_cfix).
+    pub t_cfix: SimDuration,
+    /// Time to load one page of checkpoint (t_page).
+    pub t_page: SimDuration,
+    /// Fixed per-message lookup/replay initiation time (t_mfix).
+    pub t_mfix: SimDuration,
+    /// Per-byte message transmission time (t_byte).
+    pub t_byte: SimDuration,
+    /// Fraction of the CPU the recovering process obtains (f_cpu).
+    pub f_cpu: f64,
+}
+
+impl LoadParams {
+    /// The worked example of Figure 3.1.
+    pub fn figure_3_1() -> Self {
+        LoadParams {
+            t_cfix: SimDuration::from_millis(100),
+            t_page: SimDuration::from_millis(10),
+            t_mfix: SimDuration::from_millis(2),
+            t_byte: SimDuration::from_micros(10), // 0.01 ms/byte
+            f_cpu: 0.5,
+        }
+    }
+}
+
+/// Per-process accumulators, updated "each time a process is checkpointed
+/// or receives a message".
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryEstimator {
+    /// Checkpoint length in pages (l_check).
+    pub checkpoint_pages: u64,
+    /// Messages received since the checkpoint (n_τ − n_τ0).
+    pub messages_since: u64,
+    /// Sum of their lengths in bytes (Σ l_msg).
+    pub message_bytes_since: u64,
+    /// When the checkpoint was taken (τ0).
+    pub checkpoint_at: SimTime,
+    /// Execution time consumed since the checkpoint (t_since); tracked
+    /// directly rather than as wall time so multiprogramming doesn't
+    /// inflate it.
+    pub cpu_since: SimDuration,
+}
+
+impl RecoveryEstimator {
+    /// A fresh estimator for a process whose only checkpoint is its
+    /// binary image of `checkpoint_pages` pages, at time `now`.
+    pub fn new(now: SimTime, checkpoint_pages: u64) -> Self {
+        RecoveryEstimator {
+            checkpoint_pages,
+            messages_since: 0,
+            message_bytes_since: 0,
+            checkpoint_at: now,
+            cpu_since: SimDuration::ZERO,
+        }
+    }
+
+    /// Notes a published message of `bytes` bytes.
+    pub fn on_message(&mut self, bytes: usize) {
+        self.messages_since += 1;
+        self.message_bytes_since += bytes as u64;
+    }
+
+    /// Notes consumed execution time.
+    pub fn on_compute(&mut self, cpu: SimDuration) {
+        self.cpu_since += cpu;
+    }
+
+    /// Notes a new durable checkpoint of `pages` pages at `now`, resetting
+    /// the message and compute accumulators.
+    pub fn on_checkpoint(&mut self, now: SimTime, pages: u64) {
+        self.checkpoint_pages = pages;
+        self.messages_since = 0;
+        self.message_bytes_since = 0;
+        self.checkpoint_at = now;
+        self.cpu_since = SimDuration::ZERO;
+    }
+
+    /// Reload time: t_cfix + t_page · l_check.
+    pub fn t_reload(&self, p: &LoadParams) -> SimDuration {
+        p.t_cfix + p.t_page.saturating_mul(self.checkpoint_pages)
+    }
+
+    /// Replay time: t_mfix · n + t_byte · Σ l_msg.
+    pub fn t_replay(&self, p: &LoadParams) -> SimDuration {
+        p.t_mfix.saturating_mul(self.messages_since)
+            + p.t_byte.saturating_mul(self.message_bytes_since)
+    }
+
+    /// Recompute time: t_since / f_cpu.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f_cpu` is not in (0, 1].
+    pub fn t_compute(&self, p: &LoadParams) -> SimDuration {
+        assert!(p.f_cpu > 0.0 && p.f_cpu <= 1.0, "invalid f_cpu {}", p.f_cpu);
+        self.cpu_since.mul_f64(1.0 / p.f_cpu)
+    }
+
+    /// The §3.2.3 upper bound on recovery time.
+    pub fn t_max(&self, p: &LoadParams) -> SimDuration {
+        self.t_reload(p) + self.t_replay(p) + self.t_compute(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reproduces the Figure 3.1 walkthrough exactly.
+    #[test]
+    fn figure_3_1_example_matches_paper() {
+        let p = LoadParams::figure_3_1();
+        // Checkpoint of 4 pages at t = 100 ms.
+        let mut est = RecoveryEstimator::new(SimTime::from_millis(100), 4);
+
+        // Immediately after the checkpoint: t_max = 100 + 4·10 = 140 ms.
+        assert_eq!(est.t_max(&p), SimDuration::from_millis(140));
+
+        // At t = 200 ms, after 100 ms of work at f_cpu = 0.5:
+        // t_max = 140 + 100/0.5 = 340 ms.
+        est.on_compute(SimDuration::from_millis(100));
+        assert_eq!(est.t_max(&p), SimDuration::from_millis(340));
+
+        // Immediately after receiving a 128-byte message:
+        // t_max = 340 + 2 + 128·0.01 = 343.28 ms.
+        est.on_message(128);
+        assert_eq!(est.t_max(&p), SimDuration::from_micros(343_280));
+    }
+
+    #[test]
+    fn checkpoint_resets_accumulators() {
+        let p = LoadParams::figure_3_1();
+        let mut est = RecoveryEstimator::new(SimTime::ZERO, 4);
+        est.on_compute(SimDuration::from_millis(500));
+        for _ in 0..10 {
+            est.on_message(1024);
+        }
+        assert!(est.t_max(&p) > SimDuration::from_millis(1000));
+        est.on_checkpoint(SimTime::from_millis(600), 6);
+        // Only the (larger) reload term remains.
+        assert_eq!(est.t_max(&p), SimDuration::from_millis(160));
+    }
+
+    #[test]
+    fn t_max_monotone_in_messages_and_compute() {
+        let p = LoadParams::figure_3_1();
+        let mut est = RecoveryEstimator::new(SimTime::ZERO, 1);
+        let t0 = est.t_max(&p);
+        est.on_message(100);
+        let t1 = est.t_max(&p);
+        est.on_compute(SimDuration::from_millis(1));
+        let t2 = est.t_max(&p);
+        assert!(t0 < t1 && t1 < t2);
+    }
+
+    #[test]
+    fn full_cpu_share_means_no_stretch() {
+        let mut p = LoadParams::figure_3_1();
+        p.f_cpu = 1.0;
+        let mut est = RecoveryEstimator::new(SimTime::ZERO, 0);
+        est.on_compute(SimDuration::from_millis(50));
+        assert_eq!(est.t_compute(&p), SimDuration::from_millis(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid f_cpu")]
+    fn zero_cpu_share_rejected() {
+        let p = LoadParams {
+            f_cpu: 0.0,
+            ..LoadParams::figure_3_1()
+        };
+        RecoveryEstimator::new(SimTime::ZERO, 1).t_compute(&p);
+    }
+}

@@ -1,0 +1,434 @@
+//! The complete published-communications world: processing nodes, a
+//! recording node, and a broadcast medium, driven by one deterministic
+//! event loop — Figure 3.2 in executable form.
+
+use crate::node::{RNAction, RecorderConfig, RecorderNode};
+use publishing_demos::costs::CostModel;
+use publishing_demos::harness::OutputLine;
+use publishing_demos::ids::{NodeId, ProcessId};
+use publishing_demos::kernel::{Kernel, KernelAction};
+use publishing_demos::link::Link;
+use publishing_demos::registry::{ProgramRegistry, UnknownProgram};
+use publishing_demos::transport::TransportConfig;
+use publishing_net::bus::PerfectBus;
+use publishing_net::frame::{Frame, StationId};
+use publishing_net::lan::{Lan, LanAction, LanConfig};
+use publishing_sim::event::Scheduler;
+use publishing_sim::time::SimTime;
+use std::collections::BTreeMap;
+
+/// World events.
+#[derive(Debug)]
+enum WEv {
+    LanTimer(u64),
+    KernelTimer(u32, u64),
+    RecorderTimer(u64),
+    Deliver {
+        to: u32,
+        frame: Frame,
+        recorder_ok: bool,
+    },
+}
+
+/// Builds a [`World`].
+pub struct WorldBuilder {
+    nodes: u32,
+    lan: Option<Box<dyn Lan>>,
+    lan_cfg: LanConfig,
+    costs: CostModel,
+    transport: TransportConfig,
+    registry: ProgramRegistry,
+    recorder_cfg: RecorderConfig,
+    publishing: bool,
+}
+
+impl WorldBuilder {
+    /// Starts a builder for `nodes` processing nodes (node ids 0..n-1;
+    /// the recorder gets node id n).
+    pub fn new(nodes: u32) -> Self {
+        WorldBuilder {
+            nodes,
+            lan: None,
+            lan_cfg: LanConfig::default(),
+            costs: CostModel::zero(),
+            transport: TransportConfig::default(),
+            registry: ProgramRegistry::new(),
+            recorder_cfg: RecorderConfig::default(),
+            publishing: true,
+        }
+    }
+
+    /// Uses a specific medium instead of the default [`PerfectBus`].
+    /// Stations 0..=n (nodes + recorder) must not yet be attached.
+    pub fn medium(mut self, lan: Box<dyn Lan>) -> Self {
+        self.lan = Some(lan);
+        self
+    }
+
+    /// Sets the LAN configuration for the default medium.
+    pub fn lan_config(mut self, cfg: LanConfig) -> Self {
+        self.lan_cfg = cfg;
+        self
+    }
+
+    /// Sets the node CPU cost model (defaults to zero for protocol tests).
+    pub fn costs(mut self, costs: CostModel) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Sets transport parameters for all nodes.
+    pub fn transport(mut self, t: TransportConfig) -> Self {
+        self.transport = t;
+        self
+    }
+
+    /// Sets the program registry shared by all nodes.
+    pub fn registry(mut self, r: ProgramRegistry) -> Self {
+        self.registry = r;
+        self
+    }
+
+    /// Sets the recorder configuration.
+    pub fn recorder(mut self, cfg: RecorderConfig) -> Self {
+        self.recorder_cfg = cfg;
+        self
+    }
+
+    /// Disables publishing (baseline mode: no recorder gating, intranode
+    /// messages stay local, no notices).
+    pub fn without_publishing(mut self) -> Self {
+        self.publishing = false;
+        self
+    }
+
+    /// Builds the world and starts the recorder's watchdogs.
+    pub fn build(self) -> World {
+        let recorder_node = NodeId(self.nodes);
+        let mut lan = self
+            .lan
+            .unwrap_or_else(|| Box::new(PerfectBus::new(self.lan_cfg.clone())));
+        let mut kernels = BTreeMap::new();
+        for n in 0..self.nodes {
+            let mut k = Kernel::new(
+                NodeId(n),
+                self.registry.clone(),
+                self.costs.clone(),
+                self.transport.clone(),
+                self.publishing,
+            );
+            k.set_recorder(recorder_node);
+            lan.attach(k.station());
+            kernels.insert(n, k);
+        }
+        let recorder = RecorderNode::new(recorder_node, self.recorder_cfg);
+        lan.attach(recorder.station());
+        if self.publishing {
+            lan.set_required_recorders(vec![recorder.station()]);
+        }
+        let mut world = World {
+            sched: Scheduler::new(),
+            lan,
+            kernels,
+            recorder,
+            outputs: Vec::new(),
+            publishing: self.publishing,
+        };
+        let nodes: Vec<NodeId> = (0..self.nodes).map(NodeId).collect();
+        let actions = world.recorder.start(SimTime::ZERO, &nodes);
+        world.apply_recorder(SimTime::ZERO, actions);
+        world
+    }
+}
+
+/// The running world.
+pub struct World {
+    sched: Scheduler<WEv>,
+    /// The shared medium.
+    pub lan: Box<dyn Lan>,
+    /// Processing-node kernels by node id.
+    pub kernels: BTreeMap<u32, Kernel>,
+    /// The recording node.
+    pub recorder: RecorderNode,
+    /// All process outputs, in emission order (including replayed
+    /// duplicates; use [`World::outputs_of`] for the deduplicated view).
+    pub outputs: Vec<OutputLine>,
+    publishing: bool,
+}
+
+impl World {
+    /// Returns the current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Spawns a program on a node with initial links.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownProgram`] if the image is not registered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    pub fn spawn(
+        &mut self,
+        node: u32,
+        program: &str,
+        links: Vec<Link>,
+    ) -> Result<ProcessId, UnknownProgram> {
+        let now = self.now();
+        let k = self.kernels.get_mut(&node).expect("node exists");
+        let (pid, actions) = k.spawn(now, program, links)?;
+        self.apply_kernel(now, node, actions);
+        Ok(pid)
+    }
+
+    /// Spawns a program marked unrecoverable (§6.6.1): the recorder
+    /// publishes nothing for it and a crash is final.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownProgram`] if the image is not registered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    pub fn spawn_unrecoverable(
+        &mut self,
+        node: u32,
+        program: &str,
+        links: Vec<Link>,
+    ) -> Result<ProcessId, UnknownProgram> {
+        let now = self.now();
+        let k = self.kernels.get_mut(&node).expect("node exists");
+        let (pid, actions) = k.spawn_unrecoverable(now, program, links)?;
+        self.apply_kernel(now, node, actions);
+        Ok(pid)
+    }
+
+    fn apply_kernel(&mut self, now: SimTime, node: u32, actions: Vec<KernelAction>) {
+        for a in actions {
+            match a {
+                KernelAction::Transmit(frame) => {
+                    let lan_actions = self.lan.submit(now, frame);
+                    self.apply_lan(lan_actions);
+                }
+                KernelAction::SetTimer { at, token } => {
+                    self.sched.schedule_at(at, WEv::KernelTimer(node, token));
+                }
+                KernelAction::Output { pid, seq, bytes } => {
+                    self.outputs.push(OutputLine {
+                        at: now,
+                        pid,
+                        seq,
+                        bytes,
+                    });
+                }
+            }
+        }
+    }
+
+    fn apply_recorder(&mut self, now: SimTime, actions: Vec<RNAction>) {
+        for a in actions {
+            match a {
+                RNAction::Transmit(frame) => {
+                    let lan_actions = self.lan.submit(now, frame);
+                    self.apply_lan(lan_actions);
+                }
+                RNAction::SetTimer { at, token } => {
+                    self.sched.schedule_at(at, WEv::RecorderTimer(token));
+                }
+                RNAction::RestartNode { node, incarnation } => {
+                    // The §4.6 operator action: reboot the processor (or a
+                    // spare assuming its identity), then let the manager
+                    // proceed.
+                    if let Some(k) = self.kernels.get_mut(&node.0) {
+                        k.restart_node(now, incarnation);
+                        self.lan.set_station_up(StationId(node.0), true);
+                    }
+                    let follow = self.recorder.confirm_node_restarted(now, node, incarnation);
+                    self.apply_recorder(now, follow);
+                }
+                RNAction::RecoveryDone { .. } => {}
+            }
+        }
+    }
+
+    fn apply_lan(&mut self, actions: Vec<LanAction>) {
+        for a in actions {
+            match a {
+                LanAction::Deliver {
+                    at,
+                    to,
+                    frame,
+                    recorder_ok,
+                } => {
+                    self.sched.schedule_at(
+                        at,
+                        WEv::Deliver {
+                            to: to.0,
+                            frame,
+                            recorder_ok,
+                        },
+                    );
+                }
+                LanAction::SetTimer { at, token } => {
+                    self.sched.schedule_at(at, WEv::LanTimer(token));
+                }
+                LanAction::TxOutcome { .. } => {}
+            }
+        }
+    }
+
+    /// Processes one event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((now, ev)) = self.sched.pop() else {
+            return false;
+        };
+        match ev {
+            WEv::LanTimer(token) => {
+                let actions = self.lan.timer(now, token);
+                self.apply_lan(actions);
+            }
+            WEv::KernelTimer(node, token) => {
+                if let Some(k) = self.kernels.get_mut(&node) {
+                    let actions = k.on_timer(now, token);
+                    self.apply_kernel(now, node, actions);
+                }
+            }
+            WEv::RecorderTimer(token) => {
+                let actions = self.recorder.on_timer(now, token);
+                self.apply_recorder(now, actions);
+            }
+            WEv::Deliver {
+                to,
+                frame,
+                recorder_ok,
+            } => {
+                if to == self.recorder.node().0 {
+                    let actions = self.recorder.on_frame(now, &frame, recorder_ok);
+                    self.apply_recorder(now, actions);
+                } else if let Some(k) = self.kernels.get_mut(&to) {
+                    let actions = k.on_frame(now, &frame, recorder_ok);
+                    self.apply_kernel(now, to, actions);
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs until `deadline` (watchdogs tick forever, so there is no
+    /// quiescence in a published world).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.sched.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.sched.now() < deadline
+            && self
+                .sched
+                .peek_time()
+                .map(|t| t >= deadline)
+                .unwrap_or(true)
+        {
+            self.sched.advance_to(deadline);
+        }
+    }
+
+    /// Crashes one process now (a detected fault, §3.3.2). The kernel
+    /// notifies the recovery manager, which recovers it transparently.
+    pub fn crash_process(&mut self, pid: ProcessId, reason: &str) {
+        let now = self.now();
+        if let Some(k) = self.kernels.get_mut(&pid.node.0) {
+            let actions = k.crash_process(now, pid.local, reason);
+            self.apply_kernel(now, pid.node.0, actions);
+        }
+    }
+
+    /// Crashes a whole node now; the watchdog will notice and the manager
+    /// will restart and re-populate it.
+    pub fn crash_node(&mut self, node: u32) {
+        if let Some(k) = self.kernels.get_mut(&node) {
+            k.crash_node();
+            self.lan.set_station_up(StationId(node), false);
+        }
+    }
+
+    /// Crashes the recorder now. All publishable traffic suspends
+    /// (§3.3.4) until [`World::restart_recorder`].
+    pub fn crash_recorder(&mut self) {
+        self.recorder.crash();
+        self.lan.set_station_up(self.recorder.station(), false);
+        // The station stays in the required set: traffic is suspended,
+        // not silently unpublished.
+    }
+
+    /// Restarts the recorder: database rebuild plus the §3.3.4 state
+    /// queries.
+    pub fn restart_recorder(&mut self) {
+        let now = self.now();
+        self.lan.set_station_up(self.recorder.station(), true);
+        let actions = self.recorder.restart(now);
+        self.apply_recorder(now, actions);
+    }
+
+    /// Whether publishing is enabled.
+    pub fn publishing(&self) -> bool {
+        self.publishing
+    }
+
+    /// The deduplicated output lines of one process: exactly-once by
+    /// output sequence number, in sequence order — what a §6.4-style
+    /// idempotent console would print.
+    pub fn outputs_of(&self, pid: ProcessId) -> Vec<String> {
+        let mut by_seq: BTreeMap<u64, &OutputLine> = BTreeMap::new();
+        for o in self.outputs.iter().filter(|o| o.pid == pid) {
+            by_seq.entry(o.seq).or_insert(o);
+        }
+        by_seq
+            .values()
+            .map(|o| String::from_utf8_lossy(&o.bytes).into_owned())
+            .collect()
+    }
+
+    /// The raw (possibly duplicated) output lines of one process.
+    pub fn raw_outputs_of(&self, pid: ProcessId) -> Vec<String> {
+        self.outputs
+            .iter()
+            .filter(|o| o.pid == pid)
+            .map(|o| String::from_utf8_lossy(&o.bytes).into_owned())
+            .collect()
+    }
+
+    /// A fingerprint of every process's deduplicated output, for
+    /// equivalence oracles.
+    pub fn output_fingerprint(&self) -> u64 {
+        let mut per_pid: BTreeMap<ProcessId, BTreeMap<u64, &[u8]>> = BTreeMap::new();
+        for o in &self.outputs {
+            per_pid
+                .entry(o.pid)
+                .or_default()
+                .entry(o.seq)
+                .or_insert(&o.bytes);
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (pid, lines) in per_pid {
+            for (seq, bytes) in lines {
+                for b in pid
+                    .as_u64()
+                    .to_le_bytes()
+                    .iter()
+                    .chain(seq.to_le_bytes().iter())
+                    .chain(bytes.iter())
+                {
+                    h ^= *b as u64;
+                    h = h.wrapping_mul(0x1000_0000_01b3);
+                }
+            }
+        }
+        h
+    }
+}

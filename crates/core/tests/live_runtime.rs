@@ -1,0 +1,97 @@
+//! The live (real-threads, wall-clock) runtime: the same kernels and
+//! recorder, no simulator. Runs are nondeterministic, so assertions are
+//! about outcomes and bounds, not schedules.
+
+use publishing_core::live::LiveBuilder;
+use publishing_demos::ids::Channel;
+use publishing_demos::link::Link;
+use publishing_demos::programs::{self, PingClient};
+use publishing_demos::registry::ProgramRegistry;
+use std::time::{Duration, Instant};
+
+fn registry(pings: u64) -> ProgramRegistry {
+    let mut reg = ProgramRegistry::new();
+    programs::register_standard(&mut reg);
+    reg.register("ping", move || Box::new(PingClient::new(pings)));
+    reg
+}
+
+#[test]
+fn live_ping_pong_completes() {
+    let mut sys = LiveBuilder::new(2, registry(10)).start();
+    let server = sys.spawn_blocking(1, "echo", vec![]).unwrap();
+    let client = sys
+        .spawn_blocking(0, "ping", vec![Link::to(server, Channel::DEFAULT, 7)])
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let out = sys.outputs_of(client);
+        if out.last().map(|l| l == "done").unwrap_or(false) {
+            assert_eq!(out.len(), 11, "{out:?}");
+            break;
+        }
+        assert!(Instant::now() < deadline, "live run stalled: {out:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    sys.shutdown();
+}
+
+#[test]
+fn live_crash_recovers_transparently() {
+    let mut sys = LiveBuilder::new(2, registry(15)).start();
+    let server = sys.spawn_blocking(1, "echo", vec![]).unwrap();
+    let client = sys
+        .spawn_blocking(0, "ping", vec![Link::to(server, Channel::DEFAULT, 7)])
+        .unwrap();
+    // Let some traffic flow, then kill the server for real (wall time).
+    std::thread::sleep(Duration::from_millis(50));
+    sys.crash_process(server, "live fault");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let out = sys.outputs_of(client);
+        if out.last().map(|l| l == "done").unwrap_or(false) {
+            // Exactly once, in order, across a real crash.
+            assert_eq!(out.len(), 16, "{out:?}");
+            for (i, line) in out.iter().take(15).enumerate() {
+                assert_eq!(line, &format!("pong {}", i + 1));
+            }
+            break;
+        }
+        assert!(Instant::now() < deadline, "recovery stalled: {out:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    sys.shutdown();
+}
+
+#[test]
+fn live_recorder_outage_suspends_then_resumes() {
+    let mut sys = LiveBuilder::new(2, registry(30)).start();
+    let server = sys.spawn_blocking(1, "echo", vec![]).unwrap();
+    let client = sys
+        .spawn_blocking(0, "ping", vec![Link::to(server, Channel::DEFAULT, 7)])
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    // Take the recorder's receipt away: the publish-before-use gate must
+    // freeze the conversation.
+    sys.set_recorder_up(false);
+    std::thread::sleep(Duration::from_millis(100));
+    let frozen = sys.outputs_of(client).len();
+    std::thread::sleep(Duration::from_millis(200));
+    let still = sys.outputs_of(client).len();
+    assert!(
+        still <= frozen + 2,
+        "traffic should be suspended: {frozen} -> {still}"
+    );
+    sys.set_recorder_up(true);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let out = sys.outputs_of(client);
+        if out.last().map(|l| l == "done").unwrap_or(false) {
+            assert_eq!(out.len(), 31);
+            break;
+        }
+        assert!(Instant::now() < deadline, "resume stalled: {out:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    sys.shutdown();
+}

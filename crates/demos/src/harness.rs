@@ -1,0 +1,183 @@
+//! A minimal driver wiring kernels to a LAN — the test scaffold for
+//! DEMOS/MP behaviour *without* a recorder (the full published-
+//! communications world, with recorder and recovery manager, lives in
+//! `publishing-core`).
+
+use crate::ids::ProcessId;
+use crate::kernel::{Kernel, KernelAction};
+use publishing_net::frame::Frame;
+use publishing_net::lan::{Lan, LanAction};
+use publishing_sim::event::Scheduler;
+use publishing_sim::time::SimTime;
+use std::collections::BTreeMap;
+
+/// Events the harness schedules.
+#[derive(Debug)]
+pub enum Ev {
+    /// A LAN-internal timer.
+    LanTimer(u64),
+    /// A kernel timer on node `.0`.
+    KernelTimer(u32, u64),
+    /// A frame delivery to station `.to`.
+    Deliver {
+        /// Receiving station (== node id).
+        to: u32,
+        /// The frame as received.
+        frame: Frame,
+        /// Recorder-gating flag from the medium.
+        recorder_ok: bool,
+    },
+}
+
+/// One externally visible output line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputLine {
+    /// When it was emitted.
+    pub at: SimTime,
+    /// By which process.
+    pub pid: ProcessId,
+    /// Per-process output sequence (for deduplicating replayed output).
+    pub seq: u64,
+    /// The bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// A kernels-plus-LAN driver.
+pub struct Harness {
+    /// The event queue / clock.
+    pub sched: Scheduler<Ev>,
+    /// The shared medium.
+    pub lan: Box<dyn Lan>,
+    /// Kernels by node id.
+    pub kernels: BTreeMap<u32, Kernel>,
+    /// Collected process outputs, in emission order.
+    pub outputs: Vec<OutputLine>,
+}
+
+impl Harness {
+    /// Builds a harness over `lan`; kernels attach their stations.
+    pub fn new(lan: Box<dyn Lan>) -> Self {
+        Harness {
+            sched: Scheduler::new(),
+            lan,
+            kernels: BTreeMap::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Adds a kernel, attaching its station to the LAN.
+    pub fn add_kernel(&mut self, kernel: Kernel) {
+        self.lan.attach(kernel.station());
+        self.kernels.insert(kernel.node().0, kernel);
+    }
+
+    /// Applies kernel actions at time `now`.
+    pub fn apply_kernel(&mut self, now: SimTime, node: u32, actions: Vec<KernelAction>) {
+        for a in actions {
+            match a {
+                KernelAction::Transmit(frame) => {
+                    let lan_actions = self.lan.submit(now, frame);
+                    self.apply_lan(lan_actions);
+                }
+                KernelAction::SetTimer { at, token } => {
+                    self.sched.schedule_at(at, Ev::KernelTimer(node, token));
+                }
+                KernelAction::Output { pid, seq, bytes } => {
+                    self.outputs.push(OutputLine {
+                        at: now,
+                        pid,
+                        seq,
+                        bytes,
+                    });
+                }
+            }
+        }
+    }
+
+    fn apply_lan(&mut self, actions: Vec<LanAction>) {
+        for a in actions {
+            match a {
+                LanAction::Deliver {
+                    at,
+                    to,
+                    frame,
+                    recorder_ok,
+                } => {
+                    self.sched.schedule_at(
+                        at,
+                        Ev::Deliver {
+                            to: to.0,
+                            frame,
+                            recorder_ok,
+                        },
+                    );
+                }
+                LanAction::SetTimer { at, token } => {
+                    self.sched.schedule_at(at, Ev::LanTimer(token));
+                }
+                LanAction::TxOutcome { .. } => {}
+            }
+        }
+    }
+
+    /// Processes one event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((now, ev)) = self.sched.pop() else {
+            return false;
+        };
+        match ev {
+            Ev::LanTimer(token) => {
+                let actions = self.lan.timer(now, token);
+                self.apply_lan(actions);
+            }
+            Ev::KernelTimer(node, token) => {
+                if let Some(k) = self.kernels.get_mut(&node) {
+                    let actions = k.on_timer(now, token);
+                    self.apply_kernel(now, node, actions);
+                }
+            }
+            Ev::Deliver {
+                to,
+                frame,
+                recorder_ok,
+            } => {
+                if let Some(k) = self.kernels.get_mut(&to) {
+                    let actions = k.on_frame(now, &frame, recorder_ok);
+                    self.apply_kernel(now, to, actions);
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs until the event queue drains or `deadline` passes.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.sched.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Runs until fully quiescent (no pending events). Retransmission
+    /// loops against a dead node never drain; use [`Harness::run_until`]
+    /// for those scenarios.
+    pub fn run_to_quiescence(&mut self) {
+        while self.step() {}
+    }
+
+    /// Returns the output lines of one process, as strings.
+    pub fn outputs_of(&self, pid: ProcessId) -> Vec<String> {
+        self.outputs
+            .iter()
+            .filter(|o| o.pid == pid)
+            .map(|o| String::from_utf8_lossy(&o.bytes).into_owned())
+            .collect()
+    }
+
+    /// Returns the current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+}

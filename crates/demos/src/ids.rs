@@ -1,0 +1,291 @@
+//! Network-wide identifiers (§4.3.1).
+//!
+//! DEMOS/MP makes process identifiers unique network-wide "by appending to
+//! the single processor ID the unique ID of the processor on which it was
+//! created", and gives every message a unique identifier made of "the
+//! unique identifier of the sending process and a number from that
+//! process's state block … increased every time a message is sent."
+
+use core::fmt;
+use publishing_sim::codec::{CodecError, Decode, Decoder, Encode, Encoder};
+
+/// A processing node (processor) on the network.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A network-wide process identifier: creating node plus a local id.
+///
+/// Local id 0 is reserved for the node's *kernel endpoint* — the kernel
+/// process of §4.2.1. Kernel endpoints exchange control traffic that is
+/// never published or replayed.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessId {
+    /// Node the process was created on (migration keeps the id, §4.3.1).
+    pub node: NodeId,
+    /// Identifier unique within the creating node.
+    pub local: u32,
+}
+
+/// Local id reserved for a node's kernel endpoint.
+pub const KERNEL_LOCAL: u32 = 0;
+
+impl ProcessId {
+    /// Creates a process id.
+    pub const fn new(node: u32, local: u32) -> Self {
+        ProcessId {
+            node: NodeId(node),
+            local,
+        }
+    }
+
+    /// Returns the kernel endpoint of `node`.
+    pub const fn kernel_of(node: NodeId) -> Self {
+        ProcessId {
+            node,
+            local: KERNEL_LOCAL,
+        }
+    }
+
+    /// Returns `true` for kernel endpoints (never published, never
+    /// recovered by replay).
+    pub const fn is_kernel(self) -> bool {
+        self.local == KERNEL_LOCAL
+    }
+
+    /// Packs the id into a single u64 (store keys).
+    pub const fn as_u64(self) -> u64 {
+        ((self.node.0 as u64) << 32) | self.local as u64
+    }
+
+    /// Unpacks an id packed by [`ProcessId::as_u64`].
+    pub const fn from_u64(v: u64) -> Self {
+        ProcessId {
+            node: NodeId((v >> 32) as u32),
+            local: v as u32,
+        }
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}.{}", self.node.0, self.local)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl Encode for ProcessId {
+    fn encode(&self, e: &mut Encoder) {
+        e.u32(self.node.0).u32(self.local);
+    }
+}
+
+impl Decode for ProcessId {
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let node = d.u32()?;
+        let local = d.u32()?;
+        Ok(ProcessId {
+            node: NodeId(node),
+            local,
+        })
+    }
+}
+
+/// A unique message identifier (§4.3.3): sender plus per-sender sequence.
+///
+/// Sequence numbers start at 1 and increase by one per message sent by the
+/// process, including messages the kernel process sends while assuming the
+/// process's identity (§4.4.3) — that sharing is what makes process
+/// control replayable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MessageId {
+    /// Sending process.
+    pub sender: ProcessId,
+    /// Per-sender sequence number, starting at 1.
+    pub seq: u64,
+}
+
+impl fmt::Debug for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.sender, self.seq)
+    }
+}
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl Encode for MessageId {
+    fn encode(&self, e: &mut Encoder) {
+        self.sender.encode(e);
+        e.u64(self.seq);
+    }
+}
+
+impl Decode for MessageId {
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let sender = ProcessId::decode(d)?;
+        let seq = d.u64()?;
+        Ok(MessageId { sender, seq })
+    }
+}
+
+/// A link id: the index of a link in its owner's link table (§4.2.2.1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LinkId(pub u32);
+
+/// A message channel (§4.2.2.2). Channels 0–63 are supported, matching a
+/// 64-bit receive mask.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Channel(pub u8);
+
+impl Channel {
+    /// The default channel.
+    pub const DEFAULT: Channel = Channel(0);
+}
+
+/// A set of channels a receive call is willing to accept.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct ChannelSet(u64);
+
+impl ChannelSet {
+    /// The empty set (receives nothing).
+    pub const NONE: ChannelSet = ChannelSet(0);
+    /// Every channel.
+    pub const ALL: ChannelSet = ChannelSet(u64::MAX);
+
+    /// Creates a set containing exactly the given channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any channel is ≥ 64.
+    pub fn of(channels: &[Channel]) -> Self {
+        let mut s = ChannelSet(0);
+        for &c in channels {
+            s = s.with(c);
+        }
+        s
+    }
+
+    /// Returns the set plus `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c.0 >= 64`.
+    pub fn with(self, c: Channel) -> Self {
+        assert!(c.0 < 64, "channel {} out of range", c.0);
+        ChannelSet(self.0 | (1u64 << c.0))
+    }
+
+    /// Returns `true` if the set contains `c`.
+    pub fn contains(self, c: Channel) -> bool {
+        c.0 < 64 && self.0 & (1u64 << c.0) != 0
+    }
+
+    /// Returns the raw bitmask.
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a set from a raw bitmask.
+    pub fn from_bits(bits: u64) -> Self {
+        ChannelSet(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pid_u64_roundtrip() {
+        let pid = ProcessId::new(7, 42);
+        assert_eq!(ProcessId::from_u64(pid.as_u64()), pid);
+        let max = ProcessId::new(u32::MAX, u32::MAX);
+        assert_eq!(ProcessId::from_u64(max.as_u64()), max);
+    }
+
+    #[test]
+    fn kernel_endpoint_detection() {
+        assert!(ProcessId::kernel_of(NodeId(3)).is_kernel());
+        assert!(!ProcessId::new(3, 1).is_kernel());
+    }
+
+    #[test]
+    fn pid_codec_roundtrip() {
+        let pid = ProcessId::new(9, 1234);
+        let buf = pid.encode_to_vec();
+        assert_eq!(ProcessId::decode_all(&buf).unwrap(), pid);
+    }
+
+    #[test]
+    fn message_id_codec_roundtrip() {
+        let id = MessageId {
+            sender: ProcessId::new(1, 2),
+            seq: 99,
+        };
+        assert_eq!(MessageId::decode_all(&id.encode_to_vec()).unwrap(), id);
+    }
+
+    #[test]
+    fn message_id_ordering_is_seq_major_within_sender() {
+        let a = MessageId {
+            sender: ProcessId::new(1, 1),
+            seq: 1,
+        };
+        let b = MessageId {
+            sender: ProcessId::new(1, 1),
+            seq: 2,
+        };
+        assert!(a < b);
+    }
+
+    #[test]
+    fn channel_set_membership() {
+        let s = ChannelSet::of(&[Channel(0), Channel(5)]);
+        assert!(s.contains(Channel(0)));
+        assert!(s.contains(Channel(5)));
+        assert!(!s.contains(Channel(1)));
+        assert!(ChannelSet::ALL.contains(Channel(63)));
+        assert!(!ChannelSet::NONE.contains(Channel(0)));
+    }
+
+    #[test]
+    fn channel_set_bits_roundtrip() {
+        let s = ChannelSet::of(&[Channel(7)]);
+        assert_eq!(ChannelSet::from_bits(s.bits()), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_channel_rejected() {
+        let _ = ChannelSet::NONE.with(Channel(64));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", ProcessId::new(2, 5)), "p2.5");
+        assert_eq!(
+            format!(
+                "{}",
+                MessageId {
+                    sender: ProcessId::new(2, 5),
+                    seq: 3
+                }
+            ),
+            "p2.5#3"
+        );
+    }
+}

@@ -1,0 +1,360 @@
+//! Kernel-resident process state (§4.4.3) and checkpoint encoding.
+//!
+//! A process's complete state is its program's writable memory (captured
+//! by [`Program::snapshot`]), its sequencing information, and the
+//! kernel-managed tables: the link table, receive mask, message counters,
+//! and per-sender duplicate-suppression watermarks. The unread message
+//! queue is deliberately *not* checkpointed — those messages are published
+//! and will be replayed ("all messages … not read by the process before
+//! the checkpoint was taken", §3.1).
+
+use crate::ids::{ChannelSet, MessageId, ProcessId};
+use crate::link::LinkTable;
+use crate::message::Message;
+use crate::program::Program;
+use crate::queue::MessageQueue;
+use publishing_sim::codec::{CodecError, Decode, Decoder, Encode, Encoder};
+use publishing_sim::time::SimDuration;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A process's run state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunState {
+    /// Has a deliverable message and is queued for (or on) the CPU.
+    Ready,
+    /// Waiting for a message matching its receive mask.
+    Waiting,
+    /// Halted on fault detection (§1.1.2); discards arriving messages.
+    Crashed,
+    /// Being rebuilt by a recovery process (§3.3.3).
+    Recovering,
+}
+
+/// Transient bookkeeping while a process is in [`RunState::Recovering`].
+#[derive(Debug, Default)]
+pub struct RecoveryBook {
+    /// Ids replayed so far (dedup against the finish-side buffer).
+    pub replayed: BTreeSet<MessageId>,
+    /// `true` once the recovery process asked the kernel to stop
+    /// discarding live traffic and hold it aside instead.
+    pub holding: bool,
+    /// Live messages held during the finish window.
+    pub side_buffer: Vec<Message>,
+    /// Per-destination suppression watermarks from the recorder: a
+    /// regenerated message to `dst` with `seq <=` the watermark was
+    /// already delivered before the crash and must not be retransmitted.
+    pub suppress: BTreeMap<ProcessId, u64>,
+}
+
+/// The checkpointable portion of a process's state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessImage {
+    /// Registry name of the program (the "binary image" of §3.3.1).
+    pub program_name: String,
+    /// The program's snapshot bytes.
+    pub program_state: Vec<u8>,
+    /// Kernel-resident link table.
+    pub links: LinkTable,
+    /// Receive mask in force.
+    pub recv_mask_bits: u64,
+    /// Last message sequence number used by this process.
+    pub sent_seq: u64,
+    /// Messages read so far — the recorder's replay floor.
+    pub read_count: u64,
+    /// Per-sender highest message seq accepted (duplicate suppression).
+    pub seen: BTreeMap<ProcessId, u64>,
+    /// Output lines emitted so far (consoles deduplicate replayed output
+    /// by this sequence).
+    pub outputs_emitted: u64,
+    /// CPU consumed since the last checkpoint (feeds the §3.2.3 t_compute
+    /// term of the recovery-time bound).
+    pub cpu_since_checkpoint_ns: u64,
+}
+
+impl Encode for ProcessImage {
+    fn encode(&self, e: &mut Encoder) {
+        e.str(&self.program_name);
+        e.bytes(&self.program_state);
+        self.links.encode(e);
+        e.u64(self.recv_mask_bits)
+            .u64(self.sent_seq)
+            .u64(self.read_count);
+        e.u64(self.seen.len() as u64);
+        for (pid, seq) in &self.seen {
+            pid.encode(e);
+            e.u64(*seq);
+        }
+        e.u64(self.outputs_emitted);
+        e.u64(self.cpu_since_checkpoint_ns);
+    }
+}
+
+impl Decode for ProcessImage {
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let program_name = d.str()?;
+        let program_state = d.bytes()?;
+        let links = LinkTable::decode(d)?;
+        let recv_mask_bits = d.u64()?;
+        let sent_seq = d.u64()?;
+        let read_count = d.u64()?;
+        let n = d.u64()?;
+        let mut seen = BTreeMap::new();
+        for _ in 0..n {
+            let pid = ProcessId::decode(d)?;
+            let seq = d.u64()?;
+            seen.insert(pid, seq);
+        }
+        let outputs_emitted = d.u64()?;
+        let cpu_since_checkpoint_ns = d.u64()?;
+        Ok(ProcessImage {
+            program_name,
+            program_state,
+            links,
+            recv_mask_bits,
+            sent_seq,
+            read_count,
+            seen,
+            outputs_emitted,
+            cpu_since_checkpoint_ns,
+        })
+    }
+}
+
+/// A live process: program plus kernel-resident state.
+pub struct Process {
+    /// Network-wide id.
+    pub pid: ProcessId,
+    /// Registry name used to (re)instantiate the program.
+    pub program_name: String,
+    /// The running program.
+    pub program: Box<dyn Program>,
+    /// Kernel-resident link table.
+    pub links: LinkTable,
+    /// Unread messages.
+    pub queue: MessageQueue,
+    /// Channels the next receive accepts.
+    pub recv_mask: ChannelSet,
+    /// Run state.
+    pub run: RunState,
+    /// Last message sequence number used.
+    pub sent_seq: u64,
+    /// Messages read so far.
+    pub read_count: u64,
+    /// Per-sender accepted-seq watermarks.
+    pub seen: BTreeMap<ProcessId, u64>,
+    /// Output lines emitted so far.
+    pub outputs_emitted: u64,
+    /// Recovery bookkeeping while [`RunState::Recovering`].
+    pub recovery: Option<RecoveryBook>,
+    /// CPU consumed since the last checkpoint.
+    pub cpu_since_checkpoint: SimDuration,
+    /// Whether `on_start` has been run.
+    pub started: bool,
+}
+
+impl Process {
+    /// Creates a fresh process around `program`.
+    pub fn new(pid: ProcessId, program_name: impl Into<String>, program: Box<dyn Program>) -> Self {
+        Process {
+            pid,
+            program_name: program_name.into(),
+            program,
+            links: LinkTable::new(),
+            queue: MessageQueue::new(),
+            recv_mask: ChannelSet::ALL,
+            run: RunState::Waiting,
+            sent_seq: 0,
+            read_count: 0,
+            seen: BTreeMap::new(),
+            outputs_emitted: 0,
+            recovery: None,
+            cpu_since_checkpoint: SimDuration::ZERO,
+            started: false,
+        }
+    }
+
+    /// Captures the checkpointable image of this process.
+    pub fn image(&self) -> ProcessImage {
+        ProcessImage {
+            program_name: self.program_name.clone(),
+            program_state: self.program.snapshot(),
+            links: self.links.clone(),
+            recv_mask_bits: self.recv_mask.bits(),
+            sent_seq: self.sent_seq,
+            read_count: self.read_count,
+            seen: self.seen.clone(),
+            outputs_emitted: self.outputs_emitted,
+            cpu_since_checkpoint_ns: self.cpu_since_checkpoint.as_nanos(),
+        }
+    }
+
+    /// Rebuilds kernel state and program state from an image. The caller
+    /// provides a freshly instantiated program of the right type.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] if the program state fails to decode.
+    pub fn restore_from(
+        pid: ProcessId,
+        image: &ProcessImage,
+        mut program: Box<dyn Program>,
+    ) -> Result<Self, CodecError> {
+        program.restore(&image.program_state)?;
+        Ok(Process {
+            pid,
+            program_name: image.program_name.clone(),
+            program,
+            links: image.links.clone(),
+            queue: MessageQueue::new(),
+            recv_mask: ChannelSet::from_bits(image.recv_mask_bits),
+            run: RunState::Recovering,
+            sent_seq: image.sent_seq,
+            read_count: image.read_count,
+            seen: image.seen.clone(),
+            outputs_emitted: image.outputs_emitted,
+            recovery: Some(RecoveryBook::default()),
+            cpu_since_checkpoint: SimDuration::ZERO,
+            started: true,
+        })
+    }
+
+    /// Allocates the next message sequence number.
+    pub fn next_seq(&mut self) -> u64 {
+        self.sent_seq += 1;
+        self.sent_seq
+    }
+
+    /// Returns `true` if `id` duplicates an already-*read* message from
+    /// its sender, or one currently waiting in the queue. Per-pair FIFO
+    /// makes the watermark half of the test sound; the queue scan covers
+    /// arrived-but-unread copies. The watermark advances at read time —
+    /// not arrival — so that a checkpoint's watermark never covers the
+    /// arrived-but-unread messages recovery must replay.
+    pub fn is_duplicate(&self, id: MessageId) -> bool {
+        if self
+            .seen
+            .get(&id.sender)
+            .map(|&w| id.seq <= w)
+            .unwrap_or(false)
+        {
+            return true;
+        }
+        self.queue.iter().any(|m| m.header.id == id)
+    }
+
+    /// Records the read of `id`, advancing its sender's watermark.
+    pub fn note_read(&mut self, id: MessageId) {
+        let w = self.seen.entry(id.sender).or_insert(0);
+        *w = (*w).max(id.seq);
+    }
+}
+
+impl core::fmt::Debug for Process {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Process")
+            .field("pid", &self.pid)
+            .field("program", &self.program_name)
+            .field("run", &self.run)
+            .field("sent_seq", &self.sent_seq)
+            .field("read_count", &self.read_count)
+            .field("queued", &self.queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Channel;
+    use crate::link::Link;
+    use crate::program::{Ctx, Received};
+
+    /// A trivial counter program used across the kernel tests.
+    struct CounterProg {
+        count: u64,
+    }
+
+    impl Program for CounterProg {
+        fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+        fn on_message(&mut self, _ctx: &mut Ctx<'_>, _msg: Received) {
+            self.count += 1;
+        }
+        fn snapshot(&self) -> Vec<u8> {
+            self.count.to_le_bytes().to_vec()
+        }
+        fn restore(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
+            let arr: [u8; 8] = bytes.try_into().map_err(|_| CodecError::UnexpectedEnd {
+                needed: 8,
+                remaining: bytes.len(),
+            })?;
+            self.count = u64::from_le_bytes(arr);
+            Ok(())
+        }
+    }
+
+    fn proc() -> Process {
+        Process::new(
+            ProcessId::new(1, 3),
+            "counter",
+            Box::new(CounterProg { count: 5 }),
+        )
+    }
+
+    #[test]
+    fn image_roundtrip_via_codec() {
+        let mut p = proc();
+        p.sent_seq = 11;
+        p.read_count = 4;
+        p.seen.insert(ProcessId::new(2, 1), 9);
+        p.links
+            .insert(Link::to(ProcessId::new(2, 1), Channel(1), 7));
+        let img = p.image();
+        let buf = img.encode_to_vec();
+        assert_eq!(ProcessImage::decode_all(&buf).unwrap(), img);
+    }
+
+    #[test]
+    fn restore_rebuilds_equivalent_process() {
+        let mut p = proc();
+        p.sent_seq = 3;
+        p.read_count = 2;
+        let img = p.image();
+        let restored =
+            Process::restore_from(p.pid, &img, Box::new(CounterProg { count: 0 })).unwrap();
+        assert_eq!(restored.sent_seq, 3);
+        assert_eq!(restored.read_count, 2);
+        assert_eq!(restored.run, RunState::Recovering);
+        assert_eq!(restored.program.snapshot(), p.program.snapshot());
+        assert!(restored.started);
+    }
+
+    #[test]
+    fn seq_allocation_is_monotone() {
+        let mut p = proc();
+        assert_eq!(p.next_seq(), 1);
+        assert_eq!(p.next_seq(), 2);
+        assert_eq!(p.sent_seq, 2);
+    }
+
+    #[test]
+    fn duplicate_detection_by_watermark() {
+        let mut p = proc();
+        let sender = ProcessId::new(2, 2);
+        let m1 = MessageId { sender, seq: 1 };
+        let m2 = MessageId { sender, seq: 2 };
+        assert!(!p.is_duplicate(m1));
+        p.note_read(m2);
+        assert!(p.is_duplicate(m1));
+        assert!(p.is_duplicate(m2));
+        assert!(!p.is_duplicate(MessageId { sender, seq: 3 }));
+    }
+
+    #[test]
+    fn corrupted_image_restore_fails() {
+        let p = proc();
+        let mut img = p.image();
+        img.program_state = vec![1, 2, 3]; // wrong length for CounterProg
+        let err = Process::restore_from(p.pid, &img, Box::new(CounterProg { count: 0 }));
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! The program registry: named binary images (§3.3.1).
+//!
+//! "The first checkpoint for a process is the binary image from which the
+//! process is created. When a new process is created, the recorder is told
+//! … the name of this binary image." The registry maps those names to
+//! factories producing a fresh instance of the program — the recovery
+//! manager's way of reloading a process from its initial state.
+
+use crate::program::Program;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+type Factory = dyn Fn() -> Box<dyn Program> + Send + Sync;
+
+/// Errors from registry lookups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownProgram(pub String);
+
+impl core::fmt::Display for UnknownProgram {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "unknown program image: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownProgram {}
+
+/// A shared, immutable-after-build registry of program images.
+#[derive(Clone, Default)]
+pub struct ProgramRegistry {
+    factories: BTreeMap<String, Arc<Factory>>,
+}
+
+impl ProgramRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ProgramRegistry::default()
+    }
+
+    /// Registers a program image under `name`, replacing any previous one.
+    pub fn register<F>(&mut self, name: impl Into<String>, factory: F)
+    where
+        F: Fn() -> Box<dyn Program> + Send + Sync + 'static,
+    {
+        self.factories.insert(name.into(), Arc::new(factory));
+    }
+
+    /// Instantiates a fresh copy of the named program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownProgram`] if no image is registered under `name`.
+    pub fn instantiate(&self, name: &str) -> Result<Box<dyn Program>, UnknownProgram> {
+        match self.factories.get(name) {
+            Some(f) => Ok(f()),
+            None => Err(UnknownProgram(name.to_string())),
+        }
+    }
+
+    /// Returns `true` if `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.factories.contains_key(name)
+    }
+
+    /// Lists the registered image names.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.factories.keys().map(|s| s.as_str())
+    }
+}
+
+impl core::fmt::Debug for ProgramRegistry {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ProgramRegistry")
+            .field("images", &self.factories.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Ctx, Received};
+    use publishing_sim::codec::CodecError;
+
+    struct Nop;
+    impl Program for Nop {
+        fn on_start(&mut self, _: &mut Ctx<'_>) {}
+        fn on_message(&mut self, _: &mut Ctx<'_>, _: Received) {}
+        fn snapshot(&self) -> Vec<u8> {
+            vec![7]
+        }
+        fn restore(&mut self, _: &[u8]) -> Result<(), CodecError> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn register_and_instantiate() {
+        let mut r = ProgramRegistry::new();
+        r.register("nop", || Box::new(Nop));
+        assert!(r.contains("nop"));
+        let p = r.instantiate("nop").unwrap();
+        assert_eq!(p.snapshot(), vec![7]);
+    }
+
+    #[test]
+    fn unknown_program_errors() {
+        let r = ProgramRegistry::new();
+        let err = match r.instantiate("ghost") {
+            Err(e) => e,
+            Ok(_) => panic!("expected error"),
+        };
+        assert_eq!(err, UnknownProgram("ghost".into()));
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let mut r = ProgramRegistry::new();
+        r.register("zeta", || Box::new(Nop));
+        r.register("alpha", || Box::new(Nop));
+        let names: Vec<&str> = r.names().collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn clone_shares_factories() {
+        let mut r = ProgramRegistry::new();
+        r.register("nop", || Box::new(Nop));
+        let r2 = r.clone();
+        assert!(r2.contains("nop"));
+    }
+}

@@ -1,0 +1,464 @@
+//! System processes (§4.2.1, §4.2.3): the process manager, memory
+//! scheduler, and named-link server.
+//!
+//! "While the kernel provides primitive functionality, the system
+//! processes provide structure and policy." Process control is split
+//! across three serially connected parts — process manager → memory
+//! scheduler → kernel process — "for modularity"; a user-level creation
+//! request traverses the whole chain and the reply (carrying a control
+//! link to the new process) travels back up it. With publishing on, every
+//! hop is a published message, which is precisely why Figure 5.8's
+//! create/destroy costs balloon under publishing.
+//!
+//! All three are ordinary deterministic [`Program`]s: they are themselves
+//! recoverable by replay, with their pending-request tables checkpointed
+//! like any other program state.
+
+use crate::ids::{Channel, LinkId, NodeId, ProcessId};
+use crate::kernel::{decode_ctl, encode_ctl};
+use crate::link::Link;
+use crate::program::{Ctx, Program, Received};
+use crate::protocol::{self, codes};
+use publishing_sim::codec::{CodecError, Decode, Decoder, Encode, Encoder};
+use std::collections::BTreeMap;
+
+/// Body codes for the system-process protocols (user ↔ procmgr ↔
+/// memsched; user ↔ name server).
+pub mod sys_codes {
+    /// User → process manager: create a process (body:
+    /// [`super::CreateReq`]; passed link: where to send the reply).
+    pub const PM_CREATE: u32 = 0x3001;
+    /// Process manager → memory scheduler (body: [`super::CreateReq`] +
+    /// request id; passed link: reply link to the process manager).
+    pub const MS_CREATE: u32 = 0x3002;
+    /// Memory scheduler → process manager reply (body:
+    /// [`super::CreateDone`]; passed link: control link to new process).
+    pub const MS_REPLY: u32 = 0x3003;
+    /// Process manager → user reply (body: [`super::CreateDone`]; passed
+    /// link: control link).
+    pub const PM_REPLY: u32 = 0x3004;
+    /// Register a named link (body: name string; passed link: the link).
+    pub const NS_REGISTER: u32 = 0x3005;
+    /// Look up a named link (body: name; passed link: reply link).
+    pub const NS_LOOKUP: u32 = 0x3006;
+    /// Name-server reply (body: found flag + name; passed link: the
+    /// registered link if found).
+    pub const NS_REPLY: u32 = 0x3007;
+}
+
+/// A create request as it travels down the control chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CreateReq {
+    /// Program image to instantiate.
+    pub program_name: String,
+    /// Node to create the process on.
+    pub node: NodeId,
+    /// Chain-internal request id (0 from the user; assigned by the
+    /// process manager).
+    pub req_id: u64,
+}
+
+impl Encode for CreateReq {
+    fn encode(&self, e: &mut Encoder) {
+        e.str(&self.program_name).u32(self.node.0).u64(self.req_id);
+    }
+}
+
+impl Decode for CreateReq {
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(CreateReq {
+            program_name: d.str()?,
+            node: NodeId(d.u32()?),
+            req_id: d.u64()?,
+        })
+    }
+}
+
+/// A create reply as it travels back up the chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CreateDone {
+    /// The created process, or `None` on failure.
+    pub pid: Option<ProcessId>,
+    /// Chain-internal request id.
+    pub req_id: u64,
+}
+
+impl Encode for CreateDone {
+    fn encode(&self, e: &mut Encoder) {
+        e.option(self.pid.as_ref(), |e, p| p.encode(e));
+        e.u64(self.req_id);
+    }
+}
+
+impl Decode for CreateDone {
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(CreateDone {
+            pid: d.option(ProcessId::decode)?,
+            req_id: d.u64()?,
+        })
+    }
+}
+
+/// The process manager: accepts user create requests, enforces a
+/// per-requester process limit (the §4.2.3 job limits), and forwards work
+/// to the memory scheduler over its initial link 0.
+#[derive(Debug)]
+pub struct ProcessManager {
+    /// Max processes a single requester may create (the job limit).
+    pub limit_per_requester: u64,
+    next_req: u64,
+    /// Pending requests: req id → link id of the user's reply link.
+    pending: BTreeMap<u64, u32>,
+    /// Created-process counts per requester (keyed by packed pid).
+    jobs: BTreeMap<u64, u64>,
+}
+
+impl ProcessManager {
+    /// Creates a process manager with the given job limit.
+    pub fn new(limit_per_requester: u64) -> Self {
+        ProcessManager {
+            limit_per_requester,
+            next_req: 1,
+            pending: BTreeMap::new(),
+            jobs: BTreeMap::new(),
+        }
+    }
+}
+
+impl Program for ProcessManager {
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Received) {
+        let Some((code, payload)) = decode_ctl(&msg.body) else {
+            return;
+        };
+        match code {
+            sys_codes::PM_CREATE => {
+                let Ok(mut req) = CreateReq::decode_all(payload) else {
+                    return;
+                };
+                let Some(user_reply) = msg.link else { return };
+                // Job limits: refuse beyond the per-requester cap. The
+                // requester is identified by the reply link's destination.
+                let requester = ctx.link(user_reply).map(|l| l.dest.as_u64()).unwrap_or(0);
+                let used = self.jobs.get(&requester).copied().unwrap_or(0);
+                if used >= self.limit_per_requester {
+                    let done = CreateDone {
+                        pid: None,
+                        req_id: req.req_id,
+                    };
+                    let _ = ctx.send(user_reply, encode_ctl(sys_codes::PM_REPLY, &done));
+                    return;
+                }
+                self.jobs.insert(requester, used + 1);
+                let req_id = self.next_req;
+                self.next_req += 1;
+                self.pending.insert(req_id, user_reply.0);
+                req.req_id = req_id;
+                // Pass the memory scheduler a reply link whose code is the
+                // request id — the §4.2.2.1 "links as resource pointers"
+                // idiom.
+                let reply = ctx.create_link(Channel::DEFAULT, req_id as u32);
+                let _ = ctx.send_passing(LinkId(0), encode_ctl(sys_codes::MS_CREATE, &req), reply);
+            }
+            sys_codes::MS_REPLY => {
+                let Ok(done) = CreateDone::decode_all(payload) else {
+                    return;
+                };
+                let Some(user_link_id) = self.pending.remove(&done.req_id) else {
+                    return;
+                };
+                let body = encode_ctl(sys_codes::PM_REPLY, &done);
+                match msg.link {
+                    Some(control) => {
+                        let _ = ctx.send_passing(LinkId(user_link_id), body, control);
+                    }
+                    None => {
+                        let _ = ctx.send(LinkId(user_link_id), body);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u64(self.limit_per_requester).u64(self.next_req);
+        e.u64(self.pending.len() as u64);
+        for (req, link) in &self.pending {
+            e.u64(*req).u32(*link);
+        }
+        e.u64(self.jobs.len() as u64);
+        for (who, n) in &self.jobs {
+            e.u64(*who).u64(*n);
+        }
+        e.finish()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
+        let mut d = Decoder::new(bytes);
+        self.limit_per_requester = d.u64()?;
+        self.next_req = d.u64()?;
+        self.pending.clear();
+        for _ in 0..d.u64()? {
+            let req = d.u64()?;
+            let link = d.u32()?;
+            self.pending.insert(req, link);
+        }
+        self.jobs.clear();
+        for _ in 0..d.u64()? {
+            let who = d.u64()?;
+            let n = d.u64()?;
+            self.jobs.insert(who, n);
+        }
+        d.finish()
+    }
+}
+
+/// The memory scheduler: knows every node's kernel endpoint (initial
+/// links 0..n-1, one per node in node-id order) and completes creations
+/// against the right kernel.
+#[derive(Debug)]
+pub struct MemoryScheduler {
+    next_req: u64,
+    /// Pending: my req id → (procmgr reply link id, procmgr's req id).
+    pending: BTreeMap<u64, (u32, u64)>,
+}
+
+impl MemoryScheduler {
+    /// Creates a memory scheduler.
+    pub fn new() -> Self {
+        MemoryScheduler {
+            next_req: 1,
+            pending: BTreeMap::new(),
+        }
+    }
+}
+
+impl Default for MemoryScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Program for MemoryScheduler {
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Received) {
+        let Some((code, payload)) = decode_ctl(&msg.body) else {
+            return;
+        };
+        match code {
+            sys_codes::MS_CREATE => {
+                let Ok(req) = CreateReq::decode_all(payload) else {
+                    return;
+                };
+                let Some(pm_reply) = msg.link else { return };
+                let my_req = self.next_req;
+                self.next_req += 1;
+                self.pending.insert(my_req, (pm_reply.0, req.req_id));
+                // Build a reply link for the kernel to answer on; its code
+                // carries our request id. The link value rides inside the
+                // CreateProcess body (kernels are trusted with raw links).
+                let reply_id = ctx.create_link(Channel::DEFAULT, my_req as u32);
+                let reply_link = ctx.take_link(reply_id).expect("just created");
+                let create = protocol::CreateProcess {
+                    program_name: req.program_name,
+                    initial_links: Vec::new(),
+                    reply_to: Some(reply_link),
+                };
+                // Initial link k is the kernel endpoint of node k.
+                let kernel_link = LinkId(req.node.0);
+                let _ = ctx.send(kernel_link, encode_ctl(codes::CREATE_PROCESS, &create));
+            }
+            codes::CREATE_REPLY => {
+                let Ok(reply) = protocol::CreateReply::decode_all(payload) else {
+                    return;
+                };
+                // The link's code carried our request id.
+                let my_req = msg.code as u64;
+                let Some((pm_link, pm_req)) = self.pending.remove(&my_req) else {
+                    return;
+                };
+                let done = CreateDone {
+                    pid: reply.pid,
+                    req_id: pm_req,
+                };
+                let body = encode_ctl(sys_codes::MS_REPLY, &done);
+                match msg.link {
+                    Some(control) => {
+                        let _ = ctx.send_passing(LinkId(pm_link), body, control);
+                    }
+                    None => {
+                        let _ = ctx.send(LinkId(pm_link), body);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u64(self.next_req);
+        e.u64(self.pending.len() as u64);
+        for (req, (link, pm_req)) in &self.pending {
+            e.u64(*req).u32(*link).u64(*pm_req);
+        }
+        e.finish()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
+        let mut d = Decoder::new(bytes);
+        self.next_req = d.u64()?;
+        self.pending.clear();
+        for _ in 0..d.u64()? {
+            let req = d.u64()?;
+            let link = d.u32()?;
+            let pm_req = d.u64()?;
+            self.pending.insert(req, (link, pm_req));
+        }
+        d.finish()
+    }
+}
+
+/// The named-link server (§4.2.2.1): solves the rendezvous problem.
+/// Links are registered under names and handed out on lookup.
+#[derive(Debug, Default)]
+pub struct NameServer {
+    names: BTreeMap<String, Link>,
+}
+
+impl NameServer {
+    /// Creates an empty name server.
+    pub fn new() -> Self {
+        NameServer::default()
+    }
+}
+
+impl Program for NameServer {
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Received) {
+        let Some((code, payload)) = decode_ctl(&msg.body) else {
+            return;
+        };
+        let mut d = Decoder::new(payload);
+        let Ok(name) = d.str() else { return };
+        match code {
+            sys_codes::NS_REGISTER => {
+                if let Some(link_id) = msg.link {
+                    if let Ok(link) = ctx.take_link(link_id) {
+                        self.names.insert(name, link);
+                    }
+                }
+            }
+            sys_codes::NS_LOOKUP => {
+                let Some(reply) = msg.link else { return };
+                let mut e = Encoder::new();
+                e.u32(sys_codes::NS_REPLY);
+                match self.names.get(&name) {
+                    Some(link) => {
+                        e.bool(true).str(&name);
+                        let handout = ctx.install_link(*link);
+                        let _ = ctx.send_passing(reply, e.finish(), handout);
+                    }
+                    None => {
+                        e.bool(false).str(&name);
+                        let _ = ctx.send(reply, e.finish());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u64(self.names.len() as u64);
+        for (name, link) in &self.names {
+            e.str(name);
+            link.encode(&mut e);
+        }
+        e.finish()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
+        let mut d = Decoder::new(bytes);
+        self.names.clear();
+        for _ in 0..d.u64()? {
+            let name = d.str()?;
+            let link = Link::decode(&mut d)?;
+            self.names.insert(name, link);
+        }
+        d.finish()
+    }
+}
+
+/// Registers the system programs under their conventional names.
+pub fn register_system(reg: &mut crate::registry::ProgramRegistry) {
+    reg.register("procmgr", || Box::new(ProcessManager::new(64)));
+    reg.register("memsched", || Box::new(MemoryScheduler::new()));
+    reg.register("namesrv", || Box::new(NameServer::new()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_req_roundtrip() {
+        let r = CreateReq {
+            program_name: "echo".into(),
+            node: NodeId(3),
+            req_id: 7,
+        };
+        assert_eq!(CreateReq::decode_all(&r.encode_to_vec()).unwrap(), r);
+    }
+
+    #[test]
+    fn create_done_roundtrip() {
+        for pid in [Some(ProcessId::new(1, 2)), None] {
+            let d = CreateDone { pid, req_id: 9 };
+            assert_eq!(CreateDone::decode_all(&d.encode_to_vec()).unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn procmgr_snapshot_roundtrip() {
+        let mut pm = ProcessManager::new(8);
+        pm.pending.insert(3, 5);
+        pm.jobs.insert(77, 2);
+        pm.next_req = 4;
+        let snap = pm.snapshot();
+        let mut pm2 = ProcessManager::new(0);
+        pm2.restore(&snap).unwrap();
+        assert_eq!(pm2.snapshot(), snap);
+        assert_eq!(pm2.limit_per_requester, 8);
+    }
+
+    #[test]
+    fn memsched_snapshot_roundtrip() {
+        let mut ms = MemoryScheduler::new();
+        ms.pending.insert(1, (2, 3));
+        ms.next_req = 5;
+        let snap = ms.snapshot();
+        let mut ms2 = MemoryScheduler::new();
+        ms2.restore(&snap).unwrap();
+        assert_eq!(ms2.snapshot(), snap);
+    }
+
+    #[test]
+    fn nameserver_snapshot_roundtrip() {
+        let mut ns = NameServer::new();
+        ns.names.insert(
+            "printer".into(),
+            Link::to(ProcessId::new(2, 4), Channel(1), 9),
+        );
+        let snap = ns.snapshot();
+        let mut ns2 = NameServer::new();
+        ns2.restore(&snap).unwrap();
+        assert_eq!(ns2.snapshot(), snap);
+    }
+}

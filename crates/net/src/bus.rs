@@ -1,0 +1,200 @@
+//! An idealized broadcast bus.
+//!
+//! `PerfectBus` is the "reliable broadcast network" the thesis assumes and
+//! simulates on its Z8000 star and VAX UNIX testbeds (§4.1): every frame
+//! reaches every attached, live station after a fixed serialization +
+//! propagation delay, with no contention. Loss/corruption injection and
+//! recorder gating still apply, so transport and recovery logic above it
+//! is exercised fully; the contention-accurate media live in
+//! [`crate::ethernet`] and [`crate::token_ring`].
+
+use crate::frame::{Frame, StationId};
+use crate::lan::{DeliveryFanout, Lan, LanAction, LanConfig, LanStats};
+use publishing_sim::fault::FaultPlan;
+use publishing_sim::rng::DetRng;
+use publishing_sim::time::SimTime;
+use std::collections::BTreeMap;
+
+/// An idealized contention-free broadcast medium.
+pub struct PerfectBus {
+    cfg: LanConfig,
+    stations: BTreeMap<StationId, bool>,
+    recorders: Vec<StationId>,
+    faults: FaultPlan,
+    rng: DetRng,
+    stats: LanStats,
+}
+
+impl PerfectBus {
+    /// Creates a bus with the given configuration and no fault injection.
+    pub fn new(cfg: LanConfig) -> Self {
+        let rng = DetRng::new(cfg.seed ^ 0xB05);
+        PerfectBus {
+            cfg,
+            stations: BTreeMap::new(),
+            recorders: Vec::new(),
+            faults: FaultPlan::new(),
+            rng,
+            stats: LanStats::default(),
+        }
+    }
+
+    /// Installs a fault plan (loss/corruption probabilities).
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
+    }
+
+    fn live_receivers(&self, frame: &Frame) -> Vec<StationId> {
+        // Every live station but the sender hears the frame; the sender
+        // also receives its own frame when it addressed itself — the
+        // published-intranode-message path of §4.4.1, where a node's
+        // messages to itself go out on the wire so the recorder sees them.
+        let to_self = frame.dst == crate::frame::Destination::Station(frame.src);
+        self.stations
+            .iter()
+            .filter(|&(&st, &up)| up && (st != frame.src || to_self))
+            .map(|(&st, _)| st)
+            .collect()
+    }
+
+    fn required_recorders(&self) -> Vec<StationId> {
+        // A required recorder gates traffic even while down — §3.3.4: "all
+        // message traffic to processes must be suspended whenever the
+        // recorder goes down." With multiple recorders, the survivors
+        // cover for a dead one by *removing* it from the required set
+        // (§6.3), an explicit act of the recovery layer.
+        self.recorders.clone()
+    }
+}
+
+impl Lan for PerfectBus {
+    fn attach(&mut self, station: StationId) {
+        self.stations.insert(station, true);
+    }
+
+    fn set_station_up(&mut self, station: StationId, up: bool) {
+        if let Some(s) = self.stations.get_mut(&station) {
+            *s = up;
+        }
+    }
+
+    fn set_required_recorders(&mut self, recorders: Vec<StationId>) {
+        self.recorders = recorders;
+    }
+
+    fn submit(&mut self, now: SimTime, frame: Frame) -> Vec<LanAction> {
+        self.stats.submitted.inc();
+        let sender = frame.src;
+        let tx_done = now + self.cfg.frame_time(frame.wire_bytes());
+        let receivers = self.live_receivers(&frame);
+        let required = self.required_recorders();
+        let mut actions = DeliveryFanout {
+            faults: &self.faults,
+            rng: &mut self.rng,
+            stats: &mut self.stats,
+        }
+        .run(tx_done, &frame, &receivers, &required);
+        actions.push(LanAction::TxOutcome {
+            at: tx_done,
+            station: sender,
+            ok: true,
+            collisions: 0,
+        });
+        actions
+    }
+
+    fn timer(&mut self, _now: SimTime, _token: u64) -> Vec<LanAction> {
+        Vec::new()
+    }
+
+    fn stats(&self) -> &LanStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Destination;
+
+    fn bus_with(n: u32) -> PerfectBus {
+        let mut bus = PerfectBus::new(LanConfig::default());
+        for i in 0..n {
+            bus.attach(StationId(i));
+        }
+        bus
+    }
+
+    #[test]
+    fn broadcast_reaches_all_but_sender() {
+        let mut bus = bus_with(4);
+        let f = Frame::new(StationId(0), Destination::Broadcast, vec![1]);
+        let actions = bus.submit(SimTime::ZERO, f);
+        let deliveries: Vec<_> = actions
+            .iter()
+            .filter_map(|a| match a {
+                LanAction::Deliver { to, .. } => Some(*to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(deliveries, vec![StationId(1), StationId(2), StationId(3)]);
+    }
+
+    #[test]
+    fn down_station_receives_nothing() {
+        let mut bus = bus_with(3);
+        bus.set_station_up(StationId(2), false);
+        let f = Frame::new(StationId(0), Destination::Broadcast, vec![]);
+        let actions = bus.submit(SimTime::ZERO, f);
+        assert!(actions.iter().all(|a| !matches!(
+            a,
+            LanAction::Deliver { to, .. } if *to == StationId(2)
+        )));
+    }
+
+    #[test]
+    fn delivery_time_reflects_frame_size() {
+        let mut bus = bus_with(2);
+        let f = Frame::new(StationId(0), Destination::Broadcast, vec![0u8; 1000]);
+        let wire = f.wire_bytes();
+        let actions = bus.submit(SimTime::ZERO, f);
+        let expect = SimTime::ZERO + LanConfig::default().frame_time(wire);
+        for a in actions {
+            match a {
+                LanAction::Deliver { at, .. } | LanAction::TxOutcome { at, .. } => {
+                    assert_eq!(at, expect)
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn dead_required_recorder_suspends_traffic() {
+        // §3.3.4: while the (only) recorder is down, no message may be
+        // used. Survivor-cover (§6.3) works by explicitly shrinking the
+        // required set, not by the medium forgetting a dead recorder.
+        let mut bus = bus_with(3);
+        bus.set_required_recorders(vec![StationId(2)]);
+        bus.set_station_up(StationId(2), false);
+        let f = Frame::new(StationId(0), Destination::Broadcast, vec![5]);
+        let actions = bus.submit(SimTime::ZERO, f);
+        for a in &actions {
+            if let LanAction::Deliver { recorder_ok, .. } = a {
+                assert!(!recorder_ok);
+            }
+        }
+        assert_eq!(bus.stats().recorder_blocked.get(), 1);
+    }
+
+    #[test]
+    fn stats_count_submissions_and_deliveries() {
+        let mut bus = bus_with(3);
+        for _ in 0..5 {
+            let f = Frame::new(StationId(0), Destination::Broadcast, vec![1]);
+            bus.submit(SimTime::ZERO, f);
+        }
+        assert_eq!(bus.stats().submitted.get(), 5);
+        assert_eq!(bus.stats().delivered.get(), 10);
+    }
+}

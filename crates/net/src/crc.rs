@@ -1,0 +1,120 @@
+//! CRC-32 (IEEE 802.3) frame check sequence.
+//!
+//! §4.3.3's link layer "wraps all messages with a rotating checksum" and
+//! discards frames whose checksum fails; the token-ring recorder of §6.1.2
+//! *complements* the checksum to deliberately invalidate a frame it could
+//! not record. Both behaviours need a real FCS, so we implement the
+//! standard reflected CRC-32 used by Ethernet.
+
+/// The CRC-32/IEEE polynomial, reflected.
+const POLY: u32 = 0xEDB8_8320;
+
+/// Computes the lookup table at compile time.
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// Computes the CRC-32/IEEE checksum of `data`.
+///
+/// # Examples
+///
+/// ```
+/// // The standard check value for "123456789".
+/// assert_eq!(publishing_net::crc::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Incremental CRC-32 computation for multi-part frames.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds more bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        for &b in data {
+            self.state = (self.state >> 8) ^ TABLE[((self.state ^ b as u32) & 0xFF) as usize];
+        }
+    }
+
+    /// Finishes and returns the checksum.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"published communications";
+        let mut h = Crc32::new();
+        h.update(&data[..7]);
+        h.update(&data[7..]);
+        assert_eq!(h.finish(), crc32(data));
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = vec![0u8; 128];
+        data[17] = 0xA5;
+        let good = crc32(&data);
+        data[17] ^= 0x01;
+        assert_ne!(crc32(&data), good);
+    }
+
+    #[test]
+    fn complemented_crc_never_validates() {
+        // The token-ring recorder invalidates a frame by complementing the
+        // FCS; a complemented CRC must never equal the true CRC.
+        for data in [&b"x"[..], b"hello", b"", b"0123456789abcdef"] {
+            let c = crc32(data);
+            assert_ne!(c, !c);
+        }
+    }
+}

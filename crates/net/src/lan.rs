@@ -1,0 +1,354 @@
+//! The LAN abstraction: a sans-IO medium state machine.
+//!
+//! Every medium model (CSMA/CD Ethernet, Acknowledging Ethernet, token
+//! ring, star hub, and the idealized bus) implements [`Lan`]. A driver —
+//! the simulation world, or a unit test — feeds it transmissions and timer
+//! callbacks and executes the [`LanAction`]s it emits. The medium owns all
+//! physical-layer concerns: serialization delay, contention, loss and
+//! corruption draws, and the *recorder acknowledgement* semantics of §6.1
+//! ("if the recorder cannot receive a message, the processor for which the
+//! message is destined cannot be allowed to receive it").
+
+use crate::frame::{Frame, StationId};
+use publishing_sim::fault::FaultPlan;
+use publishing_sim::rng::DetRng;
+use publishing_sim::stats::{Counter, Utilization};
+use publishing_sim::time::{SimDuration, SimTime};
+
+/// Physical and MAC parameters of a LAN.
+#[derive(Debug, Clone)]
+pub struct LanConfig {
+    /// Raw bandwidth in bits per second (Fig 5.2: 10 Mb/s).
+    pub bandwidth_bps: u64,
+    /// Fixed per-frame interface delay (Fig 5.2: 1.6 ms interpacket delay).
+    pub interpacket: SimDuration,
+    /// Collision window / backoff quantum (classic Ethernet: 51.2 µs).
+    pub slot_time: SimDuration,
+    /// Length of a reserved acknowledge slot (Acknowledging Ethernet §6.1.1).
+    pub ack_slot: SimDuration,
+    /// Cap on the binary-exponential-backoff exponent.
+    pub max_backoff_exp: u32,
+    /// Transmission attempts before the MAC reports failure.
+    pub max_attempts: u32,
+    /// Seed for the medium's private randomness (backoff, fault draws).
+    pub seed: u64,
+}
+
+impl Default for LanConfig {
+    fn default() -> Self {
+        LanConfig {
+            bandwidth_bps: 10_000_000,
+            interpacket: SimDuration::from_micros(1_600),
+            slot_time: SimDuration::from_nanos(51_200),
+            ack_slot: SimDuration::from_nanos(51_200),
+            max_backoff_exp: 10,
+            max_attempts: 16,
+            seed: 0,
+        }
+    }
+}
+
+impl LanConfig {
+    /// Returns the time to serialize `bytes` onto the wire, including the
+    /// fixed interpacket delay.
+    pub fn frame_time(&self, bytes: usize) -> SimDuration {
+        let bits = bytes as u64 * 8;
+        let ns = bits.saturating_mul(1_000_000_000) / self.bandwidth_bps;
+        self.interpacket + SimDuration::from_nanos(ns)
+    }
+}
+
+/// An action a medium asks its driver to execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LanAction {
+    /// Deliver `frame` to station `to` at time `at`.
+    ///
+    /// `recorder_ok` reports whether every *required* recorder received the
+    /// frame intact; publishing-enforcing link layers discard the frame
+    /// when it is `false` (§4.4.1), forcing a transport-level resend.
+    Deliver {
+        /// Delivery time.
+        at: SimTime,
+        /// Receiving station (every attached, up station other than the
+        /// sender gets one — broadcast medium).
+        to: StationId,
+        /// The frame as received (possibly corrupted in flight).
+        frame: Frame,
+        /// Whether all required recorders captured the frame intact.
+        recorder_ok: bool,
+    },
+    /// Report the fate of a transmission to its submitting station.
+    TxOutcome {
+        /// Completion time.
+        at: SimTime,
+        /// The station that submitted the frame.
+        station: StationId,
+        /// `true` if the frame made it onto the wire; `false` if the MAC
+        /// gave up (excessive collisions).
+        ok: bool,
+        /// Collisions suffered before the outcome.
+        collisions: u32,
+    },
+    /// Ask the driver to call [`Lan::timer`] with `token` at time `at`.
+    SetTimer {
+        /// Callback time.
+        at: SimTime,
+        /// Opaque token to hand back.
+        token: u64,
+    },
+}
+
+/// Counters every medium keeps.
+#[derive(Debug, Default, Clone)]
+pub struct LanStats {
+    /// Frames submitted by stations.
+    pub submitted: Counter,
+    /// Frame deliveries to stations (per receiving station).
+    pub delivered: Counter,
+    /// Collisions observed (CSMA/CD media only).
+    pub collisions: Counter,
+    /// Frames dropped by fault injection (loss draws).
+    pub lost: Counter,
+    /// Frames corrupted by fault injection.
+    pub corrupted: Counter,
+    /// Frames blocked because a required recorder missed them.
+    pub recorder_blocked: Counter,
+    /// Transmissions abandoned after too many collisions.
+    pub aborted: Counter,
+    /// Busy-time integrator for the shared medium.
+    pub busy: Utilization,
+}
+
+/// A broadcast medium with publishing (recorder-acknowledgement) support.
+pub trait Lan {
+    /// Attaches a station; it starts up.
+    fn attach(&mut self, station: StationId);
+
+    /// Marks a station up or down; down stations neither receive nor count
+    /// as recorders.
+    fn set_station_up(&mut self, station: StationId, up: bool);
+
+    /// Sets the stations whose intact receipt gates delivery (§6.1, §6.3).
+    /// An empty set disables recorder gating (baseline, non-published mode).
+    fn set_required_recorders(&mut self, recorders: Vec<StationId>);
+
+    /// Submits a frame for transmission from `frame.src`.
+    fn submit(&mut self, now: SimTime, frame: Frame) -> Vec<LanAction>;
+
+    /// Delivers a previously requested timer callback.
+    fn timer(&mut self, now: SimTime, token: u64) -> Vec<LanAction>;
+
+    /// Returns the medium's counters.
+    fn stats(&self) -> &LanStats;
+}
+
+/// Shared per-delivery fault and recorder-gating logic used by all media.
+///
+/// Given the set of receiving stations, rolls loss/corruption per receiver,
+/// determines `recorder_ok` from the required recorders' outcomes, and
+/// produces the corresponding [`LanAction::Deliver`]s.
+pub(crate) struct DeliveryFanout<'a> {
+    pub faults: &'a FaultPlan,
+    pub rng: &'a mut DetRng,
+    pub stats: &'a mut LanStats,
+}
+
+impl DeliveryFanout<'_> {
+    /// Fans `frame` out to `receivers` at time `at`.
+    ///
+    /// `required_recorders` must be a subset of `receivers` (down stations
+    /// already filtered out by the caller). Stations that lose the frame
+    /// get no delivery; corrupted deliveries arrive with a broken FCS.
+    pub fn run(
+        &mut self,
+        at: SimTime,
+        frame: &Frame,
+        receivers: &[StationId],
+        required_recorders: &[StationId],
+    ) -> Vec<LanAction> {
+        // Decide each receiver's physical outcome first.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Fate {
+            Ok,
+            Lost,
+            Corrupt,
+        }
+        let fates: Vec<(StationId, Fate)> = receivers
+            .iter()
+            .map(|&st| {
+                let fate = if self.faults.roll_loss(self.rng) {
+                    Fate::Lost
+                } else if self.faults.roll_corruption(self.rng) {
+                    Fate::Corrupt
+                } else {
+                    Fate::Ok
+                };
+                (st, fate)
+            })
+            .collect();
+
+        // §6.1: the frame is usable only if every required recorder
+        // captured it intact. A recorder that *sent* the frame trivially
+        // has it.
+        let recorder_ok = required_recorders.iter().all(|r| {
+            *r == frame.src || fates.iter().any(|&(st, fate)| st == *r && fate == Fate::Ok)
+        });
+        if !recorder_ok && !required_recorders.is_empty() {
+            self.stats.recorder_blocked.inc();
+        }
+
+        let mut out = Vec::with_capacity(fates.len());
+        for (st, fate) in fates {
+            match fate {
+                Fate::Lost => {
+                    self.stats.lost.inc();
+                }
+                Fate::Corrupt => {
+                    self.stats.corrupted.inc();
+                    let mut f = frame.clone();
+                    f.corrupt_in_flight();
+                    self.stats.delivered.inc();
+                    out.push(LanAction::Deliver {
+                        at,
+                        to: st,
+                        frame: f,
+                        recorder_ok,
+                    });
+                }
+                Fate::Ok => {
+                    self.stats.delivered.inc();
+                    out.push(LanAction::Deliver {
+                        at,
+                        to: st,
+                        frame: frame.clone(),
+                        recorder_ok,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Destination;
+
+    #[test]
+    fn frame_time_scales_with_size() {
+        let cfg = LanConfig::default();
+        let t_small = cfg.frame_time(128);
+        let t_large = cfg.frame_time(1024);
+        assert!(t_large > t_small);
+        // 1024 bytes at 10 Mb/s is 819.2 µs on the wire plus 1.6 ms fixed.
+        assert_eq!(
+            t_large,
+            SimDuration::from_micros(1_600) + SimDuration::from_nanos(819_200)
+        );
+    }
+
+    #[test]
+    fn fanout_delivers_to_all_when_fault_free() {
+        let faults = FaultPlan::new();
+        let mut rng = DetRng::new(1);
+        let mut stats = LanStats::default();
+        let frame = Frame::new(StationId(0), Destination::Broadcast, vec![1, 2, 3]);
+        let receivers = [StationId(1), StationId(2), StationId(3)];
+        let actions = DeliveryFanout {
+            faults: &faults,
+            rng: &mut rng,
+            stats: &mut stats,
+        }
+        .run(SimTime::from_millis(1), &frame, &receivers, &[StationId(3)]);
+        assert_eq!(actions.len(), 3);
+        for a in &actions {
+            match a {
+                LanAction::Deliver {
+                    frame: f,
+                    recorder_ok,
+                    ..
+                } => {
+                    assert!(f.is_intact());
+                    assert!(recorder_ok);
+                }
+                _ => panic!("unexpected action"),
+            }
+        }
+    }
+
+    #[test]
+    fn recorder_loss_blocks_usability() {
+        // Force every frame to be lost: the recorder misses it, so even
+        // though nobody receives anything, the blocked counter reflects the
+        // recorder gate.
+        let faults = FaultPlan::new().with_frame_loss(1.0);
+        let mut rng = DetRng::new(2);
+        let mut stats = LanStats::default();
+        let frame = Frame::new(StationId(0), Destination::Broadcast, vec![9]);
+        let actions = DeliveryFanout {
+            faults: &faults,
+            rng: &mut rng,
+            stats: &mut stats,
+        }
+        .run(
+            SimTime::ZERO,
+            &frame,
+            &[StationId(1), StationId(2)],
+            &[StationId(2)],
+        );
+        assert!(actions.is_empty());
+        assert_eq!(stats.recorder_blocked.get(), 1);
+        assert_eq!(stats.lost.get(), 2);
+    }
+
+    #[test]
+    fn corruption_at_recorder_marks_unusable_for_receiver() {
+        let faults = FaultPlan::new().with_frame_corruption(1.0);
+        let mut rng = DetRng::new(3);
+        let mut stats = LanStats::default();
+        let frame = Frame::new(StationId(0), Destination::Broadcast, vec![7, 7]);
+        let actions = DeliveryFanout {
+            faults: &faults,
+            rng: &mut rng,
+            stats: &mut stats,
+        }
+        .run(
+            SimTime::ZERO,
+            &frame,
+            &[StationId(1), StationId(9)],
+            &[StationId(9)],
+        );
+        assert_eq!(actions.len(), 2);
+        for a in &actions {
+            if let LanAction::Deliver {
+                frame: f,
+                recorder_ok,
+                ..
+            } = a
+            {
+                assert!(!f.is_intact());
+                assert!(!recorder_ok);
+            }
+        }
+    }
+
+    #[test]
+    fn no_required_recorders_means_no_gating() {
+        let faults = FaultPlan::new();
+        let mut rng = DetRng::new(4);
+        let mut stats = LanStats::default();
+        let frame = Frame::new(StationId(0), Destination::Broadcast, vec![]);
+        let actions = DeliveryFanout {
+            faults: &faults,
+            rng: &mut rng,
+            stats: &mut stats,
+        }
+        .run(SimTime::ZERO, &frame, &[StationId(1)], &[]);
+        match &actions[0] {
+            LanAction::Deliver { recorder_ok, .. } => assert!(recorder_ok),
+            _ => panic!(),
+        }
+        assert_eq!(stats.recorder_blocked.get(), 0);
+    }
+}

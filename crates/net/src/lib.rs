@@ -1,0 +1,36 @@
+//! Broadcast LAN models for the PUBLISHING reproduction.
+//!
+//! Publishing works on any medium with "a single point at which all
+//! messages can be intercepted and recorded" (§6.2). This crate provides
+//! the media the thesis discusses, each as a sans-IO state machine driven
+//! through the [`lan::Lan`] trait:
+//!
+//! - [`bus::PerfectBus`] — the idealized reliable broadcast the thesis
+//!   simulates on its testbeds; used by most recovery tests;
+//! - [`ethernet::Ethernet`] — CSMA/CD with collisions and binary
+//!   exponential backoff, in standard or *Acknowledging* (§6.1.1) mode with
+//!   reserved receiver/recorder ack slots;
+//! - [`token_ring::TokenRing`] — a token ring with the §6.1.2 recorder
+//!   acknowledge field and checksum invalidation;
+//! - [`star::StarHub`] — the §4.1 star whose hub is the recorder.
+//!
+//! All media enforce the publish-before-use rule: a frame a required
+//! recorder failed to capture is unusable by its destination.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod crc;
+pub mod ethernet;
+pub mod frame;
+pub mod lan;
+pub mod star;
+pub mod token_ring;
+
+pub use bus::PerfectBus;
+pub use ethernet::Ethernet;
+pub use frame::{Destination, Frame, StationId, HEADER_BYTES};
+pub use lan::{Lan, LanAction, LanConfig, LanStats};
+pub use star::StarHub;
+pub use token_ring::TokenRing;

@@ -1,0 +1,27 @@
+//! The Chapter 5 queuing model of the recorder.
+//!
+//! "In order to get an estimate for resource requirements, we used a
+//! queuing system model … an open queuing model … solved using IBM's
+//! RESQ2." This crate is our RESQ2 stand-in:
+//!
+//! - [`solver`]: open-network stations, exact utilizations, M/M/1
+//!   response metrics, and a DES cross-check;
+//! - [`workload`]: the Figure 5.3 state-size distribution and the
+//!   syscall/IO → short/long message conversion of §5.1;
+//! - [`ch5`]: Figures 5.1–5.5 — hardware parameters, operating points,
+//!   the utilization sweep, the 4 KB-buffering saturation fix, and the
+//!   115-user capacity computation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ch5;
+pub mod solver;
+pub mod workload;
+
+pub use ch5::{
+    build_network, figure_5_5, max_users, max_users_with_unrecoverable, operating_points, HwParams,
+    OperatingPoint, SystemConfig, UtilizationRow,
+};
+pub use solver::{Flow, OpenNetwork, Station};
+pub use workload::{ProcessTraffic, StateSizes, CHECKPOINT_BYTES, LONG_BYTES, SHORT_BYTES};

@@ -1,0 +1,243 @@
+//! An open queuing network solver.
+//!
+//! The paper solved its model numerically with IBM's RESQ2; we provide
+//! the equivalent for the quantities Figure 5.5 reports. For an open
+//! network of single-server FCFS stations fed by independent Poisson
+//! flows, station utilization is exactly ρ = Σ λ·E\[S\] regardless of
+//! service distribution, and M/M/1 formulas give queue lengths and
+//! response times for reporting. A discrete-event runner cross-validates
+//! the analytic answers in the tests.
+
+use publishing_sim::rng::DetRng;
+use std::collections::BTreeMap;
+
+/// One traffic class through one station.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    /// Label (for reports).
+    pub name: String,
+    /// Arrival rate, jobs per second.
+    pub rate: f64,
+    /// Mean service time at the station, seconds.
+    pub service: f64,
+}
+
+/// A single-server FCFS station.
+#[derive(Debug, Clone, Default)]
+pub struct Station {
+    /// Label (for reports).
+    pub name: String,
+    /// The traffic classes it serves.
+    pub flows: Vec<Flow>,
+}
+
+impl Station {
+    /// Creates an empty station.
+    pub fn new(name: impl Into<String>) -> Self {
+        Station {
+            name: name.into(),
+            flows: Vec::new(),
+        }
+    }
+
+    /// Adds a flow.
+    pub fn flow(mut self, name: impl Into<String>, rate: f64, service: f64) -> Self {
+        self.flows.push(Flow {
+            name: name.into(),
+            rate,
+            service,
+        });
+        self
+    }
+
+    /// Total arrival rate.
+    pub fn lambda(&self) -> f64 {
+        self.flows.iter().map(|f| f.rate).sum()
+    }
+
+    /// Utilization ρ = Σ λ·E\[S\]; exceeds 1.0 when saturated.
+    pub fn utilization(&self) -> f64 {
+        self.flows.iter().map(|f| f.rate * f.service).sum()
+    }
+
+    /// Mean service time across classes, weighted by rate.
+    pub fn mean_service(&self) -> f64 {
+        let l = self.lambda();
+        if l == 0.0 {
+            return 0.0;
+        }
+        self.utilization() / l
+    }
+
+    /// M/M/1 mean number in system, `None` when saturated.
+    pub fn mean_jobs(&self) -> Option<f64> {
+        let rho = self.utilization();
+        (rho < 1.0).then(|| rho / (1.0 - rho))
+    }
+
+    /// M/M/1 mean response time (queueing + service), `None` when
+    /// saturated.
+    pub fn response_time(&self) -> Option<f64> {
+        let rho = self.utilization();
+        if rho >= 1.0 {
+            return None;
+        }
+        Some(self.mean_service() / (1.0 - rho))
+    }
+
+    /// Simulates the station for `horizon` seconds of Poisson arrivals
+    /// with exponential service, returning the measured busy fraction.
+    pub fn simulate_utilization(&self, horizon: f64, rng: &mut DetRng) -> f64 {
+        if self.lambda() == 0.0 {
+            return 0.0;
+        }
+        // Merge class arrival processes: next arrival per class.
+        let mut next: Vec<(f64, usize)> = self
+            .flows
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.rate > 0.0)
+            .map(|(i, f)| (rng.exponential(1.0 / f.rate), i))
+            .collect();
+        let mut server_free_at = 0.0f64;
+        let mut busy = 0.0f64;
+        while let Some(k) = next
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("finite"))
+            .map(|(k, _)| k)
+        {
+            let (t, class) = next[k];
+            if t >= horizon {
+                break;
+            }
+            let service = rng.exponential(self.flows[class].service);
+            let start = server_free_at.max(t);
+            server_free_at = start + service;
+            busy += service;
+            let gap = rng.exponential(1.0 / self.flows[class].rate);
+            next[k] = (t + gap, class);
+        }
+        (busy / horizon).min(1.0)
+    }
+}
+
+/// An open network: a set of stations evaluated independently (jobs do
+/// not queue for each other across stations in the utilization metric).
+#[derive(Debug, Clone, Default)]
+pub struct OpenNetwork {
+    /// The stations.
+    pub stations: Vec<Station>,
+}
+
+impl OpenNetwork {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        OpenNetwork::default()
+    }
+
+    /// Adds a station.
+    pub fn station(mut self, s: Station) -> Self {
+        self.stations.push(s);
+        self
+    }
+
+    /// Per-station utilizations, by name.
+    pub fn utilizations(&self) -> BTreeMap<String, f64> {
+        self.stations
+            .iter()
+            .map(|s| (s.name.clone(), s.utilization()))
+            .collect()
+    }
+
+    /// Returns `true` if any station is saturated (ρ ≥ 1).
+    pub fn saturated(&self) -> bool {
+        self.stations.iter().any(|s| s.utilization() >= 1.0)
+    }
+
+    /// The most loaded station.
+    pub fn bottleneck(&self) -> Option<&Station> {
+        self.stations.iter().max_by(|a, b| {
+            a.utilization()
+                .partial_cmp(&b.utilization())
+                .expect("finite")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_is_rate_times_service() {
+        let s = Station::new("cpu")
+            .flow("short", 100.0, 0.002)
+            .flow("long", 10.0, 0.01);
+        assert!((s.utilization() - 0.3).abs() < 1e-12);
+        assert!((s.lambda() - 110.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm1_formulas() {
+        let s = Station::new("disk").flow("w", 50.0, 0.01); // ρ = 0.5
+        assert!((s.mean_jobs().unwrap() - 1.0).abs() < 1e-12);
+        assert!((s.response_time().unwrap() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturated_station_reports_none() {
+        let s = Station::new("disk").flow("w", 200.0, 0.01); // ρ = 2
+        assert!(s.mean_jobs().is_none());
+        assert!(s.response_time().is_none());
+        assert!(s.utilization() > 1.0);
+    }
+
+    #[test]
+    fn simulation_matches_analytic_utilization() {
+        let mut rng = DetRng::new(42);
+        for rho_target in [0.2, 0.5, 0.8] {
+            let s = Station::new("x").flow("f", 100.0, rho_target / 100.0);
+            let measured = s.simulate_utilization(2_000.0, &mut rng);
+            assert!(
+                (measured - rho_target).abs() < 0.03,
+                "target {rho_target}, measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_class_simulation_matches() {
+        let mut rng = DetRng::new(7);
+        let s = Station::new("cpu")
+            .flow("a", 40.0, 0.005)
+            .flow("b", 20.0, 0.01);
+        let analytic = s.utilization(); // 0.4
+        let measured = s.simulate_utilization(2_000.0, &mut rng);
+        assert!(
+            (measured - analytic).abs() < 0.03,
+            "{measured} vs {analytic}"
+        );
+    }
+
+    #[test]
+    fn bottleneck_and_saturation() {
+        let net = OpenNetwork::new()
+            .station(Station::new("cpu").flow("f", 10.0, 0.01))
+            .station(Station::new("disk").flow("f", 10.0, 0.2));
+        assert!(net.saturated());
+        assert_eq!(net.bottleneck().unwrap().name, "disk");
+        let u = net.utilizations();
+        assert!((u["cpu"] - 0.1).abs() < 1e-12);
+        assert!((u["disk"] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_station_is_idle() {
+        let s = Station::new("idle");
+        assert_eq!(s.utilization(), 0.0);
+        assert_eq!(s.mean_service(), 0.0);
+        let mut rng = DetRng::new(1);
+        assert_eq!(s.simulate_utilization(10.0, &mut rng), 0.0);
+    }
+}

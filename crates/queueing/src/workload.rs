@@ -1,0 +1,136 @@
+//! Workload synthesis for the Chapter 5 model.
+//!
+//! §5.1 derived its operating points "by measuring the most heavily
+//! utilized research VAX at UCB over the period of a week" and converting
+//! to a distributed equivalent: "all system calls were assumed to
+//! translate to short messages sent to servers. All I/O requests were
+//! assumed to represent long messages … estimated to be 128 and 1024
+//! bytes respectively." The raw traces are long gone, so this module
+//! synthesizes state sizes and per-process traffic with the shapes the
+//! thesis states (Figure 5.3's 4 KB–64 KB spread) and applies the same
+//! conversion rule.
+
+use publishing_sim::rng::DetRng;
+
+/// Short (system-call) message size in bytes.
+pub const SHORT_BYTES: usize = 128;
+/// Long (I/O) message size in bytes.
+pub const LONG_BYTES: usize = 1024;
+/// Checkpoint fragment size in bytes (Figure 5.1's checkpoint messages).
+pub const CHECKPOINT_BYTES: usize = 1024;
+
+/// The Figure 5.3 process state-size distribution: a right-skewed spread
+/// over 4 KB–64 KB (most UNIX processes small, a heavy tail of big ones).
+#[derive(Debug, Clone, Copy)]
+pub struct StateSizes {
+    /// Log-mean of the underlying normal (of KB).
+    pub mu: f64,
+    /// Log-sigma.
+    pub sigma: f64,
+}
+
+impl Default for StateSizes {
+    fn default() -> Self {
+        // exp(2.3) ≈ 10 KB median, long tail clipped at 64 KB.
+        StateSizes {
+            mu: 2.3,
+            sigma: 0.7,
+        }
+    }
+}
+
+impl StateSizes {
+    /// Samples one process state size in bytes, clipped to [4 KB, 64 KB].
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let kb = rng.lognormal(self.mu, self.sigma).clamp(4.0, 64.0);
+        (kb * 1024.0) as usize
+    }
+
+    /// The distribution's mean in bytes (by sampling; deterministic for a
+    /// fixed seed).
+    pub fn mean_bytes(&self, rng: &mut DetRng, samples: usize) -> f64 {
+        let total: usize = (0..samples).map(|_| self.sample(rng)).sum();
+        total as f64 / samples as f64
+    }
+
+    /// A histogram over `buckets` equal-width bins spanning 4–64 KB,
+    /// normalized to fractions — the Figure 5.3 curve.
+    pub fn histogram(&self, rng: &mut DetRng, samples: usize, buckets: usize) -> Vec<f64> {
+        let mut counts = vec![0u64; buckets];
+        for _ in 0..samples {
+            let kb = self.sample(rng) as f64 / 1024.0;
+            let idx = (((kb - 4.0) / 60.0) * buckets as f64) as usize;
+            counts[idx.min(buckets - 1)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / samples as f64).collect()
+    }
+}
+
+/// Per-process message traffic, after the syscall/IO → message
+/// conversion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessTraffic {
+    /// Short (128 B) messages per second.
+    pub short_per_sec: f64,
+    /// Long (1024 B) messages per second.
+    pub long_per_sec: f64,
+}
+
+impl ProcessTraffic {
+    /// Total published bytes per second (messages only).
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.short_per_sec * SHORT_BYTES as f64 + self.long_per_sec * LONG_BYTES as f64
+    }
+
+    /// Total messages per second.
+    pub fn msgs_per_sec(&self) -> f64 {
+        self.short_per_sec + self.long_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_sizes_in_range() {
+        let mut rng = DetRng::new(1);
+        let d = StateSizes::default();
+        for _ in 0..10_000 {
+            let s = d.sample(&mut rng);
+            assert!((4096..=65536).contains(&s));
+        }
+    }
+
+    #[test]
+    fn state_size_distribution_is_right_skewed() {
+        let mut rng = DetRng::new(2);
+        let d = StateSizes::default();
+        let h = d.histogram(&mut rng, 100_000, 12);
+        assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Mass concentrates low with a tail: the first third of buckets
+        // holds most of the distribution.
+        let head: f64 = h[..4].iter().sum();
+        let tail: f64 = h[8..].iter().sum();
+        assert!(head > 0.5, "head {head}");
+        assert!(tail > 0.01, "some large processes exist: {tail}");
+        assert!(head > tail * 3.0);
+    }
+
+    #[test]
+    fn mean_between_bounds() {
+        let mut rng = DetRng::new(3);
+        let mean = StateSizes::default().mean_bytes(&mut rng, 50_000);
+        assert!(mean > 8.0 * 1024.0 && mean < 32.0 * 1024.0, "mean {mean}");
+    }
+
+    #[test]
+    fn traffic_arithmetic() {
+        let t = ProcessTraffic {
+            short_per_sec: 10.0,
+            long_per_sec: 2.0,
+        };
+        assert!((t.bytes_per_sec() - (1280.0 + 2048.0)).abs() < 1e-9);
+        assert!((t.msgs_per_sec() - 12.0).abs() < 1e-9);
+    }
+}

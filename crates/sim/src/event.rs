@@ -1,0 +1,308 @@
+//! Deterministic event queue and scheduler.
+//!
+//! Every dynamic behaviour in the reproduction — frame delivery, protocol
+//! timers, disk completions, watchdog timeouts, injected crashes — is an
+//! event in one totally ordered queue. Determinism demands a *total* order:
+//! events at the same instant are delivered in the order they were
+//! scheduled (FIFO by a monotone sequence number), never in heap order.
+
+use crate::time::{SimDuration, SimTime};
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+/// Opaque handle identifying a scheduled event, usable to cancel it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+// The standard-library heap is a max-heap; invert the ordering so the
+// earliest (time, seq) pair pops first.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A discrete-event scheduler: a virtual clock plus a cancellable,
+/// deterministically ordered pending-event queue.
+///
+/// `E` is the world-specific event payload type. The scheduler never
+/// inspects payloads; it only orders and delivers them.
+///
+/// # Examples
+///
+/// ```
+/// use publishing_sim::event::Scheduler;
+/// use publishing_sim::time::SimDuration;
+///
+/// let mut sched: Scheduler<&str> = Scheduler::new();
+/// sched.schedule_after(SimDuration::from_millis(2), "second");
+/// sched.schedule_after(SimDuration::from_millis(1), "first");
+/// let (t1, e1) = sched.pop().unwrap();
+/// assert_eq!(e1, "first");
+/// assert_eq!(t1.as_millis_f64(), 1.0);
+/// assert_eq!(sched.pop().unwrap().1, "second");
+/// assert!(sched.pop().is_none());
+/// ```
+pub struct Scheduler<E> {
+    now: SimTime,
+    heap: BinaryHeap<Entry<E>>,
+    /// Seqs scheduled and not yet fired or cancelled.
+    live: HashSet<u64>,
+    /// Seqs cancelled but still physically present in the heap.
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    delivered: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            live: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Returns the current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Returns the number of events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Returns the number of events scheduled but not yet fired or
+    /// cancelled.
+    pub fn pending(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// `at` may equal the current time (the event fires on the next pop)
+    /// but must not precede it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current virtual time; scheduling
+    /// into the past would silently reorder causality.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: {at} < {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live.insert(seq);
+        self.heap.push(Entry { at, seq, payload });
+        EventId(seq)
+    }
+
+    /// Schedules `payload` to fire `after` from now.
+    pub fn schedule_after(&mut self, after: SimDuration, payload: E) -> EventId {
+        let at = self.now + after;
+        self.schedule_at(at, payload)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event had not yet fired (and will now never
+    /// fire), `false` if it already fired or was already cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if !self.live.remove(&id.0) {
+            return false;
+        }
+        // The entry stays in the heap as a tombstone; `pop`/`peek_time`
+        // reap it lazily.
+        self.cancelled.insert(id.0);
+        true
+    }
+
+    /// Removes and returns the next event as `(fire_time, payload)`,
+    /// advancing the clock to the fire time. Returns `None` when the queue
+    /// is empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.live.remove(&entry.seq);
+            debug_assert!(entry.at >= self.now);
+            self.now = entry.at;
+            self.delivered += 1;
+            return Some((entry.at, entry.payload));
+        }
+        None
+    }
+
+    /// Returns the fire time of the next (non-cancelled) event without
+    /// delivering it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+
+    /// Advances the clock to `at` without delivering events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the current time or if an undelivered event
+    /// is pending before `at` (skipping it would violate causality).
+    pub fn advance_to(&mut self, at: SimTime) {
+        assert!(at >= self.now, "cannot rewind the clock");
+        if let Some(next) = self.peek_time() {
+            assert!(next >= at, "cannot skip pending event at {next}");
+        }
+        self.now = at;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_among_simultaneous_events() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        let t = SimTime::from_millis(1);
+        for i in 0..100 {
+            s.schedule_at(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(s.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn time_ordering_dominates_insertion_order() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.schedule_at(SimTime::from_millis(10), "late");
+        s.schedule_at(SimTime::from_millis(5), "early");
+        assert_eq!(s.pop().unwrap().1, "early");
+        assert_eq!(s.pop().unwrap().1, "late");
+    }
+
+    #[test]
+    fn clock_advances_with_pop() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.schedule_after(SimDuration::from_micros(7), ());
+        assert_eq!(s.now(), SimTime::ZERO);
+        s.pop();
+        assert_eq!(s.now(), SimTime::from_micros(7));
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        let a = s.schedule_after(SimDuration::from_millis(1), 1);
+        let _b = s.schedule_after(SimDuration::from_millis(2), 2);
+        assert!(s.cancel(a));
+        assert_eq!(s.pop().unwrap().1, 2);
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_is_noop() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        assert!(!s.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn double_cancel_returns_false() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        let a = s.schedule_after(SimDuration::from_millis(1), 1);
+        assert!(s.cancel(a));
+        assert!(!s.cancel(a));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        let a = s.schedule_after(SimDuration::from_millis(1), 1);
+        s.schedule_after(SimDuration::from_millis(3), 2);
+        s.cancel(a);
+        assert_eq!(s.peek_time(), Some(SimTime::from_millis(3)));
+    }
+
+    #[test]
+    fn pending_excludes_cancelled() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        let a = s.schedule_after(SimDuration::from_millis(1), 1);
+        s.schedule_after(SimDuration::from_millis(2), 2);
+        assert_eq!(s.pending(), 2);
+        s.cancel(a);
+        assert_eq!(s.pending(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_past_panics() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.schedule_after(SimDuration::from_millis(5), ());
+        s.pop();
+        s.schedule_at(SimTime::from_millis(1), ());
+    }
+
+    #[test]
+    fn advance_to_moves_idle_clock() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.advance_to(SimTime::from_secs(1));
+        assert_eq!(s.now(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot skip pending event")]
+    fn advance_past_pending_event_panics() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.schedule_after(SimDuration::from_millis(1), ());
+        s.advance_to(SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn delivered_counts_only_fired_events() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        let a = s.schedule_after(SimDuration::from_millis(1), 1);
+        s.schedule_after(SimDuration::from_millis(2), 2);
+        s.cancel(a);
+        s.pop();
+        assert_eq!(s.delivered(), 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! Deterministic discrete-event simulation substrate for the PUBLISHING
+//! reproduction.
+//!
+//! This crate provides the virtual-time machinery every other crate in the
+//! workspace builds on:
+//!
+//! - [`time`]: integer-nanosecond virtual instants and durations;
+//! - [`event`]: a totally ordered, cancellable event queue with a clock;
+//! - [`rng`]: self-contained deterministic PRNG and the distributions the
+//!   evaluation workloads need;
+//! - [`codec`]: an explicit binary codec for checkpoints and wire messages;
+//! - [`stats`]: counters, summaries, histograms, and the time-weighted
+//!   utilization integrator behind Figure 5.5;
+//! - [`trace`]: a bounded trace ring whose running fingerprint doubles as
+//!   the determinism oracle in the test suite;
+//! - [`fault`]: crash schedules and message-fault probabilities.
+//!
+//! Nothing here knows about networks, kernels, or recorders; those live in
+//! `publishing-net`, `publishing-demos`, and `publishing-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod event;
+pub mod fault;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use codec::{CodecError, Decode, Decoder, Encode, Encoder};
+pub use event::{EventId, Scheduler};
+pub use fault::{Crash, CrashTarget, FaultPlan};
+pub use rng::DetRng;
+pub use stats::{Counter, LogHistogram, Summary, Utilization};
+pub use time::{SimDuration, SimTime};
+pub use trace::{Category, Trace, TraceEvent};

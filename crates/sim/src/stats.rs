@@ -1,0 +1,366 @@
+//! Measurement instruments for the evaluation: counters, histograms, and
+//! the time-weighted utilization integrator behind Figure 5.5.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A monotone event counter.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Returns the current count.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// An online summary of a stream of samples: count, mean, min, max, and
+/// variance via Welford's algorithm.
+#[derive(Debug, Default, Clone)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Records a [`SimDuration`] sample in milliseconds.
+    pub fn record_duration_ms(&mut self, d: SimDuration) {
+        self.record(d.as_millis_f64());
+    }
+
+    /// Returns the sample count.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Returns the sample mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Returns the population variance, or 0 if fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Returns the population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Returns the smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Returns the largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Returns the sum of all samples.
+    pub fn total(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+}
+
+/// A base-2 logarithmic histogram for latency-like quantities.
+///
+/// Bucket `i` counts samples in `[2^i, 2^(i+1))` (bucket 0 also catches 0).
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    buckets: [u64; 64],
+    summary: Summary,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: [0; 64],
+            summary: Summary::new(),
+        }
+    }
+
+    /// Records one non-negative integer sample.
+    pub fn record(&mut self, x: u64) {
+        let idx = if x == 0 {
+            0
+        } else {
+            63 - x.leading_zeros() as usize
+        };
+        self.buckets[idx] += 1;
+        self.summary.record(x as f64);
+    }
+
+    /// Returns the count in bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Returns the overall summary statistics.
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+
+    /// Estimates the `q`-quantile (0 ≤ q ≤ 1) from bucket boundaries.
+    ///
+    /// The estimate is the upper bound of the bucket containing the
+    /// quantile — coarse but monotone, enough for reporting tail shapes.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.summary.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = (q * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Integrates the busy time of a serially reusable resource (CPU, disk,
+/// network interface) so its utilization over a window can be reported —
+/// the quantity plotted in Figure 5.5.
+#[derive(Debug, Clone)]
+pub struct Utilization {
+    busy_since: Option<SimTime>,
+    busy_total: SimDuration,
+    window_start: SimTime,
+    busy_periods: u64,
+}
+
+impl Default for Utilization {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Utilization {
+    /// Creates an idle tracker with the window starting at t = 0.
+    pub fn new() -> Self {
+        Utilization {
+            busy_since: None,
+            busy_total: SimDuration::ZERO,
+            window_start: SimTime::ZERO,
+            busy_periods: 0,
+        }
+    }
+
+    /// Marks the resource busy starting at `now`. Idempotent while busy.
+    pub fn set_busy(&mut self, now: SimTime) {
+        if self.busy_since.is_none() {
+            self.busy_since = Some(now);
+            self.busy_periods += 1;
+        }
+    }
+
+    /// Marks the resource idle at `now`, accumulating the elapsed busy span.
+    pub fn set_idle(&mut self, now: SimTime) {
+        if let Some(since) = self.busy_since.take() {
+            self.busy_total += now.saturating_since(since);
+        }
+    }
+
+    /// Returns `true` while the resource is marked busy.
+    pub fn is_busy(&self) -> bool {
+        self.busy_since.is_some()
+    }
+
+    /// Returns the total accumulated busy time as of `now`.
+    pub fn busy_time(&self, now: SimTime) -> SimDuration {
+        match self.busy_since {
+            Some(since) => self.busy_total + now.saturating_since(since),
+            None => self.busy_total,
+        }
+    }
+
+    /// Returns the number of distinct busy periods so far.
+    pub fn busy_periods(&self) -> u64 {
+        self.busy_periods
+    }
+
+    /// Returns busy time divided by elapsed window time, in `[0, 1]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let window = now.saturating_since(self.window_start);
+        if window == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.busy_time(now) / window
+    }
+
+    /// Resets the measurement window to start at `now` (busy state is
+    /// preserved; accumulated busy time is cleared).
+    pub fn reset_window(&mut self, now: SimTime) {
+        self.busy_total = SimDuration::ZERO;
+        self.window_start = now;
+        if self.busy_since.is_some() {
+            self.busy_since = Some(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn summary_basic_moments() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert!((s.total() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_safe() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        assert_eq!(h.bucket(0), 2); // 0 and 1
+        assert_eq!(h.bucket(1), 2); // 2 and 3
+        assert_eq!(h.bucket(10), 1); // 1024
+        assert_eq!(h.summary().count(), 5);
+    }
+
+    #[test]
+    fn histogram_quantile_monotone() {
+        let mut h = LogHistogram::new();
+        for i in 0..1000u64 {
+            h.record(i);
+        }
+        assert!(h.quantile(0.5) <= h.quantile(0.9));
+        assert!(h.quantile(0.9) <= h.quantile(1.0));
+    }
+
+    #[test]
+    fn utilization_half_busy() {
+        let mut u = Utilization::new();
+        u.set_busy(SimTime::from_millis(0));
+        u.set_idle(SimTime::from_millis(5));
+        assert!((u.utilization(SimTime::from_millis(10)) - 0.5).abs() < 1e-12);
+        assert_eq!(u.busy_periods(), 1);
+    }
+
+    #[test]
+    fn utilization_counts_open_busy_interval() {
+        let mut u = Utilization::new();
+        u.set_busy(SimTime::from_millis(2));
+        // Still busy at t = 4: busy time is 2 of 4 ms.
+        assert!((u.utilization(SimTime::from_millis(4)) - 0.5).abs() < 1e-12);
+        assert!(u.is_busy());
+    }
+
+    #[test]
+    fn utilization_busy_idempotent() {
+        let mut u = Utilization::new();
+        u.set_busy(SimTime::from_millis(0));
+        u.set_busy(SimTime::from_millis(3));
+        u.set_idle(SimTime::from_millis(4));
+        assert_eq!(
+            u.busy_time(SimTime::from_millis(4)),
+            SimDuration::from_millis(4)
+        );
+        assert_eq!(u.busy_periods(), 1);
+    }
+
+    #[test]
+    fn window_reset_clears_history() {
+        let mut u = Utilization::new();
+        u.set_busy(SimTime::ZERO);
+        u.set_idle(SimTime::from_millis(10));
+        u.reset_window(SimTime::from_millis(10));
+        assert_eq!(u.utilization(SimTime::from_millis(20)), 0.0);
+    }
+
+    #[test]
+    fn zero_window_reports_zero() {
+        let u = Utilization::new();
+        assert_eq!(u.utilization(SimTime::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Model-based property test: the event scheduler against a reference
+//! implementation (a sorted map with explicit FIFO tie-breaking).
+
+use proptest::prelude::*;
+use publishing_sim::event::{EventId, Scheduler};
+use publishing_sim::time::SimTime;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Schedule at `now + delta_ns` with payload = op index.
+    Schedule(u64),
+    /// Cancel the k-th oldest still-live event (if any).
+    Cancel(usize),
+    /// Pop one event.
+    Pop,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..1_000_000).prop_map(Op::Schedule),
+        (0usize..8).prop_map(Op::Cancel),
+        Just(Op::Pop),
+        Just(Op::Pop), // bias toward popping so queues drain
+    ]
+}
+
+proptest! {
+    #[test]
+    fn scheduler_matches_reference(ops in proptest::collection::vec(arb_op(), 1..200)) {
+        let mut sched: Scheduler<usize> = Scheduler::new();
+        // Reference: (time, insertion counter) → payload.
+        let mut model: BTreeMap<(SimTime, u64), usize> = BTreeMap::new();
+        let mut live: Vec<((SimTime, u64), EventId)> = Vec::new();
+        let mut counter = 0u64;
+
+        for (i, op) in ops.into_iter().enumerate() {
+            match op {
+                Op::Schedule(delta) => {
+                    let at = SimTime::from_nanos(sched.now().as_nanos() + delta);
+                    let id = sched.schedule_at(at, i);
+                    model.insert((at, counter), i);
+                    live.push(((at, counter), id));
+                    counter += 1;
+                }
+                Op::Cancel(k) => {
+                    if !live.is_empty() {
+                        let k = k % live.len();
+                        let (key, id) = live.remove(k);
+                        prop_assert!(sched.cancel(id));
+                        model.remove(&key);
+                        // Double cancel must fail.
+                        prop_assert!(!sched.cancel(id));
+                    }
+                }
+                Op::Pop => {
+                    let expected = model.iter().next().map(|(k, v)| (*k, *v));
+                    match (expected, sched.pop()) {
+                        (None, None) => {}
+                        (Some(((at, key_ctr), payload)), Some((t, got))) => {
+                            prop_assert_eq!(t, at);
+                            prop_assert_eq!(got, payload);
+                            model.remove(&(at, key_ctr));
+                            live.retain(|(k, _)| *k != (at, key_ctr));
+                        }
+                        (e, g) => {
+                            prop_assert!(false, "model {:?} vs sched {:?}", e, g.map(|x| x.0));
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(sched.pending(), model.len());
+        }
+    }
+}

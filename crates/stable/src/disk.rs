@@ -1,0 +1,400 @@
+//! A simulated disk with the Figure 5.2 service model.
+//!
+//! Service time for an operation is a fixed positioning latency (3 ms in
+//! the paper's recorder) plus size divided by the transfer rate (2 MB/s).
+//! Operations are FCFS; the disk is a single server, so queueing delay
+//! emerges naturally under load — that queueing is what saturates first in
+//! Figure 5.5 before the 4 KB buffering fix.
+
+use publishing_sim::stats::{Counter, Summary, Utilization};
+use publishing_sim::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Disk service parameters.
+#[derive(Debug, Clone)]
+pub struct DiskParams {
+    /// Fixed per-operation positioning latency (Fig 5.2: 3 ms).
+    pub latency: SimDuration,
+    /// Sustained transfer rate in bytes per second (Fig 5.2: 2 MB/s).
+    pub bytes_per_sec: u64,
+    /// Page size in bytes (the 4 KB buffering unit of §5.1).
+    pub page_size: usize,
+}
+
+impl Default for DiskParams {
+    fn default() -> Self {
+        DiskParams {
+            latency: SimDuration::from_millis(3),
+            bytes_per_sec: 2_000_000,
+            page_size: 4096,
+        }
+    }
+}
+
+impl DiskParams {
+    /// Returns the service time for an operation moving `bytes`.
+    pub fn service_time(&self, bytes: usize) -> SimDuration {
+        let ns = (bytes as u64).saturating_mul(1_000_000_000) / self.bytes_per_sec;
+        self.latency + SimDuration::from_nanos(ns)
+    }
+}
+
+/// Identifies an outstanding disk operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IoToken(pub u64);
+
+/// A disk request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiskOp {
+    /// Write `data` to `page` (data length at most the page size).
+    Write {
+        /// Target page number.
+        page: u64,
+        /// Bytes to store.
+        data: Vec<u8>,
+    },
+    /// Read the contents of `page`.
+    Read {
+        /// Source page number.
+        page: u64,
+    },
+}
+
+/// The result handed back when an operation completes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiskResult {
+    /// A write became durable.
+    Written {
+        /// The page written.
+        page: u64,
+    },
+    /// A read finished; empty pages read as an empty vector.
+    Data {
+        /// The page read.
+        page: u64,
+        /// Its contents at read time.
+        data: Vec<u8>,
+    },
+}
+
+/// Counters and gauges a disk maintains.
+#[derive(Debug, Default, Clone)]
+pub struct DiskStats {
+    /// Completed writes.
+    pub writes: Counter,
+    /// Completed reads.
+    pub reads: Counter,
+    /// Bytes written.
+    pub bytes_written: Counter,
+    /// Bytes read.
+    pub bytes_read: Counter,
+    /// Busy-time integrator (Fig 5.5a's utilization source).
+    pub busy: Utilization,
+    /// Per-operation response time (queueing + service), milliseconds.
+    pub response_ms: Summary,
+}
+
+struct Pending {
+    op: DiskOp,
+    submitted: SimTime,
+    completes: SimTime,
+}
+
+/// A single simulated disk.
+///
+/// The driver calls [`Disk::submit`], schedules an event at the returned
+/// completion time, and then calls [`Disk::complete`].
+pub struct Disk {
+    params: DiskParams,
+    pages: HashMap<u64, Vec<u8>>,
+    pending: HashMap<IoToken, Pending>,
+    busy_until: SimTime,
+    next_token: u64,
+    stats: DiskStats,
+}
+
+impl Disk {
+    /// Creates an empty disk.
+    pub fn new(params: DiskParams) -> Self {
+        Disk {
+            params,
+            pages: HashMap::new(),
+            pending: HashMap::new(),
+            busy_until: SimTime::ZERO,
+            next_token: 0,
+            stats: DiskStats::default(),
+        }
+    }
+
+    /// Returns the service parameters.
+    pub fn params(&self) -> &DiskParams {
+        &self.params
+    }
+
+    /// Returns the disk's counters.
+    pub fn stats(&self) -> &DiskStats {
+        &self.stats
+    }
+
+    /// Returns the number of in-flight operations.
+    pub fn queue_depth(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Submits an operation at time `now`; returns the token and the time
+    /// the operation will complete (FCFS behind earlier submissions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a write exceeds the page size.
+    pub fn submit(&mut self, now: SimTime, op: DiskOp) -> (IoToken, SimTime) {
+        let bytes = match &op {
+            DiskOp::Write { data, .. } => {
+                assert!(
+                    data.len() <= self.params.page_size,
+                    "write of {} bytes exceeds page size {}",
+                    data.len(),
+                    self.params.page_size
+                );
+                data.len()
+            }
+            // Reads always move a whole page.
+            DiskOp::Read { .. } => self.params.page_size,
+        };
+        let start = now.max(self.busy_until);
+        let completes = start + self.params.service_time(bytes);
+        self.stats.busy.set_busy(start);
+        self.busy_until = completes;
+        let token = IoToken(self.next_token);
+        self.next_token += 1;
+        self.pending.insert(
+            token,
+            Pending {
+                op,
+                submitted: now,
+                completes,
+            },
+        );
+        (token, completes)
+    }
+
+    /// Completes an operation; the driver must call this exactly at (or
+    /// after) the completion time returned by [`Disk::submit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token is unknown or completion is early.
+    pub fn complete(&mut self, now: SimTime, token: IoToken) -> DiskResult {
+        let p = self.pending.remove(&token).expect("unknown disk token");
+        assert!(
+            now >= p.completes,
+            "early completion: {now} < {}",
+            p.completes
+        );
+        self.stats
+            .response_ms
+            .record(p.completes.saturating_since(p.submitted).as_millis_f64());
+        if self.pending.is_empty() && now >= self.busy_until {
+            self.stats.busy.set_idle(self.busy_until);
+        }
+        match p.op {
+            DiskOp::Write { page, data } => {
+                self.stats.writes.inc();
+                self.stats.bytes_written.add(data.len() as u64);
+                self.pages.insert(page, data);
+                DiskResult::Written { page }
+            }
+            DiskOp::Read { page } => {
+                self.stats.reads.inc();
+                let data = self.pages.get(&page).cloned().unwrap_or_default();
+                self.stats.bytes_read.add(data.len() as u64);
+                DiskResult::Data { page, data }
+            }
+        }
+    }
+
+    /// Peeks at a page's current durable contents without timing cost.
+    ///
+    /// This is the "open the disk pack in the lab" operation used by
+    /// rebuild logic and assertions, not by the simulated dataflow.
+    pub fn peek_page(&self, page: u64) -> Option<&[u8]> {
+        self.pages.get(&page).map(|v| v.as_slice())
+    }
+
+    /// Iterates all non-empty pages (for rebuild scans).
+    pub fn pages(&self) -> impl Iterator<Item = (u64, &[u8])> {
+        let mut keys: Vec<u64> = self.pages.keys().copied().collect();
+        keys.sort_unstable();
+        keys.into_iter()
+            .map(move |k| (k, self.pages[&k].as_slice()))
+    }
+
+    /// Erases everything (models replacing the pack; not used in recovery).
+    pub fn wipe(&mut self) {
+        self.pages.clear();
+    }
+
+    /// Erases one page instantly, with no service time. Used only by the
+    /// rebuild scan to scrub pages it has just decided are garbage (a
+    /// superseded checkpoint found during recovery) — the scan already
+    /// owns the disk exclusively at that point.
+    pub fn wipe_page(&mut self, page: u64) {
+        self.pages.remove(&page);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> Disk {
+        Disk::new(DiskParams::default())
+    }
+
+    #[test]
+    fn service_time_matches_paper_parameters() {
+        let p = DiskParams::default();
+        // A 4 KB transfer at 2 MB/s takes 2.048 ms, plus 3 ms latency.
+        assert_eq!(p.service_time(4096), SimDuration::from_micros(5_048));
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut d = disk();
+        let (t1, c1) = d.submit(
+            SimTime::ZERO,
+            DiskOp::Write {
+                page: 7,
+                data: vec![1, 2, 3],
+            },
+        );
+        assert_eq!(d.complete(c1, t1), DiskResult::Written { page: 7 });
+        let (t2, c2) = d.submit(c1, DiskOp::Read { page: 7 });
+        match d.complete(c2, t2) {
+            DiskResult::Data { page, data } => {
+                assert_eq!(page, 7);
+                assert_eq!(data, vec![1, 2, 3]);
+            }
+            _ => panic!("expected data"),
+        }
+    }
+
+    #[test]
+    fn fcfs_queueing_delays_later_ops() {
+        let mut d = disk();
+        let (_, c1) = d.submit(
+            SimTime::ZERO,
+            DiskOp::Write {
+                page: 0,
+                data: vec![0; 4096],
+            },
+        );
+        let (_, c2) = d.submit(
+            SimTime::ZERO,
+            DiskOp::Write {
+                page: 1,
+                data: vec![0; 4096],
+            },
+        );
+        assert_eq!(
+            c2.saturating_since(c1),
+            DiskParams::default().service_time(4096)
+        );
+    }
+
+    #[test]
+    fn idle_gap_resets_queue() {
+        let mut d = disk();
+        let (t1, c1) = d.submit(
+            SimTime::ZERO,
+            DiskOp::Write {
+                page: 0,
+                data: vec![1],
+            },
+        );
+        d.complete(c1, t1);
+        let later = c1 + SimDuration::from_secs(1);
+        let (_, c2) = d.submit(later, DiskOp::Read { page: 0 });
+        assert_eq!(
+            c2.saturating_since(later),
+            DiskParams::default().service_time(4096)
+        );
+    }
+
+    #[test]
+    fn unwritten_page_reads_empty() {
+        let mut d = disk();
+        let (t, c) = d.submit(SimTime::ZERO, DiskOp::Read { page: 99 });
+        match d.complete(c, t) {
+            DiskResult::Data { data, .. } => assert!(data.is_empty()),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn utilization_reflects_busy_time() {
+        let mut d = disk();
+        let (t, c) = d.submit(
+            SimTime::ZERO,
+            DiskOp::Write {
+                page: 0,
+                data: vec![0; 4096],
+            },
+        );
+        d.complete(c, t);
+        // Busy for the whole service time; measure over twice that window.
+        let window = SimTime::ZERO + DiskParams::default().service_time(4096).saturating_mul(2);
+        let u = d.stats().busy.utilization(window);
+        assert!((u - 0.5).abs() < 1e-9, "utilization {u}");
+    }
+
+    #[test]
+    fn response_time_includes_queueing() {
+        let mut d = disk();
+        let (t1, c1) = d.submit(
+            SimTime::ZERO,
+            DiskOp::Write {
+                page: 0,
+                data: vec![0; 4096],
+            },
+        );
+        let (t2, c2) = d.submit(
+            SimTime::ZERO,
+            DiskOp::Write {
+                page: 1,
+                data: vec![0; 4096],
+            },
+        );
+        d.complete(c1, t1);
+        d.complete(c2, t2);
+        let s = &d.stats().response_ms;
+        assert_eq!(s.count(), 2);
+        assert!(s.max().unwrap() > s.min().unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds page size")]
+    fn oversized_write_rejected() {
+        disk().submit(
+            SimTime::ZERO,
+            DiskOp::Write {
+                page: 0,
+                data: vec![0; 5000],
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "early completion")]
+    fn early_completion_rejected() {
+        let mut d = disk();
+        let (t, _c) = d.submit(
+            SimTime::ZERO,
+            DiskOp::Write {
+                page: 0,
+                data: vec![1],
+            },
+        );
+        d.complete(SimTime::ZERO, t);
+    }
+}

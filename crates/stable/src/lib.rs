@@ -1,0 +1,25 @@
+//! Stable storage for the PUBLISHING recorder.
+//!
+//! §3.1 requires "a reliable recorder \[that\] saves, or publishes, in
+//! stable storage all process checkpoints and all messages sent to
+//! processes." This crate is that storage substrate:
+//!
+//! - [`disk`]: a simulated disk with the Figure 5.2 service model (3 ms
+//!   positioning latency, 2 MB/s transfer);
+//! - [`store`]: the page-buffered message log and checkpoint store,
+//!   including the 4 KB write batching of §5.1, page compaction of §4.5,
+//!   and the index rebuild used by recorder recovery (§3.3.4);
+//! - [`tmr`]: triple modular redundancy voting and the reliability
+//!   arithmetic behind making the recorder "a much lower probability
+//!   event than other parts of the system failing".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod disk;
+pub mod store;
+pub mod tmr;
+
+pub use disk::{Disk, DiskOp, DiskParams, DiskResult, DiskStats, IoToken};
+pub use store::{Checkpoint, MsgRecord, RecordKey, StableStore, StoreEvent, StoreIo, StoreStats};
+pub use tmr::{tmr_mtbf_hours, tmr_reliability, vote, TmrComponent, VoteOutcome};

@@ -1,0 +1,118 @@
+//! Model-based property tests for the stable store: random
+//! append/flush/checkpoint/compact/purge sequences, checked against a
+//! simple reference map, including full index rebuilds (the recorder-
+//! crash path) at arbitrary points.
+
+use proptest::prelude::*;
+use publishing_sim::time::SimTime;
+use publishing_stable::disk::DiskParams;
+use publishing_stable::store::{Checkpoint, RecordKey, StableStore, StoreIo};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Append { pid: u64, payload_len: usize },
+    Flush,
+    Checkpoint { pid: u64, consume: u64 },
+    Compact,
+    Purge { pid: u64 },
+    Rebuild,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (1u64..4, 1usize..300).prop_map(|(pid, payload_len)| Op::Append { pid, payload_len }),
+        1 => Just(Op::Flush),
+        1 => (1u64..4, 0u64..6).prop_map(|(pid, consume)| Op::Checkpoint { pid, consume }),
+        1 => Just(Op::Compact),
+        1 => (1u64..4).prop_map(|pid| Op::Purge { pid }),
+        1 => Just(Op::Rebuild),
+    ]
+}
+
+/// Drains all outstanding IO, including follow-up erases the store
+/// starts while completing other IO.
+fn drain(store: &mut StableStore, ios: Vec<StoreIo>) {
+    let mut queue = ios;
+    while let Some(io) = queue.pop() {
+        for ev in store.on_disk_complete(io.at, io) {
+            if let publishing_stable::store::StoreEvent::FollowUpIo(next) = ev {
+                queue.push(next);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn store_matches_reference(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let mut store = StableStore::new(DiskParams::default(), 2);
+        // Reference: pid → (next_seq, floor, map seq → payload).
+        let mut next_seq: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut floor: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut data: BTreeMap<u64, BTreeMap<u64, Vec<u8>>> = BTreeMap::new();
+        for (i, op) in ops.into_iter().enumerate() {
+            let now = SimTime::from_millis((i as u64 + 1) * 100);
+            match op {
+                Op::Append { pid, payload_len } => {
+                    let seq = *next_seq.get(&pid).unwrap_or(&0);
+                    next_seq.insert(pid, seq + 1);
+                    let payload = vec![(seq % 251) as u8; payload_len];
+                    data.entry(pid).or_default().insert(seq, payload.clone());
+                    let ios = store.append_message(now, RecordKey { pid, seq }, payload);
+                    drain(&mut store, ios);
+                }
+                Op::Flush => {
+                    let ios = store.flush(now);
+                    drain(&mut store, ios);
+                }
+                Op::Checkpoint { pid, consume } => {
+                    let lo = *floor.get(&pid).unwrap_or(&0);
+                    let hi = (*next_seq.get(&pid).unwrap_or(&0)).min(lo + consume);
+                    floor.insert(pid, hi);
+                    if let Some(map) = data.get_mut(&pid) {
+                        map.retain(|&s, _| s >= hi);
+                    }
+                    let cp = Checkpoint { pid, upto_seq: hi, blob: vec![pid as u8; 64] };
+                    let ios = store.write_checkpoint(now, cp);
+                    drain(&mut store, ios);
+                }
+                Op::Compact => {
+                    let ios = store.compact_one(now);
+                    drain(&mut store, ios);
+                }
+                Op::Purge { pid } => {
+                    data.remove(&pid);
+                    next_seq.remove(&pid);
+                    floor.remove(&pid);
+                    let ios = store.purge_process(now, pid);
+                    drain(&mut store, ios);
+                }
+                Op::Rebuild => {
+                    store.rebuild_index();
+                }
+            }
+            // Invariant: surviving messages per pid match the reference.
+            for pid in 1u64..4 {
+                let expect: Vec<(u64, Vec<u8>)> = data
+                    .get(&pid)
+                    .map(|m| m.iter().map(|(s, p)| (*s, p.clone())).collect())
+                    .unwrap_or_default();
+                let got: Vec<(u64, Vec<u8>)> = store
+                    .messages_from(pid, 0)
+                    .into_iter()
+                    .map(|r| (r.key.seq, r.payload))
+                    .collect();
+                prop_assert_eq!(&got, &expect, "pid {} after op {}", pid, i);
+            }
+        }
+
+        // Final rebuild must preserve everything once more.
+        let before: Vec<_> = (1u64..4).map(|p| store.messages_from(p, 0)).collect();
+        store.rebuild_index();
+        let after: Vec<_> = (1u64..4).map(|p| store.messages_from(p, 0)).collect();
+        prop_assert_eq!(before, after);
+    }
+}

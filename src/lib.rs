@@ -1,0 +1,63 @@
+//! # publishing — a reproduction of *PUBLISHING: A Reliable Broadcast
+//! Communication Mechanism* (Presotto, 1983)
+//!
+//! Published communications makes recovery in a message-based distributed
+//! system *transparent*: a passive recorder on the broadcast network
+//! stores every message sent to every process (plus periodic
+//! checkpoints), and a crashed process is rebuilt — without disturbing
+//! anyone else — by restarting it from a checkpoint and replaying its
+//! published messages in the original order, suppressing the messages it
+//! re-sends along the way.
+//!
+//! ## Crates
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`sim`] | deterministic discrete-event substrate: virtual time, event queue, PRNG, codec, stats, fault plans |
+//! | [`net`] | broadcast LAN models: perfect bus, CSMA/CD + Acknowledging Ethernet, token ring, star hub |
+//! | [`stable`] | recorder storage: simulated disks, page-buffered message log, checkpoint store, TMR |
+//! | [`demos`] | the DEMOS/MP kernel: links, channels, messages, transport, process control |
+//! | [`core`] | the contribution: recorder, recovery manager, checkpoint policies, worlds, extensions |
+//! | [`queueing`] | the Chapter 5 open queuing model of the recorder |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use publishing::core::world::WorldBuilder;
+//! use publishing::demos::ids::Channel;
+//! use publishing::demos::link::Link;
+//! use publishing::demos::programs::{self, PingClient};
+//! use publishing::demos::registry::ProgramRegistry;
+//! use publishing::sim::time::SimTime;
+//!
+//! // Two processing nodes plus a recorder on a perfect broadcast bus.
+//! let mut reg = ProgramRegistry::new();
+//! programs::register_standard(&mut reg);
+//! reg.register("ping", || Box::new(PingClient::new(5)));
+//! let mut world = WorldBuilder::new(2).registry(reg).build();
+//!
+//! // An echo server on node 1, a client on node 0.
+//! let server = world.spawn(1, "echo", vec![]).unwrap();
+//! let client = world
+//!     .spawn(0, "ping", vec![Link::to(server, Channel::DEFAULT, 7)])
+//!     .unwrap();
+//!
+//! // Crash the server mid-run; recovery is transparent.
+//! world.run_until(SimTime::from_millis(20));
+//! world.crash_process(server, "cosmic ray");
+//! world.run_until(SimTime::from_secs(10));
+//!
+//! let out = world.outputs_of(client);
+//! assert_eq!(out.last().unwrap(), "done");
+//! assert_eq!(out.len(), 6); // 5 pongs + done, exactly once each
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use publishing_core as core;
+pub use publishing_demos as demos;
+pub use publishing_net as net;
+pub use publishing_queueing as queueing;
+pub use publishing_sim as sim;
+pub use publishing_stable as stable;
