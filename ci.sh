@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full CI gate, identical to .github/workflows/ci.yml. Run before merging.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (tier-1: root package)"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI green."

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use publishing_bench::scenarios;
 use publishing_core::node_recovery::{run_workload, NodeUnit};
-use publishing_queueing::{figure_5_5, max_users, SystemConfig};
+use publishing_queueing::{figure_5_5, max_users, ShardedTier, SystemConfig};
 use publishing_sim::rng::DetRng;
 use publishing_sim::time::SimTime;
 use std::hint::black_box;
@@ -142,6 +142,48 @@ fn bench_substrate(c: &mut Criterion) {
     g.finish();
 }
 
+/// Sweeps the sharded recorder tier from 1 to 8 shards: the queueing-
+/// model capacity probe and a full `ShardedWorld` ping workload (router,
+/// capture sets, and ack gating all on the hot path).
+fn bench_shard_sweep(c: &mut Criterion) {
+    use publishing_demos::ids::Channel;
+    use publishing_demos::link::Link;
+    use publishing_demos::programs::{self, PingClient};
+    use publishing_demos::registry::ProgramRegistry;
+    use publishing_shard::ShardedWorld;
+
+    let mut g = c.benchmark_group("shard_sweep");
+    g.sample_size(10);
+    for shards in 1..=8u32 {
+        g.bench_with_input(
+            BenchmarkId::new("tier_capacity", shards),
+            &shards,
+            |b, &n| {
+                b.iter(|| black_box(publishing_queueing::tier_max_users(&ShardedTier::new(n, 2))));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("sharded_world_ping", shards),
+            &shards,
+            |b, &n| {
+                b.iter(|| {
+                    let mut reg = ProgramRegistry::new();
+                    programs::register_standard(&mut reg);
+                    reg.register("ping25", || Box::new(PingClient::new(25)));
+                    let mut w = ShardedWorld::new(2, n as usize, reg);
+                    let server = w.spawn(1, "echo", vec![]).unwrap();
+                    let client = w
+                        .spawn(0, "ping25", vec![Link::to(server, Channel::DEFAULT, 7)])
+                        .unwrap();
+                    w.run_until(SimTime::from_secs(5));
+                    black_box(w.outputs_of(client).len())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_fig5_7_per_message,
@@ -153,5 +195,6 @@ criterion_group!(
     bench_baselines,
     bench_node_unit,
     bench_substrate,
+    bench_shard_sweep,
 );
 criterion_main!(benches);

@@ -2,7 +2,8 @@
 //!
 //! Usage: `paper_tables [section ...]` — with no arguments, prints all of
 //! them. Section names: fig2_1, fig3_1, young, fig5_1, fig5_2, fig5_3,
-//! fig5_4, fig5_5, capacity, fig5_7, fig5_8, publish_cost, fig6_2,
+//! fig5_4, fig5_5, capacity, shard_capacity, fig5_7, fig5_8,
+//! publish_cost, fig6_2,
 //! fig6_4, baselines, recovery_time, windowing, node_unit.
 
 use publishing_bench::scenarios;
@@ -10,7 +11,9 @@ use publishing_core::baseline::{recovery_line_rule1, History};
 use publishing_core::checkpoint::{young_interval, young_overhead};
 use publishing_core::recorder::PublishCost;
 use publishing_core::recovery_time::{LoadParams, RecoveryEstimator};
-use publishing_queueing::{figure_5_5, max_users, operating_points, StateSizes, SystemConfig};
+use publishing_queueing::{
+    figure_5_5, max_users, operating_points, shard_capacity_curve, StateSizes, SystemConfig,
+};
 use publishing_sim::rng::DetRng;
 use publishing_sim::time::{SimDuration, SimTime};
 
@@ -199,6 +202,29 @@ fn main() {
         let more =
             publishing_queueing::max_users_with_unrecoverable(&SystemConfig::default(), 0.15);
         println!("with 15% of traffic unrecoverable (§6.6.1):                          {more}");
+    }
+
+    if section(
+        "shard_capacity",
+        "User capacity vs recorder shard count (sharded tier)",
+        &wanted,
+    ) {
+        let r1 = shard_capacity_curve(8, 1);
+        let r2 = shard_capacity_curve(8, 2);
+        println!("(mean operating point; tier = max users before any shard NIC/CPU/disk");
+        println!(" saturates; medium = the shared wire's own limit; effective = min)");
+        println!(
+            "{:>6} {:>12} {:>12} {:>12} {:>12}",
+            "shards", "tier (R=1)", "tier (R=2)", "medium", "effective"
+        );
+        for (a, b) in r1.iter().zip(&r2) {
+            println!(
+                "{:>6} {:>12} {:>12} {:>12} {:>12}",
+                a.shards, a.tier_users, b.tier_users, b.medium_users, b.effective_users
+            );
+        }
+        println!("\ntier capacity grows with every shard added; the unsharded broadcast");
+        println!("medium becomes the binding resource once the tier outgrows the wire.");
     }
 
     if section(

@@ -15,7 +15,7 @@
 //! timer callbacks plus read access to the [`Recorder`] database, and
 //! emits [`MgrCmd`]s the recorder node executes.
 
-use crate::recorder::Recorder;
+use crate::recorder::{PidFilter, Recorder};
 use publishing_demos::ids::{NodeId, ProcessId};
 use publishing_demos::kernel::encode_ctl;
 use publishing_demos::protocol::{self, codes, ReportedState};
@@ -144,6 +144,11 @@ pub struct RecoveryManager {
     timers: HashMap<u64, TimerKind>,
     next_token: u64,
     next_nonce: u64,
+    /// When set, only processes the filter accepts are recovered here.
+    /// A sharded tier sets "pid is my shard's responsibility" so exactly
+    /// one live shard drives each process's recovery even though crash
+    /// notices are broadcast to every recorder.
+    recovery_filter: Option<PidFilter>,
     stats: ManagerStats,
 }
 
@@ -157,8 +162,14 @@ impl RecoveryManager {
             timers: HashMap::new(),
             next_token: 0,
             next_nonce: 0,
+            recovery_filter: None,
             stats: ManagerStats::default(),
         }
+    }
+
+    /// Installs (or clears) the recovery-responsibility filter.
+    pub fn set_recovery_filter(&mut self, filter: Option<PidFilter>) {
+        self.recovery_filter = filter;
     }
 
     /// Returns the manager's counters.
@@ -267,6 +278,21 @@ impl RecoveryManager {
         node: NodeId,
         incarnation: u32,
     ) -> Vec<MgrCmd> {
+        self.on_node_restarted_with(now, recorder, node, incarnation, true)
+    }
+
+    /// [`RecoveryManager::on_node_restarted`] with an explicit `announce`
+    /// flag. A sharded tier elects one leader shard to broadcast the
+    /// NODE_RESTARTED notice; the others pass `announce = false` and only
+    /// re-arm their watchdog plus recover the processes they own.
+    pub fn on_node_restarted_with(
+        &mut self,
+        now: SimTime,
+        recorder: &mut Recorder,
+        node: NodeId,
+        incarnation: u32,
+        announce: bool,
+    ) -> Vec<MgrCmd> {
         let mut out = Vec::new();
         let Some(w) = self.nodes.get_mut(&node) else {
             return out;
@@ -274,14 +300,16 @@ impl RecoveryManager {
         w.state = NodeState::Up;
         w.outstanding = None;
         w.incarnation = incarnation;
-        let restarted = protocol::NodeRestarted { node, incarnation };
-        let body = encode_ctl(codes::NODE_RESTARTED, &restarted);
-        let peers: Vec<NodeId> = self.nodes.keys().copied().filter(|&n| n != node).collect();
-        for peer in peers {
-            out.push(MgrCmd::SendKernel {
-                node: peer,
-                body: body.clone(),
-            });
+        if announce {
+            let restarted = protocol::NodeRestarted { node, incarnation };
+            let body = encode_ctl(codes::NODE_RESTARTED, &restarted);
+            let peers: Vec<NodeId> = self.nodes.keys().copied().filter(|&n| n != node).collect();
+            for peer in peers {
+                out.push(MgrCmd::SendKernel {
+                    node: peer,
+                    body: body.clone(),
+                });
+            }
         }
         // Any recovery jobs that were talking to the node's previous
         // incarnation died with it; forget them so fresh jobs can start.
@@ -301,6 +329,15 @@ impl RecoveryManager {
         pid: ProcessId,
     ) -> Vec<MgrCmd> {
         let mut out = Vec::new();
+        if !self
+            .recovery_filter
+            .as_ref()
+            .map(|f| f(pid))
+            .unwrap_or(true)
+        {
+            // Another shard's responsibility; its manager will handle it.
+            return out;
+        }
         if self.jobs.contains_key(&pid) {
             // A recovery is already in flight; a second trigger (e.g. a
             // state-query reply racing a retransmitted crash notice) must
@@ -512,6 +549,34 @@ impl RecoveryManager {
         out
     }
 
+    /// Queries the state of specific processes without disturbing
+    /// in-flight jobs or watchdogs — the targeted variant of
+    /// [`RecoveryManager::on_recorder_restart`]. A shard that inherits
+    /// responsibility for processes mid-flight (its predecessor died)
+    /// uses this to learn which of them need recovery: a Crashed,
+    /// Unknown, or Recovering reply triggers [`Self::start_recovery`],
+    /// which is safe mid-replay because RECREATE destroys the half-built
+    /// process and starts clean.
+    pub fn query_states(
+        &mut self,
+        _now: SimTime,
+        recorder: &Recorder,
+        pids: &[ProcessId],
+    ) -> Vec<MgrCmd> {
+        let mut out = Vec::new();
+        for &pid in pids {
+            let q = protocol::StateQuery {
+                pid,
+                restart_number: recorder.restart_number(),
+            };
+            out.push(MgrCmd::SendKernel {
+                node: pid.node,
+                body: encode_ctl(codes::STATE_QUERY, &q),
+            });
+        }
+        out
+    }
+
     /// Handles a STATE_REPLY during recorder restart (§3.3.4's four
     /// cases; stale restart numbers are ignored per §3.4).
     pub fn on_state_reply(
@@ -713,6 +778,49 @@ mod tests {
         let cmds = m.on_crash_notice(SimTime::ZERO, &mut r, pid);
         assert!(cmds.iter().any(|c| matches!(c, MgrCmd::SendKernel { .. })));
         assert_eq!(m.stats().recursive.get(), 1);
+    }
+
+    #[test]
+    fn recovery_filter_defers_to_responsible_shard() {
+        let mut m = RecoveryManager::new(ManagerConfig::default());
+        let mut r = recorder();
+        let pid = setup_process(&mut r);
+        m.set_recovery_filter(Some(std::sync::Arc::new(|_| false)));
+        let cmds = m.start_recovery(SimTime::ZERO, &mut r, pid);
+        assert!(cmds.is_empty());
+        assert!(!m.busy());
+        m.set_recovery_filter(None);
+        let cmds = m.start_recovery(SimTime::ZERO, &mut r, pid);
+        assert!(!cmds.is_empty());
+    }
+
+    #[test]
+    fn query_states_targets_only_requested_pids() {
+        let mut m = RecoveryManager::new(ManagerConfig::default());
+        let mut r = recorder();
+        let pid = setup_process(&mut r);
+        let other = ProcessId::new(3, 1);
+        let cmds = m.query_states(SimTime::ZERO, &r, &[pid, other]);
+        assert_eq!(cmds.len(), 2);
+        assert!(cmds.iter().all(|c| matches!(c, MgrCmd::SendKernel { .. })));
+        assert!(!m.busy(), "queries alone start no jobs");
+    }
+
+    #[test]
+    fn quiet_node_restart_skips_announcement() {
+        let mut m = RecoveryManager::new(ManagerConfig::default());
+        let mut r = recorder();
+        let pid = setup_process(&mut r);
+        m.watch_node(SimTime::ZERO, pid.node);
+        m.watch_node(SimTime::ZERO, NodeId(7));
+        let cmds = m.on_node_restarted_with(SimTime::ZERO, &mut r, pid.node, 1, false);
+        // Recovery of the node's process starts, but no NODE_RESTARTED
+        // broadcast goes to node 7: the only kernel send is the RECREATE
+        // to the restarted node itself.
+        assert!(m.busy());
+        assert!(cmds
+            .iter()
+            .all(|c| matches!(c, MgrCmd::SendKernel { node, .. } if *node == pid.node)));
     }
 
     #[test]

@@ -413,15 +413,82 @@ impl RecorderNode {
         node: NodeId,
         incarnation: u32,
     ) -> Vec<RNAction> {
+        self.confirm_node_restarted_with(now, node, incarnation, true)
+    }
+
+    /// [`RecorderNode::confirm_node_restarted`] with an explicit
+    /// `announce` flag: in a sharded tier only the leader shard
+    /// broadcasts NODE_RESTARTED; the rest pass `false` so they reset
+    /// their transport and recover their owned processes without
+    /// duplicating the announcement.
+    pub fn confirm_node_restarted_with(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        incarnation: u32,
+        announce: bool,
+    ) -> Vec<RNAction> {
         let mut out = Vec::new();
         // Reset our own numbering toward the restarted node before any
         // recovery traffic is queued.
         let actions = self.transport.reset_peer(now, node, incarnation);
         self.apply_transport(now, actions, &mut out);
-        let cmds = self
-            .manager
-            .on_node_restarted(now, &mut self.recorder, node, incarnation);
+        let cmds = self.manager.on_node_restarted_with(
+            now,
+            &mut self.recorder,
+            node,
+            incarnation,
+            announce,
+        );
         self.apply_cmds(now, cmds, &mut out);
+        out
+    }
+
+    /// Installs the shard ownership filter on the recorder and the
+    /// matching recovery-responsibility filter on the manager.
+    pub fn set_shard_filters(
+        &mut self,
+        owner: Option<crate::recorder::PidFilter>,
+        responsible: Option<crate::recorder::PidFilter>,
+    ) {
+        self.recorder.set_ownership_filter(owner);
+        self.manager.set_recovery_filter(responsible);
+    }
+
+    /// Issues targeted STATE_QUERYs for `pids` (shard failover: the
+    /// inheriting shard asks which of the dead shard's processes need
+    /// recovery).
+    pub fn query_process_states(&mut self, now: SimTime, pids: &[ProcessId]) -> Vec<RNAction> {
+        let mut out = Vec::new();
+        let cmds = self.manager.query_states(now, &self.recorder, pids);
+        self.apply_cmds(now, cmds, &mut out);
+        out
+    }
+
+    /// Snapshots one owned process for handoff to another shard.
+    pub fn export_process(&self, pid: ProcessId) -> Option<crate::recorder::ProcessExport> {
+        self.recorder.export_process(pid)
+    }
+
+    /// Imports a process handed off from another shard and schedules the
+    /// resulting store IO.
+    pub fn import_process(
+        &mut self,
+        now: SimTime,
+        export: crate::recorder::ProcessExport,
+    ) -> Vec<RNAction> {
+        let mut out = Vec::new();
+        let ios = self.recorder.import_process(now, export);
+        self.schedule_ios(ios, &mut out);
+        out
+    }
+
+    /// Drops one process from this shard after a successful handoff.
+    pub fn release_process(&mut self, now: SimTime, pid: ProcessId) -> Vec<RNAction> {
+        let mut out = Vec::new();
+        let ios = self.recorder.on_destroyed(now, pid);
+        self.schedule_ios(ios, &mut out);
+        self.checkpoint_requested.remove(&pid);
         out
     }
 

@@ -189,6 +189,47 @@ struct PendingDeposit {
     pages: u64,
 }
 
+/// A predicate over process ids: which destinations this recorder is
+/// responsible for. A sharded recorder tier installs one per shard so
+/// each recorder tracks only the processes its shard owns.
+pub type PidFilter = std::sync::Arc<dyn Fn(ProcessId) -> bool + Send + Sync>;
+
+/// A portable snapshot of one process's published state — the latest
+/// durable checkpoint plus every surviving log record and the database
+/// entry that summarizes them. Produced by [`Recorder::export_process`]
+/// during shard rebalancing and consumed by [`Recorder::import_process`]
+/// on the destination shard.
+#[derive(Debug, Clone)]
+pub struct ProcessExport {
+    /// The process being handed off.
+    pub pid: ProcessId,
+    /// Latest durable checkpoint (pid, floor, metadata blob).
+    pub checkpoint: Option<Checkpoint>,
+    /// Surviving log records in seq order.
+    pub records: Vec<(RecordKey, Vec<u8>)>,
+    /// Captured-but-unacknowledged messages for the process, in capture
+    /// order (the battery-backed buffer's slice for this destination).
+    pub pending: Vec<Message>,
+    /// Unconsumed arrivals: (arrival seq, id).
+    pub arrivals: Vec<(u64, MessageId)>,
+    /// Read-order pins at absolute read indices.
+    pub pins: Vec<(u64, MessageId)>,
+    /// read_count at the latest durable checkpoint.
+    pub read_floor: u64,
+    /// Next arrival sequence to assign.
+    pub next_arrival_seq: u64,
+    /// §4.7 resend-suppression watermarks.
+    pub last_sent: Vec<(ProcessId, u64)>,
+    /// Whether the process participates in recovery at all.
+    pub recoverable: bool,
+    /// Binary image name.
+    pub program_name: String,
+    /// Creation-time links.
+    pub initial_links: Vec<publishing_demos::link::Link>,
+    /// Latest durable kernel image.
+    pub checkpoint_image: Option<Vec<u8>>,
+}
+
 /// The passive recorder: capture pipeline, process database, and stable
 /// store.
 pub struct Recorder {
@@ -209,6 +250,9 @@ pub struct Recorder {
     drained_ios: Vec<StoreIo>,
     restart_number: u64,
     publish_cost: PublishCost,
+    /// When set, the recorder only tracks processes the filter accepts
+    /// (a shard's slice of the destination space). `None` = track all.
+    owner: Option<PidFilter>,
     stats: RecorderStats,
 }
 
@@ -227,8 +271,20 @@ impl Recorder {
             drained_ios: Vec::new(),
             restart_number: 0,
             publish_cost,
+            owner: None,
             stats: RecorderStats::default(),
         }
+    }
+
+    /// Installs (or clears) the ownership filter. A sharded tier sets
+    /// this to "pid is in my shard's capture set"; the recorder then
+    /// ignores traffic, notices, and deposits for other shards' processes.
+    pub fn set_ownership_filter(&mut self, owner: Option<PidFilter>) {
+        self.owner = owner;
+    }
+
+    fn owns(&self, pid: ProcessId) -> bool {
+        self.owner.as_ref().map(|f| f(pid)).unwrap_or(true)
     }
 
     /// Returns the recorder's node id.
@@ -275,7 +331,7 @@ impl Recorder {
     /// Captures a process-destined data message seen on the wire.
     pub fn on_data(&mut self, _now: SimTime, msg: &Message) {
         let id = msg.header.id;
-        if msg.header.to.is_kernel() {
+        if msg.header.to.is_kernel() || !self.owns(msg.header.to) {
             return;
         }
         if let Some(e) = self.db.get(&msg.header.to) {
@@ -298,7 +354,7 @@ impl Recorder {
     /// Handles an observed destination acknowledgement: assigns the
     /// message its arrival sequence and publishes it.
     pub fn on_ack(&mut self, now: SimTime, msg_id: MessageId, dst_pid: ProcessId) -> Vec<StoreIo> {
-        if dst_pid.is_kernel() {
+        if dst_pid.is_kernel() || !self.owns(dst_pid) {
             return Vec::new();
         }
         if self.sequenced.contains(&msg_id) {
@@ -331,8 +387,11 @@ impl Recorder {
         entry.estimator.on_message(len);
         entry.bytes_since_checkpoint += len as u64;
         // Track the sender's delivered watermark toward this destination.
+        // Under sharding the sender may belong to another shard; skip it
+        // rather than grow an entry we don't own. Under-suppression is the
+        // safe direction: receivers deduplicate resent messages.
         let sender = msg_id.sender;
-        if !sender.is_kernel() {
+        if !sender.is_kernel() && self.owns(sender) {
             let se = self
                 .db
                 .entry(sender)
@@ -361,6 +420,9 @@ impl Recorder {
         initial_links: Vec<publishing_demos::link::Link>,
         recoverable: bool,
     ) -> Vec<StoreIo> {
+        if !self.owns(pid) {
+            return Vec::new();
+        }
         let entry = self
             .db
             .entry(pid)
@@ -408,12 +470,102 @@ impl Recorder {
                 self.sequenced.remove(id);
             }
         }
+        // Drop not-yet-acknowledged captures for the process too.
+        let stale: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, m)| m.header.to == pid)
+            .map(|(&cap, _)| cap)
+            .collect();
+        for cap in stale {
+            if let Some(m) = self.pending.remove(&cap) {
+                self.pending_ids.remove(&m.header.id);
+            }
+        }
         self.pending_deposits.remove(&pid);
         self.store.purge_process(now, pid.as_u64())
     }
 
+    /// Snapshots one process's published state for a shard handoff:
+    /// the latest durable checkpoint, every surviving log record, and the
+    /// database entry. Read-only; pair with [`Recorder::on_destroyed`] on
+    /// the source once the destination has imported.
+    pub fn export_process(&self, pid: ProcessId) -> Option<ProcessExport> {
+        let entry = self.db.get(&pid)?;
+        let packed = pid.as_u64();
+        let records = self
+            .store
+            .messages_from(packed, 0)
+            .into_iter()
+            .map(|rec| (rec.key, rec.payload.clone()))
+            .collect();
+        let pending = self
+            .pending
+            .values()
+            .filter(|m| m.header.to == pid)
+            .cloned()
+            .collect();
+        Some(ProcessExport {
+            pid,
+            checkpoint: self.store.latest_checkpoint(packed).cloned(),
+            records,
+            pending,
+            arrivals: entry.arrivals.clone(),
+            pins: entry.pins.iter().map(|(i, id)| (*i, *id)).collect(),
+            read_floor: entry.read_floor,
+            next_arrival_seq: entry.next_arrival_seq,
+            last_sent: entry.last_sent.iter().map(|(d, s)| (*d, *s)).collect(),
+            recoverable: entry.recoverable,
+            program_name: entry.program_name.clone(),
+            initial_links: entry.initial_links.clone(),
+            checkpoint_image: entry.checkpoint_image.clone(),
+        })
+    }
+
+    /// Installs an exported process on this recorder: replays the
+    /// checkpoint and log records into the stable store and rebuilds the
+    /// database entry. The caller must schedule the returned IO
+    /// completions (and this shard's ownership filter must already accept
+    /// the process, or subsequent traffic for it will be dropped).
+    pub fn import_process(&mut self, now: SimTime, export: ProcessExport) -> Vec<StoreIo> {
+        let mut ios = Vec::new();
+        if let Some(cp) = export.checkpoint.clone() {
+            ios.extend(self.store.write_checkpoint(now, cp));
+        }
+        for (key, payload) in &export.records {
+            ios.extend(self.store.append_message(now, *key, payload.clone()));
+        }
+        let mut entry = ProcessEntry::new(now, export.pid, export.program_name.clone());
+        entry.initial_links = export.initial_links;
+        entry.arrivals = export.arrivals;
+        entry.pins = export.pins.into_iter().collect();
+        entry.read_floor = export.read_floor;
+        entry.next_arrival_seq = export.next_arrival_seq;
+        entry.last_sent = export.last_sent.into_iter().collect();
+        entry.recoverable = export.recoverable;
+        entry.checkpoint_image = export.checkpoint_image;
+        for (_, id) in &entry.arrivals {
+            self.sequenced.insert(*id);
+        }
+        self.db.insert(export.pid, entry);
+        for msg in export.pending {
+            let id = msg.header.id;
+            if self.sequenced.contains(&id) || self.pending_ids.contains_key(&id) {
+                continue;
+            }
+            let cap = self.next_capture;
+            self.next_capture += 1;
+            self.pending.insert(cap, msg);
+            self.pending_ids.insert(id, cap);
+        }
+        ios
+    }
+
     /// Applies a §4.4.2 read-order notice.
     pub fn on_read_order(&mut self, now: SimTime, n: &ReadOrderNotice) {
+        if !self.owns(n.pid) {
+            return;
+        }
         let entry = self
             .db
             .entry(n.pid)
@@ -424,6 +576,9 @@ impl Recorder {
 
     /// Handles a checkpoint deposit from a node kernel.
     pub fn on_deposit(&mut self, now: SimTime, d: &CheckpointDeposit) -> Vec<StoreIo> {
+        if !self.owns(d.pid) {
+            return Vec::new();
+        }
         let Some(entry) = self.db.get_mut(&d.pid) else {
             return Vec::new();
         };
@@ -992,6 +1147,85 @@ mod tests {
         assert!(r.replay_stream(pid(2, 1)).is_empty());
         let pids = r.restart(SimTime::from_millis(1));
         assert!(!pids.contains(&pid(2, 1)), "purged from disk too");
+    }
+
+    #[test]
+    fn ownership_filter_ignores_other_shards_traffic() {
+        let mut r = recorder();
+        let t = SimTime::ZERO;
+        // Own only processes with odd local ids.
+        r.set_ownership_filter(Some(std::sync::Arc::new(|p: ProcessId| p.local % 2 == 1)));
+        let ios = r.on_created(t, pid(2, 1), "mine", vec![], true);
+        drain(&mut r, ios);
+        let ios = r.on_created(t, pid(2, 2), "theirs", vec![], true);
+        drain(&mut r, ios);
+        assert!(r.entry(pid(2, 1)).is_some());
+        assert!(r.entry(pid(2, 2)).is_none(), "unowned create ignored");
+        for (dst, seq) in [(pid(2, 1), 1u64), (pid(2, 2), 2)] {
+            let m = msg(pid(1, 1), dst, seq, b"x");
+            r.on_data(t, &m);
+            let ios = r.on_ack(t, m.header.id, dst);
+            drain(&mut r, ios);
+        }
+        assert_eq!(r.stats().captured.get(), 1, "unowned data not captured");
+        assert_eq!(r.replay_stream(pid(2, 1)).len(), 1);
+        assert!(r.replay_stream(pid(2, 2)).is_empty());
+        // Clearing the filter restores full capture.
+        r.set_ownership_filter(None);
+        let m = msg(pid(1, 1), pid(2, 2), 3, b"y");
+        r.on_data(t, &m);
+        assert_eq!(r.stats().captured.get(), 2);
+    }
+
+    #[test]
+    fn export_import_preserves_replay_stream() {
+        let mut src = recorder();
+        let t = SimTime::ZERO;
+        let ios = src.on_created(t, pid(2, 1), "echo", vec![], true);
+        drain(&mut src, ios);
+        for i in 1..=4u64 {
+            let m = msg(pid(1, 1), pid(2, 1), i, &[i as u8]);
+            src.on_data(t, &m);
+            let ios = src.on_ack(t, m.header.id, pid(2, 1));
+            drain(&mut src, ios);
+        }
+        let dep = CheckpointDeposit {
+            pid: pid(2, 1),
+            read_count: 2,
+            image: vec![0xCD; 32],
+        };
+        let ios = src.on_deposit(SimTime::from_millis(1), &dep);
+        drain(&mut src, ios);
+        let before: Vec<(u64, MessageId)> = src
+            .replay_stream(pid(2, 1))
+            .iter()
+            .map(|(i, m)| (*i, m.header.id))
+            .collect();
+
+        let export = src.export_process(pid(2, 1)).expect("known process");
+        let mut dst = Recorder::new(NodeId(8), DiskParams::default(), 1, PublishCost::MediaLayer);
+        let ios = dst.import_process(SimTime::from_millis(2), export);
+        drain(&mut dst, ios);
+        let after: Vec<(u64, MessageId)> = dst
+            .replay_stream(pid(2, 1))
+            .iter()
+            .map(|(i, m)| (*i, m.header.id))
+            .collect();
+        assert_eq!(before, after);
+        assert_eq!(dst.checkpoint_image(pid(2, 1)), Some(&[0xCD; 32][..]));
+        // The destination survives its own restart: the imported state is
+        // durable, not just an in-memory copy.
+        dst.restart(SimTime::from_millis(3));
+        let rebuilt: Vec<(u64, MessageId)> = dst
+            .replay_stream(pid(2, 1))
+            .iter()
+            .map(|(i, m)| (*i, m.header.id))
+            .collect();
+        assert_eq!(before, rebuilt);
+        // And the source can release the process after handoff.
+        let erase = src.on_destroyed(SimTime::from_millis(3), pid(2, 1));
+        drain(&mut src, erase);
+        assert!(src.replay_stream(pid(2, 1)).is_empty());
     }
 
     #[test]

@@ -63,6 +63,10 @@ pub mod codes {
     pub const CHECKPOINT_DEPOSIT: u32 = 0x1012;
     /// Recorder → kernel: checkpoint this process now.
     pub const REQUEST_CHECKPOINT: u32 = 0x1013;
+    /// Shard tier → all: the shard map changed (a recorder joined, left,
+    /// or failed over); body: [`super::ShardCutover`]. Broadcast on the
+    /// medium so the cutover itself is part of the published record.
+    pub const SHARD_CUTOVER: u32 = 0x1014;
 
     /// Process-control (DELIVERTOKERNEL): start moving one of the
     /// sender's links to the destination process (body:
@@ -460,6 +464,34 @@ impl Decode for NodeRestarted {
         Ok(NodeRestarted {
             node: NodeId(d.u32()?),
             incarnation: d.u32()?,
+        })
+    }
+}
+
+/// Body of [`codes::SHARD_CUTOVER`]: the sharded recorder tier switched
+/// to a new map epoch. Kernels need take no action (frame-level ack
+/// ownership is enforced by the medium), but the broadcast puts the
+/// cutover on the wire where every recorder — and the published log —
+/// observes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardCutover {
+    /// The shard-map epoch now in force.
+    pub epoch: u64,
+    /// Number of live shards after the change.
+    pub live_shards: u32,
+}
+
+impl Encode for ShardCutover {
+    fn encode(&self, e: &mut Encoder) {
+        e.u64(self.epoch).u32(self.live_shards);
+    }
+}
+
+impl Decode for ShardCutover {
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(ShardCutover {
+            epoch: d.u64()?,
+            live_shards: d.u32()?,
         })
     }
 }

@@ -9,7 +9,9 @@
 //! [`crate::ethernet`] and [`crate::token_ring`].
 
 use crate::frame::{Frame, StationId};
-use crate::lan::{DeliveryFanout, Lan, LanAction, LanConfig, LanStats};
+use crate::lan::{
+    route_required, DeliveryFanout, Lan, LanAction, LanConfig, LanStats, RecorderRouter,
+};
 use publishing_sim::fault::FaultPlan;
 use publishing_sim::rng::DetRng;
 use publishing_sim::time::SimTime;
@@ -20,6 +22,7 @@ pub struct PerfectBus {
     cfg: LanConfig,
     stations: BTreeMap<StationId, bool>,
     recorders: Vec<StationId>,
+    router: Option<RecorderRouter>,
     faults: FaultPlan,
     rng: DetRng,
     stats: LanStats,
@@ -33,6 +36,7 @@ impl PerfectBus {
             cfg,
             stations: BTreeMap::new(),
             recorders: Vec::new(),
+            router: None,
             faults: FaultPlan::new(),
             rng,
             stats: LanStats::default(),
@@ -82,12 +86,16 @@ impl Lan for PerfectBus {
         self.recorders = recorders;
     }
 
+    fn set_recorder_router(&mut self, router: Option<RecorderRouter>) {
+        self.router = router;
+    }
+
     fn submit(&mut self, now: SimTime, frame: Frame) -> Vec<LanAction> {
         self.stats.submitted.inc();
         let sender = frame.src;
         let tx_done = now + self.cfg.frame_time(frame.wire_bytes());
         let receivers = self.live_receivers(&frame);
-        let required = self.required_recorders();
+        let required = route_required(self.router.as_ref(), &frame, || self.required_recorders());
         let mut actions = DeliveryFanout {
             faults: &self.faults,
             rng: &mut self.rng,
@@ -185,6 +193,34 @@ mod tests {
             }
         }
         assert_eq!(bus.stats().recorder_blocked.get(), 1);
+    }
+
+    #[test]
+    fn recorder_router_overrides_global_set_per_frame() {
+        // Router: frames whose first payload byte is odd are gated on
+        // station 2 (down, so they block); even frames are ungated.
+        let mut bus = bus_with(3);
+        bus.set_required_recorders(vec![StationId(1)]);
+        bus.set_recorder_router(Some(std::sync::Arc::new(|f: &Frame| {
+            Some(if f.payload.first().is_some_and(|b| b % 2 == 1) {
+                vec![StationId(2)]
+            } else {
+                vec![]
+            })
+        })));
+        bus.set_station_up(StationId(2), false);
+        let flags = |bus: &mut PerfectBus, byte: u8| {
+            let f = Frame::new(StationId(0), Destination::Broadcast, vec![byte]);
+            bus.submit(SimTime::ZERO, f)
+                .into_iter()
+                .filter_map(|a| match a {
+                    LanAction::Deliver { recorder_ok, .. } => Some(recorder_ok),
+                    _ => None,
+                })
+                .collect::<Vec<_>>()
+        };
+        assert!(flags(&mut bus, 1).iter().all(|&ok| !ok));
+        assert!(flags(&mut bus, 2).iter().all(|&ok| ok));
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! on a real Ethernet under load.
 
 use crate::frame::{Frame, StationId};
-use crate::lan::{DeliveryFanout, Lan, LanAction, LanConfig, LanStats};
+use crate::lan::{DeliveryFanout, Lan, LanAction, LanConfig, LanStats, RecorderRouter};
 use publishing_sim::fault::FaultPlan;
 use publishing_sim::rng::DetRng;
 use publishing_sim::time::{SimDuration, SimTime};
@@ -39,6 +39,11 @@ enum MediumState {
         started: SimTime,
         end: SimTime,
         collided: bool,
+        /// Recorders gating this frame (routed per frame, or the global
+        /// set), fixed when transmission started.
+        required: Vec<StationId>,
+        /// Length of the reserved ack slots after this frame.
+        ack_len: SimDuration,
     },
     /// Reserved acknowledge slots after a successful data frame.
     AckSlots {
@@ -60,6 +65,7 @@ pub struct Ethernet {
     ack_mode: bool,
     stations: BTreeMap<StationId, Station>,
     recorders: Vec<StationId>,
+    router: Option<RecorderRouter>,
     state: MediumState,
     timers: HashMap<u64, TimerKind>,
     next_token: u64,
@@ -87,6 +93,7 @@ impl Ethernet {
             ack_mode,
             stations: BTreeMap::new(),
             recorders: Vec::new(),
+            router: None,
             state: MediumState::Idle,
             timers: HashMap::new(),
             next_token: 0,
@@ -116,8 +123,8 @@ impl Ethernet {
     fn busy_until(&self) -> Option<SimTime> {
         match self.state {
             MediumState::Idle => None,
-            MediumState::Data { end, .. } => Some(match self.ack_mode {
-                true => end + self.ack_slots_len(),
+            MediumState::Data { end, ack_len, .. } => Some(match self.ack_mode {
+                true => end + ack_len,
                 false => end,
             }),
             MediumState::AckSlots { until } => Some(until),
@@ -176,11 +183,22 @@ impl Ethernet {
                     .expect("checked")
                     .clone();
                 let end = now + self.cfg.frame_time(frame.wire_bytes());
+                // Resolve this frame's recorder set now: in a sharded
+                // tier only the owning shard(s) get reserved ack slots.
+                let (required, ack_len) = match self.router.as_ref().and_then(|r| r(&frame)) {
+                    Some(set) => {
+                        let len = self.cfg.ack_slot.saturating_mul(1 + set.len() as u64);
+                        (set, len)
+                    }
+                    None => (self.recorders.clone(), self.ack_slots_len()),
+                };
                 self.state = MediumState::Data {
                     from: st_id,
                     started: now,
                     end,
                     collided: false,
+                    required,
+                    ack_len,
                 };
                 self.stats.busy.set_busy(now);
                 // The frame stays at the backlog head; delivery happens on
@@ -235,6 +253,8 @@ impl Ethernet {
             from,
             end,
             collided,
+            required,
+            ack_len,
             ..
         } = std::mem::replace(&mut self.state, MediumState::Idle)
         else {
@@ -272,8 +292,9 @@ impl Ethernet {
             .map(|(&id, _)| id)
             .collect();
         // A required recorder gates even while down (§3.3.4); survivors
-        // cover for a dead peer by shrinking the set explicitly (§6.3).
-        let required: Vec<StationId> = self.recorders.clone();
+        // cover for a dead peer by shrinking the set explicitly (§6.3),
+        // and a sharded tier routes it per frame (`required` was fixed
+        // when this transmission started).
         let mut deliveries = DeliveryFanout {
             faults: &self.faults,
             rng: &mut self.rng,
@@ -288,7 +309,7 @@ impl Ethernet {
             collisions,
         });
         if self.ack_mode {
-            let until = now + self.ack_slots_len();
+            let until = now + ack_len;
             self.state = MediumState::AckSlots { until };
             self.set_timer(until, TimerKind::EndAckSlots, out);
         } else {
@@ -335,6 +356,10 @@ impl Lan for Ethernet {
 
     fn set_required_recorders(&mut self, recorders: Vec<StationId>) {
         self.recorders = recorders;
+    }
+
+    fn set_recorder_router(&mut self, router: Option<RecorderRouter>) {
+        self.router = router;
     }
 
     fn submit(&mut self, now: SimTime, frame: Frame) -> Vec<LanAction> {

@@ -119,6 +119,27 @@ pub struct LanStats {
     pub busy: Utilization,
 }
 
+/// Per-frame recorder routing for sharded recorder tiers.
+///
+/// Given a frame, returns the stations whose intact receipt gates its
+/// delivery — `Some(set)` overrides the global required-recorder set for
+/// this frame (an empty set means the frame is ungated), `None` falls
+/// back to it. The closure is installed by the tier above the medium
+/// (it decodes the opaque payload to find the destination process and
+/// asks the shard map which shards own its recorder-ack slot); the
+/// medium itself stays payload-agnostic.
+pub type RecorderRouter = std::sync::Arc<dyn Fn(&Frame) -> Option<Vec<StationId>> + Send + Sync>;
+
+/// Resolves the required-recorder set for one frame: router verdict if
+/// one is installed and speaks, otherwise the medium's global set.
+pub(crate) fn route_required(
+    router: Option<&RecorderRouter>,
+    frame: &Frame,
+    fallback: impl FnOnce() -> Vec<StationId>,
+) -> Vec<StationId> {
+    router.and_then(|r| r(frame)).unwrap_or_else(fallback)
+}
+
 /// A broadcast medium with publishing (recorder-acknowledgement) support.
 pub trait Lan {
     /// Attaches a station; it starts up.
@@ -131,6 +152,13 @@ pub trait Lan {
     /// Sets the stations whose intact receipt gates delivery (§6.1, §6.3).
     /// An empty set disables recorder gating (baseline, non-published mode).
     fn set_required_recorders(&mut self, recorders: Vec<StationId>);
+
+    /// Installs (or clears) a per-frame recorder router, giving each
+    /// frame's recorder-ack slot to the shard(s) owning its destination.
+    /// Default: ignored — media without router support keep gating on
+    /// the global [`Lan::set_required_recorders`] set, and the star hub
+    /// is structurally its own single recorder.
+    fn set_recorder_router(&mut self, _router: Option<RecorderRouter>) {}
 
     /// Submits a frame for transmission from `frame.src`.
     fn submit(&mut self, now: SimTime, frame: Frame) -> Vec<LanAction>;

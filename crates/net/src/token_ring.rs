@@ -11,7 +11,7 @@
 //! destination sees it with the field filled.
 
 use crate::frame::{Frame, StationId};
-use crate::lan::{Lan, LanAction, LanConfig, LanStats};
+use crate::lan::{route_required, Lan, LanAction, LanConfig, LanStats, RecorderRouter};
 use publishing_sim::fault::FaultPlan;
 use publishing_sim::rng::DetRng;
 use publishing_sim::time::{SimDuration, SimTime};
@@ -27,6 +27,7 @@ pub struct TokenRing {
     up: BTreeMap<StationId, bool>,
     backlog: BTreeMap<StationId, VecDeque<Frame>>,
     recorders: Vec<StationId>,
+    router: Option<RecorderRouter>,
     /// Ring-order index of the station currently holding the token.
     token_at: usize,
     /// `true` while a frame is circulating.
@@ -50,6 +51,7 @@ impl TokenRing {
             up: BTreeMap::new(),
             backlog: BTreeMap::new(),
             recorders: Vec::new(),
+            router: None,
             token_at: 0,
             circulating: false,
             timers: BTreeMap::new(),
@@ -79,11 +81,19 @@ impl TokenRing {
         let n = self.order.len();
         let src_idx = self.ring_index(frame.src).expect("sender attached");
         let serialization = self.cfg.frame_time(frame.wire_bytes());
-        // The ack field starts empty; publishing mode is on iff any
-        // recorder is required. A recorder sending its own frame starts
-        // with the field filled.
-        let publishing = !self.recorders.is_empty();
-        let mut ack_filled = !publishing || self.recorders.contains(&frame.src);
+        // The recorders this frame must pass: routed per frame in a
+        // sharded tier, otherwise the global set. The ack field starts
+        // empty; publishing mode is on iff any recorder is required, and
+        // the field fills once every required recorder has read the
+        // frame (a recorder that *sent* it trivially has it).
+        let required = route_required(self.router.as_ref(), &frame, || self.recorders.clone());
+        let publishing = !required.is_empty();
+        let mut captured: Vec<StationId> = required
+            .iter()
+            .copied()
+            .filter(|&r| r == frame.src)
+            .collect();
+        let mut ack_filled = !publishing || captured.len() == required.len();
         let mut on_wire = frame.clone();
         let mut actions = Vec::new();
         let mut delivered: Vec<StationId> = Vec::new();
@@ -134,16 +144,19 @@ impl TokenRing {
                     // A down station merely repeats the signal.
                     continue;
                 }
-                if publishing && !ack_filled && self.recorders.contains(&st) {
-                    // The recorder fills the ack field and reads the frame;
-                    // a receive error complements the checksum (§6.1.2).
-                    ack_filled = true;
+                if publishing && !ack_filled && required.contains(&st) && !captured.contains(&st) {
+                    // A required recorder reads the frame as it passes;
+                    // once the last of them has it, the ack field fills.
+                    // A receive error complements the checksum (§6.1.2)
+                    // so no station downstream can use the frame.
                     let bad = self.faults.roll_loss(&mut self.rng)
                         || self.faults.roll_corruption(&mut self.rng);
                     if bad {
                         on_wire.invalidate_fcs();
                         self.stats.recorder_blocked.inc();
                     } else {
+                        captured.push(st);
+                        ack_filled = captured.len() == required.len();
                         self.stats.delivered.inc();
                         delivered.push(st);
                         actions.push(LanAction::Deliver {
@@ -249,6 +262,10 @@ impl Lan for TokenRing {
 
     fn set_required_recorders(&mut self, recorders: Vec<StationId>) {
         self.recorders = recorders;
+    }
+
+    fn set_recorder_router(&mut self, router: Option<RecorderRouter>) {
+        self.router = router;
     }
 
     fn submit(&mut self, now: SimTime, frame: Frame) -> Vec<LanAction> {

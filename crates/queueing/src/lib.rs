@@ -10,18 +10,25 @@
 //!   syscall/IO → short/long message conversion of §5.1;
 //! - [`ch5`]: Figures 5.1–5.5 — hardware parameters, operating points,
 //!   the utilization sweep, the 4 KB-buffering saturation fix, and the
-//!   115-user capacity computation.
+//!   115-user capacity computation;
+//! - [`sharded`]: the model extended to N recorder stations — the
+//!   user-capacity curve versus shard count, and the point where the
+//!   unsharded broadcast medium becomes the binding resource.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ch5;
+pub mod sharded;
 pub mod solver;
 pub mod workload;
 
 pub use ch5::{
     build_network, figure_5_5, max_users, max_users_with_unrecoverable, operating_points, HwParams,
     OperatingPoint, SystemConfig, UtilizationRow,
+};
+pub use sharded::{
+    medium_max_users, shard_capacity_curve, tier_max_users, ShardCapacityRow, ShardedTier,
 };
 pub use solver::{Flow, OpenNetwork, Station};
 pub use workload::{ProcessTraffic, StateSizes, CHECKPOINT_BYTES, LONG_BYTES, SHORT_BYTES};

@@ -1,0 +1,227 @@
+//! The Chapter 5 model extended to a sharded recorder tier.
+//!
+//! Chapter 5 models one recording node whose NIC, processor, and disk
+//! bound the system at ≈115 users. With the published log partitioned
+//! over N recorder stations by rendezvous hashing, each shard captures
+//! only the traffic of the pids in its capture sets — a fraction
+//! R/N of the total for replication factor R — so the per-shard
+//! stations see proportionally less load and the tier's user capacity
+//! grows with N. The shared broadcast medium, however, is *not*
+//! sharded: every published message still crosses the one wire (plus R
+//! recorder-acknowledgement slots instead of one), so past the point
+//! where N·(shard capacity) exceeds the wire's own limit, the medium
+//! becomes the binding resource and the capacity curve flattens. Both
+//! regimes are reported separately so the crossover is visible.
+
+use crate::ch5::{operating_points, OperatingPoint, SystemConfig};
+use crate::solver::{OpenNetwork, Station};
+use crate::workload::{CHECKPOINT_BYTES, LONG_BYTES, SHORT_BYTES};
+
+/// A sharded recorder tier: the Chapter 5 hardware at every shard.
+#[derive(Debug, Clone)]
+pub struct ShardedTier {
+    /// Per-shard hardware and disk configuration.
+    pub base: SystemConfig,
+    /// Number of recorder shards, N.
+    pub shards: u32,
+    /// Capture-set replication factor R (clamped to `shards`).
+    pub replication: u32,
+}
+
+impl ShardedTier {
+    /// A tier of `shards` shards with replication `replication` on the
+    /// default Chapter 5 hardware.
+    pub fn new(shards: u32, replication: u32) -> Self {
+        ShardedTier {
+            base: SystemConfig::default(),
+            shards: shards.max(1),
+            replication: replication.max(1),
+        }
+    }
+
+    /// The effective replication: R cannot exceed the shard count.
+    pub fn r(&self) -> u32 {
+        self.replication.min(self.shards)
+    }
+}
+
+/// Builds the sharded Figure 5.1 network for `users` processes at the
+/// given operating point: the shared medium (carrying every message
+/// once plus R ack slots each) and one representative shard's NIC,
+/// processor, and disk (HRW spreads pids uniformly, so the shards are
+/// statistically identical and one stands for all) at R/N of the
+/// total capture load.
+pub fn build_sharded_network(op: &OperatingPoint, tier: &ShardedTier, users: f64) -> OpenNetwork {
+    let hw = &tier.base.hw;
+    let short_rate = op.traffic.short_per_sec * users;
+    let long_rate = op.traffic.long_per_sec * users;
+    let ckpt_rate = op.checkpoint_msgs_per_proc() * users;
+    let data_rate = short_rate + long_rate + ckpt_rate;
+    let share = tier.r() as f64 / tier.shards as f64;
+
+    let wire = |bytes: f64| bytes * 8.0 / hw.bandwidth_bps;
+    let medium = Station::new("medium")
+        .flow("short", short_rate, wire(SHORT_BYTES as f64))
+        .flow("long", long_rate, wire(LONG_BYTES as f64))
+        .flow("checkpoint", ckpt_rate, wire(CHECKPOINT_BYTES as f64))
+        .flow("recorder-acks", data_rate * tier.r() as f64, wire(32.0));
+
+    let nic = Station::new("shard-nic").flow("captured", data_rate * share, hw.interpacket);
+    let cpu = Station::new("shard-cpu").flow("data+ack", 2.0 * data_rate * share, hw.packet_cpu);
+
+    let byte_rate = op.data_bytes_per_proc() * users * share;
+    let page_rate = byte_rate / 4096.0 / tier.base.disks as f64;
+    let disk = Station::new("shard-disk").flow(
+        "pages",
+        page_rate,
+        hw.disk_latency + 4096.0 / hw.disk_rate,
+    );
+
+    OpenNetwork::new()
+        .station(medium)
+        .station(nic)
+        .station(cpu)
+        .station(disk)
+}
+
+fn saturates(op: &OperatingPoint, tier: &ShardedTier, users: f64, station_prefix: &str) -> bool {
+    build_sharded_network(op, tier, users)
+        .stations
+        .iter()
+        .filter(|s| s.name.starts_with(station_prefix))
+        .any(|s| s.utilization() >= 1.0)
+}
+
+fn probe(op: &OperatingPoint, tier: &ShardedTier, station_prefix: &str) -> u32 {
+    let mut users = 0u32;
+    while users < 100_000 {
+        if saturates(op, tier, (users + 1) as f64, station_prefix) {
+            break;
+        }
+        users += 1;
+    }
+    users
+}
+
+/// Maximum mean-operating-point users before any *shard* station (NIC,
+/// processor, disk) saturates. The medium is assessed separately by
+/// [`medium_max_users`]; the deployable capacity is the minimum of the
+/// two.
+pub fn tier_max_users(tier: &ShardedTier) -> u32 {
+    probe(&operating_points()[0], tier, "shard-")
+}
+
+/// Maximum mean-operating-point users before the shared medium itself
+/// saturates. Independent of N except through the R ack slots every
+/// published message now carries.
+pub fn medium_max_users(tier: &ShardedTier) -> u32 {
+    probe(&operating_points()[0], tier, "medium")
+}
+
+/// One row of the shard-capacity table.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardCapacityRow {
+    /// Shard count N.
+    pub shards: u32,
+    /// Effective replication factor R.
+    pub replication: u32,
+    /// Users the recorder tier itself supports.
+    pub tier_users: u32,
+    /// Users the shared medium supports.
+    pub medium_users: u32,
+    /// Deployable capacity: the smaller of the two.
+    pub effective_users: u32,
+}
+
+/// The user-capacity curve versus shard count, 1..=`max_shards`, at
+/// replication factor `replication`.
+pub fn shard_capacity_curve(max_shards: u32, replication: u32) -> Vec<ShardCapacityRow> {
+    (1..=max_shards)
+        .map(|n| {
+            let tier = ShardedTier::new(n, replication);
+            let tier_users = tier_max_users(&tier);
+            let medium_users = medium_max_users(&tier);
+            ShardCapacityRow {
+                shards: n,
+                replication: tier.r(),
+                tier_users,
+                medium_users,
+                effective_users: tier_users.min(medium_users),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ch5::max_users;
+
+    #[test]
+    fn single_shard_matches_chapter_5_capacity() {
+        // N = 1, R = 1 is exactly the Chapter 5 recorder.
+        let tier = ShardedTier::new(1, 1);
+        assert_eq!(tier_max_users(&tier), max_users(&SystemConfig::default()));
+    }
+
+    #[test]
+    fn partitioned_capacity_scales_with_shard_count() {
+        let curve = shard_capacity_curve(8, 1);
+        let base = curve[0].tier_users;
+        for w in curve.windows(2) {
+            assert!(
+                w[1].tier_users > w[0].tier_users,
+                "tier capacity must increase with shards: {curve:?}"
+            );
+        }
+        // Near-linear: shard N supports ~N× the single-recorder load.
+        for row in &curve {
+            let ideal = base * row.shards;
+            assert!(
+                (row.tier_users as i64 - ideal as i64).unsigned_abs() <= row.shards as u64,
+                "shard {}: {} vs ideal {}",
+                row.shards,
+                row.tier_users,
+                ideal
+            );
+        }
+    }
+
+    #[test]
+    fn replicated_capacity_is_monotone_and_pays_for_redundancy() {
+        let curve = shard_capacity_curve(8, 2);
+        for w in curve.windows(2) {
+            assert!(w[1].tier_users >= w[0].tier_users, "{curve:?}");
+        }
+        // R = 2 halves the per-shard headroom relative to R = 1.
+        let r1 = shard_capacity_curve(8, 1);
+        for (a, b) in curve.iter().zip(&r1).skip(2) {
+            assert!(a.tier_users < b.tier_users);
+            let ratio = b.tier_users as f64 / a.tier_users as f64;
+            assert!((1.8..=2.2).contains(&ratio), "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn medium_eventually_binds_the_partitioned_tier() {
+        // The wire is not sharded: by 8 shards the medium, not the
+        // recorders, limits the R = 1 tier.
+        let curve = shard_capacity_curve(8, 1);
+        assert!(curve[0].effective_users == curve[0].tier_users);
+        let last = curve.last().unwrap();
+        assert!(
+            last.effective_users < last.tier_users,
+            "expected the medium to bind at 8 shards: {last:?}"
+        );
+        assert_eq!(last.effective_users, last.medium_users);
+    }
+
+    #[test]
+    fn replication_is_clamped_to_shard_count() {
+        assert_eq!(
+            tier_max_users(&ShardedTier::new(1, 2)),
+            tier_max_users(&ShardedTier::new(1, 1))
+        );
+        assert_eq!(ShardedTier::new(1, 2).r(), 1);
+    }
+}

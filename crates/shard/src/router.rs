@@ -1,0 +1,294 @@
+//! Frame-level shard routing.
+//!
+//! The medium gates every process-destined frame on its recorder ack
+//! slot (§6.1). Under sharding, the slot is owned not by one global
+//! recorder set but by the destination pid's *capture set* — the top-R
+//! live shards in HRW order. [`ShardRouter`] packages the shared
+//! [`ShardMap`] plus the shard↔station directory into the closures the
+//! rest of the system needs:
+//!
+//! - a [`RecorderRouter`] installed on the LAN, which decodes each
+//!   frame's [`Wire`] payload, extracts the destination pid, and returns
+//!   the stations whose acknowledgement the frame must collect;
+//! - per-shard ownership filters for [`publishing_core::recorder::Recorder`]
+//!   ("do I record this pid?") and responsibility filters for
+//!   [`publishing_core::manager::RecoveryManager`] ("do I drive this
+//!   pid's recovery?").
+//!
+//! Kernel-to-kernel control traffic and datagrams are deliberately
+//! ungated: recovery traffic must flow even while a shard is down, and
+//! the publish-before-use rule (§4.4.1) protects *process* messages.
+
+use crate::map::{ShardId, ShardMap};
+use publishing_core::recorder::PidFilter;
+use publishing_demos::ids::{NodeId, ProcessId};
+use publishing_demos::transport::Wire;
+use publishing_net::frame::{Frame, StationId};
+use publishing_net::lan::RecorderRouter;
+use publishing_sim::codec::Decode;
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+/// The shared routing state of a sharded recorder tier. Cheap to clone;
+/// all clones observe the same map (cutovers are a single epoch-bumping
+/// write that every installed closure sees immediately).
+#[derive(Clone)]
+pub struct ShardRouter {
+    map: Arc<RwLock<ShardMap>>,
+    stations: Arc<RwLock<BTreeMap<ShardId, StationId>>>,
+    replication: usize,
+}
+
+impl ShardRouter {
+    /// Wraps `map` with replication factor `replication` (the R of the
+    /// capture set; clamped to at least 1).
+    pub fn new(map: ShardMap, replication: usize) -> Self {
+        ShardRouter {
+            map: Arc::new(RwLock::new(map)),
+            stations: Arc::new(RwLock::new(BTreeMap::new())),
+            replication: replication.max(1),
+        }
+    }
+
+    /// The replication factor R.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Registers the station a shard's recorder listens on.
+    pub fn register(&self, shard: ShardId, station: StationId) {
+        self.stations
+            .write()
+            .expect("station directory lock")
+            .insert(shard, station);
+    }
+
+    /// Reads the map under the lock.
+    pub fn with_map<R>(&self, f: impl FnOnce(&ShardMap) -> R) -> R {
+        f(&self.map.read().expect("shard map lock"))
+    }
+
+    /// Mutates the map under the lock (membership changes, liveness).
+    /// Every installed router/filter closure sees the change on its next
+    /// evaluation — this *is* the cutover swap.
+    pub fn with_map_mut<R>(&self, f: impl FnOnce(&mut ShardMap) -> R) -> R {
+        f(&mut self.map.write().expect("shard map lock"))
+    }
+
+    /// The stations that must acknowledge a frame destined to `pid`.
+    ///
+    /// With no live shard at all, every *member* station is required:
+    /// none can answer, so process traffic suspends until a shard
+    /// returns — §3.3.4's recorder-down behaviour. Returning the empty
+    /// set instead would let messages flow unrecorded, breaking the
+    /// publish-before-use rule.
+    pub fn required_for(&self, pid: ProcessId) -> Vec<StationId> {
+        let shards = self.with_map(|m| {
+            let set = m.capture_set(pid, self.replication);
+            if set.is_empty() {
+                m.members()
+            } else {
+                set
+            }
+        });
+        let dir = self.stations.read().expect("station directory lock");
+        shards.iter().filter_map(|s| dir.get(s).copied()).collect()
+    }
+
+    /// Builds the per-frame required-recorder closure for the medium.
+    pub fn recorder_router(&self) -> RecorderRouter {
+        let this = self.clone();
+        Arc::new(move |frame: &Frame| {
+            let dst = match Wire::decode_all(&frame.payload) {
+                Ok(Wire::Data { msg, .. }) => msg.header.to,
+                Ok(Wire::Ack { dst_pid, .. }) => dst_pid,
+                // Datagrams are unguaranteed and never published.
+                Ok(Wire::Datagram { .. }) => return Some(Vec::new()),
+                // Not transport traffic: fall back to the global set.
+                Err(_) => return None,
+            };
+            if dst.is_kernel() {
+                // Control traffic (including recovery) is never gated on
+                // a shard: it must flow while shards are down.
+                return Some(Vec::new());
+            }
+            Some(this.required_for(dst))
+        })
+    }
+
+    /// The ownership filter for `shard`'s recorder: record a pid iff the
+    /// shard sits in the pid's capture set — evaluated with the shard
+    /// itself counted even while marked dead, so a restarted shard keeps
+    /// recording its pids during catch-up.
+    pub fn owner_filter(&self, shard: ShardId) -> PidFilter {
+        let this = self.clone();
+        Arc::new(move |pid: ProcessId| {
+            this.with_map(|m| {
+                m.capture_set_for(shard, pid, this.replication)
+                    .contains(&shard)
+            })
+        })
+    }
+
+    /// The responsibility filter for `shard`'s recovery manager: drive a
+    /// pid's recovery iff the shard is the top-ranked *live* shard for it.
+    pub fn responsible_filter(&self, shard: ShardId) -> PidFilter {
+        let this = self.clone();
+        Arc::new(move |pid: ProcessId| this.with_map(|m| m.responsible(pid) == Some(shard)))
+    }
+
+    /// The shard that arbitrates a crashed node's physical restart: the
+    /// one responsible for the node's kernel endpoint. This generalizes
+    /// the §6.3 priority vector — the vector for node `n` is the HRW
+    /// ranking of its kernel pid, and the highest-priority live shard
+    /// acts.
+    pub fn restart_leader(&self, node: NodeId) -> Option<ShardId> {
+        self.with_map(|m| m.responsible(ProcessId::kernel_of(node)))
+    }
+}
+
+impl core::fmt::Debug for ShardRouter {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        self.with_map(|m| {
+            f.debug_struct("ShardRouter")
+                .field("epoch", &m.epoch())
+                .field("members", &m.len())
+                .field("live", &m.live().len())
+                .field("replication", &self.replication)
+                .finish()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use publishing_demos::ids::{Channel, MessageId};
+    use publishing_demos::message::{Message, MessageHeader};
+    use publishing_net::frame::Destination;
+    use publishing_sim::codec::Encode;
+
+    fn router(n: u32) -> ShardRouter {
+        let r = ShardRouter::new(ShardMap::new(n), 2);
+        for i in 0..n {
+            r.register(ShardId(i), StationId(100 + i));
+        }
+        r
+    }
+
+    fn data_frame(to: ProcessId) -> Frame {
+        let msg = Message {
+            header: MessageHeader {
+                id: MessageId {
+                    sender: ProcessId::new(1, 1),
+                    seq: 1,
+                },
+                to,
+                code: 0,
+                channel: Channel(0),
+                deliver_to_kernel: false,
+            },
+            passed_link: None,
+            body: vec![1, 2, 3],
+        };
+        let wire = Wire::Data {
+            src_node: NodeId(1),
+            incarnation: 0,
+            peer_epoch: 0,
+            tseq: 1,
+            msg,
+        };
+        Frame::new(StationId(1), Destination::Broadcast, wire.encode_to_vec())
+    }
+
+    #[test]
+    fn process_frames_gate_on_capture_set_stations() {
+        let r = router(4);
+        let pid = ProcessId::new(2, 7);
+        let route = r.recorder_router();
+        let req = route(&data_frame(pid)).expect("routed");
+        let want: Vec<StationId> = r.with_map(|m| {
+            m.capture_set(pid, 2)
+                .iter()
+                .map(|s| StationId(100 + s.0))
+                .collect()
+        });
+        assert_eq!(req.len(), 2);
+        assert_eq!(req, want);
+    }
+
+    #[test]
+    fn kernel_frames_and_garbage_are_not_shard_gated() {
+        let r = router(3);
+        let route = r.recorder_router();
+        let kernel = data_frame(ProcessId::kernel_of(NodeId(2)));
+        assert_eq!(route(&kernel), Some(Vec::new()));
+        let garbage = Frame::new(StationId(1), Destination::Broadcast, vec![0xFF, 0xFF]);
+        assert_eq!(route(&garbage), None, "falls back to the global set");
+    }
+
+    #[test]
+    fn cutover_changes_routing_through_installed_closures() {
+        let r = router(2);
+        let pid = ProcessId::new(3, 5);
+        let route = r.recorder_router();
+        let before = route(&data_frame(pid)).unwrap();
+        r.register(ShardId(2), StationId(102));
+        r.with_map_mut(|m| m.add_shard(ShardId(2)));
+        let after = route(&data_frame(pid)).unwrap();
+        let want: Vec<StationId> = r.with_map(|m| {
+            m.capture_set(pid, 2)
+                .iter()
+                .map(|s| StationId(100 + s.0))
+                .collect()
+        });
+        assert_eq!(after, want);
+        // With only two shards before, both were required; the third
+        // shard can displace one of them.
+        assert_eq!(before.len(), 2);
+    }
+
+    #[test]
+    fn filters_partition_ownership_and_responsibility() {
+        let r = router(3);
+        let owner0 = r.owner_filter(ShardId(0));
+        let resp: Vec<PidFilter> = (0..3).map(|i| r.responsible_filter(ShardId(i))).collect();
+        let mut owned0 = 0;
+        for l in 1..=60u32 {
+            let pid = ProcessId::new(l % 5, l);
+            // Exactly one shard is responsible for every pid.
+            assert_eq!(resp.iter().filter(|f| f(pid)).count(), 1);
+            if owner0(pid) {
+                owned0 += 1;
+            }
+        }
+        // R=2 of 3 shards: shard 0 captures roughly 2/3 of pids.
+        assert!(owned0 > 20 && owned0 < 60, "owned {owned0}/60");
+    }
+
+    #[test]
+    fn no_live_shard_suspends_traffic_instead_of_ungating() {
+        // §3.3.4: recorder down ⇒ traffic stops. With every shard dead,
+        // process frames must be gated on (unanswerable) stations, not
+        // waved through unrecorded.
+        let r = router(2);
+        let pid = ProcessId::new(2, 7);
+        let route = r.recorder_router();
+        r.with_map_mut(|m| {
+            m.set_live(ShardId(0), false);
+            m.set_live(ShardId(1), false);
+        });
+        let req = route(&data_frame(pid)).expect("routed");
+        assert_eq!(req, vec![StationId(100), StationId(101)]);
+    }
+
+    #[test]
+    fn restart_leader_follows_liveness() {
+        let r = router(3);
+        let node = NodeId(4);
+        let leader = r.restart_leader(node).unwrap();
+        r.with_map_mut(|m| m.set_live(leader, false));
+        let backup = r.restart_leader(node).unwrap();
+        assert_ne!(leader, backup);
+    }
+}

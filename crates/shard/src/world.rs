@@ -1,0 +1,728 @@
+//! The sharded-tier driver: kernels + N recorder shards on one medium.
+//!
+//! `ShardedWorld` generalizes `publishing_core`'s single-recorder
+//! `World` and replicated `MultiWorld`: the published log and checkpoint
+//! store are *partitioned* across shards by the HRW [`ShardMap`], with
+//! R-way replication inside each pid's capture set. The driver wires
+//! the [`ShardRouter`] into the medium (per-frame ack ownership), into
+//! each shard's recorder (ownership filter) and recovery manager
+//! (responsibility filter), and implements the tier's orchestration:
+//!
+//! - **parallel recovery** — a crashed node's processes are recovered
+//!   concurrently, each by the shard responsible for it, after the
+//!   restart leader (the shard owning the node's kernel endpoint)
+//!   announces the restart;
+//! - **failover** — when a shard dies, its pids fall to their next-
+//!   ranked live shard (which already holds their log, R ≥ 2), the
+//!   capture sets are re-replicated to restore R copies, and the newly
+//!   responsible shard issues targeted state queries so recoveries that
+//!   died with the shard restart cleanly;
+//! - **rebalancing** — a new shard drains the log segments of the pids
+//!   it claims from their current holders, then the map epoch is bumped
+//!   and a [`ShardCutover`] control message is published on the medium.
+
+use crate::map::{ShardId, ShardMap};
+use crate::router::ShardRouter;
+use publishing_core::node::{RNAction, RecorderConfig, RecorderNode};
+use publishing_demos::costs::CostModel;
+use publishing_demos::harness::OutputLine;
+use publishing_demos::ids::{Channel, MessageId, NodeId, ProcessId};
+use publishing_demos::kernel::{encode_ctl, Kernel, KernelAction};
+use publishing_demos::link::Link;
+use publishing_demos::message::{Message, MessageHeader};
+use publishing_demos::protocol::{codes, ShardCutover};
+use publishing_demos::registry::{ProgramRegistry, UnknownProgram};
+use publishing_demos::transport::{TransportConfig, Wire};
+use publishing_net::bus::PerfectBus;
+use publishing_net::frame::{Destination, Frame, StationId};
+use publishing_net::lan::{Lan, LanConfig};
+use publishing_sim::codec::Encode;
+use publishing_sim::event::Scheduler;
+use publishing_sim::time::SimTime;
+use std::collections::{BTreeMap, BTreeSet};
+
+#[derive(Debug)]
+enum SEv {
+    LanTimer(u64),
+    KernelTimer(u32, u64),
+    ShardTimer(usize, u64),
+    Deliver {
+        to: u32,
+        frame: Frame,
+        recorder_ok: bool,
+    },
+}
+
+/// A world whose recorder tier is sharded.
+pub struct ShardedWorld {
+    sched: Scheduler<SEv>,
+    /// The shared medium.
+    pub lan: Box<dyn Lan>,
+    /// Processing-node kernels.
+    pub kernels: BTreeMap<u32, Kernel>,
+    /// The recorder shards; index i is [`ShardId`]`(i)`.
+    pub shards: Vec<RecorderNode>,
+    router: ShardRouter,
+    /// Raw outputs.
+    pub outputs: Vec<OutputLine>,
+    node_incarnations: BTreeMap<u32, u32>,
+    /// Every pid ever spawned (rebalance bookkeeping).
+    processes: BTreeSet<ProcessId>,
+    /// Restarted shards catching up before being readmitted: (idx, since).
+    rejoining: Vec<(usize, SimTime)>,
+    n_nodes: u32,
+    cutovers_published: u64,
+}
+
+impl ShardedWorld {
+    /// Builds a world with `nodes` processing nodes and `n_shards`
+    /// recorder shards (on node ids `nodes..nodes+n_shards`), with
+    /// capture sets of min(2, n_shards) shards.
+    pub fn new(nodes: u32, n_shards: usize, registry: ProgramRegistry) -> Self {
+        let replication = 2.min(n_shards.max(1));
+        let router = ShardRouter::new(ShardMap::new(n_shards as u32), replication);
+        let mut lan: Box<dyn Lan> = Box::new(PerfectBus::new(LanConfig::default()));
+        lan.set_recorder_router(Some(router.recorder_router()));
+        let shard_nodes: Vec<NodeId> = (0..n_shards as u32).map(|i| NodeId(nodes + i)).collect();
+        let mut kernels = BTreeMap::new();
+        for n in 0..nodes {
+            let mut k = Kernel::new(
+                NodeId(n),
+                registry.clone(),
+                CostModel::zero(),
+                TransportConfig::default(),
+                true,
+            );
+            for r in &shard_nodes {
+                k.add_recorder(*r);
+            }
+            lan.attach(k.station());
+            kernels.insert(n, k);
+        }
+        let mut shards = Vec::new();
+        for (i, r) in shard_nodes.iter().enumerate() {
+            let sid = ShardId(i as u32);
+            let mut rn = RecorderNode::new(*r, RecorderConfig::default());
+            rn.set_shard_filters(
+                Some(router.owner_filter(sid)),
+                Some(router.responsible_filter(sid)),
+            );
+            router.register(sid, rn.station());
+            lan.attach(rn.station());
+            shards.push(rn);
+        }
+        let mut world = ShardedWorld {
+            sched: Scheduler::new(),
+            lan,
+            kernels,
+            shards,
+            router,
+            outputs: Vec::new(),
+            node_incarnations: BTreeMap::new(),
+            processes: BTreeSet::new(),
+            rejoining: Vec::new(),
+            n_nodes: nodes,
+            cutovers_published: 0,
+        };
+        world.refresh_required();
+        let watch: Vec<NodeId> = (0..nodes).map(NodeId).collect();
+        for i in 0..world.shards.len() {
+            let actions = world.shards[i].start(SimTime::ZERO, &watch);
+            world.apply_shard(SimTime::ZERO, i, actions);
+        }
+        world
+    }
+
+    /// Returns the current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Read access to the routing state.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Number of shards ever admitted (live or not).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Cutover control messages published so far.
+    pub fn cutovers_published(&self) -> u64 {
+        self.cutovers_published
+    }
+
+    /// The global fallback required set: every live, admitted shard.
+    /// Only undecodable frames ever consult it; everything else goes
+    /// through the per-frame router.
+    fn refresh_required(&mut self) {
+        let live: Vec<StationId> = self
+            .router
+            .with_map(|m| m.live())
+            .iter()
+            .map(|s| self.shards[s.0 as usize].station())
+            .collect();
+        if live.is_empty() {
+            let all: Vec<StationId> = self.shards.iter().map(|r| r.station()).collect();
+            self.lan.set_required_recorders(all);
+        } else {
+            self.lan.set_required_recorders(live);
+        }
+    }
+
+    /// Spawns a program on a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownProgram`] for unregistered images.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    pub fn spawn(
+        &mut self,
+        node: u32,
+        program: &str,
+        links: Vec<Link>,
+    ) -> Result<ProcessId, UnknownProgram> {
+        let now = self.now();
+        let k = self.kernels.get_mut(&node).expect("node exists");
+        let (pid, actions) = k.spawn(now, program, links)?;
+        self.processes.insert(pid);
+        self.apply_kernel(now, node, actions);
+        Ok(pid)
+    }
+
+    fn apply_kernel(&mut self, now: SimTime, node: u32, actions: Vec<KernelAction>) {
+        for a in actions {
+            match a {
+                KernelAction::Transmit(frame) => {
+                    let lan_actions = self.lan.submit(now, frame);
+                    self.apply_lan(lan_actions);
+                }
+                KernelAction::SetTimer { at, token } => {
+                    self.sched.schedule_at(at, SEv::KernelTimer(node, token));
+                }
+                KernelAction::Output { pid, seq, bytes } => {
+                    self.outputs.push(OutputLine {
+                        at: now,
+                        pid,
+                        seq,
+                        bytes,
+                    });
+                }
+            }
+        }
+    }
+
+    fn apply_shard(&mut self, now: SimTime, idx: usize, actions: Vec<RNAction>) {
+        for a in actions {
+            match a {
+                RNAction::Transmit(frame) => {
+                    let lan_actions = self.lan.submit(now, frame);
+                    self.apply_lan(lan_actions);
+                }
+                RNAction::SetTimer { at, token } => {
+                    self.sched.schedule_at(at, SEv::ShardTimer(idx, token));
+                }
+                RNAction::RestartNode { node, .. } => {
+                    // Generalized §6.3 arbitration: the shard owning the
+                    // node's kernel endpoint leads its restart.
+                    if self.router.restart_leader(node) != Some(ShardId(idx as u32)) {
+                        self.shards[idx].decline_node_restart(node);
+                        continue;
+                    }
+                    let inc = self.node_incarnations.entry(node.0).or_insert(0);
+                    *inc += 1;
+                    let incarnation = *inc;
+                    if let Some(k) = self.kernels.get_mut(&node.0) {
+                        k.restart_node(now, incarnation);
+                        self.lan.set_station_up(StationId(node.0), true);
+                    }
+                    // Fan the confirmation to every live shard: the
+                    // leader announces NODE_RESTARTED; the rest quietly
+                    // reset transport and recover the pids they are
+                    // responsible for — the parallel-replay fan-out.
+                    let live: Vec<usize> = (0..self.shards.len())
+                        .filter(|&j| self.shards[j].is_up())
+                        .collect();
+                    for j in live {
+                        let follow = self.shards[j].confirm_node_restarted_with(
+                            now,
+                            node,
+                            incarnation,
+                            j == idx,
+                        );
+                        self.apply_shard(now, j, follow);
+                    }
+                }
+                RNAction::RecoveryDone { .. } => {}
+            }
+        }
+    }
+
+    fn apply_lan(&mut self, actions: Vec<publishing_net::lan::LanAction>) {
+        use publishing_net::lan::LanAction;
+        for a in actions {
+            match a {
+                LanAction::Deliver {
+                    at,
+                    to,
+                    frame,
+                    recorder_ok,
+                } => {
+                    self.sched.schedule_at(
+                        at,
+                        SEv::Deliver {
+                            to: to.0,
+                            frame,
+                            recorder_ok,
+                        },
+                    );
+                }
+                LanAction::SetTimer { at, token } => {
+                    self.sched.schedule_at(at, SEv::LanTimer(token));
+                }
+                LanAction::TxOutcome { .. } => {}
+            }
+        }
+    }
+
+    fn shard_index(&self, station: u32) -> Option<usize> {
+        self.shards.iter().position(|r| r.node().0 == station)
+    }
+
+    /// Processes one event.
+    pub fn step(&mut self) -> bool {
+        let Some((now, ev)) = self.sched.pop() else {
+            return false;
+        };
+        match ev {
+            SEv::LanTimer(token) => {
+                let actions = self.lan.timer(now, token);
+                self.apply_lan(actions);
+            }
+            SEv::KernelTimer(node, token) => {
+                if let Some(k) = self.kernels.get_mut(&node) {
+                    let actions = k.on_timer(now, token);
+                    self.apply_kernel(now, node, actions);
+                }
+            }
+            SEv::ShardTimer(idx, token) => {
+                let actions = self.shards[idx].on_timer(now, token);
+                self.apply_shard(now, idx, actions);
+            }
+            SEv::Deliver {
+                to,
+                frame,
+                recorder_ok,
+            } => {
+                if to < self.n_nodes {
+                    if let Some(k) = self.kernels.get_mut(&to) {
+                        let actions = k.on_frame(now, &frame, recorder_ok);
+                        self.apply_kernel(now, to, actions);
+                    }
+                } else if let Some(idx) = self.shard_index(to) {
+                    let actions = self.shards[idx].on_frame(now, &frame, recorder_ok);
+                    self.apply_shard(now, idx, actions);
+                }
+            }
+        }
+        // Readmit rejoining shards once they have caught up (§6.3:
+        // natural checkpointing brings a returning recorder up to date).
+        if !self.rejoining.is_empty() {
+            let done: Vec<(usize, SimTime)> = self
+                .rejoining
+                .iter()
+                .copied()
+                .filter(|(i, since)| self.shards[*i].recorder().caught_up(*since))
+                .collect();
+            if !done.is_empty() {
+                self.rejoining
+                    .retain(|(i, _)| !done.iter().any(|(j, _)| j == i));
+                let now = self.now();
+                for (i, _) in done {
+                    self.readmit_shard(now, i);
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs until `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.sched.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Capture sets and responsibility before a membership change.
+    #[allow(clippy::type_complexity)]
+    fn snapshot_placement(
+        &self,
+    ) -> (
+        BTreeMap<ProcessId, Vec<ShardId>>,
+        BTreeMap<ProcessId, ShardId>,
+    ) {
+        self.router.with_map(|m| {
+            let r = self.router.replication();
+            let caps = self
+                .processes
+                .iter()
+                .map(|&p| (p, m.capture_set(p, r)))
+                .collect();
+            let resp = self
+                .processes
+                .iter()
+                .filter_map(|&p| m.responsible(p).map(|s| (p, s)))
+                .collect();
+            (caps, resp)
+        })
+    }
+
+    /// After a map change: restore R-way replication by draining log
+    /// segments into newly responsible capture-set members, release
+    /// segments from members that dropped out, and have shards that
+    /// inherited responsibility from a dead one query their new pids'
+    /// states (a recovery that died with the old shard must restart).
+    fn reconcile_placement(
+        &mut self,
+        now: SimTime,
+        before_caps: &BTreeMap<ProcessId, Vec<ShardId>>,
+        before_resp: &BTreeMap<ProcessId, ShardId>,
+    ) {
+        let r = self.router.replication();
+        let mut queries: BTreeMap<usize, Vec<ProcessId>> = BTreeMap::new();
+        for (&pid, old_set) in before_caps {
+            let new_set = self.router.with_map(|m| m.capture_set(pid, r));
+            for &s in new_set.iter().filter(|s| !old_set.contains(s)) {
+                let tgt = s.0 as usize;
+                if !self.shards[tgt].is_up() {
+                    continue;
+                }
+                // A readmitted shard kept capturing its pids while it
+                // was marked dead (its ownership filter counts itself),
+                // so its segment is already complete — don't re-drain.
+                if self.shards[tgt].recorder().entry(pid).is_some() {
+                    continue;
+                }
+                let export = old_set.iter().find_map(|&o| {
+                    let src = o.0 as usize;
+                    if src != tgt && self.shards[src].is_up() {
+                        self.shards[src].export_process(pid)
+                    } else {
+                        None
+                    }
+                });
+                if let Some(export) = export {
+                    let actions = self.shards[tgt].import_process(now, export);
+                    self.apply_shard(now, tgt, actions);
+                }
+            }
+            for &s in old_set.iter().filter(|s| !new_set.contains(s)) {
+                let src = s.0 as usize;
+                if self.shards[src].is_up() {
+                    let actions = self.shards[src].release_process(now, pid);
+                    self.apply_shard(now, src, actions);
+                }
+            }
+            let new_resp = self.router.with_map(|m| m.responsible(pid));
+            if let (Some(&old_r), Some(new_r)) = (before_resp.get(&pid), new_resp) {
+                if old_r != new_r && !self.shards[old_r.0 as usize].is_up() {
+                    queries.entry(new_r.0 as usize).or_default().push(pid);
+                }
+            }
+        }
+        for (idx, pids) in queries {
+            let actions = self.shards[idx].query_process_states(now, &pids);
+            self.apply_shard(now, idx, actions);
+        }
+    }
+
+    /// Publishes the new map epoch as a control message on the medium —
+    /// the §4 publishing principle applied to the tier's own
+    /// reconfiguration: the cutover is part of the recorded broadcast
+    /// history, not a side channel.
+    fn publish_cutover(&mut self, now: SimTime) {
+        let (epoch, live_shards) = self.router.with_map(|m| (m.epoch(), m.live().len() as u32));
+        let Some(src_idx) = self.shards.iter().position(|s| s.is_up()) else {
+            return;
+        };
+        let src_node = self.shards[src_idx].node();
+        let body = encode_ctl(codes::SHARD_CUTOVER, &ShardCutover { epoch, live_shards });
+        self.cutovers_published += 1;
+        let seq = (epoch << 16) | self.cutovers_published;
+        let nodes: Vec<u32> = self.kernels.keys().copied().collect();
+        for n in nodes {
+            let msg = Message {
+                header: MessageHeader {
+                    id: MessageId {
+                        sender: ProcessId::kernel_of(src_node),
+                        seq,
+                    },
+                    to: ProcessId::kernel_of(NodeId(n)),
+                    code: 0,
+                    channel: Channel::DEFAULT,
+                    deliver_to_kernel: false,
+                },
+                passed_link: None,
+                body: body.clone(),
+            };
+            let wire = Wire::Datagram { src_node, msg };
+            let frame = Frame::new(
+                StationId(src_node.0),
+                Destination::Station(StationId(n)),
+                wire.encode_to_vec(),
+            );
+            let actions = self.lan.submit(now, frame);
+            self.apply_lan(actions);
+        }
+    }
+
+    /// Crashes a shard. Its pids fail over to their next-ranked live
+    /// shard (which, with R ≥ 2, already holds their full log); capture
+    /// sets are re-replicated and inherited recoveries re-queried.
+    pub fn crash_shard(&mut self, idx: usize) {
+        let now = self.now();
+        let (caps, resp) = self.snapshot_placement();
+        self.shards[idx].crash();
+        let st = self.shards[idx].station();
+        self.lan.set_station_up(st, false);
+        self.rejoining.retain(|(i, _)| *i != idx);
+        self.router
+            .with_map_mut(|m| m.set_live(ShardId(idx as u32), false));
+        self.refresh_required();
+        self.reconcile_placement(now, &caps, &resp);
+        self.publish_cutover(now);
+    }
+
+    /// Restarts a crashed shard. It rebuilds from its store, keeps
+    /// recording its pids immediately (its ownership filter counts it
+    /// even while not readmitted), and is marked live again — regaining
+    /// responsibility — only once every process it knows has
+    /// checkpointed since the restart.
+    pub fn restart_shard(&mut self, idx: usize) {
+        let now = self.now();
+        let st = self.shards[idx].station();
+        self.lan.set_station_up(st, true);
+        let actions = self.shards[idx].restart(now);
+        self.apply_shard(now, idx, actions);
+        self.rejoining.push((idx, now));
+    }
+
+    fn readmit_shard(&mut self, now: SimTime, idx: usize) {
+        let (caps, resp) = self.snapshot_placement();
+        self.router
+            .with_map_mut(|m| m.set_live(ShardId(idx as u32), true));
+        self.refresh_required();
+        self.reconcile_placement(now, &caps, &resp);
+        self.publish_cutover(now);
+    }
+
+    /// Admits a brand-new shard: drains the log segments of every pid
+    /// the new shard claims from their current holders, bumps the map
+    /// epoch, publishes the cutover, and releases the drained segments
+    /// from the members they moved off of.
+    pub fn add_shard(&mut self) -> ShardId {
+        let now = self.now();
+        let idx = self.shards.len();
+        let sid = ShardId(idx as u32);
+        let node = NodeId(self.n_nodes + idx as u32);
+        let (caps, resp) = self.snapshot_placement();
+        let mut rn = RecorderNode::new(node, RecorderConfig::default());
+        rn.set_shard_filters(
+            Some(self.router.owner_filter(sid)),
+            Some(self.router.responsible_filter(sid)),
+        );
+        self.router.register(sid, rn.station());
+        self.lan.attach(rn.station());
+        self.shards.push(rn);
+        for k in self.kernels.values_mut() {
+            k.add_recorder(node);
+        }
+        let watch: Vec<NodeId> = (0..self.n_nodes).map(NodeId).collect();
+        let actions = self.shards[idx].start(now, &watch);
+        self.apply_shard(now, idx, actions);
+        // Cutover: membership change first (one atomic epoch bump every
+        // closure sees), then drain/release against the old placement.
+        self.router.with_map_mut(|m| m.add_shard(sid));
+        self.refresh_required();
+        self.reconcile_placement(now, &caps, &resp);
+        self.publish_cutover(now);
+        sid
+    }
+
+    /// Crashes a process (detected fault).
+    pub fn crash_process(&mut self, pid: ProcessId, reason: &str) {
+        let now = self.now();
+        if let Some(k) = self.kernels.get_mut(&pid.node.0) {
+            let actions = k.crash_process(now, pid.local, reason);
+            self.apply_kernel(now, pid.node.0, actions);
+        }
+    }
+
+    /// Crashes a node; the restart leader's watchdog will notice and
+    /// every responsible shard recovers its slice of the node's
+    /// processes in parallel.
+    pub fn crash_node(&mut self, node: u32) {
+        if let Some(k) = self.kernels.get_mut(&node) {
+            k.crash_node();
+            self.lan.set_station_up(StationId(node), false);
+        }
+    }
+
+    /// Deduplicated outputs of one process.
+    pub fn outputs_of(&self, pid: ProcessId) -> Vec<String> {
+        let mut by_seq: BTreeMap<u64, &OutputLine> = BTreeMap::new();
+        for o in self.outputs.iter().filter(|o| o.pid == pid) {
+            by_seq.entry(o.seq).or_insert(o);
+        }
+        by_seq
+            .values()
+            .map(|o| String::from_utf8_lossy(&o.bytes).into_owned())
+            .collect()
+    }
+
+    /// A fingerprint of every process's deduplicated output, for
+    /// crash-free vs crashed-and-recovered equivalence checks.
+    pub fn output_fingerprint(&self) -> u64 {
+        let mut per_pid: BTreeMap<ProcessId, BTreeMap<u64, &[u8]>> = BTreeMap::new();
+        for o in &self.outputs {
+            per_pid
+                .entry(o.pid)
+                .or_default()
+                .entry(o.seq)
+                .or_insert(&o.bytes);
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (pid, lines) in per_pid {
+            for (seq, bytes) in lines {
+                for b in pid
+                    .as_u64()
+                    .to_le_bytes()
+                    .iter()
+                    .chain(seq.to_le_bytes().iter())
+                    .chain(bytes.iter())
+                {
+                    h ^= *b as u64;
+                    h = h.wrapping_mul(0x1000_0000_01b3);
+                }
+            }
+        }
+        h
+    }
+
+    /// Total completed recoveries across the tier.
+    pub fn recoveries_completed(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.manager().stats().completed.get())
+            .sum()
+    }
+
+    /// The shards (by index) that completed at least one recovery.
+    pub fn recovering_shards(&self) -> Vec<usize> {
+        (0..self.shards.len())
+            .filter(|&i| self.shards[i].manager().stats().completed.get() > 0)
+            .collect()
+    }
+}
+
+impl core::fmt::Debug for ShardedWorld {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ShardedWorld")
+            .field("nodes", &self.n_nodes)
+            .field("shards", &self.shards.len())
+            .field("router", &self.router)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use publishing_demos::programs::{self, PingClient};
+
+    fn registry() -> ProgramRegistry {
+        let mut reg = ProgramRegistry::new();
+        programs::register_standard(&mut reg);
+        reg.register("ping10", || Box::new(PingClient::new(10)));
+        reg
+    }
+
+    #[test]
+    fn ping_completes_under_sharding() {
+        let mut w = ShardedWorld::new(2, 3, registry());
+        let server = w.spawn(1, "echo", vec![]).unwrap();
+        let client = w
+            .spawn(0, "ping10", vec![Link::to(server, Channel::DEFAULT, 7)])
+            .unwrap();
+        w.run_until(SimTime::from_secs(5));
+        let out = w.outputs_of(client);
+        assert_eq!(out.len(), 11, "{out:?}");
+        assert_eq!(out.last().unwrap(), "done");
+    }
+
+    #[test]
+    fn each_pid_is_recorded_by_its_capture_set() {
+        let mut w = ShardedWorld::new(2, 3, registry());
+        let server = w.spawn(1, "echo", vec![]).unwrap();
+        let client = w
+            .spawn(0, "ping10", vec![Link::to(server, Channel::DEFAULT, 7)])
+            .unwrap();
+        w.run_until(SimTime::from_secs(5));
+        for pid in [server, client] {
+            let caps = w.router().with_map(|m| m.capture_set(pid, 2));
+            for i in 0..w.shard_count() {
+                let has = w.shards[i].recorder().entry(pid).is_some();
+                let should = caps.contains(&ShardId(i as u32));
+                assert_eq!(has, should, "shard {i} vs capture set {caps:?} for {pid:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn process_crash_recovered_by_responsible_shard_only() {
+        let mut w = ShardedWorld::new(2, 3, registry());
+        let server = w.spawn(1, "echo", vec![]).unwrap();
+        let client = w
+            .spawn(0, "ping10", vec![Link::to(server, Channel::DEFAULT, 7)])
+            .unwrap();
+        w.run_until(SimTime::from_millis(40));
+        w.crash_process(server, "injected");
+        w.run_until(SimTime::from_secs(10));
+        let out = w.outputs_of(client);
+        assert_eq!(out.len(), 11, "{out:?}");
+        let responsible = w.router().with_map(|m| m.responsible(server)).unwrap();
+        for i in 0..w.shard_count() {
+            let completed = w.shards[i].manager().stats().completed.get();
+            if i == responsible.0 as usize {
+                assert_eq!(completed, 1, "responsible shard recovers");
+            } else {
+                assert_eq!(completed, 0, "shard {i} must defer");
+            }
+        }
+    }
+
+    #[test]
+    fn add_shard_publishes_cutover_and_keeps_working() {
+        let mut w = ShardedWorld::new(2, 2, registry());
+        let server = w.spawn(1, "echo", vec![]).unwrap();
+        let client = w
+            .spawn(0, "ping10", vec![Link::to(server, Channel::DEFAULT, 7)])
+            .unwrap();
+        w.run_until(SimTime::from_millis(30));
+        let epoch_before = w.router().with_map(|m| m.epoch());
+        let sid = w.add_shard();
+        assert_eq!(sid, ShardId(2));
+        assert!(w.router().with_map(|m| m.epoch()) > epoch_before);
+        assert_eq!(w.cutovers_published(), 1);
+        w.run_until(SimTime::from_secs(5));
+        let out = w.outputs_of(client);
+        assert_eq!(out.len(), 11, "{out:?}");
+    }
+}

@@ -1,0 +1,168 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! shim provides criterion's macro/API surface with a deliberately tiny
+//! harness: each benchmark runs its closure a few times and prints the
+//! best-of-N wall-clock time. No statistics, plots, or baselines — just
+//! enough to keep `cargo bench` and bench-compilation in tier-1 honest.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Number of timed repetitions per benchmark (best-of is reported).
+const DEFAULT_REPS: usize = 3;
+
+/// Passed to every benchmark closure; `iter` times one repetition.
+pub struct Bencher {
+    reps: usize,
+    best: Option<Duration>,
+}
+
+impl Bencher {
+    fn new(reps: usize) -> Self {
+        Bencher { reps, best: None }
+    }
+
+    /// Runs `routine` `reps` times, keeping the fastest wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.reps.max(1) {
+            let start = Instant::now();
+            let out = routine();
+            let took = start.elapsed();
+            drop(out);
+            if self.best.map(|b| took < b).unwrap_or(true) {
+                self.best = Some(took);
+            }
+        }
+    }
+}
+
+/// Parameterised benchmark name, e.g. `BenchmarkId::new("users", 115)`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Top-level harness handle; construct via `Criterion::default()`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Applies CLI configuration. The shim takes no options, so this
+    /// ignores argv (accepting criterion's `--bench` flag silently).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            reps: DEFAULT_REPS,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        run_one(&id.to_string(), DEFAULT_REPS, f);
+        self
+    }
+
+    /// Called by `criterion_main!` after all groups have run.
+    pub fn final_summary(&self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    reps: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion uses this for statistical sample counts; the shim maps
+    /// it to repetition count, capped to keep `cargo bench` quick.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.reps = n.clamp(1, 10);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.reps, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.reps, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, reps: usize, mut f: F) {
+    let mut b = Bencher::new(reps);
+    f(&mut b);
+    match b.best {
+        Some(best) => println!("bench {label:<48} best of {reps}: {best:?}"),
+        None => println!("bench {label:<48} (no iterations)"),
+    }
+}
+
+/// Declares a group function that runs each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares `fn main` (benches use `harness = false`) running the groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_closures() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        let mut ran = 0usize;
+        g.sample_size(2).bench_function("count", |b| {
+            b.iter(|| ran += 1);
+        });
+        g.finish();
+        assert_eq!(ran, 2);
+    }
+}

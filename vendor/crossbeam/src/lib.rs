@@ -1,0 +1,171 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! shim provides the subset of `crossbeam::channel` the workspace uses:
+//! bounded MPMC-ish channels (`bounded`), a periodic `tick` receiver,
+//! and a polling `select!` macro. It is built on `std::sync::mpsc`;
+//! `select!` polls its receivers with a short sleep instead of parking,
+//! which is indistinguishable for the millisecond-granularity runtimes
+//! this workspace drives with it.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer channels with crossbeam's surface.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::{Duration, Instant};
+
+    pub use crate::select;
+
+    /// The sending half of a bounded channel.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// The receiving half of a bounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned when the channel is disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Sender::send`] when all receivers are gone;
+    /// carries the unsent message like crossbeam's.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Nothing queued right now.
+        Empty,
+        /// Every sender is gone and the queue is drained.
+        Disconnected,
+    }
+
+    impl TryRecvError {
+        /// `true` for the disconnected variant (used by `select!`).
+        pub fn is_disconnected(&self) -> bool {
+            matches!(self, TryRecvError::Disconnected)
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends, blocking while the channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives, blocking until a message or disconnection.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+    }
+
+    /// `select!` internals: builds receiver-typed results so arm
+    /// patterns infer without annotations.
+    #[doc(hidden)]
+    pub fn __select_ok<T>(_rx: &Receiver<T>, v: T) -> Result<T, RecvError> {
+        Ok(v)
+    }
+
+    #[doc(hidden)]
+    pub fn __select_disconnected<T>(_rx: &Receiver<T>) -> Result<T, RecvError> {
+        Err(RecvError)
+    }
+
+    /// Creates a bounded channel of capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap.max(1));
+        (Sender(tx), Receiver(rx))
+    }
+
+    /// A receiver that yields the current instant roughly every `every`.
+    /// The backing thread exits once the receiver is dropped.
+    pub fn tick(every: Duration) -> Receiver<Instant> {
+        let (tx, rx) = bounded::<Instant>(1);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(every);
+            if tx.send(Instant::now()).is_err() {
+                return;
+            }
+        });
+        rx
+    }
+}
+
+/// A polling stand-in for crossbeam's `select!`: tries each `recv(..)`
+/// arm in order, runs the first ready one, and otherwise sleeps briefly
+/// and retries. Only the `recv(receiver) -> pattern => body` arm form
+/// used by this workspace is supported.
+#[macro_export]
+macro_rules! select {
+    ($(recv($rx:expr) -> $res:pat => $body:expr),+ $(,)?) => {
+        'crossbeam_select: loop {
+            $(
+                match $rx.try_recv() {
+                    Ok(v) => {
+                        let $res = $crate::channel::__select_ok(&$rx, v);
+                        { $body }
+                        break 'crossbeam_select;
+                    }
+                    Err(e) if e.is_disconnected() => {
+                        let $res = $crate::channel::__select_disconnected(&$rx);
+                        { $body }
+                        break 'crossbeam_select;
+                    }
+                    _ => {}
+                }
+            )+
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, tick};
+    use std::time::Duration;
+
+    #[test]
+    fn bounded_roundtrip_across_threads() {
+        let (tx, rx) = bounded::<u32>(4);
+        let h = std::thread::spawn(move || {
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+        h.join().unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn select_picks_ready_arm_and_sees_disconnect() {
+        let (tx, rx) = bounded::<u8>(1);
+        let (_keep, ticker) = (tx.clone(), tick(Duration::from_secs(3600)));
+        tx.send(7).unwrap();
+        let mut got = None;
+        select! {
+            recv(rx) -> msg => got = Some(msg),
+            recv(ticker) -> _ => {}
+        }
+        assert_eq!(got, Some(Ok(7)));
+    }
+}

@@ -1,0 +1,649 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! shim reimplements the subset of proptest's API the workspace uses:
+//! the `proptest!`/`prop_oneof!`/`prop_assert*!` macros, `Strategy` with
+//! `prop_map`, `Just`, `any::<T>()`, integer-range strategies, tuple
+//! strategies, `collection::{vec, btree_map}`, `option::of`, and a tiny
+//! `[class]{m,n}` string-pattern strategy.
+//!
+//! Differences from real proptest, on purpose:
+//! - cases are generated from a fixed per-test seed, so runs are fully
+//!   deterministic (no `.proptest-regressions` files are read/written);
+//! - there is no shrinking — a failing case panics with its case index
+//!   so it can be replayed as-is;
+//! - `prop_assert*!` panics instead of returning `Err`, which is
+//!   equivalent under this runner.
+
+#![forbid(unsafe_code)]
+
+/// Core trait + combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// Generates values of `Self::Value` from a deterministic RNG.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    // Object-safe indirection so differently-typed strategies can share
+    // a `Vec` inside `Union`.
+    trait ObjStrategy<T> {
+        fn generate_obj(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> ObjStrategy<S::Value> for S {
+        fn generate_obj(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn ObjStrategy<T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_obj(rng)
+        }
+    }
+
+    /// Weighted choice between strategies (built by `prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positive weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (w, arm) in &self.arms {
+                if pick < *w as u64 {
+                    return arm.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weights summed to total")
+        }
+    }
+
+    /// Uniform values over the whole domain of `T`; see [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// Trait backing `any::<T>()`.
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy for any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arbitrary_uint {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+    arbitrary_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as u128) - (self.start as u128);
+                    assert!(span > 0, "empty range strategy");
+                    (self.start as u128 + rng.below_u128(span)) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (*self.end() as u128) - (*self.start() as u128) + 1;
+                    (*self.start() as u128 + rng.below_u128(span)) as $t
+                }
+            }
+        )+};
+    }
+    range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A: 0, B: 1);
+    tuple_strategy!(A: 0, B: 1, C: 2);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+
+    /// String-pattern strategy: a `&'static str` *is* a strategy in
+    /// proptest. This shim supports concatenations of literal chars and
+    /// `[a-z...]` classes, each optionally repeated `{m}` or `{m,n}`.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_from_pattern(self, rng)
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection::{vec, btree_map}`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeMap;
+
+    /// Inclusive size bounds, converted from range literals.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// See [`btree_map`].
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: SizeRange,
+    }
+
+    /// Maps with `size` entries; keys drawn from `keys`, values from
+    /// `values`. If the key space is too small to reach the chosen
+    /// size, the map is as large as distinct draws allow.
+    pub fn btree_map<K, V>(keys: K, values: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            keys,
+            values,
+            size: size.into(),
+        }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            let mut map = BTreeMap::new();
+            // Bounded attempts: duplicate keys do not loop forever.
+            for _ in 0..n.saturating_mul(8).max(8) {
+                if map.len() >= n {
+                    break;
+                }
+                map.insert(self.keys.generate(rng), self.values.generate(rng));
+            }
+            map
+        }
+    }
+}
+
+/// Option strategies (`proptest::option::of`).
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// See [`of`].
+    pub struct OptionStrategy<S>(S);
+
+    /// `None` a quarter of the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+/// The `[class]{m,n}` pattern generator backing `&str` strategies.
+pub mod string {
+    use crate::test_runner::TestRng;
+
+    /// Generates a string from a regex-like pattern made of literal
+    /// chars and `[..]` classes with optional `{m}` / `{m,n}` counts.
+    pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let choices: Vec<char> = match c {
+                '[' => {
+                    let mut class = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        match chars.next() {
+                            Some(']') => break,
+                            Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                                let lo = prev.take().unwrap();
+                                let hi = chars.next().unwrap();
+                                class.extend((lo..=hi).collect::<Vec<_>>());
+                            }
+                            Some(ch) => {
+                                if let Some(p) = prev.replace(ch) {
+                                    class.push(p);
+                                }
+                            }
+                            None => panic!("unterminated [class] in pattern {pattern:?}"),
+                        }
+                    }
+                    if let Some(p) = prev {
+                        class.push(p);
+                    }
+                    assert!(!class.is_empty(), "empty [class] in pattern {pattern:?}");
+                    class
+                }
+                lit => vec![lit],
+            };
+            let (lo, hi) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let spec: String = chars.by_ref().take_while(|&ch| ch != '}').collect();
+                match spec.split_once(',') {
+                    Some((m, n)) => (m.parse().unwrap(), n.parse().unwrap()),
+                    None => {
+                        let m: usize = spec.parse().unwrap();
+                        (m, m)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let count = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..count {
+                out.push(choices[rng.below(choices.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+/// Deterministic runner + config.
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(..)]`. Only
+    /// `cases` is meaningful to this shim.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+        /// Accepted for source compatibility; unused (no shrinking).
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; this shim trades depth for
+            // tier-1 wall-clock and relies on determinism for repro.
+            ProptestConfig {
+                cases: 64,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// xorshift64* — deterministic, seeded per (test, case).
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            TestRng(seed | 0x9E37_79B9_7F4A_7C15)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be positive.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+
+        pub fn below_u128(&mut self, n: u128) -> u128 {
+            (((self.next_u64() as u128) << 64) | self.next_u64() as u128) % n
+        }
+    }
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    // Prints which case failed when a property panics, since there is
+    // no shrinking: rerunning the test replays the same cases.
+    struct CaseReporter<'a> {
+        name: &'a str,
+        case: u32,
+    }
+
+    impl Drop for CaseReporter<'_> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                eprintln!(
+                    "proptest shim: property `{}` failed on case {} (deterministic; rerun to replay)",
+                    self.name, self.case
+                );
+            }
+        }
+    }
+
+    /// Runs `body` once per case with a case-seeded RNG.
+    pub fn run(name: &str, config: &ProptestConfig, mut body: impl FnMut(&mut TestRng)) {
+        let base = fnv1a(name);
+        for case in 0..config.cases.max(1) {
+            let reporter = CaseReporter { name, case };
+            let mut rng = TestRng::new(base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            body(&mut rng);
+            std::mem::forget(reporter);
+        }
+    }
+}
+
+/// `use proptest::prelude::*;` — the workspace's single import.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines property tests. Each case draws its arguments from the given
+/// strategies and runs the body; assertion macros panic on failure.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __pt_config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::test_runner::run(
+                    stringify!($name),
+                    &__pt_config,
+                    |__pt_rng: &mut $crate::test_runner::TestRng| {
+                        $(
+                            let $arg =
+                                $crate::strategy::Strategy::generate(&($strat), __pt_rng);
+                        )*
+                        $body
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Weighted (`w => strategy`) or unweighted choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// Like `assert!`, inside a property.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            panic!("property assertion failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+/// Like `assert_eq!`, inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!(
+                "property assert_eq failed:\n  left: {:?}\n right: {:?}",
+                l, r
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!(
+                "property assert_eq failed ({}):\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            );
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..200 {
+            let v = Strategy::generate(&(3u64..9), &mut rng);
+            assert!((3..9).contains(&v));
+            let w = Strategy::generate(&(1usize..=3), &mut rng);
+            assert!((1..=3).contains(&w));
+        }
+    }
+
+    #[test]
+    fn string_pattern_matches_class_and_counts() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..100 {
+            let s = Strategy::generate(&"[a-z]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn oneof_honors_weights_loosely() {
+        let strat = prop_oneof![
+            9 => Just(true),
+            1 => Just(false),
+        ];
+        let mut rng = TestRng::new(13);
+        let trues = (0..1000)
+            .filter(|_| Strategy::generate(&strat, &mut rng))
+            .count();
+        assert!(trues > 700, "expected heavy bias, got {trues}/1000");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        /// The macro pipeline end-to-end: tuples, maps, collections.
+        #[test]
+        fn macro_pipeline_works(
+            pair in (0u8..4, any::<bool>()).prop_map(|(a, b)| (a as u32, b)),
+            items in crate::collection::vec(0u32..100, 0..10),
+            maybe in crate::option::of(1u64..5),
+        ) {
+            prop_assert!(pair.0 < 4);
+            prop_assert_eq!(items.iter().filter(|&&x| x >= 100).count(), 0);
+            if let Some(m) = maybe {
+                prop_assert!((1..5).contains(&m));
+            }
+        }
+    }
+}
