@@ -18,4 +18,11 @@ cargo test --workspace -q
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (rustdoc warnings are errors; vendored shims excluded)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet \
+  --exclude proptest --exclude criterion --exclude crossbeam --exclude parking_lot
+
+echo "==> obs_report smoke run"
+cargo run -q --release -p publishing-bench --bin obs_report -- --smoke > /dev/null
+
 echo "CI green."

@@ -23,6 +23,7 @@ use publishing_sim::codec::{CodecError, Decode, Encoder};
 use publishing_sim::event::Scheduler;
 use publishing_sim::rng::DetRng;
 use publishing_sim::time::{SimDuration, SimTime};
+use publishing_sim::{Counter, Summary};
 
 // ---------------------------------------------------------------------
 // Figure 5.6/5.7: per-message overheads with and without publishing
@@ -295,10 +296,10 @@ pub fn ethernet_run(
         let dt = SimDuration::from_secs_f64(rng.exponential(gap));
         sched.schedule_at(SimTime::ZERO + dt, Ev::Submit { from: s });
     }
-    let mut delivered = 0u64;
-    let mut offered = 0u64;
+    let mut delivered = Counter::new();
+    let mut offered = Counter::new();
 
-    fn apply(sched: &mut Scheduler<Ev>, actions: Vec<LanAction>, delivered: &mut u64) {
+    fn apply(sched: &mut Scheduler<Ev>, actions: Vec<LanAction>, delivered: &mut Counter) {
         for a in actions {
             match a {
                 LanAction::SetTimer { at, token } => {
@@ -308,7 +309,7 @@ pub fn ethernet_run(
                     // Data frames are >100 bytes; acks are 40.
                     let data = frame.payload.len() >= 100;
                     if data {
-                        *delivered += 1;
+                        delivered.inc();
                     }
                     sched.schedule_at(at, Ev::Deliver { to: to.0, data });
                 }
@@ -323,7 +324,7 @@ pub fn ethernet_run(
         }
         match ev {
             Ev::Submit { from } => {
-                offered += 1;
+                offered.inc();
                 let to = (from + 1 + rng.below(stations as u64 - 1) as u32) % stations;
                 let frame = Frame::new(
                     StationId(from),
@@ -354,8 +355,8 @@ pub fn ethernet_run(
     }
     let secs = horizon.as_secs_f64();
     EthernetRun {
-        offered_fps: offered as f64 / secs,
-        delivered_fps: delivered as f64 / secs,
+        offered_fps: offered.get() as f64 / secs,
+        delivered_fps: delivered.get() as f64 / secs,
         collisions: lan.stats().collisions.get(),
         utilization: lan.stats().busy.utilization(horizon),
     }
@@ -388,8 +389,7 @@ pub fn token_ring_run(stations: u32, recorder: u32, sends: u32) -> RingRun {
         ring.attach(StationId(s));
     }
     ring.set_required_recorders(vec![StationId(recorder)]);
-    let mut total_us = 0.0;
-    let mut count = 0u32;
+    let mut latency_us = Summary::new();
     let mut now = SimTime::ZERO;
     for i in 0..sends {
         let from = 0u32;
@@ -407,8 +407,7 @@ pub fn token_ring_run(stations: u32, recorder: u32, sends: u32) -> RingRun {
         for a in &actions {
             match a {
                 LanAction::Deliver { at, to: d, .. } if d.0 == to => {
-                    total_us += at.saturating_since(now).as_millis_f64() * 1000.0;
-                    count += 1;
+                    latency_us.record(at.saturating_since(now).as_millis_f64() * 1000.0);
                 }
                 LanAction::SetTimer { at, token } => {
                     strip = *at;
@@ -433,11 +432,7 @@ pub fn token_ring_run(stations: u32, recorder: u32, sends: u32) -> RingRun {
     }
     RingRun {
         recorder_distance: recorder,
-        mean_latency_us: if count > 0 {
-            total_us / count as f64
-        } else {
-            0.0
-        },
+        mean_latency_us: latency_us.mean(),
     }
 }
 

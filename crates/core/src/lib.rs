@@ -37,6 +37,7 @@ pub mod manager;
 pub mod multi;
 pub mod node;
 pub mod node_recovery;
+pub mod obs;
 pub mod recorder;
 pub mod recovery_time;
 pub mod transactions;

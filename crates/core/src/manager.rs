@@ -182,6 +182,12 @@ impl RecoveryManager {
         !self.jobs.is_empty()
     }
 
+    /// Returns the processes whose recovery this manager is driving, in
+    /// pid order (the recovery-lag probe sums their replay backlogs).
+    pub fn job_pids(&self) -> Vec<ProcessId> {
+        self.jobs.keys().copied().collect()
+    }
+
     /// Returns the number of nodes currently believed crashed.
     pub fn nodes_restarting(&self) -> usize {
         self.nodes

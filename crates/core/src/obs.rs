@@ -1,0 +1,191 @@
+//! Observability collection: projecting component instruments into the
+//! `publishing-obs` registry/probe model.
+//!
+//! The world drivers (single-recorder [`crate::World`], sharded tier in
+//! `publishing-shard`) own every component and therefore are the only
+//! places a whole-run picture can be assembled. This module keeps that
+//! assembly in one place so both drivers file the same metric paths and
+//! the `obs_report` artifact looks identical regardless of topology.
+//!
+//! Everything here is read-only over component state and derived from
+//! virtual time, so collecting a snapshot never perturbs a simulation:
+//! runs with and without observation produce identical fingerprints.
+
+use std::collections::BTreeMap;
+
+use publishing_demos::kernel::Kernel;
+use publishing_obs::probe::RecoveryLag;
+use publishing_obs::registry::MetricsRegistry;
+use publishing_obs::span::SpanLog;
+use publishing_sim::time::SimTime;
+
+use crate::manager::RecoveryManager;
+use crate::node::RecorderNode;
+use crate::recorder::Recorder;
+
+/// Files one kernel's instruments under `node/<n>/...`.
+pub fn kernel_metrics(reg: &mut MetricsRegistry, k: &Kernel) {
+    let p = format!("node/{}/kernel", k.node().0);
+    let s = k.stats();
+    reg.counter(format!("{p}/activations"), s.activations.get());
+    reg.counter(format!("{p}/msgs_sent"), s.msgs_sent.get());
+    reg.counter(format!("{p}/msgs_received"), s.msgs_received.get());
+    reg.counter(format!("{p}/dups_dropped"), s.dups_dropped.get());
+    reg.counter(
+        format!("{p}/read_order_notices"),
+        s.read_order_notices.get(),
+    );
+    reg.counter(format!("{p}/recorder_blocked"), s.recorder_blocked.get());
+    reg.counter(format!("{p}/bad_frames"), s.bad_frames.get());
+    reg.counter(format!("{p}/creates"), s.creates.get());
+    reg.counter(format!("{p}/destroys"), s.destroys.get());
+    reg.counter(format!("{p}/checkpoints_taken"), s.checkpoints_taken.get());
+    reg.counter(format!("{p}/recovery_deferred"), s.recovery_deferred.get());
+    reg.gauge(format!("{p}/cpu_used_ms"), s.cpu_used.as_millis_f64());
+    reg.counter(format!("{p}/span_events"), k.spans().total());
+
+    let t = k.transport_stats();
+    let p = format!("node/{}/transport", k.node().0);
+    reg.counter(format!("{p}/sent"), t.sent.get());
+    reg.counter(format!("{p}/datagrams"), t.datagrams.get());
+    reg.counter(format!("{p}/retransmits"), t.retransmits.get());
+    reg.counter(format!("{p}/delivered"), t.delivered.get());
+    reg.counter(format!("{p}/duplicates"), t.duplicates.get());
+    reg.counter(format!("{p}/acked"), t.acked.get());
+    reg.counter(format!("{p}/stale_epoch"), t.stale_epoch.get());
+}
+
+/// Files a recorder node's instruments (recorder, manager, store, disks)
+/// under `<prefix>/...`. The sharded tier passes `shard/<i>`, the single
+/// recorder world passes `recorder`.
+pub fn recorder_node_metrics(
+    reg: &mut MetricsRegistry,
+    prefix: &str,
+    rn: &RecorderNode,
+    now: SimTime,
+) {
+    let rec = rn.recorder();
+    let s = rec.stats();
+    reg.counter(format!("{prefix}/captured"), s.captured.get());
+    reg.counter(format!("{prefix}/published"), s.published.get());
+    reg.counter(format!("{prefix}/duplicates"), s.duplicates.get());
+    reg.counter(format!("{prefix}/orphan_acks"), s.orphan_acks.get());
+    reg.counter(format!("{prefix}/notices"), s.notices.get());
+    reg.counter(format!("{prefix}/checkpoints"), s.checkpoints.get());
+    reg.gauge(format!("{prefix}/cpu_used_ms"), s.cpu_used.as_millis_f64());
+    reg.counter(
+        format!("{prefix}/pending_depth"),
+        rec.pending_depth() as u64,
+    );
+    reg.counter(format!("{prefix}/span_events"), rec.spans().total());
+
+    let m = rn.manager().stats();
+    reg.counter(
+        format!("{prefix}/mgr/process_recoveries"),
+        m.process_recoveries.get(),
+    );
+    reg.counter(format!("{prefix}/mgr/node_crashes"), m.node_crashes.get());
+    reg.counter(format!("{prefix}/mgr/replayed"), m.replayed.get());
+    reg.counter(format!("{prefix}/mgr/completed"), m.completed.get());
+    reg.counter(format!("{prefix}/mgr/recursive"), m.recursive.get());
+    reg.counter(format!("{prefix}/mgr/stale_replies"), m.stale_replies.get());
+
+    let store = rec.store();
+    let st = store.stats();
+    reg.counter(format!("{prefix}/store/appended"), st.appended.get());
+    reg.counter(
+        format!("{prefix}/store/pages_written"),
+        st.pages_written.get(),
+    );
+    reg.counter(format!("{prefix}/store/pages_freed"), st.pages_freed.get());
+    reg.counter(format!("{prefix}/store/compactions"), st.compactions.get());
+    reg.counter(
+        format!("{prefix}/store/records_compacted"),
+        st.records_compacted.get(),
+    );
+    reg.counter(format!("{prefix}/store/checkpoints"), st.checkpoints.get());
+    for i in 0..store.n_disks() {
+        let d = store.disk_stats(i);
+        let p = format!("{prefix}/disk/{i}");
+        reg.counter(format!("{p}/writes"), d.writes.get());
+        reg.counter(format!("{p}/reads"), d.reads.get());
+        reg.counter(format!("{p}/bytes_written"), d.bytes_written.get());
+        reg.counter(format!("{p}/bytes_read"), d.bytes_read.get());
+        reg.gauge(format!("{p}/utilization"), d.busy.utilization(now));
+        reg.summary(&format!("{p}/response_ms"), &d.response_ms);
+    }
+}
+
+/// Counts §4.7 suppressions per *sending* process from kernel span logs.
+///
+/// Suppress events carry the suppressed message's id, so the sender half
+/// of the key attributes the suppression to the recovering process whose
+/// resends were cut off. Bounded by span-ring retention, which is fine
+/// for a point-in-time probe.
+pub fn suppressed_by_sender<'a>(logs: impl IntoIterator<Item = &'a SpanLog>) -> BTreeMap<u64, u64> {
+    let mut out = BTreeMap::new();
+    for log in logs {
+        for ev in log.events_in(publishing_obs::span::Stage::Suppress) {
+            *out.entry(ev.key.sender).or_insert(0) += 1;
+        }
+    }
+    out
+}
+
+/// Builds recovery-lag probes for every process in a recorder's database.
+///
+/// `suppressed` maps packed sender pid → suppression count (from
+/// [`suppressed_by_sender`] over the kernels' span logs).
+pub fn recovery_lags(
+    rec: &Recorder,
+    now: SimTime,
+    suppressed: &BTreeMap<u64, u64>,
+) -> Vec<RecoveryLag> {
+    let mut out = Vec::new();
+    for pid in rec.known_pids() {
+        let Some(entry) = rec.entry(pid) else {
+            continue;
+        };
+        out.push(RecoveryLag {
+            subject: pid.as_u64(),
+            recovering: entry.recovering,
+            messages_behind: entry.arrivals.len() as u64,
+            checkpoint_age_ms: now
+                .saturating_since(entry.estimator.checkpoint_at)
+                .as_millis_f64(),
+            suppressed: suppressed.get(&pid.as_u64()).copied().unwrap_or(0),
+        });
+    }
+    out
+}
+
+/// Messages the manager's in-flight recoveries still have to replay:
+/// the replay streams of every live job, summed. Zero once every job
+/// has committed (the job set empties).
+pub fn replay_lag(rec: &Recorder, mgr: &RecoveryManager) -> u64 {
+    mgr.job_pids()
+        .iter()
+        .map(|pid| rec.replay_stream(*pid).len() as u64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use publishing_obs::span::{MsgKey, Stage};
+
+    #[test]
+    fn suppression_attribution_is_per_sender() {
+        let mut a = SpanLog::default();
+        let mut b = SpanLog::default();
+        let k1 = MsgKey { sender: 7, seq: 1 };
+        let k2 = MsgKey { sender: 9, seq: 4 };
+        a.record(SimTime::ZERO, k1, Stage::Suppress, 3, 0);
+        a.record(SimTime::ZERO, k1, Stage::Publish, 3, 0); // not a suppression
+        b.record(SimTime::ZERO, k1, Stage::Suppress, 5, 1);
+        b.record(SimTime::ZERO, k2, Stage::Suppress, 5, 2);
+        let by = suppressed_by_sender([&a, &b]);
+        assert_eq!(by.get(&7), Some(&2));
+        assert_eq!(by.get(&9), Some(&1));
+    }
+}

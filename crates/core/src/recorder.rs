@@ -20,6 +20,7 @@ use crate::recovery_time::RecoveryEstimator;
 use publishing_demos::ids::{MessageId, NodeId, ProcessId};
 use publishing_demos::message::Message;
 use publishing_demos::protocol::{CheckpointDeposit, ReadOrderNotice};
+use publishing_obs::span::{MsgKey, SpanLog, Stage};
 use publishing_sim::codec::{CodecError, Decode, Decoder, Encode, Encoder};
 use publishing_sim::stats::Counter;
 use publishing_sim::time::{SimDuration, SimTime};
@@ -254,6 +255,7 @@ pub struct Recorder {
     /// (a shard's slice of the destination space). `None` = track all.
     owner: Option<PidFilter>,
     stats: RecorderStats,
+    spans: SpanLog,
 }
 
 impl Recorder {
@@ -273,6 +275,7 @@ impl Recorder {
             publish_cost,
             owner: None,
             stats: RecorderStats::default(),
+            spans: SpanLog::default(),
         }
     }
 
@@ -295,6 +298,19 @@ impl Recorder {
     /// Returns the recorder counters.
     pub fn stats(&self) -> &RecorderStats {
         &self.stats
+    }
+
+    /// Returns the recorder's message-lifecycle span log (capture,
+    /// sequence, and checkpoint events). Like the stats, spans survive a
+    /// recorder crash: they model an external observer.
+    pub fn spans(&self) -> &SpanLog {
+        &self.spans
+    }
+
+    /// Returns the number of captured-but-unsequenced messages in the
+    /// battery-backed pending buffer (the shard-health queue depth).
+    pub fn pending_depth(&self) -> usize {
+        self.pending.len()
     }
 
     /// Returns the store (for utilization reporting).
@@ -329,7 +345,7 @@ impl Recorder {
     }
 
     /// Captures a process-destined data message seen on the wire.
-    pub fn on_data(&mut self, _now: SimTime, msg: &Message) {
+    pub fn on_data(&mut self, now: SimTime, msg: &Message) {
         let id = msg.header.id;
         if msg.header.to.is_kernel() || !self.owns(msg.header.to) {
             return;
@@ -347,6 +363,8 @@ impl Recorder {
         self.stats.captured.inc();
         let cap = self.next_capture;
         self.next_capture += 1;
+        self.spans
+            .record(now, id.into(), Stage::Capture, msg.header.to.as_u64(), cap);
         self.pending.insert(cap, msg.clone());
         self.pending_ids.insert(id, cap);
     }
@@ -386,6 +404,8 @@ impl Recorder {
         entry.arrivals.push((seq, msg_id));
         entry.estimator.on_message(len);
         entry.bytes_since_checkpoint += len as u64;
+        self.spans
+            .record(now, msg_id.into(), Stage::Sequence, dst_pid.as_u64(), seq);
         // Track the sender's delivered watermark toward this destination.
         // Under sharding the sender may belong to another shard; skip it
         // rather than grow an entry we don't own. Under-suppression is the
@@ -699,6 +719,17 @@ impl Recorder {
         entry.estimator.on_checkpoint(now, dep.pages);
         entry.bytes_since_checkpoint = 0;
         self.stats.checkpoints.inc();
+        let floor = dep.meta.read_floor;
+        self.spans.record(
+            now,
+            MsgKey {
+                sender: pid.as_u64(),
+                seq: floor,
+            },
+            Stage::Checkpoint,
+            pid.as_u64(),
+            floor,
+        );
     }
 
     /// Computes the replay stream for `pid`: the messages it must be fed,

@@ -431,4 +431,82 @@ impl World {
         }
         h
     }
+
+    /// Every span log in the world, in deterministic order: kernels by
+    /// node id, then the recorder.
+    pub fn span_logs(&self) -> Vec<&publishing_obs::span::SpanLog> {
+        let mut logs: Vec<_> = self.kernels.values().map(|k| k.spans()).collect();
+        logs.push(self.recorder.recorder().spans());
+        logs
+    }
+
+    /// Order-sensitive fingerprint over every span log — the run-level
+    /// determinism oracle for the lifecycle trace.
+    pub fn obs_fingerprint(&self) -> u64 {
+        publishing_obs::span::combined_fingerprint(self.span_logs())
+    }
+
+    /// Assembles per-message lifecycle spans from every component's log.
+    pub fn spans(
+        &self,
+    ) -> BTreeMap<publishing_obs::span::MsgKey, publishing_obs::span::MessageSpan> {
+        publishing_obs::span::assemble(self.span_logs())
+    }
+
+    /// Snapshots every component's instruments into one registry.
+    pub fn collect_metrics(&self) -> publishing_obs::registry::MetricsRegistry {
+        let now = self.now();
+        let mut reg = publishing_obs::registry::MetricsRegistry::new();
+        for k in self.kernels.values() {
+            crate::obs::kernel_metrics(&mut reg, k);
+        }
+        crate::obs::recorder_node_metrics(&mut reg, "recorder", &self.recorder, now);
+        publishing_obs::probe::MediumHealth::from_lan(self.lan.stats(), now)
+            .into_registry(&mut reg);
+        reg
+    }
+
+    /// Recovery-lag probes for every process the recorder knows about.
+    pub fn recovery_lags(&self) -> Vec<publishing_obs::probe::RecoveryLag> {
+        let suppressed = crate::obs::suppressed_by_sender(self.kernels.values().map(|k| k.spans()));
+        crate::obs::recovery_lags(self.recorder.recorder(), self.now(), &suppressed)
+    }
+
+    /// Builds the full observability report for the run so far.
+    pub fn obs_report(&self) -> publishing_obs::report::ObsReport {
+        let now = self.now();
+        let horizon = now.saturating_since(SimTime::ZERO);
+        let mut profile = publishing_obs::profile::TimeProfile::new();
+        let mut kernel_cpu = publishing_sim::time::SimDuration::ZERO;
+        for k in self.kernels.values() {
+            kernel_cpu += k.stats().cpu_used;
+        }
+        profile.charge("kernel_cpu", kernel_cpu);
+        profile.charge("publish_cpu", self.recorder.recorder().stats().cpu_used);
+        let store = self.recorder.recorder().store();
+        let mut disk_busy = publishing_sim::time::SimDuration::ZERO;
+        for i in 0..store.n_disks() {
+            disk_busy += store.disk_stats(i).busy.busy_time(now);
+        }
+        profile.charge("stable_store_io", disk_busy);
+        profile.charge("medium_busy", self.lan.stats().busy.busy_time(now));
+
+        let spans = self.spans();
+        let logs = self.span_logs();
+        publishing_obs::report::ObsReport {
+            at_ms: now.as_millis_f64(),
+            metrics: self.collect_metrics(),
+            recovery: self.recovery_lags(),
+            shards: Vec::new(),
+            medium: Some(publishing_obs::probe::MediumHealth::from_lan(
+                self.lan.stats(),
+                now,
+            )),
+            profile,
+            horizon,
+            latencies: publishing_obs::profile::stage_latencies(&spans),
+            spans_total: logs.iter().map(|l| l.total()).sum(),
+            span_fingerprint: self.obs_fingerprint(),
+        }
+    }
 }

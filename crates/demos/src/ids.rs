@@ -127,6 +127,15 @@ impl fmt::Display for MessageId {
     }
 }
 
+impl From<MessageId> for publishing_obs::span::MsgKey {
+    fn from(id: MessageId) -> Self {
+        publishing_obs::span::MsgKey {
+            sender: id.sender.as_u64(),
+            seq: id.seq,
+        }
+    }
+}
+
 impl Encode for MessageId {
     fn encode(&self, e: &mut Encoder) {
         self.sender.encode(e);
@@ -250,6 +259,17 @@ mod tests {
             seq: 2,
         };
         assert!(a < b);
+    }
+
+    #[test]
+    fn message_id_to_msgkey() {
+        let id = MessageId {
+            sender: ProcessId::new(3, 7),
+            seq: 11,
+        };
+        let key: publishing_obs::span::MsgKey = id.into();
+        assert_eq!(key.sender, ProcessId::new(3, 7).as_u64());
+        assert_eq!(key.seq, 11);
     }
 
     #[test]

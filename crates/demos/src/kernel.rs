@@ -33,6 +33,7 @@ use crate::protocol::{self, codes};
 use crate::registry::{ProgramRegistry, UnknownProgram};
 use crate::transport::{TAction, Transport, TransportConfig, Wire};
 use publishing_net::frame::{Destination, Frame, StationId};
+use publishing_obs::span::{SpanLog, Stage};
 use publishing_sim::codec::{Decode, Encode, Encoder};
 use publishing_sim::stats::Counter;
 use publishing_sim::time::{SimDuration, SimTime};
@@ -156,6 +157,7 @@ pub struct Kernel {
     dispatch_armed: bool,
     up: bool,
     stats: KernelStats,
+    spans: SpanLog,
 }
 
 impl Kernel {
@@ -192,6 +194,7 @@ impl Kernel {
             dispatch_armed: false,
             up: true,
             stats: KernelStats::default(),
+            spans: SpanLog::default(),
         }
     }
 
@@ -228,6 +231,14 @@ impl Kernel {
     /// Returns the kernel's counters.
     pub fn stats(&self) -> &KernelStats {
         &self.stats
+    }
+
+    /// Returns the kernel's message-lifecycle span log. Span events
+    /// survive node crashes — the log models an external observer, not
+    /// state on the machine — which is what lets tests compare a replayed
+    /// read prefix against the pre-crash one.
+    pub fn spans(&self) -> &SpanLog {
+        &self.spans
     }
 
     /// Returns the transport's counters.
@@ -383,6 +394,13 @@ impl Kernel {
         if let Some(book) = &proc.recovery {
             if let Some(&watermark) = book.suppress.get(&link.dest) {
                 if seq <= watermark {
+                    self.spans.record(
+                        now,
+                        id.into(),
+                        Stage::Suppress,
+                        link.dest.as_u64(),
+                        watermark,
+                    );
                     return;
                 }
             }
@@ -405,6 +423,17 @@ impl Kernel {
     fn route_and_send(&mut self, now: SimTime, msg: Message, out: &mut Vec<KernelAction>) {
         let dst_node = self.route(msg.header.to);
         self.stats.msgs_sent.inc();
+        // Kernel-to-kernel control traffic is never published; only
+        // process-destined messages get lifecycle spans.
+        if !msg.header.to.is_kernel() {
+            self.spans.record(
+                now,
+                msg.header.id.into(),
+                Stage::Publish,
+                msg.header.to.as_u64(),
+                msg.body.len() as u64,
+            );
+        }
         if !self.publishing && dst_node == self.node {
             // Non-published fast path: direct intranode delivery.
             self.charge_busy(now, self.costs.local_delivery);
@@ -646,6 +675,13 @@ impl Kernel {
         let read_index = proc.read_count;
         proc.read_count += 1;
         proc.note_read(read.message.header.id);
+        self.spans.record(
+            now,
+            read.message.header.id.into(),
+            Stage::Deliver,
+            pid.as_u64(),
+            read_index,
+        );
         if let Some(book) = proc.recovery.as_mut() {
             book.replayed.insert(read.message.header.id);
         }
@@ -1234,6 +1270,13 @@ impl Kernel {
             self.stats.dups_dropped.inc();
             return;
         }
+        self.spans.record(
+            now,
+            rep.msg.header.id.into(),
+            Stage::Replay,
+            rep.dst.as_u64(),
+            rep.read_seq,
+        );
         proc.queue.enqueue(rep.msg);
         self.wake(rep.dst.local);
         self.try_dispatch(now, out);

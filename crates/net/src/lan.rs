@@ -117,6 +117,19 @@ pub struct LanStats {
     pub aborted: Counter,
     /// Busy-time integrator for the shared medium.
     pub busy: Utilization,
+    /// Per-station counts of gating stalls attributed to the required
+    /// recorder that missed the frame: when delivery is blocked because a
+    /// required recorder failed to capture a frame intact, each recorder
+    /// that missed it is charged here. The sharded tier reads this to
+    /// report per-shard capture-set stalls.
+    pub blocked_at_recorder: std::collections::BTreeMap<StationId, u64>,
+}
+
+impl LanStats {
+    /// Returns the gating stalls charged to one required-recorder station.
+    pub fn blocked_at(&self, station: StationId) -> u64 {
+        self.blocked_at_recorder.get(&station).copied().unwrap_or(0)
+    }
 }
 
 /// Per-frame recorder routing for sharded recorder tiers.
@@ -223,6 +236,15 @@ impl DeliveryFanout<'_> {
         });
         if !recorder_ok && !required_recorders.is_empty() {
             self.stats.recorder_blocked.inc();
+            // Attribute the stall to every required recorder that missed
+            // the frame, so a sharded tier can see which shard is lossy.
+            for r in required_recorders {
+                let missed = *r != frame.src
+                    && !fates.iter().any(|&(st, fate)| st == *r && fate == Fate::Ok);
+                if missed {
+                    *self.stats.blocked_at_recorder.entry(*r).or_insert(0) += 1;
+                }
+            }
         }
 
         let mut out = Vec::with_capacity(fates.len());
@@ -328,6 +350,10 @@ mod tests {
         assert!(actions.is_empty());
         assert_eq!(stats.recorder_blocked.get(), 1);
         assert_eq!(stats.lost.get(), 2);
+        // The stall is attributed to the required recorder that missed the
+        // frame, not to bystander receivers.
+        assert_eq!(stats.blocked_at(StationId(2)), 1);
+        assert_eq!(stats.blocked_at(StationId(1)), 0);
     }
 
     #[test]

@@ -1,0 +1,42 @@
+//! Unified observability layer for the PUBLISHING reproduction.
+//!
+//! The paper's claims are claims about *message lifecycles* (publish →
+//! recorder-ack → deliver, and on a crash, replay and resend-suppression)
+//! and *subsystem load* (recorder service time, medium utilization, disk
+//! busy time). This crate gives every other crate one deterministic way to
+//! observe both:
+//!
+//! - [`span`]: structured lifecycle events keyed by message id, recorded
+//!   into bounded per-component logs whose running fingerprint is a
+//!   determinism oracle (same property as `publishing_sim::trace`, but
+//!   over typed events instead of free-form strings);
+//! - [`registry`]: a hierarchical, path-keyed metrics registry with
+//!   snapshot/delta semantics and JSON-lines export, populated from the
+//!   existing `Counter`/`Summary`/`LogHistogram`/`Utilization`
+//!   instruments so benches and `paper_tables` share one source of truth;
+//! - [`probe`]: derived health probes — recovery lag, shard-tier health,
+//!   and medium utilization;
+//! - [`profile`]: virtual-time attribution per event category and
+//!   per-lifecycle-stage latency histograms;
+//! - [`report`]: the `obs_report` run artifact, rendered as text or JSON.
+//!
+//! Dependency discipline: this crate sits *below* demos/core/shard (which
+//! all record into it), so it speaks only in packed `u64` process ids and
+//! `(sender, seq)` message keys — never in `publishing_demos` types.
+//! Everything here is deterministic: no wall clocks, no global state, no
+//! interior mutability.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod probe;
+pub mod profile;
+pub mod registry;
+pub mod report;
+pub mod span;
+
+pub use probe::{MediumHealth, RecoveryLag, ShardHealth};
+pub use profile::{StageLatencies, TimeProfile};
+pub use registry::{MetricValue, MetricsRegistry};
+pub use report::ObsReport;
+pub use span::{MessageSpan, MsgKey, SpanEvent, SpanLog, Stage, DEFAULT_SPAN_CAPACITY};

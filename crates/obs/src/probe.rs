@@ -1,0 +1,234 @@
+//! Derived health probes.
+//!
+//! A probe is a point-in-time reading computed from a component's
+//! existing state and instruments: how far behind a recovering process
+//! is, how loaded a recorder shard is, how busy the shared medium is.
+//! The world drivers construct probes (they can see every component);
+//! this module only defines the shapes, their registry projection, and
+//! their text rendering, so the `obs_report` artifact has one format.
+
+use crate::registry::MetricsRegistry;
+use publishing_net::lan::LanStats;
+use publishing_sim::time::SimTime;
+
+/// Recovery lag for one process the recorder tier knows about.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryLag {
+    /// Packed process id.
+    pub subject: u64,
+    /// Whether a recovery is in progress for this process.
+    pub recovering: bool,
+    /// Unconsumed published messages that a (re)play would have to feed —
+    /// zero right after a durable checkpoint, growing until the next one.
+    pub messages_behind: u64,
+    /// Virtual time since the last durable checkpoint, in milliseconds.
+    pub checkpoint_age_ms: f64,
+    /// §4.7 resends suppressed at the delivered watermark so far (as
+    /// counted by the sender's kernel).
+    pub suppressed: u64,
+}
+
+impl RecoveryLag {
+    /// Files the probe under `recovery/<pid>/...`.
+    pub fn into_registry(&self, reg: &mut MetricsRegistry) {
+        let p = format!("recovery/{}", self.subject);
+        reg.counter(format!("{p}/messages_behind"), self.messages_behind);
+        reg.gauge(format!("{p}/checkpoint_age_ms"), self.checkpoint_age_ms);
+        reg.counter(format!("{p}/suppressed"), self.suppressed);
+        reg.gauge(
+            format!("{p}/recovering"),
+            if self.recovering { 1.0 } else { 0.0 },
+        );
+    }
+
+    /// One text line for the run report.
+    pub fn render(&self) -> String {
+        format!(
+            "pid {} behind={} ckpt_age={:.3}ms suppressed={} {}",
+            self.subject,
+            self.messages_behind,
+            self.checkpoint_age_ms,
+            self.suppressed,
+            if self.recovering { "RECOVERING" } else { "ok" }
+        )
+    }
+}
+
+/// Health of one recorder shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardHealth {
+    /// Shard index in the tier.
+    pub shard: u32,
+    /// Whether the shard is up.
+    pub live: bool,
+    /// Whether the shard is rejoining (restarted, still catching up).
+    pub catching_up: bool,
+    /// Captured-but-unsequenced messages in the battery-backed buffer.
+    pub queue_depth: u64,
+    /// Processes in the shard's database.
+    pub known_processes: u64,
+    /// Recovery jobs this shard's manager is driving right now.
+    pub recoveries_in_flight: u64,
+    /// Messages the in-flight recoveries still have to replay. Reaches
+    /// zero when every job completes.
+    pub replay_lag: u64,
+    /// Frames whose delivery was gated off because *this* shard, as a
+    /// required recorder, failed to capture them intact.
+    pub gating_stalls: u64,
+    /// Messages this shard has published (sequenced) in total.
+    pub published: u64,
+}
+
+impl ShardHealth {
+    /// Files the probe under `shard/<i>/health/...`.
+    pub fn into_registry(&self, reg: &mut MetricsRegistry) {
+        let p = format!("shard/{}/health", self.shard);
+        reg.gauge(format!("{p}/live"), if self.live { 1.0 } else { 0.0 });
+        reg.gauge(
+            format!("{p}/catching_up"),
+            if self.catching_up { 1.0 } else { 0.0 },
+        );
+        reg.counter(format!("{p}/queue_depth"), self.queue_depth);
+        reg.counter(format!("{p}/known_processes"), self.known_processes);
+        reg.counter(
+            format!("{p}/recoveries_in_flight"),
+            self.recoveries_in_flight,
+        );
+        reg.counter(format!("{p}/replay_lag"), self.replay_lag);
+        reg.counter(format!("{p}/gating_stalls"), self.gating_stalls);
+        reg.counter(format!("{p}/published"), self.published);
+    }
+
+    /// One text line for the run report.
+    pub fn render(&self) -> String {
+        format!(
+            "shard {} {} queue={} procs={} jobs={} replay_lag={} stalls={} published={}{}",
+            self.shard,
+            if self.live { "up" } else { "DOWN" },
+            self.queue_depth,
+            self.known_processes,
+            self.recoveries_in_flight,
+            self.replay_lag,
+            self.gating_stalls,
+            self.published,
+            if self.catching_up { " CATCHING-UP" } else { "" }
+        )
+    }
+}
+
+/// Utilization and loss picture of the shared broadcast medium.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MediumHealth {
+    /// Busy fraction of the medium over the run window.
+    pub utilization: f64,
+    /// Frames submitted by stations.
+    pub submitted: u64,
+    /// Frame deliveries (per receiving station).
+    pub delivered: u64,
+    /// Collisions observed.
+    pub collisions: u64,
+    /// Frames dropped by fault injection.
+    pub lost: u64,
+    /// Frames blocked because a required recorder missed them.
+    pub gating_stalls: u64,
+    /// Transmissions abandoned after excessive collisions.
+    pub aborted: u64,
+}
+
+impl MediumHealth {
+    /// Reads the probe off a medium's counters at virtual time `now`.
+    pub fn from_lan(stats: &LanStats, now: SimTime) -> Self {
+        MediumHealth {
+            utilization: stats.busy.utilization(now),
+            submitted: stats.submitted.get(),
+            delivered: stats.delivered.get(),
+            collisions: stats.collisions.get(),
+            lost: stats.lost.get(),
+            gating_stalls: stats.recorder_blocked.get(),
+            aborted: stats.aborted.get(),
+        }
+    }
+
+    /// Files the probe under `medium/...`.
+    pub fn into_registry(&self, reg: &mut MetricsRegistry) {
+        reg.gauge("medium/utilization", self.utilization);
+        reg.counter("medium/submitted", self.submitted);
+        reg.counter("medium/delivered", self.delivered);
+        reg.counter("medium/collisions", self.collisions);
+        reg.counter("medium/lost", self.lost);
+        reg.counter("medium/gating_stalls", self.gating_stalls);
+        reg.counter("medium/aborted", self.aborted);
+    }
+
+    /// One text line for the run report.
+    pub fn render(&self) -> String {
+        format!(
+            "utilization={:.1}% submitted={} delivered={} collisions={} lost={} stalls={} aborted={}",
+            self.utilization * 100.0,
+            self.submitted,
+            self.delivered,
+            self.collisions,
+            self.lost,
+            self.gating_stalls,
+            self.aborted
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovery_lag_registry_paths() {
+        let lag = RecoveryLag {
+            subject: 4294967298, // node 1, local 2
+            recovering: true,
+            messages_behind: 7,
+            checkpoint_age_ms: 12.5,
+            suppressed: 3,
+        };
+        let mut reg = MetricsRegistry::new();
+        lag.into_registry(&mut reg);
+        assert_eq!(
+            reg.counter_value("recovery/4294967298/messages_behind"),
+            Some(7)
+        );
+        assert_eq!(reg.gauge_value("recovery/4294967298/recovering"), Some(1.0));
+        assert!(lag.render().contains("RECOVERING"));
+    }
+
+    #[test]
+    fn shard_health_registry_paths() {
+        let h = ShardHealth {
+            shard: 2,
+            live: true,
+            catching_up: false,
+            queue_depth: 1,
+            known_processes: 9,
+            recoveries_in_flight: 0,
+            replay_lag: 0,
+            gating_stalls: 4,
+            published: 100,
+        };
+        let mut reg = MetricsRegistry::new();
+        h.into_registry(&mut reg);
+        assert_eq!(reg.counter_value("shard/2/health/replay_lag"), Some(0));
+        assert_eq!(reg.gauge_value("shard/2/health/live"), Some(1.0));
+        assert!(h.render().contains("shard 2 up"));
+    }
+
+    #[test]
+    fn medium_health_from_lan_stats() {
+        let mut stats = LanStats::default();
+        stats.submitted.add(10);
+        stats.busy.set_busy(SimTime::ZERO);
+        stats.busy.set_idle(SimTime::from_millis(5));
+        let m = MediumHealth::from_lan(&stats, SimTime::from_millis(10));
+        assert_eq!(m.submitted, 10);
+        assert!((m.utilization - 0.5).abs() < 1e-12);
+        let mut reg = MetricsRegistry::new();
+        m.into_registry(&mut reg);
+        assert_eq!(reg.counter_value("medium/submitted"), Some(10));
+    }
+}

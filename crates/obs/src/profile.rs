@@ -1,0 +1,222 @@
+//! Virtual-time profiling.
+//!
+//! Two complementary views of "where does the time go":
+//!
+//! - [`TimeProfile`] attributes accumulated *busy* virtual time to named
+//!   categories (kernel CPU, recorder publish CPU, disk, medium), so a
+//!   run artifact can answer "what fraction of the horizon was the
+//!   recorder's disk busy".
+//! - [`StageLatencies`] measures per-message *elapsed* virtual time
+//!   between lifecycle stages (publish → capture → sequence → deliver),
+//!   computed from assembled spans, so recorder service time decomposes
+//!   into its stages.
+
+use crate::registry::MetricsRegistry;
+use crate::span::{MessageSpan, MsgKey, Stage};
+use publishing_sim::stats::LogHistogram;
+use publishing_sim::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Accumulated busy virtual time per named category.
+#[derive(Debug, Clone, Default)]
+pub struct TimeProfile {
+    entries: BTreeMap<String, SimDuration>,
+}
+
+impl TimeProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        TimeProfile::default()
+    }
+
+    /// Adds `d` to `category`'s accumulated time.
+    pub fn charge(&mut self, category: impl Into<String>, d: SimDuration) {
+        *self
+            .entries
+            .entry(category.into())
+            .or_insert(SimDuration::ZERO) += d;
+    }
+
+    /// Returns a category's accumulated time (zero if never charged).
+    pub fn get(&self, category: &str) -> SimDuration {
+        self.entries
+            .get(category)
+            .copied()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Iterates categories in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, SimDuration)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Files each category as `profile/<category>_ms` gauges, plus its
+    /// fraction of `horizon` as `profile/<category>_frac`.
+    pub fn into_registry(&self, reg: &mut MetricsRegistry, horizon: SimDuration) {
+        for (name, d) in &self.entries {
+            reg.gauge(format!("profile/{name}_ms"), d.as_millis_f64());
+            let frac = if horizon == SimDuration::ZERO {
+                0.0
+            } else {
+                *d / horizon
+            };
+            reg.gauge(format!("profile/{name}_frac"), frac);
+        }
+    }
+
+    /// Renders `category  12.345ms  (4.5%)` lines against `horizon`.
+    pub fn render(&self, horizon: SimDuration) -> String {
+        let mut s = String::new();
+        for (name, d) in &self.entries {
+            let frac = if horizon == SimDuration::ZERO {
+                0.0
+            } else {
+                *d / horizon
+            };
+            s.push_str(&format!(
+                "  {name:<24} {:>12.3}ms ({:>5.1}%)\n",
+                d.as_millis_f64(),
+                frac * 100.0
+            ));
+        }
+        s
+    }
+}
+
+/// Per-message latency histograms between lifecycle stages, in
+/// microseconds of virtual time.
+#[derive(Debug, Clone, Default)]
+pub struct StageLatencies {
+    /// Publish at the sender → capture at the recorder.
+    pub publish_to_capture_us: LogHistogram,
+    /// Capture → sequence (recorder-ack): the recorder's own service gap.
+    pub capture_to_sequence_us: LogHistogram,
+    /// Publish → first delivery (read) at the destination.
+    pub publish_to_deliver_us: LogHistogram,
+    /// Messages whose span contains a replay event.
+    pub replayed: u64,
+    /// Messages whose span contains a suppress event.
+    pub suppressed: u64,
+}
+
+fn gap_us(from: SimTime, to: SimTime) -> u64 {
+    to.saturating_since(from).as_nanos() / 1_000
+}
+
+/// Computes stage latencies from assembled spans.
+pub fn stage_latencies(spans: &BTreeMap<MsgKey, MessageSpan>) -> StageLatencies {
+    let mut out = StageLatencies::default();
+    for span in spans.values() {
+        let publish = span.first(Stage::Publish);
+        let capture = span.first(Stage::Capture);
+        let sequence = span.first(Stage::Sequence);
+        let deliver = span.first(Stage::Deliver);
+        if let (Some(p), Some(c)) = (publish, capture) {
+            out.publish_to_capture_us.record(gap_us(p, c));
+        }
+        if let (Some(c), Some(s)) = (capture, sequence) {
+            out.capture_to_sequence_us.record(gap_us(c, s));
+        }
+        if let (Some(p), Some(d)) = (publish, deliver) {
+            out.publish_to_deliver_us.record(gap_us(p, d));
+        }
+        if span.has(Stage::Replay) {
+            out.replayed += 1;
+        }
+        if span.has(Stage::Suppress) {
+            out.suppressed += 1;
+        }
+    }
+    out
+}
+
+impl StageLatencies {
+    /// Files the histograms under `latency/...`.
+    pub fn into_registry(&self, reg: &mut MetricsRegistry) {
+        reg.histogram("latency/publish_to_capture_us", &self.publish_to_capture_us);
+        reg.histogram(
+            "latency/capture_to_sequence_us",
+            &self.capture_to_sequence_us,
+        );
+        reg.histogram("latency/publish_to_deliver_us", &self.publish_to_deliver_us);
+        reg.counter("latency/spans_replayed", self.replayed);
+        reg.counter("latency/spans_suppressed", self.suppressed);
+    }
+
+    /// Renders one line per histogram for the run report.
+    pub fn render(&self) -> String {
+        let line = |name: &str, h: &LogHistogram| {
+            format!(
+                "  {name:<24} n={:<6} mean={:>9.1}us p50={:<8} p99={:<8}\n",
+                h.summary().count(),
+                h.summary().mean(),
+                h.quantile(0.5),
+                h.quantile(0.99),
+            )
+        };
+        let mut s = String::new();
+        s.push_str(&line("publish→capture", &self.publish_to_capture_us));
+        s.push_str(&line("capture→sequence", &self.capture_to_sequence_us));
+        s.push_str(&line("publish→deliver", &self.publish_to_deliver_us));
+        s.push_str(&format!(
+            "  spans replayed={} suppressed={}\n",
+            self.replayed, self.suppressed
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{assemble, SpanLog};
+
+    #[test]
+    fn time_profile_accumulates_and_projects() {
+        let mut p = TimeProfile::new();
+        p.charge("kernel_cpu", SimDuration::from_millis(2));
+        p.charge("kernel_cpu", SimDuration::from_millis(3));
+        p.charge("disk", SimDuration::from_millis(1));
+        assert_eq!(p.get("kernel_cpu"), SimDuration::from_millis(5));
+        assert_eq!(p.get("never"), SimDuration::ZERO);
+        let mut reg = MetricsRegistry::new();
+        p.into_registry(&mut reg, SimDuration::from_millis(10));
+        assert_eq!(reg.gauge_value("profile/kernel_cpu_ms"), Some(5.0));
+        assert_eq!(reg.gauge_value("profile/kernel_cpu_frac"), Some(0.5));
+        assert!(p
+            .render(SimDuration::from_millis(10))
+            .contains("kernel_cpu"));
+    }
+
+    #[test]
+    fn time_profile_zero_horizon_is_safe() {
+        let mut p = TimeProfile::new();
+        p.charge("x", SimDuration::from_millis(1));
+        let mut reg = MetricsRegistry::new();
+        p.into_registry(&mut reg, SimDuration::ZERO);
+        assert_eq!(reg.gauge_value("profile/x_frac"), Some(0.0));
+    }
+
+    #[test]
+    fn stage_latencies_from_spans() {
+        let mut kernel = SpanLog::new(64);
+        let mut recorder = SpanLog::new(64);
+        let k = MsgKey { sender: 1, seq: 0 };
+        kernel.record(SimTime::from_micros(100), k, Stage::Publish, 2, 0);
+        recorder.record(SimTime::from_micros(150), k, Stage::Capture, 2, 0);
+        recorder.record(SimTime::from_micros(250), k, Stage::Sequence, 2, 0);
+        kernel.record(SimTime::from_micros(400), k, Stage::Deliver, 2, 0);
+        kernel.record(SimTime::from_micros(500), k, Stage::Replay, 2, 0);
+        let lat = stage_latencies(&assemble([&kernel, &recorder]));
+        assert_eq!(lat.publish_to_capture_us.summary().count(), 1);
+        assert!((lat.publish_to_capture_us.summary().mean() - 50.0).abs() < 1e-9);
+        assert!((lat.capture_to_sequence_us.summary().mean() - 100.0).abs() < 1e-9);
+        assert!((lat.publish_to_deliver_us.summary().mean() - 300.0).abs() < 1e-9);
+        assert_eq!(lat.replayed, 1);
+        assert_eq!(lat.suppressed, 0);
+        let mut reg = MetricsRegistry::new();
+        lat.into_registry(&mut reg);
+        assert_eq!(reg.counter_value("latency/spans_replayed"), Some(1));
+        assert!(lat.render().contains("publish→deliver"));
+    }
+}

@@ -1,0 +1,300 @@
+//! The hierarchical metrics registry.
+//!
+//! Components keep their existing instruments (`Counter`, `Summary`,
+//! `LogHistogram`, `Utilization`); a collector walks them at report time
+//! and files each reading under a slash-separated path such as
+//! `node/2/kernel/msgs_sent` or `shard/0/recorder/published`. The
+//! registry is therefore a *snapshot*: two snapshots taken at different
+//! virtual times can be subtracted ([`MetricsRegistry::delta`]) to get
+//! interval rates, and any snapshot exports as JSON lines for offline
+//! tooling.
+
+use publishing_sim::stats::{LogHistogram, Summary};
+use std::collections::BTreeMap;
+
+/// One metric reading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// A monotone count.
+    Counter(u64),
+    /// A point-in-time level (utilization, lag, age...).
+    Gauge(f64),
+}
+
+/// A path-keyed snapshot of metric readings.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    map: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Files a counter reading under `path` (replacing any prior value).
+    pub fn counter(&mut self, path: impl Into<String>, value: u64) {
+        self.map.insert(path.into(), MetricValue::Counter(value));
+    }
+
+    /// Files a gauge reading under `path`. Non-finite values are clamped
+    /// to zero so the JSON export stays valid.
+    pub fn gauge(&mut self, path: impl Into<String>, value: f64) {
+        let v = if value.is_finite() { value } else { 0.0 };
+        self.map.insert(path.into(), MetricValue::Gauge(v));
+    }
+
+    /// Looks up a reading.
+    pub fn get(&self, path: &str) -> Option<MetricValue> {
+        self.map.get(path).copied()
+    }
+
+    /// Looks up a counter reading, `None` if absent or not a counter.
+    pub fn counter_value(&self, path: &str) -> Option<u64> {
+        match self.map.get(path) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a gauge reading, `None` if absent or not a gauge.
+    pub fn gauge_value(&self, path: &str) -> Option<f64> {
+        match self.map.get(path) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Iterates readings in path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, MetricValue)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates readings under a path prefix (e.g. `"shard/0/"`).
+    pub fn iter_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, MetricValue)> + 'a {
+        self.map
+            .range(prefix.to_string()..)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Returns the number of readings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if no readings have been filed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Expands a [`Summary`] into `count`/`mean`/`min`/`max`/`stddev`
+    /// readings under `prefix`.
+    pub fn summary(&mut self, prefix: &str, s: &Summary) {
+        self.counter(format!("{prefix}/count"), s.count());
+        self.gauge(format!("{prefix}/mean"), s.mean());
+        self.gauge(format!("{prefix}/min"), s.min().unwrap_or(0.0));
+        self.gauge(format!("{prefix}/max"), s.max().unwrap_or(0.0));
+        self.gauge(format!("{prefix}/stddev"), s.stddev());
+    }
+
+    /// Expands a [`LogHistogram`] into summary plus p50/p90/p99 readings
+    /// under `prefix`.
+    pub fn histogram(&mut self, prefix: &str, h: &LogHistogram) {
+        self.summary(prefix, h.summary());
+        self.counter(format!("{prefix}/p50"), h.quantile(0.5));
+        self.counter(format!("{prefix}/p90"), h.quantile(0.9));
+        self.counter(format!("{prefix}/p99"), h.quantile(0.99));
+    }
+
+    /// Subtracts an earlier snapshot: counters become interval deltas
+    /// (saturating at zero if a counter reset), gauges keep this
+    /// snapshot's level. Paths absent from `earlier` keep their value;
+    /// paths only in `earlier` are dropped.
+    pub fn delta(&self, earlier: &MetricsRegistry) -> MetricsRegistry {
+        let mut out = MetricsRegistry::new();
+        for (path, v) in &self.map {
+            let dv = match (v, earlier.map.get(path)) {
+                (MetricValue::Counter(now), Some(MetricValue::Counter(then))) => {
+                    MetricValue::Counter(now.saturating_sub(*then))
+                }
+                _ => *v,
+            };
+            out.map.insert(path.clone(), dv);
+        }
+        out
+    }
+
+    /// Renders every reading as one JSON object per line:
+    /// `{"path":"node/0/kernel/msgs_sent","kind":"counter","value":12}`.
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::new();
+        for (path, v) in &self.map {
+            s.push_str("{\"path\":\"");
+            s.push_str(&json_escape(path));
+            s.push_str("\",");
+            match v {
+                MetricValue::Counter(c) => {
+                    s.push_str(&format!("\"kind\":\"counter\",\"value\":{c}"));
+                }
+                MetricValue::Gauge(g) => {
+                    s.push_str(&format!("\"kind\":\"gauge\",\"value\":{}", json_f64(*g)));
+                }
+            }
+            s.push_str("}\n");
+        }
+        s
+    }
+
+    /// Renders readings as aligned text lines for the terminal report.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        for (path, v) in &self.map {
+            match v {
+                MetricValue::Counter(c) => s.push_str(&format!("  {path} = {c}\n")),
+                MetricValue::Gauge(g) => s.push_str(&format!("  {path} = {g:.6}\n")),
+            }
+        }
+        s
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (finite values only; callers clamp).
+pub(crate) fn json_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}.0", v.trunc() as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_and_lookup() {
+        let mut r = MetricsRegistry::new();
+        r.counter("node/0/kernel/msgs_sent", 12);
+        r.gauge("medium/utilization", 0.25);
+        assert_eq!(r.counter_value("node/0/kernel/msgs_sent"), Some(12));
+        assert_eq!(r.gauge_value("medium/utilization"), Some(0.25));
+        assert_eq!(r.counter_value("medium/utilization"), None);
+        assert_eq!(r.get("missing"), None);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn delta_subtracts_counters_keeps_gauges() {
+        let mut a = MetricsRegistry::new();
+        a.counter("c", 10);
+        a.gauge("g", 0.5);
+        let mut b = MetricsRegistry::new();
+        b.counter("c", 25);
+        b.gauge("g", 0.9);
+        b.counter("new", 3);
+        let d = b.delta(&a);
+        assert_eq!(d.counter_value("c"), Some(15));
+        assert_eq!(d.gauge_value("g"), Some(0.9));
+        assert_eq!(d.counter_value("new"), Some(3));
+    }
+
+    #[test]
+    fn delta_saturates_on_reset() {
+        let mut a = MetricsRegistry::new();
+        a.counter("c", 10);
+        let mut b = MetricsRegistry::new();
+        b.counter("c", 4); // counter reset between snapshots
+        assert_eq!(b.delta(&a).counter_value("c"), Some(0));
+    }
+
+    #[test]
+    fn jsonl_one_object_per_line() {
+        let mut r = MetricsRegistry::new();
+        r.counter("a/b", 1);
+        r.gauge("a/c", 0.5);
+        r.gauge("a/d", 2.0);
+        let jsonl = r.to_jsonl();
+        let lines: Vec<_> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "{\"path\":\"a/b\",\"kind\":\"counter\",\"value\":1}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"path\":\"a/c\",\"kind\":\"gauge\",\"value\":0.5}"
+        );
+        // Whole gauges render with a decimal point so readers see a float.
+        assert_eq!(
+            lines[2],
+            "{\"path\":\"a/d\",\"kind\":\"gauge\",\"value\":2.0}"
+        );
+    }
+
+    #[test]
+    fn non_finite_gauges_are_clamped() {
+        let mut r = MetricsRegistry::new();
+        r.gauge("bad", f64::NAN);
+        r.gauge("inf", f64::INFINITY);
+        assert_eq!(r.gauge_value("bad"), Some(0.0));
+        assert_eq!(r.gauge_value("inf"), Some(0.0));
+    }
+
+    #[test]
+    fn prefix_iteration() {
+        let mut r = MetricsRegistry::new();
+        r.counter("shard/0/x", 1);
+        r.counter("shard/1/x", 2);
+        r.counter("node/0/x", 3);
+        let shard0: Vec<_> = r
+            .iter_prefix("shard/0/")
+            .map(|(k, _)| k.to_string())
+            .collect();
+        assert_eq!(shard0, ["shard/0/x"]);
+        assert_eq!(r.iter_prefix("shard/").count(), 2);
+    }
+
+    #[test]
+    fn summary_and_histogram_expansion() {
+        use publishing_sim::stats::{LogHistogram, Summary};
+        let mut s = Summary::new();
+        s.record(2.0);
+        s.record(4.0);
+        let mut h = LogHistogram::new();
+        h.record(8);
+        let mut r = MetricsRegistry::new();
+        r.summary("lat", &s);
+        r.histogram("sz", &h);
+        assert_eq!(r.counter_value("lat/count"), Some(2));
+        assert_eq!(r.gauge_value("lat/mean"), Some(3.0));
+        assert_eq!(r.counter_value("sz/p50"), Some(16)); // bucket upper bound
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

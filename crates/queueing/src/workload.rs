@@ -56,13 +56,11 @@ impl StateSizes {
     /// A histogram over `buckets` equal-width bins spanning 4–64 KB,
     /// normalized to fractions — the Figure 5.3 curve.
     pub fn histogram(&self, rng: &mut DetRng, samples: usize, buckets: usize) -> Vec<f64> {
-        let mut counts = vec![0u64; buckets];
+        let mut h = publishing_sim::LinearHistogram::new(4.0, 64.0, buckets);
         for _ in 0..samples {
-            let kb = self.sample(rng) as f64 / 1024.0;
-            let idx = (((kb - 4.0) / 60.0) * buckets as f64) as usize;
-            counts[idx.min(buckets - 1)] += 1;
+            h.record(self.sample(rng) as f64 / 1024.0);
         }
-        counts.iter().map(|&c| c as f64 / samples as f64).collect()
+        h.fractions()
     }
 }
 

@@ -630,6 +630,128 @@ impl ShardedWorld {
             .filter(|&i| self.shards[i].manager().stats().completed.get() > 0)
             .collect()
     }
+
+    /// Every span log in the tier, in deterministic order: kernels by
+    /// node id, then shards by index.
+    pub fn span_logs(&self) -> Vec<&publishing_obs::span::SpanLog> {
+        let mut logs: Vec<_> = self.kernels.values().map(|k| k.spans()).collect();
+        logs.extend(self.shards.iter().map(|s| s.recorder().spans()));
+        logs
+    }
+
+    /// Order-sensitive fingerprint over every span log — the run-level
+    /// determinism oracle for the lifecycle trace.
+    pub fn obs_fingerprint(&self) -> u64 {
+        publishing_obs::span::combined_fingerprint(self.span_logs())
+    }
+
+    /// Assembles per-message lifecycle spans from every component's log.
+    pub fn spans(
+        &self,
+    ) -> BTreeMap<publishing_obs::span::MsgKey, publishing_obs::span::MessageSpan> {
+        publishing_obs::span::assemble(self.span_logs())
+    }
+
+    /// Point-in-time health of every shard in the tier.
+    pub fn shard_health(&self) -> Vec<publishing_obs::probe::ShardHealth> {
+        (0..self.shards.len())
+            .map(|i| {
+                let rn = &self.shards[i];
+                let rec = rn.recorder();
+                publishing_obs::probe::ShardHealth {
+                    shard: i as u32,
+                    live: rn.is_up(),
+                    catching_up: self.rejoining.iter().any(|(j, _)| *j == i),
+                    queue_depth: rec.pending_depth() as u64,
+                    known_processes: rec.known_pids().count() as u64,
+                    recoveries_in_flight: rn.manager().job_pids().len() as u64,
+                    replay_lag: publishing_core::obs::replay_lag(rec, rn.manager()),
+                    gating_stalls: self.lan.stats().blocked_at(rn.station()),
+                    published: rec.stats().published.get(),
+                }
+            })
+            .collect()
+    }
+
+    /// Recovery-lag probes, one per process, read from the shard
+    /// currently responsible for it (capture-set replicas would repeat
+    /// the same entry).
+    pub fn recovery_lags(&self) -> Vec<publishing_obs::probe::RecoveryLag> {
+        let now = self.now();
+        let suppressed =
+            publishing_core::obs::suppressed_by_sender(self.kernels.values().map(|k| k.spans()));
+        let mut out = Vec::new();
+        for &pid in &self.processes {
+            let Some(sid) = self.router.with_map(|m| m.responsible(pid)) else {
+                continue;
+            };
+            let rec = self.shards[sid.0 as usize].recorder();
+            let mut lags = publishing_core::obs::recovery_lags(rec, now, &suppressed);
+            lags.retain(|l| l.subject == pid.as_u64());
+            out.extend(lags);
+        }
+        out
+    }
+
+    /// Snapshots every component's instruments into one registry.
+    pub fn collect_metrics(&self) -> publishing_obs::registry::MetricsRegistry {
+        let now = self.now();
+        let mut reg = publishing_obs::registry::MetricsRegistry::new();
+        for k in self.kernels.values() {
+            publishing_core::obs::kernel_metrics(&mut reg, k);
+        }
+        for (i, rn) in self.shards.iter().enumerate() {
+            publishing_core::obs::recorder_node_metrics(&mut reg, &format!("shard/{i}"), rn, now);
+        }
+        for h in self.shard_health() {
+            h.into_registry(&mut reg);
+        }
+        publishing_obs::probe::MediumHealth::from_lan(self.lan.stats(), now)
+            .into_registry(&mut reg);
+        reg
+    }
+
+    /// Builds the full observability report for the run so far.
+    pub fn obs_report(&self) -> publishing_obs::report::ObsReport {
+        let now = self.now();
+        let horizon = now.saturating_since(SimTime::ZERO);
+        let mut profile = publishing_obs::profile::TimeProfile::new();
+        let mut kernel_cpu = publishing_sim::time::SimDuration::ZERO;
+        for k in self.kernels.values() {
+            kernel_cpu += k.stats().cpu_used;
+        }
+        profile.charge("kernel_cpu", kernel_cpu);
+        let mut publish_cpu = publishing_sim::time::SimDuration::ZERO;
+        let mut disk_busy = publishing_sim::time::SimDuration::ZERO;
+        for rn in &self.shards {
+            publish_cpu += rn.recorder().stats().cpu_used;
+            let store = rn.recorder().store();
+            for i in 0..store.n_disks() {
+                disk_busy += store.disk_stats(i).busy.busy_time(now);
+            }
+        }
+        profile.charge("publish_cpu", publish_cpu);
+        profile.charge("stable_store_io", disk_busy);
+        profile.charge("medium_busy", self.lan.stats().busy.busy_time(now));
+
+        let spans = self.spans();
+        let logs = self.span_logs();
+        publishing_obs::report::ObsReport {
+            at_ms: now.as_millis_f64(),
+            metrics: self.collect_metrics(),
+            recovery: self.recovery_lags(),
+            shards: self.shard_health(),
+            medium: Some(publishing_obs::probe::MediumHealth::from_lan(
+                self.lan.stats(),
+                now,
+            )),
+            profile,
+            horizon,
+            latencies: publishing_obs::profile::stage_latencies(&spans),
+            spans_total: logs.iter().map(|l| l.total()).sum(),
+            span_fingerprint: self.obs_fingerprint(),
+        }
+    }
 }
 
 impl core::fmt::Debug for ShardedWorld {

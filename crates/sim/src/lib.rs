@@ -33,6 +33,6 @@ pub use codec::{CodecError, Decode, Decoder, Encode, Encoder};
 pub use event::{EventId, Scheduler};
 pub use fault::{Crash, CrashTarget, FaultPlan};
 pub use rng::DetRng;
-pub use stats::{Counter, LogHistogram, Summary, Utilization};
+pub use stats::{Counter, LinearHistogram, LogHistogram, Summary, Utilization};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Category, Trace, TraceEvent};

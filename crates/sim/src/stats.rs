@@ -13,14 +13,15 @@ impl Counter {
         Counter(0)
     }
 
-    /// Adds one.
+    /// Adds one. Saturates at `u64::MAX` instead of wrapping, so a pegged
+    /// counter reads as "full", never as a small number again.
     pub fn inc(&mut self) {
-        self.0 += 1;
+        self.0 = self.0.saturating_add(1);
     }
 
-    /// Adds `n`.
+    /// Adds `n`, saturating at `u64::MAX`.
     pub fn add(&mut self, n: u64) {
-        self.0 += n;
+        self.0 = self.0.saturating_add(n);
     }
 
     /// Returns the current count.
@@ -174,6 +175,72 @@ impl LogHistogram {
             }
         }
         u64::MAX
+    }
+}
+
+/// An equal-width histogram over a fixed range `[lo, hi)`.
+///
+/// Samples below `lo` land in the first bucket and samples at or above
+/// `hi` land in the last, so the bucket counts always sum to the sample
+/// count. This is the shared instrument behind distribution tables that
+/// previously hand-rolled their own binning (e.g. the checkpoint
+/// state-size distribution in the queueing crate).
+#[derive(Debug, Clone)]
+pub struct LinearHistogram {
+    lo: f64,
+    width: f64,
+    counts: Vec<u64>,
+    summary: Summary,
+}
+
+impl LinearHistogram {
+    /// Creates an empty histogram with `buckets` equal-width bins covering
+    /// `[lo, hi)`. Panics if `buckets == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(buckets > 0, "LinearHistogram needs at least one bucket");
+        assert!(hi > lo, "LinearHistogram range must be non-empty");
+        LinearHistogram {
+            lo,
+            width: (hi - lo) / buckets as f64,
+            counts: vec![0; buckets],
+            summary: Summary::new(),
+        }
+    }
+
+    /// Records one sample, clamping out-of-range values into the end bins.
+    pub fn record(&mut self, x: f64) {
+        let idx = ((x - self.lo) / self.width).floor();
+        let idx = (idx.max(0.0) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+        self.summary.record(x);
+    }
+
+    /// Returns the per-bucket counts, lowest bin first.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Returns each bucket's share of the total sample count (all zeros if
+    /// the histogram is empty).
+    pub fn fractions(&self) -> Vec<f64> {
+        let total = self.summary.count();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+
+    /// Returns the overall summary statistics.
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+
+    /// Returns the inclusive lower edge of bucket `i`.
+    pub fn bucket_lo(&self, i: usize) -> f64 {
+        self.lo + self.width * i as f64
     }
 }
 
@@ -362,5 +429,67 @@ mod tests {
     fn zero_window_reports_zero() {
         let u = Utilization::new();
         assert_eq!(u.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let mut c = Counter::new();
+        c.add(u64::MAX - 1);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+        c.add(12345);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = LogHistogram::new();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0);
+        }
+        assert_eq!(h.summary().count(), 0);
+        assert_eq!(h.summary().mean(), 0.0);
+    }
+
+    #[test]
+    fn zero_duration_window_after_reset_reports_zero() {
+        let mut u = Utilization::new();
+        u.set_busy(SimTime::ZERO);
+        u.set_idle(SimTime::from_millis(7));
+        u.reset_window(SimTime::from_millis(7));
+        // The window has zero width: utilization must be 0, not NaN or inf.
+        let util = u.utilization(SimTime::from_millis(7));
+        assert_eq!(util, 0.0);
+        assert!(util.is_finite());
+    }
+
+    #[test]
+    fn zero_duration_window_while_busy_reports_zero() {
+        let mut u = Utilization::new();
+        u.set_busy(SimTime::ZERO);
+        assert_eq!(u.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn linear_histogram_bins_and_clamps() {
+        let mut h = LinearHistogram::new(0.0, 10.0, 5);
+        h.record(-3.0); // clamps into bucket 0
+        h.record(1.0); // bucket 0
+        h.record(5.0); // bucket 2
+        h.record(9.99); // bucket 4
+        h.record(42.0); // clamps into bucket 4
+        assert_eq!(h.counts(), &[2, 0, 1, 0, 2]);
+        assert_eq!(h.summary().count(), 5);
+        let f = h.fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((h.bucket_lo(2) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_linear_histogram_fractions_are_zero() {
+        let h = LinearHistogram::new(0.0, 1.0, 3);
+        assert_eq!(h.fractions(), vec![0.0, 0.0, 0.0]);
     }
 }

@@ -81,14 +81,20 @@ impl Trace {
     /// Records an event.
     pub fn emit(&mut self, at: SimTime, category: Category, text: impl Into<String>) {
         let text = text.into();
+        // The monotone event sequence number is folded into the hash so the
+        // fingerprint covers every event ever emitted — ring eviction cannot
+        // silently drop an event from the oracle — and each event's byte
+        // encoding is framed (seq + explicit text length) so two different
+        // event streams can never concatenate to the same byte sequence.
+        let seq = self.total;
         self.total += 1;
-        // Fold the event into the running FNV-1a fingerprint.
         let mut h = self.fnv;
-        for b in at
-            .as_nanos()
+        for b in seq
             .to_le_bytes()
             .iter()
+            .chain(at.as_nanos().to_le_bytes().iter())
             .chain([category as u8].iter())
+            .chain((text.len() as u64).to_le_bytes().iter())
             .chain(text.as_bytes())
         {
             h ^= *b as u64;
@@ -181,6 +187,47 @@ mod tests {
         a.emit(SimTime::ZERO, Category::Net, "x");
         b.emit(SimTime::ZERO, Category::App, "x");
         assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_unambiguous_at_event_boundaries() {
+        // Regression: the old fingerprint concatenated raw event bytes with
+        // no framing, so the two-event stream
+        //   (t=0, Net, "x"), (t2, c2, "y")
+        // hashed identically to the single event
+        //   (t=0, Net, "x" ++ t2_le_bytes ++ [c2] ++ "y").
+        // Framing each event with its sequence number and text length makes
+        // these distinct.
+        let t2 = SimTime::from_nanos(u64::from_le_bytes(*b"AAAAAAAA"));
+        let c2 = Category::Net;
+        let mut two = Trace::disabled();
+        two.emit(SimTime::ZERO, Category::Net, "x");
+        two.emit(t2, c2, "y");
+
+        let mut glued = String::from("x");
+        glued.push_str("AAAAAAAA"); // t2.as_nanos().to_le_bytes()
+        glued.push(c2 as u8 as char);
+        glued.push('y');
+        let mut one = Trace::disabled();
+        one.emit(SimTime::ZERO, Category::Net, glued);
+
+        assert_ne!(two.fingerprint(), one.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_independent_of_ring_capacity_under_eviction() {
+        // A tiny ring that evicts aggressively and an unbounded one must
+        // agree: the fingerprint hashes the emission stream, not the
+        // surviving ring contents.
+        let mut small = Trace::new(1);
+        let mut large = Trace::new(1024);
+        for i in 0..300u64 {
+            small.emit(SimTime::from_nanos(i), Category::Recorder, format!("m{i}"));
+            large.emit(SimTime::from_nanos(i), Category::Recorder, format!("m{i}"));
+        }
+        assert_eq!(small.events().count(), 1);
+        assert_eq!(small.fingerprint(), large.fingerprint());
+        assert_eq!(small.total(), large.total());
     }
 
     #[test]
