@@ -25,4 +25,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet \
 echo "==> obs_report smoke run"
 cargo run -q --release -p publishing-bench --bin obs_report -- --smoke > /dev/null
 
+echo "==> chaos smoke run"
+cargo run -q --release -p publishing-bench --bin chaos -- --smoke > /dev/null
+
 echo "CI green."

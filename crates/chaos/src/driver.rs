@@ -1,0 +1,199 @@
+//! Drives a target world through a fault schedule via the sim
+//! scheduler's fault clock.
+//!
+//! The schedule's instants (discrete faults plus burst boundaries) are
+//! loaded into a [`FaultClock`]; the world runs normally and
+//! `run_until_or_fault` pauses it exactly at each instant, where the
+//! driver injects the discrete faults due and recomputes the medium and
+//! disk fault regimes from the bursts active at that time. At the
+//! horizon the world is healed (everything still down restarts, all
+//! regimes clear) and run through a grace period so the oracle judges
+//! recovery, not an ongoing outage.
+
+use crate::oracle::{self, Baseline, OracleOptions};
+use crate::scenario::{ChaosWorld, Scenario};
+use crate::schedule::{Fault, FaultSchedule};
+use publishing_sim::event::FaultClock;
+use publishing_sim::fault::FaultPlan;
+use publishing_sim::time::SimTime;
+use publishing_stable::disk::DiskFaults;
+
+/// Virtual time after the horizon for recovery to converge and the
+/// workload to finish before the oracle runs.
+pub const GRACE_MS: u64 = 35_000;
+
+/// The medium fault plan implied by the bursts active at `t_ms`.
+/// Overlapping bursts of one kind combine by maximum probability.
+fn medium_plan_at(s: &FaultSchedule, t_ms: u64) -> FaultPlan {
+    let (mut loss, mut corrupt, mut dup) = (0u32, 0u32, 0u32);
+    for f in &s.faults {
+        match *f {
+            Fault::Loss {
+                at_ms,
+                dur_ms,
+                p_pct,
+            } if at_ms <= t_ms && t_ms < at_ms + dur_ms => loss = loss.max(p_pct),
+            Fault::Corrupt {
+                at_ms,
+                dur_ms,
+                p_pct,
+            } if at_ms <= t_ms && t_ms < at_ms + dur_ms => corrupt = corrupt.max(p_pct),
+            Fault::Duplicate {
+                at_ms,
+                dur_ms,
+                p_pct,
+            } if at_ms <= t_ms && t_ms < at_ms + dur_ms => dup = dup.max(p_pct),
+            _ => {}
+        }
+    }
+    FaultPlan::new()
+        .with_frame_loss(f64::from(loss) / 100.0)
+        .with_frame_corruption(f64::from(corrupt) / 100.0)
+        .with_frame_duplication(f64::from(dup) / 100.0)
+}
+
+/// The disk fault regime implied by the windows active at `t_ms`.
+/// Torn-writes activations are level-triggered: on from their instant
+/// until the heal.
+fn disk_faults_at(s: &FaultSchedule, t_ms: u64) -> DiskFaults {
+    let mut out = DiskFaults {
+        seed: s.workload_seed,
+        ..DiskFaults::default()
+    };
+    for f in &s.faults {
+        match *f {
+            Fault::DiskTransient {
+                at_ms,
+                dur_ms,
+                p_pct,
+            } if at_ms <= t_ms && t_ms < at_ms + dur_ms => {
+                out.transient_error = out.transient_error.max(f64::from(p_pct) / 100.0);
+            }
+            Fault::TornWrites { at_ms } if at_ms <= t_ms => out.torn_writes = true,
+            _ => {}
+        }
+    }
+    out
+}
+
+/// All instants (ms) at which the driver must pause the world: discrete
+/// fault times, burst starts, and burst ends, clamped to the horizon.
+fn instants(s: &FaultSchedule) -> Vec<u64> {
+    let mut ts = Vec::new();
+    for f in &s.faults {
+        if f.at_ms() <= s.horizon_ms {
+            ts.push(f.at_ms());
+        }
+        if let Some(d) = f.dur_ms() {
+            let end = f.at_ms() + d;
+            if end <= s.horizon_ms {
+                ts.push(end);
+            }
+        }
+    }
+    ts.sort_unstable();
+    ts.dedup();
+    ts
+}
+
+/// Replays `schedule` against a fresh `target` (injection, heal, grace
+/// period). On return the world is quiescent and ready for the oracle.
+pub fn run_schedule(target: &mut dyn ChaosWorld, schedule: &FaultSchedule) {
+    let instants = instants(schedule);
+    target.set_fault_clock(FaultClock::new(
+        instants.iter().map(|&t| SimTime::from_millis(t)).collect(),
+    ));
+    let horizon = SimTime::from_millis(schedule.horizon_ms);
+    while let Some(t) = target.run_until_or_fault(horizon) {
+        let t_ms = (t.as_millis_f64()).round() as u64;
+        for f in &schedule.faults {
+            if f.at_ms() == t_ms {
+                target.inject(f);
+            }
+        }
+        target.set_medium_faults(medium_plan_at(schedule, t_ms));
+        target.set_disk_faults(disk_faults_at(schedule, t_ms));
+    }
+    target.heal();
+    let end = SimTime::from_millis(schedule.horizon_ms + GRACE_MS);
+    let paused = target.run_until_or_fault(end);
+    debug_assert!(paused.is_none(), "fault clock drained before the heal");
+}
+
+/// A scenario bound to its fault-free baseline: the reusable harness
+/// for running many schedules against one workload.
+pub struct Engine {
+    scenario: Scenario,
+    baseline: Baseline,
+    opts: OracleOptions,
+}
+
+impl Engine {
+    /// Builds the engine: runs the fault-free baseline twice and checks
+    /// the two runs are bit-identical (the workload itself must be
+    /// deterministic before chaos results mean anything).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the baseline is nondeterministic or the
+    /// workload does not complete within the horizon + grace period.
+    pub fn new(scenario: Scenario, opts: OracleOptions) -> Result<Engine, String> {
+        let empty = FaultSchedule {
+            workload_seed: scenario.workload_seed,
+            horizon_ms: 0,
+            faults: Vec::new(),
+        };
+        let baseline = {
+            let mut t = scenario.build();
+            run_schedule(t.as_mut(), &empty);
+            Baseline {
+                output_fp: t.output_fingerprint(),
+                obs_fp: t.obs_fingerprint(),
+                client_outputs: t.client_outputs(),
+            }
+        };
+        let again = {
+            let mut t = scenario.build();
+            run_schedule(t.as_mut(), &empty);
+            t.obs_fingerprint()
+        };
+        if baseline.obs_fp != again {
+            return Err(format!(
+                "baseline nondeterminism: obs fingerprints {:#x} vs {again:#x}",
+                baseline.obs_fp
+            ));
+        }
+        for (pid, lines) in &baseline.client_outputs {
+            if lines.last().map(String::as_str) != Some("done") {
+                return Err(format!(
+                    "baseline incomplete: client {pid} ended with {:?}",
+                    lines.last()
+                ));
+            }
+        }
+        Ok(Engine {
+            scenario,
+            baseline,
+            opts,
+        })
+    }
+
+    /// The fault-free baseline this engine judges schedules against.
+    pub fn baseline(&self) -> &Baseline {
+        &self.baseline
+    }
+
+    /// Runs one schedule on a fresh world and returns the oracle's
+    /// failures (empty = the schedule passed).
+    pub fn run(&self, schedule: &FaultSchedule) -> Vec<String> {
+        let mut t = self.scenario.build();
+        run_schedule(t.as_mut(), schedule);
+        oracle::check(t.as_ref(), &self.baseline, &self.opts)
+    }
+
+    /// Shrinks a failing schedule to a minimal reproducer (see
+    /// [`crate::shrink::shrink`]).
+    pub fn shrink(&self, schedule: &FaultSchedule) -> FaultSchedule {
+        crate::shrink::shrink(schedule, &mut |s| !self.run(s).is_empty())
+    }
+}

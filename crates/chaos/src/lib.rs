@@ -1,0 +1,42 @@
+//! Deterministic chaos engine for the published-communications worlds.
+//!
+//! The engine closes the loop the individual fault hooks open up:
+//!
+//! 1. [`schedule`] *generates* seeded [`FaultSchedule`]s — crash storms
+//!    over processes, nodes, the recorder (or a shard), frame
+//!    loss/corruption/duplication bursts, transient disk-IO windows and
+//!    torn-writes-on-crash — from a compact [`ChaosConfig`], biased
+//!    toward the hard timings (crash during recovery, crash during
+//!    rebalance);
+//! 2. [`driver`] *replays* a schedule against a target world through the
+//!    scheduler's injectable fault clock
+//!    ([`publishing_sim::event::FaultClock`]): the world runs normally
+//!    and pauses exactly at each scheduled instant for injection, so a
+//!    schedule is a pure function of its literal — no wall clock, no
+//!    polling;
+//! 3. [`oracle`] *checks* the recovery invariants after every schedule:
+//!    all recoveries converge (replay lag drains to zero, no shard left
+//!    catching up), every client's deduplicated output equals the
+//!    fault-free baseline (no lost or duplicated delivery), replayed
+//!    read prefixes match the pre-crash prefix, and suppressions only
+//!    ever arise from recoveries;
+//! 4. [`shrink`] *minimizes* a failing schedule by deterministic
+//!    delta-debugging — drop faults to a fixpoint, then bisect each
+//!    fault's timing at millisecond granularity — down to a reproducer
+//!    printable as a replayable `--schedule` literal.
+//!
+//! [`FaultSchedule`]: schedule::FaultSchedule
+//! [`ChaosConfig`]: schedule::ChaosConfig
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod oracle;
+pub mod scenario;
+pub mod schedule;
+pub mod shrink;
+
+pub use driver::Engine;
+pub use oracle::OracleOptions;
+pub use scenario::{Scenario, Topology};
+pub use schedule::{ChaosConfig, Fault, FaultSchedule};

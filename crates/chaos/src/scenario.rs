@@ -1,0 +1,432 @@
+//! Chaos scenarios: the workload under test and the two target worlds.
+//!
+//! A [`Scenario`] describes a deterministic workload — independent
+//! ping/echo FIFO pairs, so every client's deduplicated output is
+//! pinned regardless of loss-induced interleaving — and builds it on
+//! either the single-recorder [`World`] or the [`ShardedWorld`]. The
+//! [`ChaosWorld`] trait is the narrow waist the driver and oracle see:
+//! run-to-fault, inject, heal, and the invariant probes.
+
+use crate::schedule::Fault;
+use publishing_core::world::{World, WorldBuilder};
+use publishing_demos::ids::{Channel, ProcessId};
+use publishing_demos::link::Link;
+use publishing_demos::programs::{self, PingClient};
+use publishing_demos::registry::ProgramRegistry;
+use publishing_obs::span::check_replay_prefix;
+use publishing_shard::ShardedWorld;
+use publishing_sim::event::FaultClock;
+use publishing_sim::fault::FaultPlan;
+use publishing_sim::time::SimTime;
+use publishing_stable::disk::DiskFaults;
+
+/// Which recorder tier the scenario runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// One recorder node ([`World`]).
+    Single,
+    /// A sharded recorder tier ([`ShardedWorld`]).
+    Sharded,
+}
+
+/// A deterministic workload: `pairs` ping/echo FIFO pairs exchanging
+/// `pings` round-trips, with think times derived from the workload
+/// seed.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Target topology.
+    pub topology: Topology,
+    /// Seed feeding workload timing (ping think time).
+    pub workload_seed: u64,
+    /// Ping/echo pairs.
+    pub pairs: u32,
+    /// Round-trips per pair.
+    pub pings: u64,
+}
+
+/// Processing nodes in every scenario (the recorder tier sits above
+/// them).
+pub const NODES: u32 = 3;
+/// Shards in the sharded scenario.
+pub const SHARDS: u32 = 3;
+
+impl Scenario {
+    /// A small default scenario for `topology`.
+    pub fn new(topology: Topology, workload_seed: u64) -> Self {
+        Scenario {
+            topology,
+            workload_seed,
+            pairs: 2,
+            pings: 8,
+        }
+    }
+
+    fn registry(&self) -> ProgramRegistry {
+        let mut reg = ProgramRegistry::new();
+        programs::register_standard(&mut reg);
+        let pings = self.pings;
+        let think_ns = 1_500_000 + (self.workload_seed % 5) * 250_000;
+        reg.register("chaos-pinger", move || {
+            let mut p = PingClient::new(pings);
+            p.think_ns = think_ns;
+            Box::new(p)
+        });
+        reg
+    }
+
+    /// Builds a fresh target world with the workload spawned.
+    pub fn build(&self) -> Box<dyn ChaosWorld> {
+        match self.topology {
+            Topology::Single => {
+                let mut w = WorldBuilder::new(NODES).registry(self.registry()).build();
+                let mut procs = Vec::new();
+                let mut clients = Vec::new();
+                for i in 0..self.pairs {
+                    let server = w.spawn(1 + i % 2, "echo", vec![]).expect("echo");
+                    let client = w
+                        .spawn(
+                            0,
+                            "chaos-pinger",
+                            vec![Link::to(server, Channel::DEFAULT, 7)],
+                        )
+                        .expect("pinger");
+                    procs.push(server);
+                    procs.push(client);
+                    clients.push(client);
+                }
+                Box::new(SingleTarget { w, procs, clients })
+            }
+            Topology::Sharded => {
+                let mut w = ShardedWorld::new(NODES, SHARDS as usize, self.registry());
+                let mut procs = Vec::new();
+                let mut clients = Vec::new();
+                for i in 0..self.pairs {
+                    let server = w.spawn(2, "echo", vec![]).expect("echo");
+                    let client = w
+                        .spawn(
+                            i % 2,
+                            "chaos-pinger",
+                            vec![Link::to(server, Channel::DEFAULT, 7)],
+                        )
+                        .expect("pinger");
+                    procs.push(server);
+                    procs.push(client);
+                    clients.push(client);
+                }
+                Box::new(ShardedTarget { w, procs, clients })
+            }
+        }
+    }
+}
+
+/// The narrow interface the chaos driver and oracle need from a world.
+pub trait ChaosWorld {
+    /// Installs the schedule's fault clock.
+    fn set_fault_clock(&mut self, clock: FaultClock);
+    /// Runs until `deadline` or the next fault instant; `Some(t)` pauses
+    /// for injection at `t`.
+    fn run_until_or_fault(&mut self, deadline: SimTime) -> Option<SimTime>;
+    /// Injects one fault now. Faults that do not apply to the topology
+    /// or the current state (e.g. restarting a recorder that is up) are
+    /// no-ops, so shrunk schedules stay runnable.
+    fn inject(&mut self, fault: &Fault);
+    /// Reapplies the medium fault plan (burst boundaries).
+    fn set_medium_faults(&mut self, plan: FaultPlan);
+    /// Reapplies the disk fault regime (window boundaries).
+    fn set_disk_faults(&mut self, faults: DiskFaults);
+    /// End-of-schedule heal: restart everything still down and clear all
+    /// injected fault regimes, so convergence is demanded of recovery,
+    /// not blocked on a fault the shrinker happened to keep.
+    fn heal(&mut self);
+    /// Deduplicated-output fingerprint (must match the fault-free
+    /// baseline).
+    fn output_fingerprint(&self) -> u64;
+    /// Span-log fingerprint (run-level determinism oracle).
+    fn obs_fingerprint(&self) -> u64;
+    /// Each client's deduplicated output lines.
+    fn client_outputs(&self) -> Vec<(ProcessId, Vec<String>)>;
+    /// Convergence violations: recoveries still in flight, replay lag,
+    /// downed or catching-up recorders.
+    fn convergence_failures(&self) -> Vec<String>;
+    /// Replay-prefix violations across every kernel × subject pid.
+    fn replay_prefix_failures(&self) -> Vec<String>;
+    /// Suppression-coverage violations: suppressions for unknown
+    /// senders, or suppressions in a run that performed no recovery.
+    fn suppression_failures(&self) -> Vec<String>;
+    /// Completed recoveries across the tier.
+    fn recoveries_completed(&self) -> u64;
+}
+
+/// [`ChaosWorld`] over the single-recorder [`World`].
+struct SingleTarget {
+    w: World,
+    procs: Vec<ProcessId>,
+    clients: Vec<ProcessId>,
+}
+
+impl ChaosWorld for SingleTarget {
+    fn set_fault_clock(&mut self, clock: FaultClock) {
+        self.w.set_fault_clock(clock);
+    }
+
+    fn run_until_or_fault(&mut self, deadline: SimTime) -> Option<SimTime> {
+        self.w.run_until_or_fault(deadline)
+    }
+
+    fn inject(&mut self, fault: &Fault) {
+        match fault {
+            Fault::CrashProcess { victim, .. } => {
+                let pid = self.procs[*victim as usize % self.procs.len()];
+                self.w.crash_process(pid, "chaos");
+            }
+            Fault::CrashNode { node, .. } => self.w.crash_node(node % NODES),
+            Fault::CrashRecorder { .. } if self.w.recorder.is_up() => {
+                self.w.crash_recorder();
+            }
+            Fault::RestartRecorder { .. } if !self.w.recorder.is_up() => {
+                self.w.restart_recorder();
+            }
+            // Rebalance and windowed faults are driven via the
+            // set_*_faults hooks / are sharded-only.
+            _ => {}
+        }
+    }
+
+    fn set_medium_faults(&mut self, plan: FaultPlan) {
+        self.w.lan.set_faults(plan);
+    }
+
+    fn set_disk_faults(&mut self, faults: DiskFaults) {
+        self.w.recorder.set_disk_faults(faults);
+    }
+
+    fn heal(&mut self) {
+        if !self.w.recorder.is_up() {
+            self.w.restart_recorder();
+        }
+        self.w.lan.set_faults(FaultPlan::new());
+        self.w.recorder.set_disk_faults(DiskFaults::default());
+    }
+
+    fn output_fingerprint(&self) -> u64 {
+        self.w.output_fingerprint()
+    }
+
+    fn obs_fingerprint(&self) -> u64 {
+        self.w.obs_fingerprint()
+    }
+
+    fn client_outputs(&self) -> Vec<(ProcessId, Vec<String>)> {
+        self.clients
+            .iter()
+            .map(|&c| (c, self.w.outputs_of(c)))
+            .collect()
+    }
+
+    fn convergence_failures(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if !self.w.recorder.is_up() {
+            out.push("recorder still down".into());
+        }
+        let lag =
+            publishing_core::obs::replay_lag(self.w.recorder.recorder(), self.w.recorder.manager());
+        if lag != 0 {
+            out.push(format!("replay lag {lag} has not drained"));
+        }
+        for l in self.w.recovery_lags() {
+            if l.recovering {
+                out.push(format!("pid {} still marked recovering", l.subject));
+            }
+        }
+        out
+    }
+
+    fn replay_prefix_failures(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (node, k) in &self.w.kernels {
+            for pid in &self.procs {
+                if let Err(e) = check_replay_prefix(k.spans(), pid.as_u64()) {
+                    out.push(format!("node {node}, subject {pid}: {e}"));
+                }
+            }
+        }
+        out
+    }
+
+    fn suppression_failures(&self) -> Vec<String> {
+        suppression_check(
+            self.w.kernels.values().map(|k| k.spans()),
+            &self.procs,
+            self.recoveries_completed(),
+        )
+    }
+
+    fn recoveries_completed(&self) -> u64 {
+        self.w.recorder.manager().stats().completed.get()
+    }
+}
+
+/// [`ChaosWorld`] over the [`ShardedWorld`].
+struct ShardedTarget {
+    w: ShardedWorld,
+    procs: Vec<ProcessId>,
+    clients: Vec<ProcessId>,
+}
+
+impl ShardedTarget {
+    fn live_count(&self) -> usize {
+        self.w.shards.iter().filter(|s| s.is_up()).count()
+    }
+}
+
+impl ChaosWorld for ShardedTarget {
+    fn set_fault_clock(&mut self, clock: FaultClock) {
+        self.w.set_fault_clock(clock);
+    }
+
+    fn run_until_or_fault(&mut self, deadline: SimTime) -> Option<SimTime> {
+        self.w.run_until_or_fault(deadline)
+    }
+
+    fn inject(&mut self, fault: &Fault) {
+        match fault {
+            Fault::CrashProcess { victim, .. } => {
+                let pid = self.procs[*victim as usize % self.procs.len()];
+                self.w.crash_process(pid, "chaos");
+            }
+            Fault::CrashNode { node, .. } => self.w.crash_node(node % NODES),
+            Fault::CrashRecorder { shard, .. } => {
+                let idx = *shard as usize % self.w.shards.len();
+                // Keep at least one live shard: with every shard down
+                // the tier cannot ack anything and the run degenerates.
+                if self.w.shards[idx].is_up() && self.live_count() > 1 {
+                    self.w.crash_shard(idx);
+                }
+            }
+            Fault::RestartRecorder { shard, .. } => {
+                let idx = *shard as usize % self.w.shards.len();
+                if !self.w.shards[idx].is_up() {
+                    self.w.restart_shard(idx);
+                }
+            }
+            Fault::AddShard { .. } => {
+                self.w.add_shard();
+            }
+            _ => {}
+        }
+    }
+
+    fn set_medium_faults(&mut self, plan: FaultPlan) {
+        self.w.lan.set_faults(plan);
+    }
+
+    fn set_disk_faults(&mut self, faults: DiskFaults) {
+        for s in &mut self.w.shards {
+            s.set_disk_faults(faults.clone());
+        }
+    }
+
+    fn heal(&mut self) {
+        for i in 0..self.w.shards.len() {
+            if !self.w.shards[i].is_up() {
+                self.w.restart_shard(i);
+            }
+        }
+        self.w.lan.set_faults(FaultPlan::new());
+        self.set_disk_faults(DiskFaults::default());
+    }
+
+    fn output_fingerprint(&self) -> u64 {
+        self.w.output_fingerprint()
+    }
+
+    fn obs_fingerprint(&self) -> u64 {
+        self.w.obs_fingerprint()
+    }
+
+    fn client_outputs(&self) -> Vec<(ProcessId, Vec<String>)> {
+        self.clients
+            .iter()
+            .map(|&c| (c, self.w.outputs_of(c)))
+            .collect()
+    }
+
+    fn convergence_failures(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for h in self.w.shard_health() {
+            if !h.live {
+                out.push(format!("shard {} still down", h.shard));
+            }
+            if h.catching_up {
+                out.push(format!("shard {} still catching up", h.shard));
+            }
+            if h.recoveries_in_flight != 0 {
+                out.push(format!(
+                    "shard {}: {} recoveries still in flight",
+                    h.shard, h.recoveries_in_flight
+                ));
+            }
+            if h.replay_lag != 0 {
+                out.push(format!(
+                    "shard {}: replay lag {} has not drained",
+                    h.shard, h.replay_lag
+                ));
+            }
+        }
+        for l in self.w.recovery_lags() {
+            if l.recovering {
+                out.push(format!("pid {} still marked recovering", l.subject));
+            }
+        }
+        out
+    }
+
+    fn replay_prefix_failures(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (node, k) in &self.w.kernels {
+            for pid in &self.procs {
+                if let Err(e) = check_replay_prefix(k.spans(), pid.as_u64()) {
+                    out.push(format!("node {node}, subject {pid}: {e}"));
+                }
+            }
+        }
+        out
+    }
+
+    fn suppression_failures(&self) -> Vec<String> {
+        suppression_check(
+            self.w.kernels.values().map(|k| k.spans()),
+            &self.procs,
+            self.recoveries_completed(),
+        )
+    }
+
+    fn recoveries_completed(&self) -> u64 {
+        self.w.recoveries_completed()
+    }
+}
+
+/// Suppressions exist only to cut off a recovering process's re-sends
+/// (§4.7), so (a) every suppressed sender must be a process the
+/// scenario spawned, and (b) a run that completed no recovery must show
+/// no suppressions at all.
+fn suppression_check<'a>(
+    logs: impl IntoIterator<Item = &'a publishing_obs::span::SpanLog>,
+    procs: &[ProcessId],
+    recoveries: u64,
+) -> Vec<String> {
+    let by_sender = publishing_core::obs::suppressed_by_sender(logs);
+    let mut out = Vec::new();
+    for (&sender, &n) in &by_sender {
+        if !procs.iter().any(|p| p.as_u64() == sender) {
+            out.push(format!("{n} suppressions for unknown sender {sender}"));
+        }
+    }
+    if recoveries == 0 && !by_sender.is_empty() {
+        out.push(format!(
+            "{} suppressions but no recovery ever completed",
+            by_sender.values().sum::<u64>()
+        ));
+    }
+    out
+}

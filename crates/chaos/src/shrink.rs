@@ -1,0 +1,177 @@
+//! Failing-schedule shrinking: deterministic delta debugging.
+//!
+//! Given a schedule that fails the oracle and a predicate that re-runs
+//! a candidate (true = still fails), shrinking proceeds in two phases:
+//!
+//! 1. **drop faults** — greedily remove one fault at a time, restarting
+//!    the sweep after every successful removal, to a fixpoint (the
+//!    classic ddmin tail: every remaining fault is necessary);
+//! 2. **bisect timings** — for each surviving fault, binary-search its
+//!    injection time down toward zero and its burst duration down
+//!    toward one millisecond, keeping only changes that still fail.
+//!
+//! Every step is deterministic: candidates are derived purely from the
+//! schedule, and the predicate replays them in the deterministic
+//! simulator, so the minimal reproducer's literal replays the failure
+//! exactly.
+
+use crate::schedule::FaultSchedule;
+
+/// Shrinks `schedule` to a locally minimal failing schedule.
+///
+/// `fails` must return `true` for `schedule` itself; if it does not,
+/// the schedule is returned unchanged (nothing to shrink).
+pub fn shrink<F>(schedule: &FaultSchedule, fails: &mut F) -> FaultSchedule
+where
+    F: FnMut(&FaultSchedule) -> bool,
+{
+    if !fails(schedule) {
+        return schedule.clone();
+    }
+    let mut cur = schedule.clone();
+
+    // Phase 1: drop faults to a fixpoint.
+    loop {
+        let mut removed = false;
+        let mut i = 0;
+        while i < cur.faults.len() {
+            let mut cand = cur.clone();
+            cand.faults.remove(i);
+            if fails(&cand) {
+                cur = cand;
+                removed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !removed {
+            break;
+        }
+    }
+
+    // Phase 2: bisect each fault's time toward 0 (ms granularity).
+    for i in 0..cur.faults.len() {
+        let mut lo = 0; // earliest time not yet known to pass
+        loop {
+            let t = cur.faults[i].at_ms();
+            if t <= lo {
+                break;
+            }
+            let mid = lo + (t - lo) / 2;
+            let mut cand = cur.clone();
+            cand.faults[i].set_at_ms(mid);
+            if fails(&cand) {
+                cur = cand;
+            } else if mid + 1 >= t {
+                break;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        // And each burst's duration toward 1 ms.
+        if cur.faults[i].dur_ms().is_some() {
+            let mut lo = 1;
+            loop {
+                let d = cur.faults[i].dur_ms().expect("windowed");
+                if d <= lo {
+                    break;
+                }
+                let mid = lo + (d - lo) / 2;
+                let mut cand = cur.clone();
+                cand.faults[i].set_dur_ms(mid);
+                if fails(&cand) {
+                    cur = cand;
+                } else if mid + 1 >= d {
+                    break;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Fault;
+
+    fn sched(faults: Vec<Fault>) -> FaultSchedule {
+        FaultSchedule {
+            workload_seed: 1,
+            horizon_ms: 1000,
+            faults,
+        }
+    }
+
+    #[test]
+    fn drops_irrelevant_faults_and_bisects_time() {
+        // "Fails" iff some crash_node is present at t >= 100.
+        let mut fails = |s: &FaultSchedule| {
+            s.faults
+                .iter()
+                .any(|f| matches!(f, Fault::CrashNode { at_ms, .. } if *at_ms >= 100))
+        };
+        let full = sched(vec![
+            Fault::Loss {
+                at_ms: 50,
+                dur_ms: 100,
+                p_pct: 10,
+            },
+            Fault::CrashNode {
+                at_ms: 700,
+                node: 1,
+            },
+            Fault::CrashProcess {
+                at_ms: 720,
+                victim: 0,
+            },
+            Fault::TornWrites { at_ms: 800 },
+        ]);
+        let min = shrink(&full, &mut fails);
+        assert_eq!(
+            min.faults,
+            vec![Fault::CrashNode {
+                at_ms: 100,
+                node: 1
+            }],
+            "minimal: {min}"
+        );
+    }
+
+    #[test]
+    fn passing_schedule_is_returned_unchanged() {
+        let s = sched(vec![Fault::TornWrites { at_ms: 10 }]);
+        let min = shrink(&s, &mut |_| false);
+        assert_eq!(min, s);
+    }
+
+    #[test]
+    fn shrinks_burst_durations() {
+        // "Fails" iff a loss burst covers t=400.
+        let mut fails = |s: &FaultSchedule| {
+            s.faults.iter().any(
+                |f| matches!(f, Fault::Loss { at_ms, dur_ms, .. } if *at_ms <= 400 && 400 < at_ms + dur_ms),
+            )
+        };
+        let full = sched(vec![Fault::Loss {
+            at_ms: 100,
+            dur_ms: 600,
+            p_pct: 30,
+        }]);
+        let min = shrink(&full, &mut fails);
+        // Time bisects first (any start <= 400 still covers t=400 with
+        // the original duration), then the duration tightens to the
+        // smallest window still covering t=400.
+        assert_eq!(
+            min.faults,
+            vec![Fault::Loss {
+                at_ms: 0,
+                dur_ms: 401,
+                p_pct: 30
+            }],
+            "minimal: {min}"
+        );
+    }
+}

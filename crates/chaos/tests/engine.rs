@@ -1,0 +1,131 @@
+//! End-to-end chaos engine tests: generated schedules pass the oracle
+//! on both topologies, literals replay deterministically, and the
+//! shrinker reduces a real failing run to a minimal reproducer.
+
+use publishing_chaos::driver::Engine;
+use publishing_chaos::oracle::OracleOptions;
+use publishing_chaos::scenario::{Scenario, Topology, NODES, SHARDS};
+use publishing_chaos::schedule::{self, ChaosConfig, Fault, FaultSchedule};
+
+fn engine(topology: Topology, seed: u64, opts: OracleOptions) -> Engine {
+    Engine::new(Scenario::new(topology, seed), opts).expect("deterministic baseline")
+}
+
+fn config(topology: Topology, seed: u64) -> ChaosConfig {
+    ChaosConfig {
+        seed,
+        nodes: NODES,
+        shards: match topology {
+            Topology::Single => 0,
+            Topology::Sharded => SHARDS,
+        },
+        procs: 4,
+        horizon_ms: 1000,
+        max_faults: 6,
+    }
+}
+
+#[test]
+fn generated_schedules_pass_the_oracle_on_the_single_world() {
+    let eng = engine(Topology::Single, 11, OracleOptions::default());
+    for k in 0..2u64 {
+        let sched = schedule::generate(&ChaosConfig {
+            seed: 11 * 100 + k,
+            ..config(Topology::Single, 11)
+        });
+        let failures = eng.run(&sched);
+        assert!(
+            failures.is_empty(),
+            "schedule {sched}\nfailures: {failures:#?}"
+        );
+    }
+}
+
+#[test]
+fn generated_schedules_pass_the_oracle_on_the_sharded_world() {
+    let eng = engine(Topology::Sharded, 12, OracleOptions::default());
+    for k in 0..2u64 {
+        let sched = schedule::generate(&ChaosConfig {
+            seed: 12 * 100 + k,
+            ..config(Topology::Sharded, 12)
+        });
+        let failures = eng.run(&sched);
+        assert!(
+            failures.is_empty(),
+            "schedule {sched}\nfailures: {failures:#?}"
+        );
+    }
+}
+
+#[test]
+fn schedule_replay_is_deterministic() {
+    // The same literal replayed twice produces bit-identical span logs.
+    let eng = engine(Topology::Single, 13, OracleOptions::default());
+    let sched = schedule::generate(&ChaosConfig {
+        seed: 1303,
+        ..config(Topology::Single, 13)
+    });
+    let lit = sched.to_string();
+    let replayed: FaultSchedule = lit.parse().expect("own literal parses");
+    assert_eq!(sched, replayed);
+    let run = |s: &FaultSchedule| {
+        let mut t = Scenario::new(Topology::Single, 13).build();
+        publishing_chaos::driver::run_schedule(t.as_mut(), s);
+        (t.obs_fingerprint(), t.output_fingerprint())
+    };
+    assert_eq!(run(&sched), run(&replayed));
+    // And the run still satisfies the oracle.
+    assert!(eng.run(&replayed).is_empty());
+}
+
+#[test]
+fn injected_bug_shrinks_to_a_minimal_deterministic_reproducer() {
+    // Self-test flag: the oracle treats any completed recovery as a
+    // bug. A noisy multi-fault schedule must shrink to a reproducer of
+    // at most 3 faults (in practice: the one crash that forces a
+    // recovery), and the reproducer's literal must replay the failure.
+    let opts = OracleOptions {
+        fail_on_recovery: true,
+    };
+    let eng = engine(Topology::Single, 14, opts);
+    let noisy = FaultSchedule {
+        workload_seed: 14,
+        horizon_ms: 800,
+        faults: vec![
+            Fault::Loss {
+                at_ms: 60,
+                dur_ms: 120,
+                p_pct: 10,
+            },
+            Fault::Duplicate {
+                at_ms: 100,
+                dur_ms: 80,
+                p_pct: 30,
+            },
+            Fault::CrashProcess {
+                at_ms: 200,
+                victim: 1,
+            },
+            Fault::TornWrites { at_ms: 300 },
+            Fault::DiskTransient {
+                at_ms: 350,
+                dur_ms: 100,
+                p_pct: 20,
+            },
+        ],
+    };
+    assert!(!eng.run(&noisy).is_empty(), "noisy schedule must fail");
+    let min = eng.shrink(&noisy);
+    assert!(
+        min.faults.len() <= 3,
+        "reproducer not minimal: {} faults in {min}",
+        min.faults.len()
+    );
+    // The minimal reproducer replays deterministically from its literal.
+    let lit = min.to_string();
+    let replayed: FaultSchedule = lit.parse().expect("literal parses");
+    let f1 = eng.run(&replayed);
+    let f2 = eng.run(&replayed);
+    assert!(!f1.is_empty(), "reproducer must still fail: {lit}");
+    assert_eq!(f1, f2, "reproducer must fail identically on replay");
+}

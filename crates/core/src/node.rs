@@ -145,6 +145,11 @@ impl RecorderNode {
         &self.manager
     }
 
+    /// Applies a disk-fault regime (chaos injection) to the store.
+    pub fn set_disk_faults(&mut self, faults: publishing_stable::disk::DiskFaults) {
+        self.recorder.set_disk_faults(faults);
+    }
+
     /// Begins operation: watchdogs for `nodes`, plus the checkpoint-policy
     /// tick.
     pub fn start(&mut self, now: SimTime, nodes: &[NodeId]) -> Vec<RNAction> {
@@ -265,7 +270,8 @@ impl RecorderNode {
                 let ios = self.recorder.on_ack(now, *msg_id, *dst_pid);
                 self.schedule_ios(ios, &mut out);
             }
-            Wire::Datagram { .. } => {}
+            // Datagrams and epoch notices are never published.
+            Wire::Datagram { .. } | Wire::EpochNotice { .. } => {}
         }
         if frame.dst.accepts(self.station()) {
             let actions = self.transport.on_wire(now, wire);

@@ -53,7 +53,7 @@ impl PublishCost {
 /// Recorder-internal checkpoint metadata wrapped around the kernel's
 /// process image before it goes to stable storage, so the database can be
 /// rebuilt from disk alone.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct CheckpointMeta {
     program_name: String,
     /// Creation-time links (initial state parameters).
@@ -316,6 +316,12 @@ impl Recorder {
     /// Returns the store (for utilization reporting).
     pub fn store(&self) -> &StableStore {
         &self.store
+    }
+
+    /// Applies a disk-fault regime (chaos injection) to every disk in
+    /// the store. All-default faults turn injection off again.
+    pub fn set_disk_faults(&mut self, faults: publishing_stable::disk::DiskFaults) {
+        self.store.set_disk_faults(faults);
     }
 
     /// Returns the current §3.4 restart number.
@@ -802,13 +808,18 @@ impl Recorder {
         let pids = self.store.rebuild_index();
         for packed in pids {
             let pid = ProcessId::from_u64(packed);
-            // Metadata from the latest durable checkpoint.
-            let Some(cp) = self.store.latest_checkpoint(packed) else {
-                continue;
-            };
-            let Ok(meta) = CheckpointMeta::decode_all(&cp.blob) else {
-                continue;
-            };
+            // Metadata from the latest durable checkpoint. A pid can
+            // surface with log records but no checkpoint when the crash
+            // destroyed its in-flight initial checkpoint write while acked
+            // messages survived in the battery-backed buffer. Rebuild its
+            // sequencing state anyway — the kernel's re-announcement will
+            // restore the metadata — so the process is never re-assigned
+            // an arrival sequence its surviving records already use.
+            let meta = self
+                .store
+                .latest_checkpoint(packed)
+                .and_then(|cp| CheckpointMeta::decode_all(&cp.blob).ok())
+                .unwrap_or_default();
             let mut entry = ProcessEntry::new(now, pid, meta.program_name.clone());
             entry.initial_links = meta.initial_links.clone();
             entry.read_floor = meta.read_floor;

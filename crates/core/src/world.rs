@@ -286,6 +286,11 @@ impl World {
         let Some((now, ev)) = self.sched.pop() else {
             return false;
         };
+        self.dispatch(now, ev);
+        true
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: WEv) {
         match ev {
             WEv::LanTimer(token) => {
                 let actions = self.lan.timer(now, token);
@@ -315,7 +320,35 @@ impl World {
                 }
             }
         }
-        true
+    }
+
+    /// Installs a fault clock: [`World::run_until_or_fault`] will pause
+    /// at each of its instants so a chaos driver can inject faults.
+    pub fn set_fault_clock(&mut self, clock: publishing_sim::event::FaultClock) {
+        self.sched.set_fault_clock(clock);
+    }
+
+    /// Runs until `deadline` or the next fault-clock instant, whichever
+    /// comes first. Returns `Some(t)` when paused at a fault instant
+    /// (the world's clock is at `t`; inject, then call again), `None`
+    /// once `deadline` is reached with no fault due before it.
+    pub fn run_until_or_fault(&mut self, deadline: SimTime) -> Option<SimTime> {
+        use publishing_sim::event::Tick;
+        loop {
+            let fault_due = self.sched.next_fault().map(|f| f <= deadline);
+            let event_due = self.sched.peek_time().map(|t| t <= deadline);
+            if fault_due != Some(true) && event_due != Some(true) {
+                if self.sched.now() < deadline {
+                    self.sched.advance_to(deadline);
+                }
+                return None;
+            }
+            match self.sched.pop_or_fault() {
+                Some(Tick::Fault(t)) => return Some(t),
+                Some(Tick::Event(now, ev)) => self.dispatch(now, ev),
+                None => return None,
+            }
+        }
     }
 
     /// Runs until `deadline` (watchdogs tick forever, so there is no

@@ -63,11 +63,24 @@ pub enum Wire {
         /// The message.
         msg: Message,
     },
+    /// Rejection of a Data frame that targeted a stale incarnation of
+    /// the receiver. Tells the sender the receiver's current epoch so it
+    /// renumbers and retransmits; without it a node that restarts after
+    /// a peer restarted never learns the peer's epoch and its guaranteed
+    /// traffic is dropped forever. Never published: it acknowledges
+    /// nothing.
+    EpochNotice {
+        /// Rejecting (receiving) node.
+        src_node: NodeId,
+        /// Its current incarnation.
+        incarnation: u32,
+    },
 }
 
 const TAG_DATA: u8 = 1;
 const TAG_ACK: u8 = 2;
 const TAG_DATAGRAM: u8 = 3;
+const TAG_EPOCH: u8 = 4;
 
 impl Encode for Wire {
     fn encode(&self, e: &mut Encoder) {
@@ -105,6 +118,12 @@ impl Encode for Wire {
             Wire::Datagram { src_node, msg } => {
                 e.u8(TAG_DATAGRAM).u32(src_node.0);
                 msg.encode(e);
+            }
+            Wire::EpochNotice {
+                src_node,
+                incarnation,
+            } => {
+                e.u8(TAG_EPOCH).u32(src_node.0).u32(*incarnation);
             }
         }
     }
@@ -147,6 +166,14 @@ impl Decode for Wire {
                 let src_node = NodeId(d.u32()?);
                 let msg = Message::decode(d)?;
                 Ok(Wire::Datagram { src_node, msg })
+            }
+            TAG_EPOCH => {
+                let src_node = NodeId(d.u32()?);
+                let incarnation = d.u32()?;
+                Ok(Wire::EpochNotice {
+                    src_node,
+                    incarnation,
+                })
             }
             tag => Err(CodecError::InvalidTag { what: "wire", tag }),
         }
@@ -437,6 +464,10 @@ impl Transport {
                 ..
             } => self.on_ack(now, src_node, peer_epoch, tseq),
             Wire::Datagram { msg, .. } => vec![TAction::Deliver(msg)],
+            Wire::EpochNotice {
+                src_node,
+                incarnation,
+            } => self.reset_peer(now, src_node, incarnation),
         }
     }
 
@@ -449,10 +480,21 @@ impl Transport {
         msg: Message,
     ) -> Vec<TAction> {
         let mut actions = Vec::new();
-        // A frame aimed at a previous incarnation of this node is stale;
-        // the sender will learn our new incarnation and renumber.
+        // A frame aimed at a previous incarnation of this node is stale:
+        // reject it (no ack — nothing was delivered) and tell the sender
+        // our current incarnation so it renumbers and retransmits. The
+        // sender may have restarted after we did and missed the
+        // NODE_RESTARTED broadcast entirely.
         if peer_epoch != self.incarnation {
             self.stats.stale_epoch.inc();
+            let notice = Wire::EpochNotice {
+                src_node: self.node,
+                incarnation: self.incarnation,
+            };
+            actions.push(TAction::Transmit {
+                dst_node: src_node,
+                payload: notice.encode_to_vec(),
+            });
             return actions;
         }
         let st = self.inc.entry(src_node).or_insert_with(|| InState {
@@ -596,10 +638,51 @@ mod tests {
                 src_node: NodeId(1),
                 msg: m.clone(),
             },
+            Wire::EpochNotice {
+                src_node: NodeId(2),
+                incarnation: 4,
+            },
         ] {
             let buf = wire.encode_to_vec();
             assert_eq!(Wire::decode_all(&buf).unwrap(), wire);
         }
+    }
+
+    #[test]
+    fn stale_epoch_notice_teaches_a_restarted_sender() {
+        // The receiver restarted twice before the sender (re)started, so
+        // the sender targets epoch 0 while the receiver is at 2 — the
+        // sender was down for every NODE_RESTARTED broadcast. The stale
+        // frame must come back as an epoch notice that renumbers the
+        // sender's traffic, or the message is dropped forever.
+        let (mut a, mut b) = transports();
+        b.restart(1);
+        b.restart(2);
+        let m = msg(ProcessId::new(1, 1), ProcessId::new(2, 1), 1, b"late");
+        let out = a.send_guaranteed(SimTime::ZERO, NodeId(2), m.clone());
+        let stale = Wire::decode_all(&payload_of(&out)[0]).unwrap();
+        let back = b.on_wire(SimTime::from_millis(1), stale);
+        // Rejected, not delivered, and not acknowledged.
+        assert!(deliveries_of(&back).is_empty());
+        assert_eq!(b.stats().stale_epoch.get(), 1);
+        let notice = Wire::decode_all(&payload_of(&back)[0]).unwrap();
+        assert!(matches!(notice, Wire::EpochNotice { incarnation: 2, .. }));
+        // The notice makes the sender renumber and retransmit; the
+        // retransmission now lands.
+        let resent = a.on_wire(SimTime::from_millis(2), notice);
+        let wire = Wire::decode_all(&payload_of(&resent)[0]).unwrap();
+        assert!(matches!(wire, Wire::Data { peer_epoch: 2, .. }));
+        let delivered = b.on_wire(SimTime::from_millis(3), wire);
+        assert_eq!(deliveries_of(&delivered), vec![m]);
+        // A duplicate notice is idempotent: nothing to renumber again.
+        let dup = Wire::EpochNotice {
+            src_node: NodeId(2),
+            incarnation: 2,
+        };
+        let ack = Wire::decode_all(&payload_of(&delivered)[0]).unwrap();
+        a.on_wire(SimTime::from_millis(4), ack);
+        assert!(payload_of(&a.on_wire(SimTime::from_millis(5), dup)).is_empty());
+        assert!(!a.has_unacked());
     }
 
     #[test]

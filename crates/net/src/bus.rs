@@ -43,11 +43,6 @@ impl PerfectBus {
         }
     }
 
-    /// Installs a fault plan (loss/corruption probabilities).
-    pub fn set_faults(&mut self, faults: FaultPlan) {
-        self.faults = faults;
-    }
-
     fn live_receivers(&self, frame: &Frame) -> Vec<StationId> {
         // Every live station but the sender hears the frame; the sender
         // also receives its own frame when it addressed itself — the
@@ -90,6 +85,10 @@ impl Lan for PerfectBus {
         self.router = router;
     }
 
+    fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
+    }
+
     fn submit(&mut self, now: SimTime, frame: Frame) -> Vec<LanAction> {
         self.stats.submitted.inc();
         let sender = frame.src;
@@ -100,6 +99,7 @@ impl Lan for PerfectBus {
             faults: &self.faults,
             rng: &mut self.rng,
             stats: &mut self.stats,
+            dup_gap: self.cfg.interpacket,
         }
         .run(tx_done, &frame, &receivers, &required);
         actions.push(LanAction::TxOutcome {

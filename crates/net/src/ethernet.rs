@@ -103,11 +103,6 @@ impl Ethernet {
         }
     }
 
-    /// Installs a fault plan (loss/corruption probabilities).
-    pub fn set_faults(&mut self, faults: FaultPlan) {
-        self.faults = faults;
-    }
-
     /// Returns whether the medium is currently idle.
     pub fn is_idle(&self) -> bool {
         matches!(self.state, MediumState::Idle)
@@ -299,6 +294,7 @@ impl Ethernet {
             faults: &self.faults,
             rng: &mut self.rng,
             stats: &mut self.stats,
+            dup_gap: self.cfg.interpacket,
         }
         .run(now, &frame, &receivers, &required);
         out.append(&mut deliveries);
@@ -360,6 +356,10 @@ impl Lan for Ethernet {
 
     fn set_recorder_router(&mut self, router: Option<RecorderRouter>) {
         self.router = router;
+    }
+
+    fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
     }
 
     fn submit(&mut self, now: SimTime, frame: Frame) -> Vec<LanAction> {

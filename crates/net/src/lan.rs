@@ -111,6 +111,8 @@ pub struct LanStats {
     pub lost: Counter,
     /// Frames corrupted by fault injection.
     pub corrupted: Counter,
+    /// Extra deliveries produced by fault injection (duplication draws).
+    pub duplicated: Counter,
     /// Frames blocked because a required recorder missed them.
     pub recorder_blocked: Counter,
     /// Transmissions abandoned after too many collisions.
@@ -173,6 +175,11 @@ pub trait Lan {
     /// is structurally its own single recorder.
     fn set_recorder_router(&mut self, _router: Option<RecorderRouter>) {}
 
+    /// Installs a fault plan (loss/corruption/duplication probabilities).
+    /// Replacing the plan mid-run is how the chaos engine opens and closes
+    /// fault bursts; the medium's RNG stream is unaffected by the swap.
+    fn set_faults(&mut self, faults: FaultPlan);
+
     /// Submits a frame for transmission from `frame.src`.
     fn submit(&mut self, now: SimTime, frame: Frame) -> Vec<LanAction>;
 
@@ -192,6 +199,10 @@ pub(crate) struct DeliveryFanout<'a> {
     pub faults: &'a FaultPlan,
     pub rng: &'a mut DetRng,
     pub stats: &'a mut LanStats,
+    /// How much later a duplicated frame's second copy arrives. Media pass
+    /// their natural re-arrival delay (a frame time, a hop latency); the
+    /// fanout floors it at 1 ns so the two arrivals are always distinct.
+    pub dup_gap: SimDuration,
 }
 
 impl DeliveryFanout<'_> {
@@ -199,7 +210,9 @@ impl DeliveryFanout<'_> {
     ///
     /// `required_recorders` must be a subset of `receivers` (down stations
     /// already filtered out by the caller). Stations that lose the frame
-    /// get no delivery; corrupted deliveries arrive with a broken FCS.
+    /// get no delivery; corrupted deliveries arrive with a broken FCS; a
+    /// duplication draw makes an intact delivery arrive a second time,
+    /// `dup_gap` later.
     pub fn run(
         &mut self,
         at: SimTime,
@@ -273,6 +286,16 @@ impl DeliveryFanout<'_> {
                         frame: frame.clone(),
                         recorder_ok,
                     });
+                    if self.faults.roll_duplication(self.rng) {
+                        self.stats.duplicated.inc();
+                        self.stats.delivered.inc();
+                        out.push(LanAction::Deliver {
+                            at: at + self.dup_gap.max(SimDuration::from_nanos(1)),
+                            to: st,
+                            frame: frame.clone(),
+                            recorder_ok,
+                        });
+                    }
                 }
             }
         }
@@ -309,6 +332,7 @@ mod tests {
             faults: &faults,
             rng: &mut rng,
             stats: &mut stats,
+            dup_gap: SimDuration::from_micros(10),
         }
         .run(SimTime::from_millis(1), &frame, &receivers, &[StationId(3)]);
         assert_eq!(actions.len(), 3);
@@ -340,6 +364,7 @@ mod tests {
             faults: &faults,
             rng: &mut rng,
             stats: &mut stats,
+            dup_gap: SimDuration::from_micros(10),
         }
         .run(
             SimTime::ZERO,
@@ -366,6 +391,7 @@ mod tests {
             faults: &faults,
             rng: &mut rng,
             stats: &mut stats,
+            dup_gap: SimDuration::from_micros(10),
         }
         .run(
             SimTime::ZERO,
@@ -388,6 +414,32 @@ mod tests {
     }
 
     #[test]
+    fn duplication_yields_second_delivery_later() {
+        let faults = FaultPlan::new().with_frame_duplication(1.0);
+        let mut rng = DetRng::new(5);
+        let mut stats = LanStats::default();
+        let frame = Frame::new(StationId(0), Destination::Broadcast, vec![1]);
+        let actions = DeliveryFanout {
+            faults: &faults,
+            rng: &mut rng,
+            stats: &mut stats,
+            dup_gap: SimDuration::from_micros(10),
+        }
+        .run(SimTime::from_millis(1), &frame, &[StationId(1)], &[]);
+        let times: Vec<SimTime> = actions
+            .iter()
+            .filter_map(|a| match a {
+                LanAction::Deliver { at, to, .. } if *to == StationId(1) => Some(*at),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(times.len(), 2);
+        assert!(times[1] > times[0]);
+        assert_eq!(stats.duplicated.get(), 1);
+        assert_eq!(stats.delivered.get(), 2);
+    }
+
+    #[test]
     fn no_required_recorders_means_no_gating() {
         let faults = FaultPlan::new();
         let mut rng = DetRng::new(4);
@@ -397,6 +449,7 @@ mod tests {
             faults: &faults,
             rng: &mut rng,
             stats: &mut stats,
+            dup_gap: SimDuration::from_micros(10),
         }
         .run(SimTime::ZERO, &frame, &[StationId(1)], &[]);
         match &actions[0] {

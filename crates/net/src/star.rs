@@ -42,12 +42,6 @@ impl StarHub {
         }
     }
 
-    /// Installs a fault plan (loss/corruption probabilities, applied per
-    /// link traversal).
-    pub fn set_faults(&mut self, faults: FaultPlan) {
-        self.faults = faults;
-    }
-
     /// Returns the hub station id.
     pub fn hub(&self) -> StationId {
         self.hub
@@ -69,6 +63,10 @@ impl Lan for StarHub {
 
     fn set_required_recorders(&mut self, _recorders: Vec<StationId>) {
         // The hub is structurally the recorder; nothing to configure.
+    }
+
+    fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
     }
 
     fn submit(&mut self, now: SimTime, frame: Frame) -> Vec<LanAction> {
@@ -146,9 +144,21 @@ impl Lan for StarHub {
             out.push(LanAction::Deliver {
                 at,
                 to,
-                frame: f,
+                frame: f.clone(),
                 recorder_ok: true,
             });
+            if self.faults.roll_duplication(&mut self.rng) {
+                // The hub forwards the frame down the link a second time
+                // (spurious retransmission), one link traversal later.
+                self.stats.duplicated.inc();
+                self.stats.delivered.inc();
+                out.push(LanAction::Deliver {
+                    at: at + link_time.max(SimDuration::from_nanos(1)),
+                    to,
+                    frame: f,
+                    recorder_ok: true,
+                });
+            }
         }
         out
     }

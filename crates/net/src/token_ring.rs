@@ -62,11 +62,6 @@ impl TokenRing {
         }
     }
 
-    /// Installs a fault plan (loss/corruption probabilities).
-    pub fn set_faults(&mut self, faults: FaultPlan) {
-        self.faults = faults;
-    }
-
     fn is_up(&self, st: StationId) -> bool {
         self.up.get(&st).copied().unwrap_or(false)
     }
@@ -184,6 +179,20 @@ impl TokenRing {
                         frame: on_wire.clone(),
                         recorder_ok: true,
                     });
+                    if self.faults.roll_duplication(&mut self.rng) {
+                        // The copy sticks: the station reads the frame again
+                        // on a spurious second revolution, one ring pass
+                        // later (never at the same instant).
+                        let gap = serialization.max(SimDuration::from_nanos(1));
+                        self.stats.duplicated.inc();
+                        self.stats.delivered.inc();
+                        actions.push(LanAction::Deliver {
+                            at: t + gap,
+                            to: st,
+                            frame: on_wire.clone(),
+                            recorder_ok: true,
+                        });
+                    }
                 }
             }
         }
@@ -266,6 +275,10 @@ impl Lan for TokenRing {
 
     fn set_recorder_router(&mut self, router: Option<RecorderRouter>) {
         self.router = router;
+    }
+
+    fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
     }
 
     fn submit(&mut self, now: SimTime, frame: Frame) -> Vec<LanAction> {

@@ -102,8 +102,9 @@ impl ShardRouter {
             let dst = match Wire::decode_all(&frame.payload) {
                 Ok(Wire::Data { msg, .. }) => msg.header.to,
                 Ok(Wire::Ack { dst_pid, .. }) => dst_pid,
-                // Datagrams are unguaranteed and never published.
-                Ok(Wire::Datagram { .. }) => return Some(Vec::new()),
+                // Datagrams and epoch notices are unguaranteed transport
+                // control and never published.
+                Ok(Wire::Datagram { .. } | Wire::EpochNotice { .. }) => return Some(Vec::new()),
                 // Not transport traffic: fall back to the global set.
                 Err(_) => return None,
             };

@@ -298,6 +298,12 @@ impl ShardedWorld {
         let Some((now, ev)) = self.sched.pop() else {
             return false;
         };
+        self.dispatch(now, ev);
+        self.check_rejoining();
+        true
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: SEv) {
         match ev {
             SEv::LanTimer(token) => {
                 let actions = self.lan.timer(now, token);
@@ -329,8 +335,11 @@ impl ShardedWorld {
                 }
             }
         }
-        // Readmit rejoining shards once they have caught up (§6.3:
-        // natural checkpointing brings a returning recorder up to date).
+    }
+
+    /// Readmit rejoining shards once they have caught up (§6.3:
+    /// natural checkpointing brings a returning recorder up to date).
+    fn check_rejoining(&mut self) {
         if !self.rejoining.is_empty() {
             let done: Vec<(usize, SimTime)> = self
                 .rejoining
@@ -347,7 +356,6 @@ impl ShardedWorld {
                 }
             }
         }
-        true
     }
 
     /// Runs until `deadline`.
@@ -357,6 +365,35 @@ impl ShardedWorld {
                 break;
             }
             self.step();
+        }
+    }
+
+    /// Installs a fault clock: [`ShardedWorld::run_until_or_fault`]
+    /// pauses at each of its instants so a chaos driver can inject
+    /// faults.
+    pub fn set_fault_clock(&mut self, clock: publishing_sim::event::FaultClock) {
+        self.sched.set_fault_clock(clock);
+    }
+
+    /// Runs until `deadline` or the next fault-clock instant, whichever
+    /// comes first. Returns `Some(t)` when paused at a fault instant,
+    /// `None` once `deadline` is reached with no fault due before it.
+    pub fn run_until_or_fault(&mut self, deadline: SimTime) -> Option<SimTime> {
+        use publishing_sim::event::Tick;
+        loop {
+            let fault_due = self.sched.next_fault().map(|f| f <= deadline);
+            let event_due = self.sched.peek_time().map(|t| t <= deadline);
+            if fault_due != Some(true) && event_due != Some(true) {
+                return None;
+            }
+            match self.sched.pop_or_fault() {
+                Some(Tick::Fault(t)) => return Some(t),
+                Some(Tick::Event(now, ev)) => {
+                    self.dispatch(now, ev);
+                    self.check_rejoining();
+                }
+                None => return None,
+            }
         }
     }
 

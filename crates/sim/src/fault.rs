@@ -54,6 +54,7 @@ pub struct FaultPlan {
     crashes: Vec<Crash>,
     frame_loss: f64,
     frame_corruption: f64,
+    frame_duplication: f64,
 }
 
 impl FaultPlan {
@@ -92,6 +93,19 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the independent per-frame duplication probability (the frame
+    /// arrives twice, at distinct times — e.g. a retransmission whose
+    /// original was not actually lost).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn with_frame_duplication(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        self.frame_duplication = p;
+        self
+    }
+
     /// Returns the crash schedule, sorted by time.
     pub fn crashes(&self) -> &[Crash] {
         &self.crashes
@@ -107,6 +121,11 @@ impl FaultPlan {
         self.frame_corruption
     }
 
+    /// Returns the per-frame duplication probability.
+    pub fn frame_duplication(&self) -> f64 {
+        self.frame_duplication
+    }
+
     /// Draws whether a frame is lost, using the caller's RNG stream.
     pub fn roll_loss(&self, rng: &mut DetRng) -> bool {
         self.frame_loss > 0.0 && rng.chance(self.frame_loss)
@@ -115,6 +134,13 @@ impl FaultPlan {
     /// Draws whether a frame is corrupted in flight.
     pub fn roll_corruption(&self, rng: &mut DetRng) -> bool {
         self.frame_corruption > 0.0 && rng.chance(self.frame_corruption)
+    }
+
+    /// Draws whether a frame arrives twice. Like the other rolls, a zero
+    /// probability consumes no randomness, so plans without duplication
+    /// leave every existing RNG stream untouched.
+    pub fn roll_duplication(&self, rng: &mut DetRng) -> bool {
+        self.frame_duplication > 0.0 && rng.chance(self.frame_duplication)
     }
 
     /// Generates a random crash schedule: `n` crashes uniform over
@@ -163,6 +189,7 @@ mod tests {
         for _ in 0..100 {
             assert!(!plan.roll_loss(&mut rng));
             assert!(!plan.roll_corruption(&mut rng));
+            assert!(!plan.roll_duplication(&mut rng));
         }
     }
 
@@ -170,10 +197,12 @@ mod tests {
     fn full_probability_always_rolls() {
         let plan = FaultPlan::new()
             .with_frame_loss(1.0)
-            .with_frame_corruption(1.0);
+            .with_frame_corruption(1.0)
+            .with_frame_duplication(1.0);
         let mut rng = DetRng::new(1);
         assert!(plan.roll_loss(&mut rng));
         assert!(plan.roll_corruption(&mut rng));
+        assert!(plan.roll_duplication(&mut rng));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! emerges naturally under load — that queueing is what saturates first in
 //! Figure 5.5 before the 4 KB buffering fix.
 
+use publishing_sim::rng::DetRng;
 use publishing_sim::stats::{Counter, Summary, Utilization};
 use publishing_sim::time::{SimDuration, SimTime};
 use std::collections::HashMap;
@@ -36,6 +37,35 @@ impl DiskParams {
     pub fn service_time(&self, bytes: usize) -> SimDuration {
         let ns = (bytes as u64).saturating_mul(1_000_000_000) / self.bytes_per_sec;
         self.latency + SimDuration::from_nanos(ns)
+    }
+}
+
+/// Injected disk failure modes, all off by default so a plain
+/// [`Disk`] behaves exactly as before.
+///
+/// Transient errors model a controller hiccup: the operation occupies the
+/// disk for its full service time but completes with
+/// [`DiskResult::TransientError`] and no effect; the caller retries.
+/// Torn writes model power loss mid-transfer: when the host crashes (see
+/// [`Disk::crash_tear_inflight`]), each in-flight write leaves only a
+/// prefix of its data on the page.
+#[derive(Debug, Clone)]
+pub struct DiskFaults {
+    /// Probability an operation fails transiently.
+    pub transient_error: f64,
+    /// Whether a crash tears in-flight writes.
+    pub torn_writes: bool,
+    /// Seed for the disk's private fault stream.
+    pub seed: u64,
+}
+
+impl Default for DiskFaults {
+    fn default() -> Self {
+        DiskFaults {
+            transient_error: 0.0,
+            torn_writes: false,
+            seed: 0,
+        }
     }
 }
 
@@ -75,6 +105,12 @@ pub enum DiskResult {
         /// Its contents at read time.
         data: Vec<u8>,
     },
+    /// The operation failed transiently (injected fault) with no effect on
+    /// the platter; the original operation is returned for resubmission.
+    TransientError {
+        /// The operation that failed.
+        op: DiskOp,
+    },
 }
 
 /// Counters and gauges a disk maintains.
@@ -92,12 +128,18 @@ pub struct DiskStats {
     pub busy: Utilization,
     /// Per-operation response time (queueing + service), milliseconds.
     pub response_ms: Summary,
+    /// Operations that failed transiently (injected).
+    pub transient_errors: Counter,
+    /// In-flight writes torn by a crash (injected).
+    pub torn_writes: Counter,
 }
 
 struct Pending {
     op: DiskOp,
     submitted: SimTime,
     completes: SimTime,
+    /// Fault draw fixed at submission: this operation will fail.
+    fails: bool,
 }
 
 /// A single simulated disk.
@@ -111,6 +153,8 @@ pub struct Disk {
     busy_until: SimTime,
     next_token: u64,
     stats: DiskStats,
+    faults: DiskFaults,
+    fault_rng: DetRng,
 }
 
 impl Disk {
@@ -123,12 +167,26 @@ impl Disk {
             busy_until: SimTime::ZERO,
             next_token: 0,
             stats: DiskStats::default(),
+            faults: DiskFaults::default(),
+            fault_rng: DetRng::new(0xD15C),
         }
+    }
+
+    /// Installs injected failure modes (and reseeds the fault stream).
+    /// The default [`DiskFaults`] restores fault-free behaviour.
+    pub fn set_faults(&mut self, faults: DiskFaults) {
+        self.fault_rng = DetRng::new(faults.seed ^ 0xD15C);
+        self.faults = faults;
     }
 
     /// Returns the service parameters.
     pub fn params(&self) -> &DiskParams {
         &self.params
+    }
+
+    /// Returns the installed failure modes.
+    pub fn faults(&self) -> &DiskFaults {
+        &self.faults
     }
 
     /// Returns the disk's counters.
@@ -167,12 +225,17 @@ impl Disk {
         self.busy_until = completes;
         let token = IoToken(self.next_token);
         self.next_token += 1;
+        // The fault draw happens at submission (and only when injection is
+        // on, so fault-free disks consume no randomness).
+        let fails =
+            self.faults.transient_error > 0.0 && self.fault_rng.chance(self.faults.transient_error);
         self.pending.insert(
             token,
             Pending {
                 op,
                 submitted: now,
                 completes,
+                fails,
             },
         );
         (token, completes)
@@ -196,6 +259,10 @@ impl Disk {
             .record(p.completes.saturating_since(p.submitted).as_millis_f64());
         if self.pending.is_empty() && now >= self.busy_until {
             self.stats.busy.set_idle(self.busy_until);
+        }
+        if p.fails {
+            self.stats.transient_errors.inc();
+            return DiskResult::TransientError { op: p.op };
         }
         match p.op {
             DiskOp::Write { page, data } => {
@@ -227,6 +294,37 @@ impl Disk {
         keys.sort_unstable();
         keys.into_iter()
             .map(move |k| (k, self.pages[&k].as_slice()))
+    }
+
+    /// Crash hook: if torn writes are enabled, every in-flight write is
+    /// abandoned mid-transfer, leaving only a prefix of its data on the
+    /// target page. The torn operations are forgotten — their completions
+    /// belong to the crashed host and must never be delivered. With torn
+    /// writes off this is a no-op (in-flight writes complete normally if
+    /// the driver still delivers them).
+    pub fn crash_tear_inflight(&mut self) {
+        if !self.faults.torn_writes {
+            return;
+        }
+        let mut tokens: Vec<IoToken> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| matches!(p.op, DiskOp::Write { .. }))
+            .map(|(&t, _)| t)
+            .collect();
+        tokens.sort_unstable();
+        for t in tokens {
+            let p = self.pending.remove(&t).expect("listed");
+            if let DiskOp::Write { page, data } = p.op {
+                // An empty write is a trim: there is no transfer to tear,
+                // so it either happened (at completion) or it didn't.
+                if data.is_empty() {
+                    continue;
+                }
+                self.stats.torn_writes.inc();
+                self.pages.insert(page, data[..data.len() / 2].to_vec());
+            }
+        }
     }
 
     /// Erases everything (models replacing the pack; not used in recovery).
@@ -370,6 +468,70 @@ mod tests {
         let s = &d.stats().response_ms;
         assert_eq!(s.count(), 2);
         assert!(s.max().unwrap() > s.min().unwrap());
+    }
+
+    #[test]
+    fn transient_error_returns_op_without_effect() {
+        let mut d = disk();
+        d.set_faults(DiskFaults {
+            transient_error: 1.0,
+            ..DiskFaults::default()
+        });
+        let op = DiskOp::Write {
+            page: 3,
+            data: vec![9, 9],
+        };
+        let (t, c) = d.submit(SimTime::ZERO, op.clone());
+        assert_eq!(d.complete(c, t), DiskResult::TransientError { op });
+        assert!(d.peek_page(3).is_none(), "no effect on the platter");
+        assert_eq!(d.stats().transient_errors.get(), 1);
+        assert_eq!(d.stats().writes.get(), 0);
+        // Turning faults back off restores normal completion.
+        d.set_faults(DiskFaults::default());
+        let (t, c) = d.submit(
+            c,
+            DiskOp::Write {
+                page: 3,
+                data: vec![9, 9],
+            },
+        );
+        assert_eq!(d.complete(c, t), DiskResult::Written { page: 3 });
+        assert_eq!(d.peek_page(3), Some(&[9u8, 9][..]));
+    }
+
+    #[test]
+    fn crash_tears_inflight_writes_to_prefix() {
+        let mut d = disk();
+        d.set_faults(DiskFaults {
+            torn_writes: true,
+            ..DiskFaults::default()
+        });
+        let (_, _) = d.submit(
+            SimTime::ZERO,
+            DiskOp::Write {
+                page: 5,
+                data: vec![1, 2, 3, 4],
+            },
+        );
+        d.crash_tear_inflight();
+        assert_eq!(d.peek_page(5), Some(&[1u8, 2][..]));
+        assert_eq!(d.stats().torn_writes.get(), 1);
+        assert_eq!(d.queue_depth(), 0, "torn op is forgotten");
+    }
+
+    #[test]
+    fn crash_without_torn_writes_is_a_noop() {
+        let mut d = disk();
+        let (t, c) = d.submit(
+            SimTime::ZERO,
+            DiskOp::Write {
+                page: 5,
+                data: vec![1, 2, 3, 4],
+            },
+        );
+        d.crash_tear_inflight();
+        assert!(d.peek_page(5).is_none());
+        assert_eq!(d.complete(c, t), DiskResult::Written { page: 5 });
     }
 
     #[test]

@@ -157,6 +157,8 @@ pub struct StoreStats {
     pub records_compacted: Counter,
     /// Checkpoints made durable.
     pub checkpoints: Counter,
+    /// Disk operations retried after an injected transient error.
+    pub io_retries: Counter,
 }
 
 struct PendingCheckpoint {
@@ -231,6 +233,22 @@ impl StableStore {
     /// Returns the number of disks.
     pub fn n_disks(&self) -> usize {
         self.disks.len()
+    }
+
+    /// Installs injected disk failure modes on every disk (seeds are
+    /// varied per disk so their fault streams are independent). Transient
+    /// errors are retried internally — see
+    /// [`StableStore::on_disk_complete`] — so nothing above the store
+    /// observes them except as latency.
+    pub fn set_disk_faults(&mut self, faults: crate::disk::DiskFaults) {
+        for (i, d) in self.disks.iter_mut().enumerate() {
+            let mut f = faults.clone();
+            f.seed = faults
+                .seed
+                .wrapping_add(i as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15);
+            d.set_faults(f);
+        }
     }
 
     fn alloc_page(&mut self) -> u64 {
@@ -392,6 +410,19 @@ impl StableStore {
         let Some(pending) = self.pending.remove(&(io.disk, io.token)) else {
             return Vec::new();
         };
+        // A transient disk error is retried in place: the same operation
+        // goes back to the same disk and keeps its pending bookkeeping, so
+        // layers above see nothing but added latency.
+        if let DiskResult::TransientError { op } = result {
+            self.stats.io_retries.inc();
+            let (token, at) = self.disks[io.disk].submit(now, op);
+            self.pending.insert((io.disk, token), pending);
+            return vec![StoreEvent::FollowUpIo(StoreIo {
+                disk: io.disk,
+                token,
+                at,
+            })];
+        }
         match (pending, result) {
             (PendingIo::PageWrite { keys }, DiskResult::Written { .. }) => {
                 let mut durable = Vec::new();
@@ -851,8 +882,39 @@ impl StableStore {
     /// but durable pages and the battery-backed buffer survive.
     pub fn crash_volatile_state(&mut self) {
         // The index is exactly what rebuild_index reconstructs; dropping
-        // and rebuilding is the honest simulation of the crash, so this is
-        // a semantic marker more than a mutation.
+        // and rebuilding is the honest simulation of the crash — with two
+        // physical effects layered on top. First, the battery-backed
+        // controller holds each flushed page image until the disk
+        // acknowledges it, so records riding an in-flight page write are
+        // still protected: they return to the open buffer (otherwise a
+        // crash between `flush` and its completion would lose records the
+        // store had already reported durable before a compaction moved
+        // them). Second, with torn writes enabled (see
+        // [`crate::disk::DiskFaults`]) each in-flight write leaves a
+        // partial page, which the rebuild scan tolerates as a truncated
+        // decode. All other in-flight bookkeeping dies with the host.
+        let mut inflight: Vec<((usize, IoToken), PendingIo)> =
+            std::mem::take(&mut self.pending).into_iter().collect();
+        inflight.sort_by_key(|(k, _)| *k);
+        for (_, p) in inflight {
+            let PendingIo::PageWrite { keys } = p else {
+                continue;
+            };
+            for k in keys {
+                let Some(st) = self.records.get_mut(&k) else {
+                    continue;
+                };
+                if !st.durable && st.valid && st.location != Location::Open {
+                    st.location = Location::Open;
+                    self.open_bytes += Self::record_size(&st.record);
+                    self.open.push(k);
+                }
+            }
+        }
+        self.pending_checkpoints.clear();
+        for d in &mut self.disks {
+            d.crash_tear_inflight();
+        }
     }
 }
 

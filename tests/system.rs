@@ -10,7 +10,7 @@ use publishing::demos::programs::{self, Chatter, PingClient};
 use publishing::demos::registry::ProgramRegistry;
 use publishing::net::bus::PerfectBus;
 use publishing::net::ethernet::Ethernet;
-use publishing::net::lan::LanConfig;
+use publishing::net::lan::{Lan, LanConfig};
 use publishing::sim::fault::FaultPlan;
 use publishing::sim::time::{SimDuration, SimTime};
 
