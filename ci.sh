@@ -28,4 +28,10 @@ cargo run -q --release -p publishing-bench --bin obs_report -- --smoke > /dev/nu
 echo "==> chaos smoke run"
 cargo run -q --release -p publishing-bench --bin chaos -- --smoke > /dev/null
 
+echo "==> perf bench smoke + regression gate vs perf/BENCH_1.json"
+rm -rf target/perf
+cargo run -q --release -p publishing-bench --bin bench -- --smoke --dir target/perf
+cargo run -q --release -p publishing-bench --bin obs_report -- --smoke --trace target/perf/trace.json > /dev/null
+cargo run -q --release -p publishing-bench --bin bench_compare -- perf/BENCH_1.json target/perf/BENCH_1.json
+
 echo "CI green."

@@ -1,0 +1,95 @@
+//! The perf-observatory bench driver.
+//!
+//! Runs the canonical scenario matrix at fixed seeds (see
+//! `publishing_bench::perf_matrix`) and writes one versioned
+//! `BENCH_<n>.json` snapshot (schema: `publishing_perf::snapshot`). The
+//! matrix covers the system's load-bearing paths:
+//!
+//! - `steady_state` — fault-free publish/deliver over the sharded tier;
+//! - `crash_replay` — a node crash mid-run, recovered in parallel by
+//!   the responsible shards;
+//! - `rebalance` — a new shard admitted mid-run (log drain + cutover);
+//! - `chaos_smoke` — one generated fault schedule replayed through the
+//!   chaos driver (crashes plus loss/corruption/disk windows).
+//!
+//! Every scenario's virtual-time metrics (events per virtual second,
+//! stage-latency percentiles, queue depths, bytes published) are
+//! deterministic: two runs at the same seed produce byte-identical
+//! virtual sections. Wall-clock time and allocation counts (from the
+//! counting global allocator this binary installs) are recorded in the
+//! separate `host` section that the CI comparator never gates on.
+//!
+//! Usage: `bench [--smoke] [--dir DIR]`
+//!
+//! - `--smoke` runs the smaller CI matrix (< 1 s);
+//! - `--dir DIR` writes the snapshot into `DIR` (default: the current
+//!   directory); the snapshot number is one past the highest existing
+//!   `BENCH_<n>.json` there.
+
+use publishing_bench::perf_matrix::run_matrix;
+use publishing_perf::alloc::CountingAlloc;
+use publishing_perf::snapshot::{next_snapshot_number, snapshot_filename};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut dir = std::path::PathBuf::from(".");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--dir" => {
+                i += 1;
+                let Some(d) = args.get(i) else {
+                    eprintln!("--dir needs a path; usage: bench [--smoke] [--dir DIR]");
+                    std::process::exit(2);
+                };
+                dir = d.into();
+            }
+            bad => {
+                eprintln!("unknown argument {bad:?}; usage: bench [--smoke] [--dir DIR]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let snap = run_matrix(smoke);
+
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        std::process::exit(2);
+    }
+    let path = dir.join(snapshot_filename(next_snapshot_number(&dir)));
+    if let Err(e) = std::fs::write(&path, snap.to_json()) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(2);
+    }
+
+    println!("wrote {}", path.display());
+    for s in &snap.scenarios {
+        println!(
+            "  {:<14} {:>10.0} ev/vsec  p99(pub→dlv) {:>8.0}us  peak_q {:>3.0}  wall {:>7.1}ms",
+            s.name,
+            s.virt.get("events_per_virtual_sec").copied().unwrap_or(0.0),
+            s.virt
+                .get("publish_to_deliver_us_p99")
+                .copied()
+                .unwrap_or(0.0),
+            s.virt.get("peak_queue_depth").copied().unwrap_or(0.0),
+            s.host.get("wall_ms").copied().unwrap_or(0.0),
+        );
+    }
+
+    // A bench run that did no work is a broken scenario, not a datum.
+    for s in &snap.scenarios {
+        let delivered = s.virt.get("events_delivered").copied().unwrap_or(0.0);
+        if delivered == 0.0 {
+            eprintln!("scenario {} delivered no events", s.name);
+            std::process::exit(1);
+        }
+    }
+}

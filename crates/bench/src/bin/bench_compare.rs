@@ -1,0 +1,43 @@
+//! The CI perf-regression gate: diffs two `BENCH_<n>.json` snapshots.
+//!
+//! Usage: `bench_compare <prev.json> <new.json>`
+//!
+//! Compares the newer snapshot against the older one under the default
+//! rule set (see `publishing_perf::compare::default_rules`): virtual
+//! metrics only, with per-metric noise thresholds. Exit codes: `0` no
+//! regression, `1` at least one gated metric regressed, `2` the inputs
+//! are unreadable or not comparable (schema/mode mismatch, scenario
+//! lost).
+
+use publishing_perf::compare::{compare, default_rules};
+use publishing_perf::snapshot::Snapshot;
+
+fn load(path: &str) -> Snapshot {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match Snapshot::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [prev_path, new_path] = args.as_slice() else {
+        eprintln!("usage: bench_compare <prev.json> <new.json>");
+        std::process::exit(2);
+    };
+    let prev = load(prev_path);
+    let new = load(new_path);
+    let c = compare(&prev, &new, &default_rules());
+    print!("{}", c.render());
+    std::process::exit(c.exit_code());
+}

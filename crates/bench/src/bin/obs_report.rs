@@ -8,36 +8,32 @@
 //! recovery lag, message-lifecycle stage latencies, the virtual-time
 //! profile, and the full metrics registry.
 //!
-//! Usage: `obs_report [--json] [--smoke]`
+//! Usage: `obs_report [--json] [--smoke] [--trace PATH]`
 //!
 //! - `--json` emits the report as a single JSON object instead of text;
-//! - `--smoke` runs a smaller scenario (CI-friendly, < 1 s).
+//! - `--smoke` runs a smaller scenario (CI-friendly, < 1 s) and
+//!   additionally replays it over each broadcast medium of the paper —
+//!   ethernet, token ring, star — twice each, asserting the output
+//!   fingerprint is identical across the double run (per-medium
+//!   determinism);
+//! - `--trace PATH` additionally exports the run's lifecycle spans as a
+//!   Chrome-trace (Perfetto-loadable) JSON timeline: one process row
+//!   per kernel and per shard recorder, plus per-message lifecycle
+//!   lanes with publish→capture→sequence→deliver slices.
 //!
 //! [`ObsReport`]: publishing_obs::report::ObsReport
 
-use publishing_demos::ids::Channel;
+use publishing_demos::ids::{Channel, ProcessId};
 use publishing_demos::link::Link;
 use publishing_demos::programs::{self, PingClient};
 use publishing_demos::registry::ProgramRegistry;
+use publishing_net::{Ethernet, Lan, LanConfig, StarHub, StationId, TokenRing};
 use publishing_obs::span::check_replay_prefix;
+use publishing_perf::trace;
 use publishing_shard::ShardedWorld;
-use publishing_sim::time::SimTime;
+use publishing_sim::time::{SimDuration, SimTime};
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let json = args.iter().any(|a| a == "--json");
-    let smoke = args.iter().any(|a| a == "--smoke");
-    if let Some(bad) = args.iter().find(|a| *a != "--json" && *a != "--smoke") {
-        eprintln!("unknown argument {bad:?}; usage: obs_report [--json] [--smoke]");
-        std::process::exit(2);
-    }
-
-    let (pings, pairs, horizon) = if smoke {
-        (10u64, 2u32, SimTime::from_secs(20))
-    } else {
-        (25u64, 4u32, SimTime::from_secs(40))
-    };
-
+fn registry(pings: u64) -> ProgramRegistry {
     let mut reg = ProgramRegistry::new();
     programs::register_standard(&mut reg);
     reg.register("pinger", move || {
@@ -45,8 +41,22 @@ fn main() {
         p.think_ns = 2_000_000;
         Box::new(p)
     });
+    reg
+}
 
-    let mut w = ShardedWorld::new(3, 4, reg);
+/// Runs the canonical crash/recovery scenario, optionally on a
+/// caller-supplied medium (default: the perfect bus).
+fn run_scenario(
+    pings: u64,
+    pairs: u32,
+    horizon: SimTime,
+    medium: Option<Box<dyn Lan>>,
+) -> (ShardedWorld, Vec<ProcessId>) {
+    let reg = registry(pings);
+    let mut w = match medium {
+        Some(m) => ShardedWorld::with_medium(3, 4, reg, m),
+        None => ShardedWorld::new(3, 4, reg),
+    };
     let mut servers = Vec::new();
     for i in 0..pairs {
         let server = w.spawn(2, "echo", vec![]).expect("echo registered");
@@ -57,6 +67,71 @@ fn main() {
     w.run_until(SimTime::from_millis(50));
     w.crash_node(2);
     w.run_until(horizon);
+    (w, servers)
+}
+
+/// The three broadcast media of the paper's §4/§6, freshly built for a
+/// 3-node + 4-shard world. Station ids mirror node ids, so the star hub
+/// is shard 0's station (the paper's "recorder at the hub" topology).
+fn media() -> Vec<(&'static str, Box<dyn Lan>)> {
+    let cfg = LanConfig::default();
+    vec![
+        (
+            "ethernet",
+            Box::new(Ethernet::acknowledging(cfg.clone())) as Box<dyn Lan>,
+        ),
+        (
+            "token_ring",
+            Box::new(TokenRing::new(cfg.clone(), SimDuration::from_micros(20))),
+        ),
+        (
+            "star",
+            Box::new(StarHub::new(
+                cfg,
+                StationId(3),
+                SimDuration::from_micros(100),
+            )),
+        ),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut smoke = false;
+    let mut trace_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--smoke" => smoke = true,
+            "--trace" => {
+                i += 1;
+                let Some(p) = args.get(i) else {
+                    eprintln!(
+                        "--trace needs a path; usage: obs_report [--json] [--smoke] [--trace PATH]"
+                    );
+                    std::process::exit(2);
+                };
+                trace_path = Some(p.clone());
+            }
+            bad => {
+                eprintln!(
+                    "unknown argument {bad:?}; usage: obs_report [--json] [--smoke] [--trace PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let (pings, pairs, horizon) = if smoke {
+        (10u64, 2u32, SimTime::from_secs(20))
+    } else {
+        (25u64, 4u32, SimTime::from_secs(40))
+    };
+
+    let (w, servers) = run_scenario(pings, pairs, horizon, None);
 
     let report = w.obs_report();
     if json {
@@ -65,7 +140,7 @@ fn main() {
         println!("{}", report.render_text());
         let kernel = &w.kernels[&2];
         println!("replay-prefix check (crashed node 2):");
-        for server in servers {
+        for server in &servers {
             match check_replay_prefix(kernel.spans(), server.as_u64()) {
                 Ok(n) => println!("  pid {server}: {n} replayed reads match the pre-crash prefix"),
                 Err(e) => println!("  pid {server}: DIVERGED: {e}"),
@@ -73,9 +148,65 @@ fn main() {
         }
     }
 
-    // A smoke run must actually have exercised recovery.
-    if smoke && w.recoveries_completed() == 0 {
-        eprintln!("smoke run completed no recoveries");
-        std::process::exit(1);
+    if let Some(path) = trace_path {
+        // Component order matches ShardedWorld::span_logs(): kernels by
+        // node id, then shards by index.
+        let mut components = Vec::new();
+        for (n, k) in &w.kernels {
+            components.push((format!("node {n} kernel"), k.spans()));
+        }
+        for (i, rn) in w.shards.iter().enumerate() {
+            components.push((format!("shard {i} recorder"), rn.recorder().spans()));
+        }
+        let trace = trace::from_spans(&components);
+        if let Err(e) = std::fs::write(&path, trace.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!(
+            "trace: {} events ({} slices) -> {path}",
+            trace.events.len(),
+            trace.count_phase('X')
+        );
+    }
+
+    // A smoke run must actually have exercised recovery, and the same
+    // must hold — deterministically — over every medium of the paper.
+    if smoke {
+        if w.recoveries_completed() == 0 {
+            eprintln!("smoke run completed no recoveries");
+            std::process::exit(1);
+        }
+        for (name, _) in media() {
+            let runs: Vec<u64> = (0..2)
+                .map(|_| {
+                    let medium = media()
+                        .into_iter()
+                        .find(|(n, _)| *n == name)
+                        .map(|(_, m)| m);
+                    let (w, _) = run_scenario(pings, pairs, horizon, medium);
+                    if w.recoveries_completed() == 0 {
+                        eprintln!("smoke run over {name} completed no recoveries");
+                        std::process::exit(1);
+                    }
+                    if w.outputs.is_empty() {
+                        eprintln!("smoke run over {name} produced no outputs");
+                        std::process::exit(1);
+                    }
+                    w.output_fingerprint()
+                })
+                .collect();
+            if runs[0] != runs[1] {
+                eprintln!(
+                    "smoke run over {name} is not deterministic: {:#018x} vs {:#018x}",
+                    runs[0], runs[1]
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "media smoke: {name:<10} fingerprint {:#018x} (stable over 2 runs)",
+                runs[0]
+            );
+        }
     }
 }

@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod perf_matrix;
 pub mod scenarios;
 
 pub use scenarios::*;

@@ -1,0 +1,156 @@
+//! The perf-observatory scenario matrix behind the `bench` binary.
+//!
+//! Four canonical scenarios at fixed seeds — fault-free steady state,
+//! crash+replay, mid-run shard rebalance, and one generated chaos
+//! schedule — each reduced to a [`ScenarioSnapshot`] of virtual-time
+//! metrics, output/span fingerprints, and host readings. The virtual
+//! sections are deterministic: [`run_matrix`] twice at the same mode
+//! yields byte-identical `Snapshot::virtual_json`.
+//!
+//! Host readings (wall clock, allocation counts) only carry data when
+//! the process installed `publishing_perf::alloc::CountingAlloc` as the
+//! global allocator (the `bench` binary does; tests don't need to).
+
+use publishing_chaos::driver::run_schedule;
+use publishing_chaos::scenario::{Scenario, Topology, NODES, SHARDS};
+use publishing_chaos::schedule::{self, ChaosConfig};
+use publishing_demos::ids::Channel;
+use publishing_demos::link::Link;
+use publishing_demos::programs::{self, PingClient};
+use publishing_demos::registry::ProgramRegistry;
+use publishing_perf::alloc;
+use publishing_perf::snapshot::{scenario_from_report, ScenarioSnapshot, Snapshot};
+use publishing_shard::ShardedWorld;
+use publishing_sim::time::SimTime;
+
+/// Scenario-matrix sizing: the smoke matrix is the CI gate (< 1 s), the
+/// full matrix is for local investigation.
+pub struct MatrixParams {
+    /// Pings per client.
+    pub pings: u64,
+    /// Ping/echo pairs.
+    pub pairs: u32,
+    /// Run horizon for the non-chaos scenarios.
+    pub horizon: SimTime,
+    /// Injection horizon for the chaos schedule (ms).
+    pub chaos_horizon_ms: u64,
+    /// Fault budget for the chaos schedule.
+    pub chaos_faults: usize,
+}
+
+impl MatrixParams {
+    /// The canonical sizing for `smoke` or full mode.
+    pub fn new(smoke: bool) -> MatrixParams {
+        if smoke {
+            MatrixParams {
+                pings: 10,
+                pairs: 2,
+                horizon: SimTime::from_secs(20),
+                chaos_horizon_ms: 800,
+                chaos_faults: 5,
+            }
+        } else {
+            MatrixParams {
+                pings: 25,
+                pairs: 4,
+                horizon: SimTime::from_secs(40),
+                chaos_horizon_ms: 1500,
+                chaos_faults: 7,
+            }
+        }
+    }
+}
+
+/// The standard ping/echo world every non-chaos scenario drives: echo
+/// servers on node 2, pingers on nodes 0/1, four recorder shards.
+pub fn build_world(p: &MatrixParams) -> ShardedWorld {
+    let pings = p.pings;
+    let mut reg = ProgramRegistry::new();
+    programs::register_standard(&mut reg);
+    reg.register("pinger", move || {
+        let mut c = PingClient::new(pings);
+        c.think_ns = 2_000_000;
+        Box::new(c)
+    });
+    let mut w = ShardedWorld::new(3, 4, reg);
+    for i in 0..p.pairs {
+        let server = w.spawn(2, "echo", vec![]).expect("echo registered");
+        w.spawn(i % 2, "pinger", vec![Link::to(server, Channel::DEFAULT, 7)])
+            .expect("pinger registered");
+    }
+    w
+}
+
+/// Runs one scenario body under the wall-clock and allocation meters and
+/// files the host section.
+fn metered(body: impl FnOnce() -> ScenarioSnapshot) -> ScenarioSnapshot {
+    let alloc_before = alloc::snapshot();
+    let wall_before = std::time::Instant::now();
+    let mut s = body();
+    let wall_ms = wall_before.elapsed().as_secs_f64() * 1e3;
+    let grew = alloc::snapshot().since(alloc_before);
+    s.host("wall_ms", wall_ms);
+    s.host("allocations", grew.allocs as f64);
+    s.host("alloc_bytes", grew.bytes as f64);
+    s
+}
+
+fn steady_state(p: &MatrixParams) -> ScenarioSnapshot {
+    let mut w = build_world(p);
+    w.run_until(p.horizon);
+    let mut s = scenario_from_report("steady_state", &w.obs_report());
+    s.fingerprint("output", w.output_fingerprint());
+    s.virt("recoveries_completed", w.recoveries_completed() as f64);
+    s
+}
+
+fn crash_replay(p: &MatrixParams) -> ScenarioSnapshot {
+    let mut w = build_world(p);
+    w.run_until(SimTime::from_millis(50));
+    w.crash_node(2);
+    w.run_until(p.horizon);
+    let mut s = scenario_from_report("crash_replay", &w.obs_report());
+    s.fingerprint("output", w.output_fingerprint());
+    s.virt("recoveries_completed", w.recoveries_completed() as f64);
+    s
+}
+
+fn rebalance(p: &MatrixParams) -> ScenarioSnapshot {
+    let mut w = build_world(p);
+    w.run_until(SimTime::from_millis(40));
+    w.add_shard();
+    w.run_until(p.horizon);
+    let mut s = scenario_from_report("rebalance", &w.obs_report());
+    s.fingerprint("output", w.output_fingerprint());
+    s.virt("shards", w.shards.len() as f64);
+    s
+}
+
+fn chaos_smoke(p: &MatrixParams) -> ScenarioSnapshot {
+    let sched = schedule::generate(&ChaosConfig {
+        seed: 42,
+        nodes: NODES,
+        shards: SHARDS,
+        procs: 4,
+        horizon_ms: p.chaos_horizon_ms,
+        max_faults: p.chaos_faults,
+    });
+    let mut t = Scenario::new(Topology::Sharded, 42).build();
+    run_schedule(t.as_mut(), &sched);
+    let mut s = scenario_from_report("chaos_smoke", &t.obs_report());
+    s.fingerprint("output", t.output_fingerprint());
+    s.virt("faults_injected", sched.faults.len() as f64);
+    s.virt("recoveries_completed", t.recoveries_completed() as f64);
+    s
+}
+
+/// Runs the whole matrix and assembles the snapshot.
+pub fn run_matrix(smoke: bool) -> Snapshot {
+    let p = MatrixParams::new(smoke);
+    let mut snap = Snapshot::new(if smoke { "smoke" } else { "full" });
+    snap.scenarios.push(metered(|| steady_state(&p)));
+    snap.scenarios.push(metered(|| crash_replay(&p)));
+    snap.scenarios.push(metered(|| rebalance(&p)));
+    snap.scenarios.push(metered(|| chaos_smoke(&p)));
+    snap
+}

@@ -1,0 +1,88 @@
+//! End-to-end tests for the perf observatory: bench-matrix determinism,
+//! snapshot round-tripping, comparator gating, and Chrome-trace export
+//! of a crash+replay run.
+
+use publishing_bench::perf_matrix::{build_world, run_matrix, MatrixParams};
+use publishing_obs::span::Stage;
+use publishing_perf::compare::{compare, default_rules};
+use publishing_perf::snapshot::Snapshot;
+use publishing_perf::trace::{self, ChromeTrace};
+use publishing_sim::time::SimTime;
+
+/// Two matrix runs at the same seed must agree byte-for-byte on every
+/// virtual-time metric and fingerprint. (Host readings — wall clock,
+/// allocations — are excluded by `virtual_json` by design.)
+#[test]
+fn bench_matrix_virtual_metrics_are_deterministic() {
+    let a = run_matrix(true);
+    let b = run_matrix(true);
+    assert_eq!(a.virtual_json(), b.virtual_json());
+}
+
+/// The full snapshot (host section included) survives its own JSON.
+#[test]
+fn snapshot_round_trips_through_json() {
+    let snap = run_matrix(true);
+    let text = snap.to_json();
+    let back = Snapshot::from_json(&text).expect("own output parses");
+    assert_eq!(text, back.to_json());
+}
+
+/// The comparator passes a snapshot against itself and fails it against
+/// a doctored copy whose throughput halved.
+#[test]
+fn comparator_gates_an_injected_throughput_regression() {
+    let prev = run_matrix(true);
+    let same = Snapshot::from_json(&prev.to_json()).unwrap();
+    assert_eq!(compare(&prev, &same, &default_rules()).exit_code(), 0);
+
+    let mut worse = Snapshot::from_json(&prev.to_json()).unwrap();
+    for sc in &mut worse.scenarios {
+        let v = sc.virt["events_per_virtual_sec"];
+        sc.virt("events_per_virtual_sec", v * 0.5);
+    }
+    let c = compare(&prev, &worse, &default_rules());
+    assert_eq!(c.exit_code(), 1, "{}", c.render());
+    assert!(c.regressions().count() >= 4, "{}", c.render());
+}
+
+/// Chrome-trace export of a crash+replay run: covers every lifecycle
+/// stage the run exercises (publish through replay), carries one
+/// process-name row per component, and round-trips through its own JSON
+/// without loss.
+#[test]
+fn crash_replay_trace_covers_lifecycle_stages_and_round_trips() {
+    let p = MatrixParams::new(true);
+    let mut w = build_world(&p);
+    w.run_until(SimTime::from_millis(50));
+    w.crash_node(2);
+    w.run_until(p.horizon);
+
+    let mut components = Vec::new();
+    for (n, k) in &w.kernels {
+        components.push((format!("node {n} kernel"), k.spans()));
+    }
+    for (i, rn) in w.shards.iter().enumerate() {
+        components.push((format!("shard {i} recorder"), rn.recorder().spans()));
+    }
+    let t = trace::from_spans(&components);
+
+    for stage in [
+        Stage::Publish,
+        Stage::Capture,
+        Stage::Sequence,
+        Stage::Deliver,
+        Stage::Replay,
+    ] {
+        assert!(t.has_stage(stage), "missing lifecycle stage {stage:?}");
+    }
+    // One metadata row per component plus the message-lifecycle lane.
+    assert_eq!(t.count_phase('M'), components.len() + 1);
+    // Stage-gap slices exist (publish→capture etc.).
+    assert!(t.count_phase('X') > 0);
+
+    let text = t.to_json();
+    let back = ChromeTrace::from_json(&text).expect("own output parses");
+    assert_eq!(text, back.to_json(), "trace JSON round-trip lost data");
+    assert_eq!(t.events.len(), back.events.len());
+}

@@ -13,12 +13,14 @@ use publishing_demos::ids::{Channel, ProcessId};
 use publishing_demos::link::Link;
 use publishing_demos::programs::{self, PingClient};
 use publishing_demos::registry::ProgramRegistry;
+use publishing_obs::registry::MetricsRegistry;
 use publishing_obs::span::check_replay_prefix;
 use publishing_shard::ShardedWorld;
 use publishing_sim::event::FaultClock;
 use publishing_sim::fault::FaultPlan;
 use publishing_sim::time::SimTime;
 use publishing_stable::disk::DiskFaults;
+use std::collections::BTreeMap;
 
 /// Which recorder tier the scenario runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,7 +96,12 @@ impl Scenario {
                     procs.push(client);
                     clients.push(client);
                 }
-                Box::new(SingleTarget { w, procs, clients })
+                Box::new(SingleTarget {
+                    w,
+                    procs,
+                    clients,
+                    injected: BTreeMap::new(),
+                })
             }
             Topology::Sharded => {
                 let mut w = ShardedWorld::new(NODES, SHARDS as usize, self.registry());
@@ -113,7 +120,12 @@ impl Scenario {
                     procs.push(client);
                     clients.push(client);
                 }
-                Box::new(ShardedTarget { w, procs, clients })
+                Box::new(ShardedTarget {
+                    w,
+                    procs,
+                    clients,
+                    injected: BTreeMap::new(),
+                })
             }
         }
     }
@@ -155,6 +167,40 @@ pub trait ChaosWorld {
     fn suppression_failures(&self) -> Vec<String>;
     /// Completed recoveries across the tier.
     fn recoveries_completed(&self) -> u64;
+    /// The target world's metrics snapshot with the chaos counters
+    /// merged in: `chaos/injected/<kind>` per injected fault kind, plus
+    /// the fault-consumption counters the injections drove
+    /// (`chaos/disk/io_retries`, `chaos/disk/transient_errors`,
+    /// `chaos/disk/torn_writes`).
+    fn metrics(&self) -> MetricsRegistry;
+    /// The target world's full observability report, with the chaos
+    /// counters of [`ChaosWorld::metrics`] merged into its registry.
+    fn obs_report(&self) -> publishing_obs::report::ObsReport;
+}
+
+/// Files the per-kind injection counters and the store/disk fault
+/// consumption counters shared by both targets.
+fn chaos_metrics(
+    reg: &mut MetricsRegistry,
+    injected: &BTreeMap<&'static str, u64>,
+    recorders: &[&publishing_core::recorder::Recorder],
+) {
+    for (kind, n) in injected {
+        reg.counter(format!("chaos/injected/{kind}"), *n);
+    }
+    let (mut retries, mut transient, mut torn) = (0u64, 0u64, 0u64);
+    for rec in recorders {
+        let store = rec.store();
+        retries += store.stats().io_retries.get();
+        for i in 0..store.n_disks() {
+            let d = store.disk_stats(i);
+            transient += d.transient_errors.get();
+            torn += d.torn_writes.get();
+        }
+    }
+    reg.counter("chaos/disk/io_retries", retries);
+    reg.counter("chaos/disk/transient_errors", transient);
+    reg.counter("chaos/disk/torn_writes", torn);
 }
 
 /// [`ChaosWorld`] over the single-recorder [`World`].
@@ -162,6 +208,7 @@ struct SingleTarget {
     w: World,
     procs: Vec<ProcessId>,
     clients: Vec<ProcessId>,
+    injected: BTreeMap<&'static str, u64>,
 }
 
 impl ChaosWorld for SingleTarget {
@@ -174,6 +221,7 @@ impl ChaosWorld for SingleTarget {
     }
 
     fn inject(&mut self, fault: &Fault) {
+        *self.injected.entry(fault.kind()).or_insert(0) += 1;
         match fault {
             Fault::CrashProcess { victim, .. } => {
                 let pid = self.procs[*victim as usize % self.procs.len()];
@@ -264,6 +312,18 @@ impl ChaosWorld for SingleTarget {
     fn recoveries_completed(&self) -> u64 {
         self.w.recorder.manager().stats().completed.get()
     }
+
+    fn metrics(&self) -> MetricsRegistry {
+        let mut reg = self.w.collect_metrics();
+        chaos_metrics(&mut reg, &self.injected, &[self.w.recorder.recorder()]);
+        reg
+    }
+
+    fn obs_report(&self) -> publishing_obs::report::ObsReport {
+        let mut report = self.w.obs_report();
+        report.metrics = self.metrics();
+        report
+    }
 }
 
 /// [`ChaosWorld`] over the [`ShardedWorld`].
@@ -271,6 +331,7 @@ struct ShardedTarget {
     w: ShardedWorld,
     procs: Vec<ProcessId>,
     clients: Vec<ProcessId>,
+    injected: BTreeMap<&'static str, u64>,
 }
 
 impl ShardedTarget {
@@ -289,6 +350,7 @@ impl ChaosWorld for ShardedTarget {
     }
 
     fn inject(&mut self, fault: &Fault) {
+        *self.injected.entry(fault.kind()).or_insert(0) += 1;
         match fault {
             Fault::CrashProcess { victim, .. } => {
                 let pid = self.procs[*victim as usize % self.procs.len()];
@@ -403,6 +465,19 @@ impl ChaosWorld for ShardedTarget {
 
     fn recoveries_completed(&self) -> u64 {
         self.w.recoveries_completed()
+    }
+
+    fn metrics(&self) -> MetricsRegistry {
+        let mut reg = self.w.collect_metrics();
+        let recorders: Vec<_> = self.w.shards.iter().map(|rn| rn.recorder()).collect();
+        chaos_metrics(&mut reg, &self.injected, &recorders);
+        reg
+    }
+
+    fn obs_report(&self) -> publishing_obs::report::ObsReport {
+        let mut report = self.w.obs_report();
+        report.metrics = self.metrics();
+        report
     }
 }
 

@@ -131,6 +131,23 @@ impl Fault {
         }
     }
 
+    /// A stable snake-case kind name, used as the metric path segment
+    /// for per-kind injection counters (`chaos/injected/<kind>`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Fault::CrashProcess { .. } => "crash_process",
+            Fault::CrashNode { .. } => "crash_node",
+            Fault::CrashRecorder { .. } => "crash_recorder",
+            Fault::RestartRecorder { .. } => "restart_recorder",
+            Fault::AddShard { .. } => "add_shard",
+            Fault::Loss { .. } => "loss",
+            Fault::Corrupt { .. } => "corrupt",
+            Fault::Duplicate { .. } => "duplicate",
+            Fault::DiskTransient { .. } => "disk_transient",
+            Fault::TornWrites { .. } => "torn_writes",
+        }
+    }
+
     /// The burst duration in milliseconds, for windowed faults.
     pub fn dur_ms(&self) -> Option<u64> {
         match self {

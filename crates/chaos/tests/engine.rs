@@ -79,6 +79,57 @@ fn schedule_replay_is_deterministic() {
 }
 
 #[test]
+fn fault_injections_surface_as_metrics_counters() {
+    let sched = FaultSchedule {
+        workload_seed: 15,
+        horizon_ms: 800,
+        faults: vec![
+            Fault::CrashRecorder {
+                at_ms: 120,
+                shard: 0,
+            },
+            Fault::RestartRecorder {
+                at_ms: 260,
+                shard: 0,
+            },
+            Fault::Loss {
+                at_ms: 60,
+                dur_ms: 120,
+                p_pct: 10,
+            },
+            Fault::TornWrites { at_ms: 300 },
+            Fault::DiskTransient {
+                at_ms: 350,
+                dur_ms: 150,
+                p_pct: 40,
+            },
+        ],
+    };
+    for topology in [Topology::Single, Topology::Sharded] {
+        let mut t = Scenario::new(topology, 15).build();
+        publishing_chaos::driver::run_schedule(t.as_mut(), &sched);
+        let reg = t.metrics();
+        assert_eq!(
+            reg.counter_value("chaos/injected/crash_recorder"),
+            Some(1),
+            "{topology:?}"
+        );
+        assert_eq!(
+            reg.counter_value("chaos/injected/restart_recorder"),
+            Some(1)
+        );
+        assert_eq!(reg.counter_value("chaos/injected/loss"), Some(1));
+        assert_eq!(reg.counter_value("chaos/injected/torn_writes"), Some(1));
+        assert_eq!(reg.counter_value("chaos/injected/disk_transient"), Some(1));
+        // The disk-fault regimes feed the consumption counters; they are
+        // filed even when the window happened to claim no I/O.
+        assert!(reg.counter_value("chaos/disk/io_retries").is_some());
+        assert!(reg.counter_value("chaos/disk/transient_errors").is_some());
+        assert!(reg.counter_value("chaos/disk/torn_writes").is_some());
+    }
+}
+
+#[test]
 fn injected_bug_shrinks_to_a_minimal_deterministic_reproducer() {
     // Self-test flag: the oracle treats any completed recovery as a
     // bug. A noisy multi-fault schedule must shrink to a reproducer of

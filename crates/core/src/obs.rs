@@ -68,6 +68,7 @@ pub fn recorder_node_metrics(
     let s = rec.stats();
     reg.counter(format!("{prefix}/captured"), s.captured.get());
     reg.counter(format!("{prefix}/published"), s.published.get());
+    reg.counter(format!("{prefix}/bytes_published"), s.bytes_published.get());
     reg.counter(format!("{prefix}/duplicates"), s.duplicates.get());
     reg.counter(format!("{prefix}/orphan_acks"), s.orphan_acks.get());
     reg.counter(format!("{prefix}/notices"), s.notices.get());
@@ -77,6 +78,7 @@ pub fn recorder_node_metrics(
         format!("{prefix}/pending_depth"),
         rec.pending_depth() as u64,
     );
+    reg.linear_histogram(&format!("{prefix}/queue_depth"), &s.depth_hist);
     reg.counter(format!("{prefix}/span_events"), rec.spans().total());
 
     let m = rn.manager().stats();

@@ -22,7 +22,7 @@ use publishing_demos::message::Message;
 use publishing_demos::protocol::{CheckpointDeposit, ReadOrderNotice};
 use publishing_obs::span::{MsgKey, SpanLog, Stage};
 use publishing_sim::codec::{CodecError, Decode, Decoder, Encode, Encoder};
-use publishing_sim::stats::Counter;
+use publishing_sim::stats::{Counter, LinearHistogram};
 use publishing_sim::time::{SimDuration, SimTime};
 use publishing_stable::disk::DiskParams;
 use publishing_stable::store::{Checkpoint, RecordKey, StableStore, StoreEvent, StoreIo};
@@ -166,12 +166,14 @@ impl ProcessEntry {
 }
 
 /// Counters the recorder maintains.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct RecorderStats {
     /// Data frames captured into the pending buffer.
     pub captured: Counter,
     /// Messages sequenced (ack observed) and appended to the store.
     pub published: Counter,
+    /// Encoded bytes of every sequenced (published) message.
+    pub bytes_published: Counter,
     /// Duplicate data/ack observations ignored.
     pub duplicates: Counter,
     /// Acks for messages never captured (lost pending state).
@@ -182,6 +184,27 @@ pub struct RecorderStats {
     pub checkpoints: Counter,
     /// CPU charged for publishing work.
     pub cpu_used: SimDuration,
+    /// Pending-buffer depth sampled after every capture: the queue-depth
+    /// distribution the perf observatory summarizes (p50/p95/p99/max).
+    pub depth_hist: LinearHistogram,
+}
+
+impl Default for RecorderStats {
+    fn default() -> Self {
+        RecorderStats {
+            captured: Counter::default(),
+            published: Counter::default(),
+            bytes_published: Counter::default(),
+            duplicates: Counter::default(),
+            orphan_acks: Counter::default(),
+            notices: Counter::default(),
+            checkpoints: Counter::default(),
+            cpu_used: SimDuration::ZERO,
+            // One bucket per depth up to 256; deeper samples clamp into
+            // the top bucket and the quantile clamps to the observed max.
+            depth_hist: LinearHistogram::new(0.0, 256.0, 256),
+        }
+    }
 }
 
 struct PendingDeposit {
@@ -373,6 +396,7 @@ impl Recorder {
             .record(now, id.into(), Stage::Capture, msg.header.to.as_u64(), cap);
         self.pending.insert(cap, msg.clone());
         self.pending_ids.insert(id, cap);
+        self.stats.depth_hist.record(self.pending.len() as f64);
     }
 
     /// Handles an observed destination acknowledgement: assigns the
@@ -426,6 +450,7 @@ impl Recorder {
             *w = (*w).max(msg_id.seq);
         }
         self.stats.published.inc();
+        self.stats.bytes_published.add(len as u64);
         self.store.append_message(
             now,
             RecordKey {

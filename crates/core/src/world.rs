@@ -538,8 +538,20 @@ impl World {
             profile,
             horizon,
             latencies: publishing_obs::profile::stage_latencies(&spans),
+            sched: self.scheduler_probe(),
+            queue_depths: Some(self.recorder.recorder().stats().depth_hist.clone()),
             spans_total: logs.iter().map(|l| l.total()).sum(),
             span_fingerprint: self.obs_fingerprint(),
+        }
+    }
+
+    /// Event-queue statistics of the world's scheduler.
+    pub fn scheduler_probe(&self) -> publishing_obs::probe::SchedulerProbe {
+        publishing_obs::probe::SchedulerProbe {
+            delivered: self.sched.delivered(),
+            scheduled: self.sched.scheduled(),
+            pending: self.sched.pending() as u64,
+            peak_pending: self.sched.peak_pending() as u64,
         }
     }
 }

@@ -175,9 +175,58 @@ impl MediumHealth {
     }
 }
 
+/// Event-queue picture of the world's discrete-event scheduler: how
+/// much work flowed through the queue and how deep it ever got. The
+/// high-water mark is the "peak queue depth" the perf observatory
+/// snapshots, so saturation shows up even when the snapshot instant is
+/// quiet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedulerProbe {
+    /// Events delivered over the run.
+    pub delivered: u64,
+    /// Events ever scheduled (fired, cancelled, or pending).
+    pub scheduled: u64,
+    /// Events still pending at the snapshot instant.
+    pub pending: u64,
+    /// Largest number of simultaneously pending events ever seen.
+    pub peak_pending: u64,
+}
+
+impl SchedulerProbe {
+    /// Files the probe under `sched/...`.
+    pub fn into_registry(&self, reg: &mut MetricsRegistry) {
+        reg.counter("sched/delivered", self.delivered);
+        reg.counter("sched/scheduled", self.scheduled);
+        reg.counter("sched/pending", self.pending);
+        reg.counter("sched/peak_pending", self.peak_pending);
+    }
+
+    /// One text line for the run report.
+    pub fn render(&self) -> String {
+        format!(
+            "delivered={} scheduled={} pending={} peak_pending={}",
+            self.delivered, self.scheduled, self.pending, self.peak_pending
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scheduler_probe_registry_paths() {
+        let p = SchedulerProbe {
+            delivered: 10,
+            scheduled: 12,
+            pending: 1,
+            peak_pending: 5,
+        };
+        let mut reg = MetricsRegistry::new();
+        p.into_registry(&mut reg);
+        assert_eq!(reg.counter_value("sched/peak_pending"), Some(5));
+        assert!(p.render().contains("peak_pending=5"));
+    }
 
     #[test]
     fn recovery_lag_registry_paths() {

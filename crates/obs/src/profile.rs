@@ -147,10 +147,11 @@ impl StageLatencies {
     pub fn render(&self) -> String {
         let line = |name: &str, h: &LogHistogram| {
             format!(
-                "  {name:<24} n={:<6} mean={:>9.1}us p50={:<8} p99={:<8}\n",
+                "  {name:<24} n={:<6} mean={:>9.1}us p50={:<8} p95={:<8} p99={:<8}\n",
                 h.summary().count(),
                 h.summary().mean(),
                 h.quantile(0.5),
+                h.quantile(0.95),
                 h.quantile(0.99),
             )
         };

@@ -9,7 +9,7 @@
 //! interval rates, and any snapshot exports as JSON lines for offline
 //! tooling.
 
-use publishing_sim::stats::{LogHistogram, Summary};
+use publishing_sim::stats::{LinearHistogram, LogHistogram, Summary};
 use std::collections::BTreeMap;
 
 /// One metric reading.
@@ -102,13 +102,23 @@ impl MetricsRegistry {
         self.gauge(format!("{prefix}/stddev"), s.stddev());
     }
 
-    /// Expands a [`LogHistogram`] into summary plus p50/p90/p99 readings
-    /// under `prefix`.
+    /// Expands a [`LogHistogram`] into summary plus p50/p90/p95/p99
+    /// readings under `prefix`.
     pub fn histogram(&mut self, prefix: &str, h: &LogHistogram) {
         self.summary(prefix, h.summary());
         self.counter(format!("{prefix}/p50"), h.quantile(0.5));
         self.counter(format!("{prefix}/p90"), h.quantile(0.9));
+        self.counter(format!("{prefix}/p95"), h.quantile(0.95));
         self.counter(format!("{prefix}/p99"), h.quantile(0.99));
+    }
+
+    /// Expands a [`LinearHistogram`] into summary plus p50/p95/p99
+    /// gauges under `prefix`.
+    pub fn linear_histogram(&mut self, prefix: &str, h: &LinearHistogram) {
+        self.summary(prefix, h.summary());
+        self.gauge(format!("{prefix}/p50"), h.quantile(0.5));
+        self.gauge(format!("{prefix}/p95"), h.quantile(0.95));
+        self.gauge(format!("{prefix}/p99"), h.quantile(0.99));
     }
 
     /// Subtracts an earlier snapshot: counters become interval deltas
@@ -290,6 +300,23 @@ mod tests {
         assert_eq!(r.counter_value("lat/count"), Some(2));
         assert_eq!(r.gauge_value("lat/mean"), Some(3.0));
         assert_eq!(r.counter_value("sz/p50"), Some(16)); // bucket upper bound
+        assert_eq!(r.counter_value("sz/p95"), Some(16));
+    }
+
+    #[test]
+    fn linear_histogram_expansion_has_percentiles() {
+        use publishing_sim::stats::LinearHistogram;
+        let mut h = LinearHistogram::new(0.0, 100.0, 10);
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        let mut r = MetricsRegistry::new();
+        r.linear_histogram("depth", &h);
+        assert_eq!(r.counter_value("depth/count"), Some(100));
+        let p50 = r.gauge_value("depth/p50").unwrap();
+        let p95 = r.gauge_value("depth/p95").unwrap();
+        let p99 = r.gauge_value("depth/p99").unwrap();
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
     }
 
     #[test]

@@ -7,9 +7,10 @@
 //! single JSON object; the metrics section additionally exports as
 //! JSON lines via [`MetricsRegistry::to_jsonl`].
 
-use crate::probe::{MediumHealth, RecoveryLag, ShardHealth};
+use crate::probe::{MediumHealth, RecoveryLag, SchedulerProbe, ShardHealth};
 use crate::profile::{StageLatencies, TimeProfile};
 use crate::registry::{json_f64, MetricValue, MetricsRegistry};
+use publishing_sim::stats::LinearHistogram;
 use publishing_sim::time::SimDuration;
 
 /// A complete observability snapshot of one run.
@@ -31,6 +32,12 @@ pub struct ObsReport {
     pub horizon: SimDuration,
     /// Per-stage message latencies.
     pub latencies: StageLatencies,
+    /// Event-queue statistics of the world's scheduler.
+    pub sched: SchedulerProbe,
+    /// Distribution of the recorder tier's pending-buffer depth, sampled
+    /// at every capture (merged across shards). `None` for worlds that
+    /// do not sample depth.
+    pub queue_depths: Option<LinearHistogram>,
     /// Total lifecycle events recorded across all component logs.
     pub spans_total: u64,
     /// Run-level span fingerprint (determinism oracle).
@@ -68,6 +75,20 @@ impl ObsReport {
         }
         s.push_str("\nstage latencies:\n");
         s.push_str(&self.latencies.render());
+        s.push_str("\nscheduler:\n  ");
+        s.push_str(&self.sched.render());
+        s.push('\n');
+        if let Some(h) = &self.queue_depths {
+            s.push_str(&format!(
+                "\nrecorder queue depth: n={} mean={:.2} p50={:.0} p95={:.0} p99={:.0} max={:.0}\n",
+                h.summary().count(),
+                h.summary().mean(),
+                h.quantile(0.5),
+                h.quantile(0.95),
+                h.quantile(0.99),
+                h.summary().max().unwrap_or(0.0),
+            ));
+        }
         s.push_str("\nvirtual-time profile:\n");
         s.push_str(&self.profile.render(self.horizon));
         s.push_str("\nmetrics:\n");
@@ -111,7 +132,23 @@ impl ObsReport {
                 r.subject, r.recovering, r.messages_behind, json_f64(r.checkpoint_age_ms), r.suppressed
             ));
         }
-        s.push_str("],\"profile\":{");
+        s.push_str("],\"sched\":{");
+        s.push_str(&format!(
+            "\"delivered\":{},\"scheduled\":{},\"pending\":{},\"peak_pending\":{}}},",
+            self.sched.delivered, self.sched.scheduled, self.sched.pending, self.sched.peak_pending
+        ));
+        if let Some(h) = &self.queue_depths {
+            s.push_str(&format!(
+                "\"queue_depths\":{{\"n\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}},",
+                h.summary().count(),
+                json_f64(h.summary().mean()),
+                json_f64(h.quantile(0.5)),
+                json_f64(h.quantile(0.95)),
+                json_f64(h.quantile(0.99)),
+                json_f64(h.summary().max().unwrap_or(0.0)),
+            ));
+        }
+        s.push_str("\"profile\":{");
         for (i, (name, d)) in self.profile.iter().enumerate() {
             if i > 0 {
                 s.push(',');
@@ -173,6 +210,17 @@ mod tests {
         report
             .profile
             .charge("kernel_cpu", SimDuration::from_millis(10));
+        report.sched = SchedulerProbe {
+            delivered: 90,
+            scheduled: 96,
+            pending: 6,
+            peak_pending: 14,
+        };
+        let mut depths = LinearHistogram::new(0.0, 1.0, 32);
+        for d in [0.0, 1.0, 1.0, 2.0, 5.0] {
+            depths.record(d);
+        }
+        report.queue_depths = Some(depths);
         report
     }
 
@@ -183,6 +231,9 @@ mod tests {
         assert!(text.contains("shard health:"));
         assert!(text.contains("recovery lag:"));
         assert!(text.contains("stage latencies:"));
+        assert!(text.contains("scheduler:"));
+        assert!(text.contains("peak_pending=14"));
+        assert!(text.contains("recorder queue depth: n=5"));
         assert!(text.contains("virtual-time profile:"));
         assert!(text.contains("node/0/kernel/msgs_sent = 7"));
     }
@@ -195,6 +246,10 @@ mod tests {
         assert!(json.contains("\"shards\":[{\"shard\":0,\"live\":true"));
         assert!(json.contains("\"replay_lag\":0"));
         assert!(json.contains("\"recovery\":[{\"pid\":17"));
+        assert!(json.contains(
+            "\"sched\":{\"delivered\":90,\"scheduled\":96,\"pending\":6,\"peak_pending\":14}"
+        ));
+        assert!(json.contains("\"queue_depths\":{\"n\":5,"));
         assert!(json.contains("\"node/0/kernel/msgs_sent\":7"));
         // Balanced braces/brackets (no serde here, so check by counting).
         assert_eq!(

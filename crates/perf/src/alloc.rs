@@ -1,0 +1,101 @@
+//! A counting global allocator.
+//!
+//! The `bench` binary installs [`CountingAlloc`] as its
+//! `#[global_allocator]` so each scenario can report how many heap
+//! allocations (and bytes) it cost. The counts are *host-side* metrics:
+//! they vary with the standard library and allocator version, so the
+//! snapshot schema files them next to wall-clock time, outside the
+//! deterministic virtual section the CI gate compares.
+//!
+//! This is the one module in the workspace's non-vendored crates that
+//! needs `unsafe`: the `GlobalAlloc` trait is unsafe by definition. The
+//! implementation only counts and forwards to [`System`].
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A `System`-backed allocator that counts allocations and bytes.
+pub struct CountingAlloc;
+
+// SAFETY: pure pass-through to `System`; the atomics only observe.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(
+            new_size.saturating_sub(layout.size()) as u64,
+            Ordering::Relaxed,
+        );
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// A point-in-time reading of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocSnapshot {
+    /// Allocations (including growth reallocations) so far.
+    pub allocs: u64,
+    /// Bytes requested so far.
+    pub bytes: u64,
+}
+
+/// Reads the counters. Meaningful deltas require the binary to have
+/// installed [`CountingAlloc`]; otherwise both stay zero.
+pub fn snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        allocs: ALLOCS.load(Ordering::Relaxed),
+        bytes: BYTES.load(Ordering::Relaxed),
+    }
+}
+
+impl AllocSnapshot {
+    /// Counter growth since `earlier`.
+    pub fn since(&self, earlier: AllocSnapshot) -> AllocSnapshot {
+        AllocSnapshot {
+            allocs: self.allocs.saturating_sub(earlier.allocs),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_is_saturating_delta() {
+        let a = AllocSnapshot {
+            allocs: 10,
+            bytes: 100,
+        };
+        let b = AllocSnapshot {
+            allocs: 25,
+            bytes: 180,
+        };
+        assert_eq!(
+            b.since(a),
+            AllocSnapshot {
+                allocs: 15,
+                bytes: 80
+            }
+        );
+        assert_eq!(a.since(b), AllocSnapshot::default());
+    }
+
+    // The allocator itself is exercised by the bench binary (tests here
+    // run under the default test harness allocator, where the counters
+    // legitimately stay zero).
+}

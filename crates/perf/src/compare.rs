@@ -1,0 +1,321 @@
+//! The perf-regression comparator behind the CI gate.
+//!
+//! Diffs two snapshots scenario-by-scenario over their *virtual*
+//! metrics only — host readings (wall clock, allocations) are noise by
+//! design and never gated. Each metric is matched to a [`Rule`] by name
+//! suffix; a change is a regression when it moves in the rule's "worse"
+//! direction by more than `max(rel · previous, abs)`. Metrics no rule
+//! matches are reported but never gate, as are fingerprint changes
+//! (fingerprints legitimately change whenever behavior-affecting code
+//! changes; the determinism *tests* are what pin same-build stability).
+//!
+//! Exit-code contract (used by `ci.sh`): `0` no regression, `1` at
+//! least one regression, `2` snapshots not comparable (schema or mode
+//! mismatch, scenario lost).
+
+use crate::snapshot::Snapshot;
+
+/// Which way a metric gets worse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Growth is a regression (latency, queue depth).
+    HigherIsWorse,
+    /// Shrinkage is a regression (throughput).
+    LowerIsWorse,
+}
+
+/// A per-metric gating rule, matched by metric-name suffix.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Metric-name suffix this rule applies to.
+    pub suffix: &'static str,
+    /// Worse direction.
+    pub direction: Direction,
+    /// Relative noise allowance (fraction of the previous value).
+    pub rel: f64,
+    /// Absolute noise allowance (same unit as the metric).
+    pub abs: f64,
+}
+
+/// The default rule set for the canonical scenario matrix. First match
+/// (in order) wins.
+pub fn default_rules() -> Vec<Rule> {
+    vec![
+        Rule {
+            suffix: "events_per_virtual_sec",
+            direction: Direction::LowerIsWorse,
+            rel: 0.10,
+            abs: 1.0,
+        },
+        Rule {
+            suffix: "_p50",
+            direction: Direction::HigherIsWorse,
+            rel: 0.25,
+            abs: 50.0,
+        },
+        Rule {
+            suffix: "_p95",
+            direction: Direction::HigherIsWorse,
+            rel: 0.25,
+            abs: 50.0,
+        },
+        Rule {
+            suffix: "_p99",
+            direction: Direction::HigherIsWorse,
+            rel: 0.25,
+            abs: 50.0,
+        },
+        Rule {
+            suffix: "peak_queue_depth",
+            direction: Direction::HigherIsWorse,
+            rel: 0.50,
+            abs: 4.0,
+        },
+        Rule {
+            suffix: "peak_sched_pending",
+            direction: Direction::HigherIsWorse,
+            rel: 0.50,
+            abs: 16.0,
+        },
+    ]
+}
+
+/// One metric's before/after reading.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Scenario the metric belongs to.
+    pub scenario: String,
+    /// Metric name.
+    pub metric: String,
+    /// Previous snapshot's value.
+    pub prev: f64,
+    /// New snapshot's value.
+    pub new: f64,
+    /// Whether the change crossed the matched rule's threshold in the
+    /// worse direction. Always `false` for unmatched (ungated) metrics.
+    pub regression: bool,
+    /// Whether any rule gates this metric.
+    pub gated: bool,
+}
+
+/// The comparator's verdict.
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    /// Per-metric readings, scenario-major in snapshot order.
+    pub deltas: Vec<Delta>,
+    /// Fingerprints whose value changed (informational).
+    pub fingerprint_changes: Vec<String>,
+    /// Set when the snapshots cannot be compared at all.
+    pub incomparable: Option<String>,
+}
+
+impl Comparison {
+    /// The regressions, if any.
+    pub fn regressions(&self) -> impl Iterator<Item = &Delta> {
+        self.deltas.iter().filter(|d| d.regression)
+    }
+
+    /// The process exit code the CI gate uses.
+    pub fn exit_code(&self) -> i32 {
+        if self.incomparable.is_some() {
+            2
+        } else if self.regressions().next().is_some() {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Renders a human-readable report.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        if let Some(why) = &self.incomparable {
+            s.push_str(&format!("snapshots not comparable: {why}\n"));
+            return s;
+        }
+        let mut scenario = "";
+        for d in &self.deltas {
+            if d.scenario != scenario {
+                scenario = &d.scenario;
+                s.push_str(&format!("{scenario}:\n"));
+            }
+            let pct = if d.prev != 0.0 {
+                (d.new - d.prev) / d.prev * 100.0
+            } else {
+                0.0
+            };
+            s.push_str(&format!(
+                "  {} {:<32} {:>14.3} -> {:>14.3} ({:+.1}%){}\n",
+                if d.regression { "REGRESSION" } else { "ok" },
+                d.metric,
+                d.prev,
+                d.new,
+                pct,
+                if d.gated { "" } else { " [ungated]" }
+            ));
+        }
+        for f in &self.fingerprint_changes {
+            s.push_str(&format!("  note: fingerprint changed: {f}\n"));
+        }
+        let n = self.regressions().count();
+        s.push_str(&format!(
+            "{}: {} metric(s) compared, {} regression(s)\n",
+            if n == 0 { "PASS" } else { "FAIL" },
+            self.deltas.len(),
+            n
+        ));
+        s
+    }
+}
+
+fn rule_for<'r>(rules: &'r [Rule], metric: &str) -> Option<&'r Rule> {
+    rules.iter().find(|r| metric.ends_with(r.suffix))
+}
+
+fn is_regression(rule: &Rule, prev: f64, new: f64) -> bool {
+    let allowance = (rule.rel * prev.abs()).max(rule.abs);
+    match rule.direction {
+        Direction::HigherIsWorse => new - prev > allowance,
+        Direction::LowerIsWorse => prev - new > allowance,
+    }
+}
+
+/// Diffs `new` against `prev` under `rules`.
+pub fn compare(prev: &Snapshot, new: &Snapshot, rules: &[Rule]) -> Comparison {
+    let mut out = Comparison::default();
+    if prev.schema != new.schema {
+        out.incomparable = Some(format!("schema {} vs {}", prev.schema, new.schema));
+        return out;
+    }
+    if prev.mode != new.mode {
+        out.incomparable = Some(format!("mode \"{}\" vs \"{}\"", prev.mode, new.mode));
+        return out;
+    }
+    for ps in &prev.scenarios {
+        let Some(ns) = new.scenario(&ps.name) else {
+            out.incomparable = Some(format!("scenario \"{}\" disappeared", ps.name));
+            return out;
+        };
+        for (metric, &pv) in &ps.virt {
+            // Metrics only one side has are layout drift within the same
+            // schema version; skip rather than invent a baseline.
+            let Some(&nv) = ns.virt.get(metric) else {
+                continue;
+            };
+            let rule = rule_for(rules, metric);
+            out.deltas.push(Delta {
+                scenario: ps.name.clone(),
+                metric: metric.clone(),
+                prev: pv,
+                new: nv,
+                regression: rule.map(|r| is_regression(r, pv, nv)).unwrap_or(false),
+                gated: rule.is_some(),
+            });
+        }
+        for (name, pf) in &ps.fingerprints {
+            if let Some(nf) = ns.fingerprints.get(name) {
+                if nf != pf {
+                    out.fingerprint_changes
+                        .push(format!("{}/{}: {} -> {}", ps.name, name, pf, nf));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::ScenarioSnapshot;
+
+    fn snap(name_vals: &[(&str, f64)]) -> Snapshot {
+        let mut s = Snapshot::new("smoke");
+        let mut sc = ScenarioSnapshot::new("steady_state");
+        for (k, v) in name_vals {
+            sc.virt(*k, *v);
+        }
+        sc.fingerprint("output", 1);
+        s.scenarios.push(sc);
+        s
+    }
+
+    #[test]
+    fn within_noise_passes() {
+        let prev = snap(&[
+            ("events_per_virtual_sec", 1000.0),
+            ("deliver_us_p99", 400.0),
+        ]);
+        let new = snap(&[("events_per_virtual_sec", 950.0), ("deliver_us_p99", 440.0)]);
+        let c = compare(&prev, &new, &default_rules());
+        assert_eq!(c.exit_code(), 0, "{}", c.render());
+    }
+
+    #[test]
+    fn throughput_drop_beyond_threshold_fails() {
+        let prev = snap(&[("events_per_virtual_sec", 1000.0)]);
+        let new = snap(&[("events_per_virtual_sec", 850.0)]);
+        let c = compare(&prev, &new, &default_rules());
+        assert_eq!(c.exit_code(), 1);
+        assert_eq!(c.regressions().count(), 1);
+        assert!(c.render().contains("REGRESSION"));
+    }
+
+    #[test]
+    fn latency_gain_is_not_a_regression() {
+        let prev = snap(&[("deliver_us_p99", 1000.0)]);
+        let new = snap(&[("deliver_us_p99", 100.0)]);
+        let c = compare(&prev, &new, &default_rules());
+        assert_eq!(c.exit_code(), 0);
+    }
+
+    #[test]
+    fn latency_blowup_fails_and_small_abs_jitter_passes() {
+        let prev = snap(&[("deliver_us_p99", 100.0)]);
+        // +40us is above 25% of 100 but under the 50us absolute slack.
+        let ok = compare(&prev, &snap(&[("deliver_us_p99", 140.0)]), &default_rules());
+        assert_eq!(ok.exit_code(), 0, "{}", ok.render());
+        let bad = compare(&prev, &snap(&[("deliver_us_p99", 200.0)]), &default_rules());
+        assert_eq!(bad.exit_code(), 1);
+    }
+
+    #[test]
+    fn ungated_metrics_never_fail() {
+        let prev = snap(&[("spans_total", 10.0)]);
+        let new = snap(&[("spans_total", 100_000.0)]);
+        let c = compare(&prev, &new, &default_rules());
+        assert_eq!(c.exit_code(), 0);
+        assert!(c.render().contains("[ungated]"));
+    }
+
+    #[test]
+    fn mode_and_schema_mismatch_are_incomparable() {
+        let prev = snap(&[]);
+        let mut other_mode = snap(&[]);
+        other_mode.mode = "full".into();
+        assert_eq!(compare(&prev, &other_mode, &default_rules()).exit_code(), 2);
+        let mut other_schema = snap(&[]);
+        other_schema.schema = 99;
+        assert_eq!(
+            compare(&prev, &other_schema, &default_rules()).exit_code(),
+            2
+        );
+    }
+
+    #[test]
+    fn lost_scenario_is_incomparable() {
+        let prev = snap(&[]);
+        let new = Snapshot::new("smoke");
+        assert_eq!(compare(&prev, &new, &default_rules()).exit_code(), 2);
+    }
+
+    #[test]
+    fn fingerprint_changes_are_informational() {
+        let prev = snap(&[]);
+        let mut new = snap(&[]);
+        new.scenarios[0].fingerprint("output", 2);
+        let c = compare(&prev, &new, &default_rules());
+        assert_eq!(c.exit_code(), 0);
+        assert_eq!(c.fingerprint_changes.len(), 1);
+    }
+}

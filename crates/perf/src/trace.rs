@@ -1,0 +1,296 @@
+//! Chrome-trace (Perfetto JSON) export of lifecycle span logs.
+//!
+//! The obs layer already records every message's lifecycle transitions
+//! (publish → capture → sequence → deliver, plus replay / suppress /
+//! checkpoint) into per-component [`SpanLog`] rings. This module
+//! converts those logs into the Trace Event Format that
+//! `chrome://tracing` and <https://ui.perfetto.dev> load directly:
+//!
+//! - each component (kernel, recorder shard) becomes a *process* lane,
+//!   named by a `process_name` metadata event, with every retained span
+//!   event as an instant (`ph:"i"`) on the subject process's thread row;
+//! - a synthetic "message lifecycles" process holds one complete-event
+//!   (`ph:"X"`) slice per stage gap (publish→capture, capture→sequence,
+//!   publish→deliver) so recorder service time is visible as bars.
+//!
+//! All timestamps are virtual-time microseconds (the format's native
+//! unit), so the export is deterministic: same run, same bytes.
+
+use crate::json::{parse, Json, ObjBuilder, ParseError};
+use publishing_obs::span::{assemble, SpanLog, Stage};
+
+/// One trace event in Chrome's Trace Event Format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (stage name, slice name, or metadata kind).
+    pub name: String,
+    /// Category tag (`lifecycle`, `gap`, or `__metadata`).
+    pub cat: String,
+    /// Phase: `M` metadata, `i` instant, `X` complete slice.
+    pub ph: char,
+    /// Timestamp in virtual-time microseconds.
+    pub ts: f64,
+    /// Slice duration in microseconds (`X` events only).
+    pub dur: Option<f64>,
+    /// Process lane.
+    pub pid: u64,
+    /// Thread lane within the process.
+    pub tid: u64,
+    /// Free-form string arguments shown in the UI's detail pane.
+    pub args: Vec<(String, String)>,
+}
+
+/// A whole trace document.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChromeTrace {
+    /// The events, in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl ChromeTrace {
+    /// Serializes to Trace Event Format JSON (object form, compact).
+    pub fn to_json(&self) -> String {
+        let events = self
+            .events
+            .iter()
+            .map(|e| {
+                let mut o = ObjBuilder::new()
+                    .field("name", Json::Str(e.name.clone()))
+                    .field("cat", Json::Str(e.cat.clone()))
+                    .field("ph", Json::Str(e.ph.to_string()))
+                    .field("ts", Json::Num(e.ts))
+                    .field("pid", Json::Num(e.pid as f64))
+                    .field("tid", Json::Num(e.tid as f64));
+                if let Some(dur) = e.dur {
+                    o = o.field("dur", Json::Num(dur));
+                }
+                if !e.args.is_empty() {
+                    o = o.field(
+                        "args",
+                        Json::Obj(
+                            e.args
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                                .collect(),
+                        ),
+                    );
+                }
+                o.build()
+            })
+            .collect();
+        ObjBuilder::new()
+            .field("displayTimeUnit", Json::Str("ms".into()))
+            .field("traceEvents", Json::Arr(events))
+            .build()
+            .write()
+    }
+
+    /// Parses a document previously produced by [`ChromeTrace::to_json`].
+    pub fn from_json(text: &str) -> Result<ChromeTrace, ParseError> {
+        let doc = parse(text)?;
+        let bad = |what: &str| ParseError {
+            expected: what.to_string(),
+            at: 0,
+        };
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("a traceEvents array"))?;
+        let mut out = Vec::with_capacity(events.len());
+        for e in events {
+            let field_str = |k: &str| {
+                e.get(k)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| bad(&format!("string field {k}")))
+            };
+            let field_num = |k: &str| {
+                e.get(k)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| bad(&format!("numeric field {k}")))
+            };
+            let ph = field_str("ph")?;
+            let mut args = Vec::new();
+            if let Some(pairs) = e.get("args").and_then(Json::as_obj) {
+                for (k, v) in pairs {
+                    args.push((
+                        k.clone(),
+                        v.as_str().ok_or_else(|| bad("string arg"))?.to_string(),
+                    ));
+                }
+            }
+            out.push(TraceEvent {
+                name: field_str("name")?,
+                cat: field_str("cat")?,
+                ph: ph.chars().next().ok_or_else(|| bad("a phase char"))?,
+                ts: field_num("ts")?,
+                dur: e.get("dur").and_then(Json::as_f64),
+                pid: field_num("pid")? as u64,
+                tid: field_num("tid")? as u64,
+                args,
+            });
+        }
+        Ok(ChromeTrace { events: out })
+    }
+
+    /// Counts events of one phase (`'i'`, `'X'`, `'M'`).
+    pub fn count_phase(&self, ph: char) -> usize {
+        self.events.iter().filter(|e| e.ph == ph).count()
+    }
+
+    /// Returns `true` if any instant event carries `stage` as its name.
+    pub fn has_stage(&self, stage: Stage) -> bool {
+        self.events
+            .iter()
+            .any(|e| e.ph == 'i' && e.name == stage.name())
+    }
+}
+
+fn us(t: publishing_sim::time::SimTime) -> f64 {
+    t.as_nanos() as f64 / 1_000.0
+}
+
+/// Builds a trace from named component span logs (e.g. `node 0 kernel`,
+/// `shard 1 recorder`), in the deterministic order the caller supplies.
+pub fn from_spans(components: &[(String, &SpanLog)]) -> ChromeTrace {
+    let mut events = Vec::new();
+    for (pid, (name, _)) in components.iter().enumerate() {
+        events.push(TraceEvent {
+            name: "process_name".into(),
+            cat: "__metadata".into(),
+            ph: 'M',
+            ts: 0.0,
+            dur: None,
+            pid: pid as u64,
+            tid: 0,
+            args: vec![("name".into(), name.clone())],
+        });
+    }
+    let lifecycle_pid = components.len() as u64;
+    events.push(TraceEvent {
+        name: "process_name".into(),
+        cat: "__metadata".into(),
+        ph: 'M',
+        ts: 0.0,
+        dur: None,
+        pid: lifecycle_pid,
+        tid: 0,
+        args: vec![("name".into(), "message lifecycles".into())],
+    });
+
+    for (pid, (_, log)) in components.iter().enumerate() {
+        for e in log.events() {
+            events.push(TraceEvent {
+                name: e.stage.name().into(),
+                cat: "lifecycle".into(),
+                ph: 'i',
+                ts: us(e.at),
+                dur: None,
+                pid: pid as u64,
+                tid: e.subject,
+                args: vec![
+                    ("msg".into(), e.key.to_string()),
+                    ("aux".into(), e.aux.to_string()),
+                ],
+            });
+        }
+    }
+
+    // One slice per stage gap; each message gets its own three-row band
+    // so overlapping gaps never have to nest.
+    let spans = assemble(components.iter().map(|(_, l)| *l));
+    for (lane, (key, span)) in spans.iter().enumerate() {
+        let gaps = [
+            (0u64, "publish→capture", Stage::Publish, Stage::Capture),
+            (1, "capture→sequence", Stage::Capture, Stage::Sequence),
+            (2, "publish→deliver", Stage::Publish, Stage::Deliver),
+        ];
+        for (row, name, from, to) in gaps {
+            let (Some(a), Some(b)) = (span.first(from), span.first(to)) else {
+                continue;
+            };
+            if b < a {
+                continue;
+            }
+            events.push(TraceEvent {
+                name: name.into(),
+                cat: "gap".into(),
+                ph: 'X',
+                ts: us(a),
+                dur: Some(us(b) - us(a)),
+                pid: lifecycle_pid,
+                tid: lane as u64 * 3 + row,
+                args: vec![("msg".into(), key.to_string())],
+            });
+        }
+    }
+    ChromeTrace { events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use publishing_obs::span::MsgKey;
+    use publishing_sim::time::SimTime;
+
+    fn sample_logs() -> (SpanLog, SpanLog) {
+        let mut kernel = SpanLog::new(64);
+        let mut recorder = SpanLog::new(64);
+        let k = MsgKey { sender: 1, seq: 0 };
+        kernel.record(SimTime::from_micros(100), k, Stage::Publish, 2, 11);
+        recorder.record(SimTime::from_micros(150), k, Stage::Capture, 2, 0);
+        recorder.record(SimTime::from_micros(250), k, Stage::Sequence, 2, 0);
+        kernel.record(SimTime::from_micros(400), k, Stage::Deliver, 2, 0);
+        (kernel, recorder)
+    }
+
+    #[test]
+    fn export_names_components_and_emits_gap_slices() {
+        let (kernel, recorder) = sample_logs();
+        let t = from_spans(&[
+            ("node 0 kernel".into(), &kernel),
+            ("recorder".into(), &recorder),
+        ]);
+        // 3 metadata lanes (2 components + lifecycle process).
+        assert_eq!(t.count_phase('M'), 3);
+        assert_eq!(t.count_phase('i'), 4);
+        assert_eq!(t.count_phase('X'), 3);
+        assert!(t.has_stage(Stage::Publish));
+        assert!(t.has_stage(Stage::Deliver));
+        let slice = t
+            .events
+            .iter()
+            .find(|e| e.ph == 'X' && e.name == "publish→deliver")
+            .expect("deliver slice");
+        assert_eq!(slice.ts, 100.0);
+        assert_eq!(slice.dur, Some(300.0));
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless_and_stable() {
+        let (kernel, recorder) = sample_logs();
+        let t = from_spans(&[("k".into(), &kernel), ("r".into(), &recorder)]);
+        let text = t.to_json();
+        let back = ChromeTrace::from_json(&text).expect("parses");
+        assert_eq!(back, t);
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn document_shape_is_trace_event_format() {
+        let t = from_spans(&[]);
+        let doc = parse(&t.to_json()).unwrap();
+        assert_eq!(
+            doc.get("displayTimeUnit").and_then(Json::as_str),
+            Some("ms")
+        );
+        assert!(doc.get("traceEvents").and_then(Json::as_arr).is_some());
+    }
+
+    #[test]
+    fn rejects_non_trace_documents() {
+        assert!(ChromeTrace::from_json("{\"nope\":1}").is_err());
+        assert!(ChromeTrace::from_json("[]").is_err());
+        assert!(ChromeTrace::from_json("not json").is_err());
+    }
+}

@@ -79,9 +79,25 @@ impl ShardedWorld {
     /// recorder shards (on node ids `nodes..nodes+n_shards`), with
     /// capture sets of min(2, n_shards) shards.
     pub fn new(nodes: u32, n_shards: usize, registry: ProgramRegistry) -> Self {
+        ShardedWorld::with_medium(
+            nodes,
+            n_shards,
+            registry,
+            Box::new(PerfectBus::new(LanConfig::default())),
+        )
+    }
+
+    /// Builds a world like [`ShardedWorld::new`] but on a caller-supplied
+    /// medium (ethernet, token ring, star...). The medium must be fresh:
+    /// stations are attached here.
+    pub fn with_medium(
+        nodes: u32,
+        n_shards: usize,
+        registry: ProgramRegistry,
+        mut lan: Box<dyn Lan>,
+    ) -> Self {
         let replication = 2.min(n_shards.max(1));
         let router = ShardRouter::new(ShardMap::new(n_shards as u32), replication);
-        let mut lan: Box<dyn Lan> = Box::new(PerfectBus::new(LanConfig::default()));
         lan.set_recorder_router(Some(router.recorder_router()));
         let shard_nodes: Vec<NodeId> = (0..n_shards as u32).map(|i| NodeId(nodes + i)).collect();
         let mut kernels = BTreeMap::new();
@@ -785,9 +801,35 @@ impl ShardedWorld {
             profile,
             horizon,
             latencies: publishing_obs::profile::stage_latencies(&spans),
+            sched: self.scheduler_probe(),
+            queue_depths: self.queue_depths(),
             spans_total: logs.iter().map(|l| l.total()).sum(),
             span_fingerprint: self.obs_fingerprint(),
         }
+    }
+
+    /// Event-queue statistics of the world's scheduler.
+    pub fn scheduler_probe(&self) -> publishing_obs::probe::SchedulerProbe {
+        publishing_obs::probe::SchedulerProbe {
+            delivered: self.sched.delivered(),
+            scheduled: self.sched.scheduled(),
+            pending: self.sched.pending() as u64,
+            peak_pending: self.sched.peak_pending() as u64,
+        }
+    }
+
+    /// Pending-buffer depth distribution merged across every shard's
+    /// recorder (all shards share the same binning).
+    pub fn queue_depths(&self) -> Option<publishing_sim::stats::LinearHistogram> {
+        let mut merged: Option<publishing_sim::stats::LinearHistogram> = None;
+        for rn in &self.shards {
+            let h = &rn.recorder().stats().depth_hist;
+            match &mut merged {
+                Some(m) => m.merge(h),
+                None => merged = Some(h.clone()),
+            }
+        }
+        merged
     }
 }
 

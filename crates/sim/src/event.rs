@@ -120,6 +120,7 @@ pub struct Scheduler<E> {
     cancelled: HashSet<u64>,
     next_seq: u64,
     delivered: u64,
+    peak_pending: usize,
     faults: FaultClock,
 }
 
@@ -139,6 +140,7 @@ impl<E> Scheduler<E> {
             cancelled: HashSet::new(),
             next_seq: 0,
             delivered: 0,
+            peak_pending: 0,
             faults: FaultClock::default(),
         }
     }
@@ -159,6 +161,18 @@ impl<E> Scheduler<E> {
         self.live.len()
     }
 
+    /// Returns the total number of events ever scheduled (fired,
+    /// cancelled, or still pending).
+    pub fn scheduled(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Returns the largest number of simultaneously pending events seen
+    /// over the whole run — the event queue's high-water mark.
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
+    }
+
     /// Schedules `payload` to fire at absolute time `at`.
     ///
     /// `at` may equal the current time (the event fires on the next pop)
@@ -177,6 +191,7 @@ impl<E> Scheduler<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.live.insert(seq);
+        self.peak_pending = self.peak_pending.max(self.live.len());
         self.heap.push(Entry { at, seq, payload });
         EventId(seq)
     }
@@ -444,5 +459,19 @@ mod tests {
         s.cancel(a);
         s.pop();
         assert_eq!(s.delivered(), 1);
+    }
+
+    #[test]
+    fn peak_pending_is_a_high_water_mark() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        assert_eq!(s.peak_pending(), 0);
+        s.schedule_after(SimDuration::from_millis(1), 1);
+        s.schedule_after(SimDuration::from_millis(2), 2);
+        s.schedule_after(SimDuration::from_millis(3), 3);
+        s.pop();
+        s.pop();
+        s.schedule_after(SimDuration::from_millis(4), 4);
+        assert_eq!(s.peak_pending(), 3, "peak holds after the queue drains");
+        assert_eq!(s.scheduled(), 4);
     }
 }

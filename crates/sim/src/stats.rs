@@ -110,6 +110,26 @@ impl Summary {
     pub fn total(&self) -> f64 {
         self.mean() * self.n as f64
     }
+
+    /// Folds another summary into this one (Chan et al.'s parallel
+    /// Welford combination), so per-shard summaries aggregate into a
+    /// tier-wide one without re-streaming the samples.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n;
+        self.mean += delta * other.n as f64 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// A base-2 logarithmic histogram for latency-like quantities.
@@ -241,6 +261,49 @@ impl LinearHistogram {
     /// Returns the inclusive lower edge of bucket `i`.
     pub fn bucket_lo(&self, i: usize) -> f64 {
         self.lo + self.width * i as f64
+    }
+
+    /// Estimates the `q`-quantile (0 ≤ q ≤ 1) from the bucket boundaries.
+    ///
+    /// The estimate is the upper edge of the bucket containing the
+    /// quantile, clamped to the largest observed sample so a spike in the
+    /// clamped top bin cannot report beyond the data. Returns 0 for an
+    /// empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.summary.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let edge = self.bucket_lo(i) + self.width;
+                return edge.min(self.summary.max().unwrap_or(edge));
+            }
+        }
+        self.summary.max().unwrap_or(0.0)
+    }
+
+    /// Folds another histogram with identical binning into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms were built with different ranges or
+    /// bucket counts — merging incompatible bins would silently corrupt
+    /// the distribution.
+    pub fn merge(&mut self, other: &LinearHistogram) {
+        assert!(
+            self.lo == other.lo
+                && self.width == other.width
+                && self.counts.len() == other.counts.len(),
+            "cannot merge LinearHistograms with different binning"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.summary.merge(&other.summary);
     }
 }
 
@@ -491,5 +554,85 @@ mod tests {
     fn empty_linear_histogram_fractions_are_zero() {
         let h = LinearHistogram::new(0.0, 1.0, 3);
         assert_eq!(h.fractions(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn summary_merge_matches_single_stream() {
+        let samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut whole = Summary::new();
+        for x in samples {
+            whole.record(x);
+        }
+        let mut left = Summary::new();
+        let mut right = Summary::new();
+        for x in &samples[..3] {
+            left.record(*x);
+        }
+        for x in &samples[3..] {
+            right.record(*x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-12);
+        assert!((left.variance() - whole.variance()).abs() < 1e-12);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn summary_merge_with_empty_sides() {
+        let mut s = Summary::new();
+        s.record(3.0);
+        let empty = Summary::new();
+        s.merge(&empty);
+        assert_eq!(s.count(), 1);
+        let mut e = Summary::new();
+        e.merge(&s);
+        assert_eq!(e.count(), 1);
+        assert_eq!(e.max(), Some(3.0));
+    }
+
+    #[test]
+    fn linear_histogram_quantiles_monotone_and_clamped() {
+        let mut h = LinearHistogram::new(0.0, 100.0, 10);
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        let p50 = h.quantile(0.5);
+        let p95 = h.quantile(0.95);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!((40.0..=60.0).contains(&p50), "{p50}");
+        // Clamped to the observed max, not the bin's upper edge.
+        assert!(p99 <= 99.0, "{p99}");
+        assert_eq!(LinearHistogram::new(0.0, 1.0, 2).quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn linear_histogram_merge_matches_single_stream() {
+        let mut whole = LinearHistogram::new(0.0, 10.0, 5);
+        let mut a = LinearHistogram::new(0.0, 10.0, 5);
+        let mut b = LinearHistogram::new(0.0, 10.0, 5);
+        for i in 0..20 {
+            let x = (i * 7 % 13) as f64;
+            whole.record(x);
+            if i % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.counts(), whole.counts());
+        assert_eq!(a.summary().count(), whole.summary().count());
+        assert!((a.quantile(0.95) - whole.quantile(0.95)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "different binning")]
+    fn linear_histogram_merge_rejects_different_bins() {
+        let mut a = LinearHistogram::new(0.0, 10.0, 5);
+        let b = LinearHistogram::new(0.0, 20.0, 5);
+        a.merge(&b);
     }
 }
