@@ -32,6 +32,9 @@ echo "==> perf bench smoke + regression gate vs perf/BENCH_1.json"
 rm -rf target/perf
 cargo run -q --release -p publishing-bench --bin bench -- --smoke --dir target/perf
 cargo run -q --release -p publishing-bench --bin obs_report -- --smoke --trace target/perf/trace.json > /dev/null
+
+echo "==> causal explorer smoke run (critical path, attribution, DOT/flow stability)"
+cargo run -q --release -p publishing-bench --bin explain -- --smoke --dot target/perf/causal.dot > /dev/null
 cargo run -q --release -p publishing-bench --bin bench_compare -- perf/BENCH_1.json target/perf/BENCH_1.json
 
 echo "CI green."

@@ -150,6 +150,7 @@ impl Engine {
                 output_fp: t.output_fingerprint(),
                 obs_fp: t.obs_fingerprint(),
                 client_outputs: t.client_outputs(),
+                span_events: t.span_events(),
             }
         };
         let again = {

@@ -18,6 +18,8 @@
 
 use crate::scenario::ChaosWorld;
 use publishing_demos::ids::ProcessId;
+use publishing_obs::causal::CausalGraph;
+use publishing_obs::span::SpanEvent;
 
 /// The fault-free run this schedule's world is compared against.
 #[derive(Debug, Clone)]
@@ -28,6 +30,9 @@ pub struct Baseline {
     pub obs_fp: u64,
     /// Each client's deduplicated output lines.
     pub client_outputs: Vec<(ProcessId, Vec<String>)>,
+    /// Every component's span events from the fault-free run, in log
+    /// order — the reference stream for causal divergence pinpointing.
+    pub span_events: Vec<Vec<SpanEvent>>,
 }
 
 /// Oracle knobs.
@@ -48,8 +53,17 @@ pub fn check(t: &dyn ChaosWorld, baseline: &Baseline, opts: &OracleOptions) -> V
 
     let fp = t.output_fingerprint();
     if fp != baseline.output_fp {
+        // Upgrade the bare fingerprint mismatch to a causal pinpoint:
+        // align the baseline and run span streams and name the first
+        // event where they part ways, with its causal ancestors.
+        let base_graph = CausalGraph::from_event_lists(&baseline.span_events);
+        let run_graph = t.causal_graph();
+        let detail = match publishing_obs::divergence_diff(&base_graph, &run_graph) {
+            Some(d) => format!("; first causal divergence: {}", d.render()),
+            None => "; span streams identical (divergence is output-only)".to_string(),
+        };
         failures.push(format!(
-            "output fingerprint {fp:#x} != fault-free baseline {:#x}",
+            "output fingerprint {fp:#x} != fault-free baseline {:#x}{detail}",
             baseline.output_fp
         ));
     }

@@ -176,6 +176,14 @@ pub trait ChaosWorld {
     /// The target world's full observability report, with the chaos
     /// counters of [`ChaosWorld::metrics`] merged into its registry.
     fn obs_report(&self) -> publishing_obs::report::ObsReport;
+    /// Every component's span events, one list per log, in the world's
+    /// deterministic log order — the input to causal-graph construction
+    /// and divergence diffing.
+    fn span_events(&self) -> Vec<Vec<publishing_obs::span::SpanEvent>>;
+    /// The happens-before DAG over the current span logs.
+    fn causal_graph(&self) -> publishing_obs::causal::CausalGraph {
+        publishing_obs::causal::CausalGraph::from_event_lists(&self.span_events())
+    }
 }
 
 /// Files the per-kind injection counters and the store/disk fault
@@ -323,6 +331,14 @@ impl ChaosWorld for SingleTarget {
         let mut report = self.w.obs_report();
         report.metrics = self.metrics();
         report
+    }
+
+    fn span_events(&self) -> Vec<Vec<publishing_obs::span::SpanEvent>> {
+        self.w
+            .span_logs()
+            .iter()
+            .map(|l| l.events().cloned().collect())
+            .collect()
     }
 }
 
@@ -478,6 +494,14 @@ impl ChaosWorld for ShardedTarget {
         let mut report = self.w.obs_report();
         report.metrics = self.metrics();
         report
+    }
+
+    fn span_events(&self) -> Vec<Vec<publishing_obs::span::SpanEvent>> {
+        self.w
+            .span_logs()
+            .iter()
+            .map(|l| l.events().cloned().collect())
+            .collect()
     }
 }
 

@@ -156,6 +156,8 @@ pub fn recovery_lags(
                 .saturating_since(entry.estimator.checkpoint_at)
                 .as_millis_f64(),
             suppressed: suppressed.get(&pid.as_u64()).copied().unwrap_or(0),
+            recovery_ms: 0.0,
+            critical_path_ms: 0.0,
         });
     }
     out

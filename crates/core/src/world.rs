@@ -133,6 +133,8 @@ impl WorldBuilder {
             recorder,
             outputs: Vec::new(),
             publishing: self.publishing,
+            crashes: Vec::new(),
+            recovered: BTreeMap::new(),
         };
         let nodes: Vec<NodeId> = (0..self.nodes).map(NodeId).collect();
         let actions = world.recorder.start(SimTime::ZERO, &nodes);
@@ -154,6 +156,10 @@ pub struct World {
     /// duplicates; use [`World::outputs_of`] for the deduplicated view).
     pub outputs: Vec<OutputLine>,
     publishing: bool,
+    /// Virtual instants of injected crashes, in injection order.
+    crashes: Vec<SimTime>,
+    /// Packed pid → virtual instant its recovery committed.
+    recovered: BTreeMap<u64, SimTime>,
 }
 
 impl World {
@@ -250,7 +256,9 @@ impl World {
                     let follow = self.recorder.confirm_node_restarted(now, node, incarnation);
                     self.apply_recorder(now, follow);
                 }
-                RNAction::RecoveryDone { .. } => {}
+                RNAction::RecoveryDone { pid } => {
+                    self.recovered.insert(pid.as_u64(), now);
+                }
             }
         }
     }
@@ -376,6 +384,7 @@ impl World {
     pub fn crash_process(&mut self, pid: ProcessId, reason: &str) {
         let now = self.now();
         if let Some(k) = self.kernels.get_mut(&pid.node.0) {
+            self.crashes.push(now);
             let actions = k.crash_process(now, pid.local, reason);
             self.apply_kernel(now, pid.node.0, actions);
         }
@@ -385,6 +394,7 @@ impl World {
     /// will restart and re-populate it.
     pub fn crash_node(&mut self, node: u32) {
         if let Some(k) = self.kernels.get_mut(&node) {
+            self.crashes.push(self.sched.now());
             k.crash_node();
             self.lan.set_station_up(StationId(node), false);
         }
@@ -393,6 +403,7 @@ impl World {
     /// Crashes the recorder now. All publishable traffic suspends
     /// (§3.3.4) until [`World::restart_recorder`].
     pub fn crash_recorder(&mut self) {
+        self.crashes.push(self.now());
         self.recorder.crash();
         self.lan.set_station_up(self.recorder.station(), false);
         // The station stays in the required set: traffic is suspended,
@@ -473,6 +484,29 @@ impl World {
         logs
     }
 
+    /// The happens-before DAG over every component's span log.
+    pub fn causal_graph(&self) -> publishing_obs::causal::CausalGraph {
+        publishing_obs::causal::CausalGraph::build(self.span_logs())
+    }
+
+    /// Virtual instants of every injected crash, in injection order.
+    pub fn crash_times(&self) -> &[SimTime] {
+        &self.crashes
+    }
+
+    /// Completed recoveries: packed pid → instant the manager committed.
+    pub fn recoveries_done(&self) -> &BTreeMap<u64, SimTime> {
+        &self.recovered
+    }
+
+    /// The measured crash→convergence window: first injected crash to
+    /// the last committed recovery. `None` until a recovery completes.
+    pub fn recovery_window(&self) -> Option<(SimTime, SimTime)> {
+        let crash = *self.crashes.first()?;
+        let converged = *self.recovered.values().max()?;
+        (converged >= crash).then_some((crash, converged))
+    }
+
     /// Order-sensitive fingerprint over every span log — the run-level
     /// determinism oracle for the lifecycle trace.
     pub fn obs_fingerprint(&self) -> u64 {
@@ -524,12 +558,38 @@ impl World {
         profile.charge("stable_store_io", disk_busy);
         profile.charge("medium_busy", self.lan.stats().busy.busy_time(now));
 
+        let mut metrics = self.collect_metrics();
+        let mut recovery = self.recovery_lags();
+        let graph = (!self.recovered.is_empty()).then(|| self.causal_graph());
+        if let Some(g) = &graph {
+            for lag in &mut recovery {
+                let Some(&done) = self.recovered.get(&lag.subject) else {
+                    continue;
+                };
+                let Some(&crash) = self.crashes.iter().filter(|&&c| c <= done).max() else {
+                    continue;
+                };
+                lag.recovery_ms = done.saturating_since(crash).as_millis_f64();
+                lag.critical_path_ms = g
+                    .critical_path(crash, done, Some(lag.subject))
+                    .map(|p| p.total().as_millis_f64())
+                    .unwrap_or(lag.recovery_ms);
+            }
+        }
+        let critical_path = self
+            .recovery_window()
+            .and_then(|(crash, converged)| graph.as_ref()?.critical_path(crash, converged, None));
+        if let Some(cp) = &critical_path {
+            cp.into_registry(&mut metrics);
+        }
+
         let spans = self.spans();
         let logs = self.span_logs();
         publishing_obs::report::ObsReport {
+            schema: publishing_obs::report::REPORT_SCHEMA_VERSION,
             at_ms: now.as_millis_f64(),
-            metrics: self.collect_metrics(),
-            recovery: self.recovery_lags(),
+            metrics,
+            recovery,
             shards: Vec::new(),
             medium: Some(publishing_obs::probe::MediumHealth::from_lan(
                 self.lan.stats(),
@@ -542,6 +602,7 @@ impl World {
             queue_depths: Some(self.recorder.recorder().stats().depth_hist.clone()),
             spans_total: logs.iter().map(|l| l.total()).sum(),
             span_fingerprint: self.obs_fingerprint(),
+            critical_path,
         }
     }
 

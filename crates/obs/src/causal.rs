@@ -1,0 +1,1054 @@
+//! The causal explorer: a happens-before DAG over the published log.
+//!
+//! The paper's recovery argument is causal — a replayed process behaves
+//! identically because every message it reads is re-fed in original
+//! receive order — so debugging the system means asking causal
+//! questions: *why* was this message delivered when it was, *where* did
+//! a recovery's time actually go, and *which event first diverged*
+//! between an original run and its replay. This module builds the
+//! happens-before graph from the same [`SpanLog`]s every component
+//! already records into, then answers those three questions:
+//!
+//! - [`CausalGraph::explain`]: the full causal ancestor chain behind one
+//!   message's delivery, with virtual-time slack per hop;
+//! - [`CausalGraph::critical_path`]: the binding chain of events from a
+//!   crash instant to convergence, each segment attributed to a recovery
+//!   stage (checkpoint load, replay, suppression, re-sequencing);
+//! - [`divergence_diff`]: the first event where two runs' canonical
+//!   event streams disagree, with the divergent event's causal cone.
+//!
+//! Determinism: node order is the total order `(at, log, seq)` — virtual
+//! time, then the caller's (stable) log order, then the log's own
+//! monotone emission number — and edges are only ever added *forward* in
+//! that order, so the graph is acyclic by construction and two runs of
+//! the same seed produce byte-identical DOT and flow-event output.
+
+use crate::registry::MetricsRegistry;
+use crate::span::{MsgKey, SpanEvent, SpanLog, Stage};
+use publishing_sim::time::{SimDuration, SimTime};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Why one event happens-before another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum EdgeKind {
+    /// Publish at the sender → capture at the recorder (frame on the
+    /// medium).
+    SendCapture = 0,
+    /// Capture → arrival sequencing inside the recorder (the message
+    /// becomes *published*).
+    CaptureSequence = 1,
+    /// Sequencing → a read of the message at its destination.
+    SequenceDeliver = 2,
+    /// Adjacent events concerning the same subject process in one
+    /// component log (that component's program order).
+    ProgramOrder = 3,
+    /// A sender's consecutive publishes (send order).
+    SenderOrder = 4,
+    /// Sequencing → a replay of the message from the published log.
+    SequenceReplay = 5,
+    /// The original pre-crash read → its replay at the same read index.
+    DeliverReplay = 6,
+    /// Publish → the §4.7 suppression of its regenerated resend.
+    PublishSuppress = 7,
+    /// A durable checkpoint → the first replays it set the floor for.
+    CheckpointFloor = 8,
+    /// The latest replay *into* a recovering process → a suppression of
+    /// that process's regenerated resend (the replay drove the sender to
+    /// regenerate the message the watermark then cut off).
+    ReplaySuppress = 9,
+}
+
+impl EdgeKind {
+    /// Stable short name, used in rendered chains and DOT output.
+    pub fn name(self) -> &'static str {
+        match self {
+            EdgeKind::SendCapture => "send→capture",
+            EdgeKind::CaptureSequence => "capture→sequence",
+            EdgeKind::SequenceDeliver => "sequence→deliver",
+            EdgeKind::ProgramOrder => "program-order",
+            EdgeKind::SenderOrder => "sender-order",
+            EdgeKind::SequenceReplay => "sequence→replay",
+            EdgeKind::DeliverReplay => "deliver→replay",
+            EdgeKind::PublishSuppress => "publish→suppress",
+            EdgeKind::CheckpointFloor => "checkpoint-floor",
+            EdgeKind::ReplaySuppress => "replay→suppress",
+        }
+    }
+
+    fn dot_color(self) -> &'static str {
+        match self {
+            EdgeKind::SendCapture => "black",
+            EdgeKind::CaptureSequence => "blue",
+            EdgeKind::SequenceDeliver => "forestgreen",
+            EdgeKind::ProgramOrder => "gray60",
+            EdgeKind::SenderOrder => "gray30",
+            EdgeKind::SequenceReplay => "darkorange",
+            EdgeKind::DeliverReplay => "red",
+            EdgeKind::PublishSuppress => "purple",
+            EdgeKind::CheckpointFloor => "brown",
+            EdgeKind::ReplaySuppress => "crimson",
+        }
+    }
+}
+
+/// One happens-before edge between two graph nodes (indices into
+/// [`CausalGraph::events`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Source node index (always `< to`).
+    pub from: usize,
+    /// Target node index.
+    pub to: usize,
+    /// Why the source happens-before the target.
+    pub kind: EdgeKind,
+}
+
+/// The happens-before DAG over every retained lifecycle event.
+#[derive(Debug, Clone, Default)]
+pub struct CausalGraph {
+    nodes: Vec<SpanEvent>,
+    log_of: Vec<u32>,
+    edges: Vec<Edge>,
+    preds: Vec<Vec<usize>>,
+    succs: Vec<Vec<usize>>,
+}
+
+impl CausalGraph {
+    /// Builds the graph from component span logs. Callers must pass the
+    /// logs in a stable order (node id, then shard index) — the same
+    /// discipline [`crate::span::combined_fingerprint`] requires — so
+    /// node order, DOT output, and query answers are deterministic.
+    pub fn build<'a>(logs: impl IntoIterator<Item = &'a SpanLog>) -> CausalGraph {
+        let lists: Vec<Vec<SpanEvent>> = logs
+            .into_iter()
+            .map(|l| l.events().copied().collect())
+            .collect();
+        CausalGraph::from_event_lists(&lists)
+    }
+
+    /// Builds the graph from per-log event lists (one list per component
+    /// log, each in recording order). This is the seam the chaos engine
+    /// uses: a baseline's events can be captured as plain vectors and
+    /// diffed against a later run without holding the original world.
+    pub fn from_event_lists(lists: &[Vec<SpanEvent>]) -> CausalGraph {
+        // Total node order: virtual time, then log, then the log's own
+        // monotone seq. Edges are only added forward in this order, so
+        // acyclicity holds by construction and ambiguous same-instant
+        // cross-log orderings are conservatively dropped.
+        let mut tagged: Vec<(u32, SpanEvent)> = Vec::new();
+        for (li, list) in lists.iter().enumerate() {
+            for e in list {
+                tagged.push((li as u32, *e));
+            }
+        }
+        tagged.sort_by_key(|(li, e)| (e.at, *li, e.seq));
+        let nodes: Vec<SpanEvent> = tagged.iter().map(|(_, e)| *e).collect();
+        let log_of: Vec<u32> = tagged.iter().map(|(li, _)| *li).collect();
+
+        let mut g = CausalGraph {
+            preds: vec![Vec::new(); nodes.len()],
+            succs: vec![Vec::new(); nodes.len()],
+            nodes,
+            log_of,
+            edges: Vec::new(),
+        };
+
+        // Group node indices (already in node order) by message key, by
+        // subject-within-log, and publishes by sender.
+        let mut by_key: BTreeMap<MsgKey, Vec<usize>> = BTreeMap::new();
+        let mut by_log_subject: BTreeMap<(u32, u64), Vec<usize>> = BTreeMap::new();
+        let mut publishes_by_sender: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for (i, e) in g.nodes.iter().enumerate() {
+            by_key.entry(e.key).or_default().push(i);
+            by_log_subject
+                .entry((g.log_of[i], e.subject))
+                .or_default()
+                .push(i);
+            if e.stage == Stage::Publish {
+                publishes_by_sender.entry(e.key.sender).or_default().push(i);
+            }
+        }
+
+        let mut seen: BTreeSet<(usize, usize, u8)> = BTreeSet::new();
+        let mut add = |g: &mut CausalGraph, from: usize, to: usize, kind: EdgeKind| {
+            if from >= to || !seen.insert((from, to, kind as u8)) {
+                return;
+            }
+            let ei = g.edges.len();
+            g.edges.push(Edge { from, to, kind });
+            g.preds[to].push(ei);
+            g.succs[from].push(ei);
+        };
+
+        // Per-component program order, per subject process.
+        for idxs in by_log_subject.values() {
+            for w in idxs.windows(2) {
+                add(&mut g, w[0], w[1], EdgeKind::ProgramOrder);
+            }
+        }
+
+        // A sender's send order over its publishes.
+        for idxs in publishes_by_sender.values_mut() {
+            idxs.sort_by_key(|&i| (g.nodes[i].key.seq, i));
+            for w in idxs.windows(2) {
+                add(&mut g, w[0], w[1], EdgeKind::SenderOrder);
+            }
+        }
+
+        // Per-message lifecycle edges.
+        for idxs in by_key.values() {
+            let first_of = |stage: Stage| idxs.iter().copied().find(|&i| g.nodes[i].stage == stage);
+            let publish = first_of(Stage::Publish);
+            let capture = first_of(Stage::Capture);
+            let sequence = first_of(Stage::Sequence);
+            if let (Some(p), Some(c)) = (publish, capture) {
+                add(&mut g, p, c, EdgeKind::SendCapture);
+            }
+            if let (Some(c), Some(s)) = (capture, sequence) {
+                add(&mut g, c, s, EdgeKind::CaptureSequence);
+            }
+            for &i in idxs {
+                match g.nodes[i].stage {
+                    Stage::Deliver => {
+                        if let Some(s) = sequence {
+                            add(&mut g, s, i, EdgeKind::SequenceDeliver);
+                        }
+                    }
+                    Stage::Replay => {
+                        if let Some(s) = sequence {
+                            add(&mut g, s, i, EdgeKind::SequenceReplay);
+                        }
+                        // The pre-crash read the replay reproduces: the
+                        // first delivery of this message at the same read
+                        // index to the same subject.
+                        let (subject, read_idx) = (g.nodes[i].subject, g.nodes[i].aux);
+                        if let Some(d) = idxs.iter().copied().find(|&j| {
+                            let n = &g.nodes[j];
+                            n.stage == Stage::Deliver && n.subject == subject && n.aux == read_idx
+                        }) {
+                            add(&mut g, d, i, EdgeKind::DeliverReplay);
+                        }
+                    }
+                    Stage::Suppress => {
+                        if let Some(p) = publish {
+                            add(&mut g, p, i, EdgeKind::PublishSuppress);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Checkpoint floors: the latest durable checkpoint for a subject
+        // happens-before each later replay of that subject (it decided
+        // where the replay starts).
+        let mut by_subject: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for (i, e) in g.nodes.iter().enumerate() {
+            if matches!(e.stage, Stage::Checkpoint | Stage::Replay) {
+                by_subject.entry(e.subject).or_default().push(i);
+            }
+        }
+        for idxs in by_subject.values() {
+            let mut floor: Option<usize> = None;
+            for &i in idxs {
+                match g.nodes[i].stage {
+                    Stage::Checkpoint => floor = Some(i),
+                    Stage::Replay => {
+                        if let Some(c) = floor {
+                            add(&mut g, c, i, EdgeKind::CheckpointFloor);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // A recovering process's suppressions are driven by its replay:
+        // the replayed reads made the process regenerate its sends, and
+        // the §4.7 watermark cut off the resend. Link the latest replay
+        // *into* the suppressed message's sender.
+        let mut replays_by_reader: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for (i, e) in g.nodes.iter().enumerate() {
+            if e.stage == Stage::Replay {
+                replays_by_reader.entry(e.subject).or_default().push(i);
+            }
+        }
+        for i in 0..g.nodes.len() {
+            if g.nodes[i].stage != Stage::Suppress {
+                continue;
+            }
+            if let Some(replays) = replays_by_reader.get(&g.nodes[i].key.sender) {
+                let before = replays.partition_point(|&r| r < i);
+                if before > 0 {
+                    let r = replays[before - 1];
+                    add(&mut g, r, i, EdgeKind::ReplaySuppress);
+                }
+            }
+        }
+
+        g
+    }
+
+    /// The events, in node order (the indices every query speaks in).
+    pub fn events(&self) -> &[SpanEvent] {
+        &self.nodes
+    }
+
+    /// The happens-before edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The (caller-order) log index a node was recorded by.
+    pub fn log_of(&self, node: usize) -> u32 {
+        self.log_of[node]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the graph has no events.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Checks the structural invariants: every edge points forward in
+    /// node order, node timestamps are non-decreasing along every edge,
+    /// and the graph is acyclic (implied by the first check, verified
+    /// independently by a Kahn pass).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant, described.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.from >= e.to {
+                return Err(format!("edge {i} not forward: {} -> {}", e.from, e.to));
+            }
+            if self.nodes[e.from].at > self.nodes[e.to].at {
+                return Err(format!(
+                    "edge {i} ({}) goes back in time: {} -> {}",
+                    e.kind.name(),
+                    self.nodes[e.from].at,
+                    self.nodes[e.to].at
+                ));
+            }
+        }
+        for w in self.nodes.windows(2) {
+            if w[0].at > w[1].at {
+                return Err("node order not time-sorted".into());
+            }
+        }
+        // Kahn's algorithm: every node must be emitted.
+        let mut indeg: Vec<usize> = self.preds.iter().map(Vec::len).collect();
+        let mut queue: VecDeque<usize> = (0..self.nodes.len()).filter(|&i| indeg[i] == 0).collect();
+        let mut emitted = 0usize;
+        while let Some(i) = queue.pop_front() {
+            emitted += 1;
+            for &ei in &self.succs[i] {
+                let t = self.edges[ei].to;
+                indeg[t] -= 1;
+                if indeg[t] == 0 {
+                    queue.push_back(t);
+                }
+            }
+        }
+        if emitted != self.nodes.len() {
+            return Err(format!(
+                "cycle: only {emitted} of {} nodes topologically ordered",
+                self.nodes.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// The causal ancestor cone of a node (exclusive of the node).
+    pub fn ancestors(&self, node: usize) -> BTreeSet<usize> {
+        let mut cone = BTreeSet::new();
+        let mut queue = VecDeque::from([node]);
+        while let Some(i) = queue.pop_front() {
+            for &ei in &self.preds[i] {
+                let f = self.edges[ei].from;
+                if cone.insert(f) {
+                    queue.push_back(f);
+                }
+            }
+        }
+        cone
+    }
+
+    /// The binding predecessor of a node: the incoming edge whose source
+    /// is latest in node order — the hop that actually delayed the node.
+    fn binding_pred(&self, node: usize) -> Option<&Edge> {
+        self.preds[node]
+            .iter()
+            .map(|&ei| &self.edges[ei])
+            .max_by_key(|e| e.from)
+    }
+
+    /// Explains one message: the causal chain (binding predecessors,
+    /// walked back to a root) that led to its last delivery, plus the
+    /// size of its full ancestor cone.
+    ///
+    /// Returns `None` when no event for `key` was retained.
+    pub fn explain(&self, key: MsgKey) -> Option<Explanation> {
+        let target = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.key == key)
+            .max_by_key(|&(i, e)| (e.stage == Stage::Deliver, i))
+            .map(|(i, _)| i)?;
+        let cone_size = self.ancestors(target).len();
+        let mut rev: Vec<Hop> = Vec::new();
+        let mut cur = target;
+        loop {
+            match self.binding_pred(cur).map(|e| (e.from, e.kind)) {
+                Some((from, kind)) => {
+                    rev.push(Hop {
+                        event: self.nodes[cur],
+                        via: Some(kind),
+                        slack: self.nodes[cur].at.saturating_since(self.nodes[from].at),
+                    });
+                    cur = from;
+                }
+                None => {
+                    rev.push(Hop {
+                        event: self.nodes[cur],
+                        via: None,
+                        slack: SimDuration::ZERO,
+                    });
+                    break;
+                }
+            }
+        }
+        rev.reverse();
+        Some(Explanation {
+            key,
+            target: self.nodes[target],
+            cone_size,
+            chain: rev,
+        })
+    }
+
+    /// Computes the recovery critical path: the binding chain of events
+    /// inside the window `[crash_at, converged_at]`. The opening segment
+    /// (crash → first chain event, covering detection and the work that
+    /// produced that event) is attributed to the first event's stage;
+    /// a closing `commit` segment (last chain event → convergence)
+    /// covers the manager's completion bookkeeping. Segment durations
+    /// therefore telescope to exactly `converged_at - crash_at`.
+    ///
+    /// `subject`, when given, anchors the walk at that process's latest
+    /// in-window event; otherwise the latest in-window event overall.
+    ///
+    /// Returns `None` when the window is empty or inverted.
+    pub fn critical_path(
+        &self,
+        crash_at: SimTime,
+        converged_at: SimTime,
+        subject: Option<u64>,
+    ) -> Option<CriticalPath> {
+        if converged_at < crash_at {
+            return None;
+        }
+        let anchor = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.at >= crash_at && e.at <= converged_at)
+            .filter(|(_, e)| subject.map(|s| e.subject == s).unwrap_or(true))
+            .map(|(i, _)| i)
+            .next_back()?;
+
+        // Walk binding predecessors while they stay inside the window.
+        let mut path = vec![anchor];
+        let mut kinds: Vec<EdgeKind> = Vec::new();
+        let mut cur = anchor;
+        while let Some(e) = self.binding_pred(cur) {
+            if self.nodes[e.from].at < crash_at {
+                break;
+            }
+            path.push(e.from);
+            kinds.push(e.kind);
+            cur = e.from;
+        }
+        path.reverse();
+        kinds.reverse();
+
+        let mut segments = Vec::new();
+        let first = &self.nodes[path[0]];
+        segments.push(Segment {
+            category: stage_category(first.stage),
+            kind: None,
+            from: crash_at,
+            to: first.at,
+            label: format!("crash → {} {}", first.stage.name(), first.key),
+        });
+        for (w, kind) in path.windows(2).zip(kinds.iter()) {
+            let (a, b) = (&self.nodes[w[0]], &self.nodes[w[1]]);
+            segments.push(Segment {
+                category: stage_category(b.stage),
+                kind: Some(*kind),
+                from: a.at,
+                to: b.at,
+                label: format!(
+                    "{} {} → {} {} [{}]",
+                    a.stage.name(),
+                    a.key,
+                    b.stage.name(),
+                    b.key,
+                    kind.name()
+                ),
+            });
+        }
+        let last = &self.nodes[*path.last().expect("path non-empty")];
+        segments.push(Segment {
+            category: "commit",
+            kind: None,
+            from: last.at,
+            to: converged_at,
+            label: format!("{} {} → converged", last.stage.name(), last.key),
+        });
+        Some(CriticalPath {
+            crash_at,
+            converged_at,
+            segments,
+        })
+    }
+
+    /// Renders the graph as deterministic Graphviz DOT (nodes in node
+    /// order, edges in insertion order re-sorted by `(from, to, kind)`).
+    pub fn to_dot(&self) -> String {
+        let mut s = String::from(
+            "digraph happens_before {\n  rankdir=LR;\n  node [shape=box, fontsize=9];\n",
+        );
+        for (i, e) in self.nodes.iter().enumerate() {
+            s.push_str(&format!(
+                "  n{} [label=\"{} {}\\n@{:.3}ms subj={}\"];\n",
+                i,
+                e.stage.name(),
+                e.key,
+                e.at.as_millis_f64(),
+                e.subject
+            ));
+        }
+        let mut edges: Vec<&Edge> = self.edges.iter().collect();
+        edges.sort_by_key(|e| (e.from, e.to, e.kind as u8));
+        for e in edges {
+            s.push_str(&format!(
+                "  n{} -> n{} [color={}, label=\"{}\", fontsize=8];\n",
+                e.from,
+                e.to,
+                e.kind.dot_color(),
+                e.kind.name()
+            ));
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Maps a lifecycle stage to the recovery-stage category the critical
+/// path attributes its segments to.
+pub fn stage_category(stage: Stage) -> &'static str {
+    match stage {
+        Stage::Checkpoint => "checkpoint_load",
+        Stage::Replay => "replay",
+        Stage::Suppress => "suppression",
+        Stage::Capture | Stage::Sequence => "re_sequencing",
+        Stage::Publish | Stage::Deliver => "delivery",
+    }
+}
+
+/// One hop of an [`Explanation`] chain.
+#[derive(Debug, Clone)]
+pub struct Hop {
+    /// The event at this hop.
+    pub event: SpanEvent,
+    /// The edge that leads *into* this event from the previous hop
+    /// (`None` for the chain's root).
+    pub via: Option<EdgeKind>,
+    /// Virtual time between the previous hop and this event.
+    pub slack: SimDuration,
+}
+
+/// The causal chain behind one message's delivery.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// The message explained.
+    pub key: MsgKey,
+    /// The chain's target event (the last delivery, or last event).
+    pub target: SpanEvent,
+    /// Size of the full causal ancestor cone of the target.
+    pub cone_size: usize,
+    /// Root-to-target binding chain.
+    pub chain: Vec<Hop>,
+}
+
+impl Explanation {
+    /// Renders the chain for a terminal.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "explain {}: target {} @{:.3}ms subj={} (ancestor cone: {} events)\n",
+            self.key,
+            self.target.stage.name(),
+            self.target.at.as_millis_f64(),
+            self.target.subject,
+            self.cone_size
+        );
+        for hop in &self.chain {
+            match hop.via {
+                None => s.push_str(&format!(
+                    "  {:>12.3}ms  {} {} subj={}\n",
+                    hop.event.at.as_millis_f64(),
+                    hop.event.stage.name(),
+                    hop.event.key,
+                    hop.event.subject
+                )),
+                Some(kind) => s.push_str(&format!(
+                    "  {:>12.3}ms  {} {} subj={}  [{} +{:.3}ms]\n",
+                    hop.event.at.as_millis_f64(),
+                    hop.event.stage.name(),
+                    hop.event.key,
+                    hop.event.subject,
+                    kind.name(),
+                    hop.slack.as_millis_f64()
+                )),
+            }
+        }
+        s
+    }
+}
+
+/// One attributed segment of a recovery critical path.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Recovery-stage category ([`stage_category`], or the boundary
+    /// categories `detect` / `commit`).
+    pub category: &'static str,
+    /// The happens-before edge this segment rode, when it is one.
+    pub kind: Option<EdgeKind>,
+    /// Segment start (virtual time).
+    pub from: SimTime,
+    /// Segment end (virtual time).
+    pub to: SimTime,
+    /// Human-readable description.
+    pub label: String,
+}
+
+impl Segment {
+    /// The segment's virtual-time extent.
+    pub fn duration(&self) -> SimDuration {
+        self.to.saturating_since(self.from)
+    }
+}
+
+/// The attributed critical path of one crash/recovery window. Segments
+/// telescope: they partition `[crash_at, converged_at]` exactly, so
+/// [`CriticalPath::total`] always equals the measured recovery lag.
+#[derive(Debug, Clone)]
+pub struct CriticalPath {
+    /// The crash instant anchoring the window.
+    pub crash_at: SimTime,
+    /// The convergence instant (last recovery completion).
+    pub converged_at: SimTime,
+    /// The attributed segments, in time order.
+    pub segments: Vec<Segment>,
+}
+
+impl CriticalPath {
+    /// Sum of segment durations — by construction, exactly the window.
+    pub fn total(&self) -> SimDuration {
+        self.segments
+            .iter()
+            .fold(SimDuration::ZERO, |acc, s| acc + s.duration())
+    }
+
+    /// Per-category attribution, in category name order.
+    pub fn by_stage(&self) -> BTreeMap<&'static str, SimDuration> {
+        let mut out: BTreeMap<&'static str, SimDuration> = BTreeMap::new();
+        for s in &self.segments {
+            *out.entry(s.category).or_insert(SimDuration::ZERO) += s.duration();
+        }
+        out
+    }
+
+    /// The `n` longest segments, longest first (ties broken by time
+    /// order, so the answer is deterministic).
+    pub fn top_segments(&self, n: usize) -> Vec<&Segment> {
+        let mut idx: Vec<usize> = (0..self.segments.len()).collect();
+        idx.sort_by_key(|&i| (std::cmp::Reverse(self.segments[i].duration()), i));
+        idx.into_iter().take(n).map(|i| &self.segments[i]).collect()
+    }
+
+    /// Files the attribution under `critical_path/...`.
+    pub fn into_registry(&self, reg: &mut MetricsRegistry) {
+        reg.gauge("critical_path/total_ms", self.total().as_millis_f64());
+        reg.counter("critical_path/segments", self.segments.len() as u64);
+        for (cat, d) in self.by_stage() {
+            reg.gauge(format!("critical_path/{cat}_ms"), d.as_millis_f64());
+        }
+    }
+
+    /// Renders the path for a terminal.
+    pub fn render(&self) -> String {
+        let total = self.total();
+        let mut s = format!(
+            "critical path {:.3}ms → {:.3}ms (total {:.3}ms, {} segments)\n",
+            self.crash_at.as_millis_f64(),
+            self.converged_at.as_millis_f64(),
+            total.as_millis_f64(),
+            self.segments.len()
+        );
+        for (cat, d) in self.by_stage() {
+            let frac = if total == SimDuration::ZERO {
+                0.0
+            } else {
+                d / total
+            };
+            s.push_str(&format!(
+                "  {cat:<16} {:>12.3}ms ({:>5.1}%)\n",
+                d.as_millis_f64(),
+                frac * 100.0
+            ));
+        }
+        s.push_str("  longest segments:\n");
+        for seg in self.top_segments(3) {
+            s.push_str(&format!(
+                "    {:>12.3}ms  {:<16} {}\n",
+                seg.duration().as_millis_f64(),
+                seg.category,
+                seg.label
+            ));
+        }
+        s
+    }
+}
+
+/// The first point where two runs' canonical event streams disagree.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Position in node order where the streams first differ.
+    pub index: usize,
+    /// The baseline's event at that position (`None`: baseline ended).
+    pub want: Option<SpanEvent>,
+    /// The divergent run's event there (`None`: the run ended early).
+    pub have: Option<SpanEvent>,
+    /// Causal ancestors of the divergent event (from whichever graph
+    /// still has an event at the divergence point), time-ordered.
+    pub ancestors: Vec<SpanEvent>,
+}
+
+impl Divergence {
+    /// Renders the pinpoint for a terminal.
+    pub fn render(&self) -> String {
+        let fmt = |e: &Option<SpanEvent>| match e {
+            None => "<stream ended>".to_string(),
+            Some(e) => format!(
+                "{} {} subj={} aux={} @{:.3}ms",
+                e.stage.name(),
+                e.key,
+                e.subject,
+                e.aux,
+                e.at.as_millis_f64()
+            ),
+        };
+        let mut s = format!(
+            "first divergence at event #{}:\n  baseline: {}\n  run:      {}\n",
+            self.index,
+            fmt(&self.want),
+            fmt(&self.have)
+        );
+        if !self.ancestors.is_empty() {
+            s.push_str("  causal ancestors of the divergent event:\n");
+            for a in &self.ancestors {
+                s.push_str(&format!(
+                    "    {:>12.3}ms  {} {} subj={}\n",
+                    a.at.as_millis_f64(),
+                    a.stage.name(),
+                    a.key,
+                    a.subject
+                ));
+            }
+        }
+        s
+    }
+}
+
+/// Projects an event to the fields two same-seed runs must agree on.
+/// The per-log emission `seq` is excluded: it numbers a log's retained
+/// ring position only after eviction, while everything observable —
+/// time, message, stage, subject, stage detail — must match exactly.
+fn canon(e: &SpanEvent) -> (SimTime, MsgKey, Stage, u64, u64) {
+    (e.at, e.key, e.stage, e.subject, e.aux)
+}
+
+/// Aligns two runs' canonical event streams (node order) and reports
+/// the first divergent event with its causal ancestors, or `None` when
+/// the streams agree completely.
+pub fn divergence_diff(baseline: &CausalGraph, run: &CausalGraph) -> Option<Divergence> {
+    let b = baseline.events();
+    let r = run.events();
+    let n = b.len().max(r.len());
+    for i in 0..n {
+        let want = b.get(i);
+        let have = r.get(i);
+        if let (Some(w), Some(h)) = (want, have) {
+            if canon(w) == canon(h) {
+                continue;
+            }
+        }
+        // Divergent (or one stream ended). Pull the cone from the run's
+        // graph when it still has an event here, else the baseline's.
+        let g = if have.is_some() { run } else { baseline };
+        let ancestors: Vec<SpanEvent> = g.ancestors(i).into_iter().map(|j| g.events()[j]).collect();
+        return Some(Divergence {
+            index: i,
+            want: want.copied(),
+            have: have.copied(),
+            ancestors,
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(sender: u64, seq: u64) -> MsgKey {
+        MsgKey { sender, seq }
+    }
+
+    /// A small steady-state + crash/replay history over two logs (a
+    /// kernel log and a recorder log). Process 1 sends k0, k1 to process
+    /// 42; process 42 answers with m0 to process 1, checkpoints, crashes
+    /// at t=1000µs, replays k1, and its regenerated m0 resend is
+    /// suppressed at the watermark. Convergence at t=2000µs.
+    fn sample_logs() -> (SpanLog, SpanLog) {
+        let mut kernel = SpanLog::new(64);
+        let mut recorder = SpanLog::new(64);
+        let dest = 42u64;
+        let k0 = key(1, 0);
+        let k1 = key(1, 1);
+        let m0 = key(42, 0);
+        // k0, k1: full lifecycles into process 42.
+        kernel.record(SimTime::from_micros(100), k0, Stage::Publish, dest, 16);
+        recorder.record(SimTime::from_micros(150), k0, Stage::Capture, dest, 0);
+        recorder.record(SimTime::from_micros(250), k0, Stage::Sequence, dest, 0);
+        kernel.record(SimTime::from_micros(400), k0, Stage::Deliver, dest, 0);
+        kernel.record(SimTime::from_micros(500), k1, Stage::Publish, dest, 16);
+        recorder.record(SimTime::from_micros(550), k1, Stage::Capture, dest, 1);
+        recorder.record(SimTime::from_micros(650), k1, Stage::Sequence, dest, 1);
+        kernel.record(SimTime::from_micros(800), k1, Stage::Deliver, dest, 1);
+        // m0: process 42's answer into process 1.
+        kernel.record(SimTime::from_micros(820), m0, Stage::Publish, 1, 16);
+        recorder.record(SimTime::from_micros(830), m0, Stage::Capture, 1, 0);
+        recorder.record(SimTime::from_micros(840), m0, Stage::Sequence, 1, 0);
+        kernel.record(SimTime::from_micros(845), m0, Stage::Deliver, 1, 0);
+        // Durable checkpoint of 42 at read floor 1, crash at 1000µs,
+        // replay of k1 into 42, and 42's regenerated m0 suppressed.
+        recorder.record(
+            SimTime::from_micros(900),
+            key(42, 1),
+            Stage::Checkpoint,
+            dest,
+            1,
+        );
+        recorder.record(SimTime::from_micros(1500), k1, Stage::Replay, dest, 1);
+        kernel.record(SimTime::from_micros(1700), m0, Stage::Suppress, 1, 1);
+        (kernel, recorder)
+    }
+
+    #[test]
+    fn build_wires_all_edge_kinds() {
+        let (kernel, recorder) = sample_logs();
+        let g = CausalGraph::build([&kernel, &recorder]);
+        assert_eq!(g.len(), 15);
+        let kinds: BTreeSet<EdgeKind> = g.edges().iter().map(|e| e.kind).collect();
+        for want in [
+            EdgeKind::SendCapture,
+            EdgeKind::CaptureSequence,
+            EdgeKind::SequenceDeliver,
+            EdgeKind::ProgramOrder,
+            EdgeKind::SenderOrder,
+            EdgeKind::SequenceReplay,
+            EdgeKind::DeliverReplay,
+            EdgeKind::PublishSuppress,
+            EdgeKind::CheckpointFloor,
+            EdgeKind::ReplaySuppress,
+        ] {
+            assert!(kinds.contains(&want), "missing edge kind {want:?}");
+        }
+        g.validate().expect("invariants hold");
+    }
+
+    #[test]
+    fn explain_walks_back_to_a_root() {
+        let (kernel, recorder) = sample_logs();
+        let g = CausalGraph::build([&kernel, &recorder]);
+        let ex = g.explain(key(1, 1)).expect("k1 retained");
+        assert_eq!(ex.target.stage, Stage::Deliver);
+        assert!(ex.cone_size >= 3, "cone was {}", ex.cone_size);
+        assert!(ex.chain.len() >= 3);
+        // Root has no inbound hop; every later hop has one.
+        assert!(ex.chain[0].via.is_none());
+        assert!(ex.chain[1..].iter().all(|h| h.via.is_some()));
+        // Chain is time-ordered.
+        for w in ex.chain.windows(2) {
+            assert!(w[0].event.at <= w[1].event.at);
+        }
+        let text = ex.render();
+        assert!(text.contains("explain 0.1#1"));
+        assert!(text.contains("ancestor cone"));
+    }
+
+    #[test]
+    fn explain_unknown_key_is_none() {
+        let (kernel, recorder) = sample_logs();
+        let g = CausalGraph::build([&kernel, &recorder]);
+        assert!(g.explain(key(9, 9)).is_none());
+    }
+
+    #[test]
+    fn critical_path_telescopes_to_the_window() {
+        let (kernel, recorder) = sample_logs();
+        let g = CausalGraph::build([&kernel, &recorder]);
+        let crash = SimTime::from_micros(1000);
+        let converged = SimTime::from_micros(2000);
+        let cp = g.critical_path(crash, converged, None).expect("path");
+        assert_eq!(cp.total(), converged.saturating_since(crash));
+        // The binding chain is crash → replay k1 → suppress m0 → commit.
+        assert_eq!(cp.segments.first().unwrap().category, "replay");
+        assert_eq!(cp.segments.last().unwrap().category, "commit");
+        let by = cp.by_stage();
+        assert_eq!(by["replay"], SimDuration::from_micros(500));
+        assert_eq!(by["suppression"], SimDuration::from_micros(200));
+        assert_eq!(by["commit"], SimDuration::from_micros(300));
+        // Registry projection totals agree.
+        let mut reg = MetricsRegistry::new();
+        cp.into_registry(&mut reg);
+        assert_eq!(
+            reg.gauge_value("critical_path/total_ms"),
+            Some(cp.total().as_millis_f64())
+        );
+        assert!(cp.render().contains("longest segments"));
+        assert!(cp.top_segments(3).len() <= 3);
+    }
+
+    #[test]
+    fn critical_path_empty_window_is_none() {
+        let (kernel, recorder) = sample_logs();
+        let g = CausalGraph::build([&kernel, &recorder]);
+        assert!(g
+            .critical_path(SimTime::from_secs(100), SimTime::from_secs(101), None)
+            .is_none());
+        assert!(g
+            .critical_path(SimTime::from_micros(2000), SimTime::from_micros(850), None)
+            .is_none());
+    }
+
+    #[test]
+    fn divergence_diff_pinpoints_injected_reordering() {
+        let (kernel, recorder) = sample_logs();
+        let baseline = CausalGraph::build([&kernel, &recorder]);
+        // Re-record the kernel log with the two deliveries into process
+        // 42 swapped — a single-event reordering; everything else is
+        // byte-identical.
+        let mut k2 = SpanLog::new(64);
+        let dest = 42u64;
+        k2.record(
+            SimTime::from_micros(100),
+            key(1, 0),
+            Stage::Publish,
+            dest,
+            16,
+        );
+        k2.record(
+            SimTime::from_micros(400),
+            key(1, 1),
+            Stage::Deliver,
+            dest,
+            0,
+        ); // swapped
+        k2.record(
+            SimTime::from_micros(500),
+            key(1, 1),
+            Stage::Publish,
+            dest,
+            16,
+        );
+        k2.record(
+            SimTime::from_micros(800),
+            key(1, 0),
+            Stage::Deliver,
+            dest,
+            1,
+        ); // swapped
+        k2.record(SimTime::from_micros(820), key(42, 0), Stage::Publish, 1, 16);
+        k2.record(SimTime::from_micros(845), key(42, 0), Stage::Deliver, 1, 0);
+        k2.record(
+            SimTime::from_micros(1700),
+            key(42, 0),
+            Stage::Suppress,
+            1,
+            1,
+        );
+        let run = CausalGraph::build([&k2, &recorder]);
+        let d = divergence_diff(&baseline, &run).expect("diverges");
+        // First divergent event is the first (swapped) delivery.
+        assert_eq!(d.want.unwrap().key, key(1, 0));
+        assert_eq!(d.have.unwrap().key, key(1, 1));
+        assert_eq!(d.have.unwrap().stage, Stage::Deliver);
+        assert!(d.render().contains("first divergence"));
+        assert!(!d.ancestors.is_empty(), "divergent event has a cone");
+
+        // Identical streams do not diverge.
+        assert!(divergence_diff(&baseline, &baseline).is_none());
+    }
+
+    #[test]
+    fn divergence_diff_detects_truncated_stream() {
+        let (kernel, recorder) = sample_logs();
+        let baseline = CausalGraph::build([&kernel, &recorder]);
+        let run = CausalGraph::build([&kernel]);
+        let d = divergence_diff(&baseline, &run).expect("diverges");
+        assert!(d.index < baseline.len());
+        assert!(d.render().contains("run:"));
+    }
+
+    #[test]
+    fn dot_output_is_deterministic_and_complete() {
+        let (kernel, recorder) = sample_logs();
+        let a = CausalGraph::build([&kernel, &recorder]).to_dot();
+        let b = CausalGraph::build([&kernel, &recorder]).to_dot();
+        assert_eq!(a, b);
+        assert!(a.starts_with("digraph happens_before {"));
+        let node_lines = a
+            .lines()
+            .filter(|l| l.starts_with("  n") && !l.contains("->") && !l.starts_with("  node"))
+            .count();
+        assert_eq!(node_lines, 15);
+        assert!(a.matches(" -> ").count() >= 15);
+        assert!(a.contains("deliver→replay"));
+    }
+
+    #[test]
+    fn same_instant_events_never_cycle() {
+        // All events at the same virtual instant (CostModel::zero()
+        // worlds do this): graph must still validate.
+        let mut a = SpanLog::new(16);
+        let mut b = SpanLog::new(16);
+        let k0 = key(1, 0);
+        a.record(SimTime::ZERO, k0, Stage::Publish, 7, 0);
+        b.record(SimTime::ZERO, k0, Stage::Capture, 7, 0);
+        b.record(SimTime::ZERO, k0, Stage::Sequence, 7, 0);
+        a.record(SimTime::ZERO, k0, Stage::Deliver, 7, 0);
+        let g = CausalGraph::build([&a, &b]);
+        g.validate().expect("no cycles at a single instant");
+    }
+}

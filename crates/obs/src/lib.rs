@@ -10,6 +10,10 @@
 //!   into bounded per-component logs whose running fingerprint is a
 //!   determinism oracle (same property as `publishing_sim::trace`, but
 //!   over typed events instead of free-form strings);
+//! - [`causal`]: the happens-before DAG assembled from the span logs,
+//!   with three query surfaces (explain a message's causal chain,
+//!   attribute a recovery's critical path, pinpoint the first divergent
+//!   event between two runs) and deterministic DOT export;
 //! - [`registry`]: a hierarchical, path-keyed metrics registry with
 //!   snapshot/delta semantics and JSON-lines export, populated from the
 //!   existing `Counter`/`Summary`/`LogHistogram`/`Utilization`
@@ -29,12 +33,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod causal;
 pub mod probe;
 pub mod profile;
 pub mod registry;
 pub mod report;
 pub mod span;
 
+pub use causal::{divergence_diff, CausalGraph, CriticalPath, Divergence, EdgeKind, Explanation};
 pub use probe::{MediumHealth, RecoveryLag, ShardHealth};
 pub use profile::{StageLatencies, TimeProfile};
 pub use registry::{MetricValue, MetricsRegistry};

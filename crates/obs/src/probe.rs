@@ -26,6 +26,14 @@ pub struct RecoveryLag {
     /// §4.7 resends suppressed at the delivered watermark so far (as
     /// counted by the sender's kernel).
     pub suppressed: u64,
+    /// Measured crash→recovery-complete window for this process, in
+    /// milliseconds of virtual time. Zero when it never recovered.
+    pub recovery_ms: f64,
+    /// Total of the causal critical path attributed across that window
+    /// ([`crate::causal::CriticalPath::total`]). Zero when no recovery
+    /// happened; otherwise equals `recovery_ms` up to rounding, since
+    /// critical-path segments telescope over the measured window.
+    pub critical_path_ms: f64,
 }
 
 impl RecoveryLag {
@@ -39,18 +47,29 @@ impl RecoveryLag {
             format!("{p}/recovering"),
             if self.recovering { 1.0 } else { 0.0 },
         );
+        if self.recovery_ms > 0.0 {
+            reg.gauge(format!("{p}/recovery_ms"), self.recovery_ms);
+            reg.gauge(format!("{p}/critical_path_ms"), self.critical_path_ms);
+        }
     }
 
     /// One text line for the run report.
     pub fn render(&self) -> String {
-        format!(
+        let mut s = format!(
             "pid {} behind={} ckpt_age={:.3}ms suppressed={} {}",
             self.subject,
             self.messages_behind,
             self.checkpoint_age_ms,
             self.suppressed,
             if self.recovering { "RECOVERING" } else { "ok" }
-        )
+        );
+        if self.recovery_ms > 0.0 {
+            s.push_str(&format!(
+                " recovered_in={:.3}ms critical_path={:.3}ms",
+                self.recovery_ms, self.critical_path_ms
+            ));
+        }
+        s
     }
 }
 
@@ -236,6 +255,8 @@ mod tests {
             messages_behind: 7,
             checkpoint_age_ms: 12.5,
             suppressed: 3,
+            recovery_ms: 0.0,
+            critical_path_ms: 0.0,
         };
         let mut reg = MetricsRegistry::new();
         lag.into_registry(&mut reg);
@@ -245,6 +266,27 @@ mod tests {
         );
         assert_eq!(reg.gauge_value("recovery/4294967298/recovering"), Some(1.0));
         assert!(lag.render().contains("RECOVERING"));
+        // Never-recovered probes file no recovery window gauges.
+        assert_eq!(reg.gauge_value("recovery/4294967298/recovery_ms"), None);
+        assert!(!lag.render().contains("recovered_in"));
+    }
+
+    #[test]
+    fn recovery_lag_window_fields_render_and_file() {
+        let lag = RecoveryLag {
+            subject: 17,
+            recovering: false,
+            messages_behind: 0,
+            checkpoint_age_ms: 1.0,
+            suppressed: 2,
+            recovery_ms: 42.5,
+            critical_path_ms: 42.5,
+        };
+        let mut reg = MetricsRegistry::new();
+        lag.into_registry(&mut reg);
+        assert_eq!(reg.gauge_value("recovery/17/recovery_ms"), Some(42.5));
+        assert_eq!(reg.gauge_value("recovery/17/critical_path_ms"), Some(42.5));
+        assert!(lag.render().contains("recovered_in=42.500ms"));
     }
 
     #[test]

@@ -97,6 +97,9 @@ pub struct StageLatencies {
     pub replayed: u64,
     /// Messages whose span contains a suppress event.
     pub suppressed: u64,
+    /// Spans excluded from the histograms because ring eviction dropped
+    /// their early events ([`MessageSpan::partial`]).
+    pub partial: u64,
 }
 
 fn gap_us(from: SimTime, to: SimTime) -> u64 {
@@ -107,6 +110,19 @@ fn gap_us(from: SimTime, to: SimTime) -> u64 {
 pub fn stage_latencies(spans: &BTreeMap<MsgKey, MessageSpan>) -> StageLatencies {
     let mut out = StageLatencies::default();
     for span in spans.values() {
+        if span.partial {
+            // An evicted prefix makes every stage gap fiction (a missing
+            // publish would read as a near-zero or negative latency), so
+            // partial spans are counted but never sampled.
+            out.partial += 1;
+            if span.has(Stage::Replay) {
+                out.replayed += 1;
+            }
+            if span.has(Stage::Suppress) {
+                out.suppressed += 1;
+            }
+            continue;
+        }
         let publish = span.first(Stage::Publish);
         let capture = span.first(Stage::Capture);
         let sequence = span.first(Stage::Sequence);
@@ -141,6 +157,7 @@ impl StageLatencies {
         reg.histogram("latency/publish_to_deliver_us", &self.publish_to_deliver_us);
         reg.counter("latency/spans_replayed", self.replayed);
         reg.counter("latency/spans_suppressed", self.suppressed);
+        reg.counter("spans/partial", self.partial);
     }
 
     /// Renders one line per histogram for the run report.
@@ -160,8 +177,8 @@ impl StageLatencies {
         s.push_str(&line("capture→sequence", &self.capture_to_sequence_us));
         s.push_str(&line("publish→deliver", &self.publish_to_deliver_us));
         s.push_str(&format!(
-            "  spans replayed={} suppressed={}\n",
-            self.replayed, self.suppressed
+            "  spans replayed={} suppressed={} partial={}\n",
+            self.replayed, self.suppressed, self.partial
         ));
         s
     }
@@ -219,5 +236,33 @@ mod tests {
         lat.into_registry(&mut reg);
         assert_eq!(reg.counter_value("latency/spans_replayed"), Some(1));
         assert!(lat.render().contains("publish→deliver"));
+    }
+
+    #[test]
+    fn partial_spans_are_counted_not_sampled() {
+        use crate::span::MsgKey;
+        // Capacity 3: only the last three events survive, so `old` keeps
+        // deliver+replay but loses publish+capture and turns partial.
+        let mut log = SpanLog::new(3);
+        let old = MsgKey { sender: 1, seq: 0 };
+        let fresh = MsgKey { sender: 1, seq: 1 };
+        log.record(SimTime::from_micros(100), old, Stage::Publish, 7, 0);
+        log.record(SimTime::from_micros(150), old, Stage::Capture, 7, 0);
+        log.record(SimTime::from_micros(400), old, Stage::Deliver, 7, 0);
+        log.record(SimTime::from_micros(500), old, Stage::Replay, 7, 0);
+        log.record(SimTime::from_micros(600), fresh, Stage::Publish, 7, 0);
+        let spans = assemble([&log]);
+        assert!(spans[&old].partial);
+        let lat = stage_latencies(&spans);
+        assert_eq!(lat.partial, 1);
+        // The partial span's replay is still counted, but no histogram
+        // sampled its (fictitious) gaps.
+        assert_eq!(lat.replayed, 1);
+        assert_eq!(lat.publish_to_deliver_us.summary().count(), 0);
+        assert_eq!(lat.publish_to_capture_us.summary().count(), 0);
+        let mut reg = MetricsRegistry::new();
+        lat.into_registry(&mut reg);
+        assert_eq!(reg.counter_value("spans/partial"), Some(1));
+        assert!(lat.render().contains("partial=1"));
     }
 }

@@ -7,15 +7,27 @@
 //! single JSON object; the metrics section additionally exports as
 //! JSON lines via [`MetricsRegistry::to_jsonl`].
 
+use crate::causal::CriticalPath;
 use crate::probe::{MediumHealth, RecoveryLag, SchedulerProbe, ShardHealth};
 use crate::profile::{StageLatencies, TimeProfile};
 use crate::registry::{json_f64, MetricValue, MetricsRegistry};
 use publishing_sim::stats::LinearHistogram;
 use publishing_sim::time::SimDuration;
 
+/// Version of the report's rendered shape. History:
+///
+/// - **1**: the original shape (no explicit `schema` field in JSON —
+///   readers treat its absence as version 1).
+/// - **2**: adds `schema`, the optional `critical_path` section
+///   (recovery window, per-stage attribution, top segments), and
+///   `spans_partial`.
+pub const REPORT_SCHEMA_VERSION: u32 = 2;
+
 /// A complete observability snapshot of one run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ObsReport {
+    /// Rendered-shape version ([`REPORT_SCHEMA_VERSION`]).
+    pub schema: u32,
     /// Virtual time of the snapshot, in milliseconds.
     pub at_ms: f64,
     /// The full metrics snapshot.
@@ -42,6 +54,30 @@ pub struct ObsReport {
     pub spans_total: u64,
     /// Run-level span fingerprint (determinism oracle).
     pub span_fingerprint: u64,
+    /// Attributed crash→convergence critical path, when the run had a
+    /// completed recovery.
+    pub critical_path: Option<CriticalPath>,
+}
+
+impl Default for ObsReport {
+    fn default() -> Self {
+        ObsReport {
+            schema: REPORT_SCHEMA_VERSION,
+            at_ms: 0.0,
+            metrics: MetricsRegistry::default(),
+            recovery: Vec::new(),
+            shards: Vec::new(),
+            medium: None,
+            profile: TimeProfile::default(),
+            horizon: SimDuration::ZERO,
+            latencies: StageLatencies::default(),
+            sched: SchedulerProbe::default(),
+            queue_depths: None,
+            spans_total: 0,
+            span_fingerprint: 0,
+            critical_path: None,
+        }
+    }
 }
 
 impl ObsReport {
@@ -49,8 +85,12 @@ impl ObsReport {
     pub fn render_text(&self) -> String {
         let mut s = String::new();
         s.push_str(&format!(
-            "obs report @ {:.3}ms  spans={} fingerprint={:#018x}\n",
-            self.at_ms, self.spans_total, self.span_fingerprint
+            "obs report v{} @ {:.3}ms  spans={} partial={} fingerprint={:#018x}\n",
+            self.schema,
+            self.at_ms,
+            self.spans_total,
+            self.latencies.partial,
+            self.span_fingerprint
         ));
         if let Some(m) = &self.medium {
             s.push_str("\nmedium:\n  ");
@@ -72,6 +112,11 @@ impl ObsReport {
                 s.push_str(&r.render());
                 s.push('\n');
             }
+        }
+        if let Some(cp) = &self.critical_path {
+            s.push_str("\nrecovery critical path:\n  ");
+            s.push_str(&cp.render().trim_end().replace('\n', "\n  "));
+            s.push('\n');
         }
         s.push_str("\nstage latencies:\n");
         s.push_str(&self.latencies.render());
@@ -99,12 +144,42 @@ impl ObsReport {
     /// Renders the report as one JSON object.
     pub fn render_json(&self) -> String {
         let mut s = String::from("{");
+        s.push_str(&format!("\"schema\":{},", self.schema));
         s.push_str(&format!("\"at_ms\":{},", json_f64(self.at_ms)));
         s.push_str(&format!("\"spans_total\":{},", self.spans_total));
+        s.push_str(&format!("\"spans_partial\":{},", self.latencies.partial));
         s.push_str(&format!(
             "\"span_fingerprint\":\"{:#018x}\",",
             self.span_fingerprint
         ));
+        if let Some(cp) = &self.critical_path {
+            s.push_str(&format!(
+                "\"critical_path\":{{\"crash_at_ms\":{},\"converged_at_ms\":{},\"total_ms\":{},\"by_stage\":{{",
+                json_f64(cp.crash_at.as_millis_f64()),
+                json_f64(cp.converged_at.as_millis_f64()),
+                json_f64(cp.total().as_millis_f64())
+            ));
+            for (i, (cat, d)) in cp.by_stage().iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!("\"{cat}\":{}", json_f64(d.as_millis_f64())));
+            }
+            s.push_str("},\"top_segments\":[");
+            for (i, seg) in cp.top_segments(3).iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"category\":\"{}\",\"from_ms\":{},\"to_ms\":{},\"label\":\"{}\"}}",
+                    seg.category,
+                    json_f64(seg.from.as_millis_f64()),
+                    json_f64(seg.to.as_millis_f64()),
+                    crate::registry::json_escape(&seg.label)
+                ));
+            }
+            s.push_str("]},");
+        }
         if let Some(m) = &self.medium {
             s.push_str(&format!(
                 "\"medium\":{{\"utilization\":{},\"submitted\":{},\"delivered\":{},\"collisions\":{},\"lost\":{},\"gating_stalls\":{},\"aborted\":{}}},",
@@ -128,8 +203,9 @@ impl ObsReport {
                 s.push(',');
             }
             s.push_str(&format!(
-                "{{\"pid\":{},\"recovering\":{},\"messages_behind\":{},\"checkpoint_age_ms\":{},\"suppressed\":{}}}",
-                r.subject, r.recovering, r.messages_behind, json_f64(r.checkpoint_age_ms), r.suppressed
+                "{{\"pid\":{},\"recovering\":{},\"messages_behind\":{},\"checkpoint_age_ms\":{},\"suppressed\":{},\"recovery_ms\":{},\"critical_path_ms\":{}}}",
+                r.subject, r.recovering, r.messages_behind, json_f64(r.checkpoint_age_ms), r.suppressed,
+                json_f64(r.recovery_ms), json_f64(r.critical_path_ms)
             ));
         }
         s.push_str("],\"sched\":{");
@@ -178,6 +254,7 @@ impl ObsReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use publishing_sim::time::SimTime;
 
     fn sample() -> ObsReport {
         let mut report = ObsReport {
@@ -206,6 +283,29 @@ mod tests {
             messages_behind: 2,
             checkpoint_age_ms: 5.5,
             suppressed: 0,
+            recovery_ms: 40.0,
+            critical_path_ms: 40.0,
+        });
+        report.latencies.partial = 3;
+        report.critical_path = Some(CriticalPath {
+            crash_at: SimTime::from_millis(50),
+            converged_at: SimTime::from_millis(90),
+            segments: vec![
+                crate::causal::Segment {
+                    category: "replay",
+                    kind: None,
+                    from: SimTime::from_millis(50),
+                    to: SimTime::from_millis(80),
+                    label: "crash → replay 0.17#3".into(),
+                },
+                crate::causal::Segment {
+                    category: "commit",
+                    kind: None,
+                    from: SimTime::from_millis(80),
+                    to: SimTime::from_millis(90),
+                    label: "replay 0.17#3 → converged".into(),
+                },
+            ],
         });
         report
             .profile
@@ -227,9 +327,13 @@ mod tests {
     #[test]
     fn text_report_has_all_sections() {
         let text = sample().render_text();
-        assert!(text.contains("obs report @ 100.000ms"));
+        assert!(text.contains("obs report v2 @ 100.000ms"));
+        assert!(text.contains("partial=3"));
         assert!(text.contains("shard health:"));
         assert!(text.contains("recovery lag:"));
+        assert!(text.contains("recovered_in=40.000ms"));
+        assert!(text.contains("recovery critical path:"));
+        assert!(text.contains("replay"));
         assert!(text.contains("stage latencies:"));
         assert!(text.contains("scheduler:"));
         assert!(text.contains("peak_pending=14"));
@@ -242,7 +346,13 @@ mod tests {
     fn json_report_is_well_formed_enough() {
         let json = sample().render_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"schema\":2"));
         assert!(json.contains("\"spans_total\":42"));
+        assert!(json.contains("\"spans_partial\":3"));
+        assert!(json.contains("\"critical_path\":{\"crash_at_ms\":50.0,"));
+        assert!(json.contains("\"by_stage\":{"));
+        assert!(json.contains("\"top_segments\":["));
+        assert!(json.contains("\"recovery_ms\":40.0"));
         assert!(json.contains("\"shards\":[{\"shard\":0,\"live\":true"));
         assert!(json.contains("\"replay_lag\":0"));
         assert!(json.contains("\"recovery\":[{\"pid\":17"));

@@ -46,6 +46,28 @@ impl std::fmt::Display for MsgKey {
     }
 }
 
+impl std::str::FromStr for MsgKey {
+    type Err = String;
+
+    /// Parses the [`std::fmt::Display`] form `node.local#seq` (e.g.
+    /// `0.1#3`), so command-line tools can take keys verbatim from
+    /// rendered reports.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || format!("bad message key {s:?}: want node.local#seq");
+        let (pid, seq) = s.split_once('#').ok_or_else(err)?;
+        let (node, local) = pid.split_once('.').ok_or_else(err)?;
+        let node: u64 = node.parse().map_err(|_| err())?;
+        let local: u64 = local.parse().map_err(|_| err())?;
+        if node > u32::MAX as u64 || local > u32::MAX as u64 {
+            return Err(err());
+        }
+        Ok(MsgKey {
+            sender: (node << 32) | local,
+            seq: seq.parse().map_err(|_| err())?,
+        })
+    }
+}
+
 /// One lifecycle transition of a message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u8)]
@@ -207,6 +229,10 @@ pub struct MessageSpan {
     pub key: MsgKey,
     /// Its events, time-ordered.
     pub events: Vec<SpanEvent>,
+    /// Ring eviction dropped this span's early events: a later stage is
+    /// present whose prerequisite stage is missing. Latency consumers
+    /// must skip partial spans — their stage gaps are fiction.
+    pub partial: bool,
 }
 
 impl MessageSpan {
@@ -222,15 +248,26 @@ impl MessageSpan {
 }
 
 /// Merges several component logs into per-message spans.
+///
+/// When any input log has evicted events (`total() >` retained count),
+/// spans whose retained stages are missing a prerequisite — capture,
+/// sequence, deliver, or suppress without the publish; sequence without
+/// the capture — are marked [`MessageSpan::partial`]: their early events
+/// fell off the ring, so stage gaps computed from them would be
+/// misleading. Without eviction no span is ever marked (a missing stage
+/// then means the transition genuinely has not happened yet).
 pub fn assemble<'a>(logs: impl IntoIterator<Item = &'a SpanLog>) -> BTreeMap<MsgKey, MessageSpan> {
     let mut spans: BTreeMap<MsgKey, MessageSpan> = BTreeMap::new();
+    let mut evicted = false;
     for log in logs {
+        evicted |= log.total() > log.events().count() as u64;
         for e in log.events() {
             spans
                 .entry(e.key)
                 .or_insert_with(|| MessageSpan {
                     key: e.key,
                     events: Vec::new(),
+                    partial: false,
                 })
                 .events
                 .push(*e);
@@ -239,6 +276,18 @@ pub fn assemble<'a>(logs: impl IntoIterator<Item = &'a SpanLog>) -> BTreeMap<Msg
     for span in spans.values_mut() {
         span.events
             .sort_by_key(|e| (e.at, e.stage, e.subject, e.seq));
+        if evicted {
+            let needs_publish = [
+                Stage::Capture,
+                Stage::Sequence,
+                Stage::Deliver,
+                Stage::Suppress,
+            ]
+            .iter()
+            .any(|&st| span.has(st));
+            span.partial = (needs_publish && !span.has(Stage::Publish))
+                || (span.has(Stage::Sequence) && !span.has(Stage::Capture));
+        }
     }
     spans
 }
@@ -436,6 +485,45 @@ mod tests {
             combined_fingerprint([&a, &b]),
             combined_fingerprint([&b, &a])
         );
+    }
+
+    #[test]
+    fn assemble_without_eviction_never_marks_partial() {
+        let mut log = SpanLog::new(16);
+        let k = key(1, 0);
+        // In-flight message: captured but publish not recorded anywhere —
+        // still not partial, because nothing was evicted.
+        log.record(SimTime::ZERO, k, Stage::Capture, 7, 0);
+        let spans = assemble([&log]);
+        assert!(!spans[&k].partial);
+    }
+
+    #[test]
+    fn assemble_marks_evicted_prefix_partial() {
+        let mut log = SpanLog::new(2);
+        let old = key(1, 0);
+        let fresh = key(1, 1);
+        log.record(SimTime::from_nanos(1), old, Stage::Publish, 7, 0);
+        log.record(SimTime::from_nanos(2), old, Stage::Deliver, 7, 0);
+        // These two evict `old`'s publish, then its deliver.
+        log.record(SimTime::from_nanos(3), fresh, Stage::Publish, 7, 0);
+        log.record(SimTime::from_nanos(4), old, Stage::Suppress, 7, 0);
+        let spans = assemble([&log]);
+        assert!(spans[&old].partial, "suppress survived, publish evicted");
+        assert!(!spans[&fresh].partial, "complete span stays clean");
+    }
+
+    #[test]
+    fn msgkey_parses_its_display_form() {
+        let k = MsgKey {
+            sender: (3u64 << 32) | 7,
+            seq: 11,
+        };
+        assert_eq!(k.to_string().parse::<MsgKey>(), Ok(k));
+        assert!("garbage".parse::<MsgKey>().is_err());
+        assert!("1.2".parse::<MsgKey>().is_err());
+        assert!("1#2".parse::<MsgKey>().is_err());
+        assert!("9999999999.0#1".parse::<MsgKey>().is_err());
     }
 
     #[test]

@@ -242,6 +242,14 @@ pub fn scenario_from_report(name: &str, report: &ObsReport) -> ScenarioSnapshot 
     s.virt("spans_total", report.spans_total as f64);
     s.virt("spans_replayed", report.latencies.replayed as f64);
     s.virt("spans_suppressed", report.latencies.suppressed as f64);
+    s.virt("spans_partial", report.latencies.partial as f64);
+    if let Some(cp) = &report.critical_path {
+        s.virt("critical_path_total_ms", cp.total().as_millis_f64());
+        s.virt("critical_path_segments", cp.segments.len() as f64);
+        for (cat, d) in cp.by_stage() {
+            s.virt(format!("critical_path_{cat}_ms"), d.as_millis_f64());
+        }
+    }
     for (stage, h) in [
         (
             "publish_to_capture_us",

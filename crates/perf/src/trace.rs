@@ -11,13 +11,20 @@
 //!   event as an instant (`ph:"i"`) on the subject process's thread row;
 //! - a synthetic "message lifecycles" process holds one complete-event
 //!   (`ph:"X"`) slice per stage gap (publish→capture, capture→sequence,
-//!   publish→deliver) so recorder service time is visible as bars.
+//!   publish→deliver) so recorder service time is visible as bars;
+//! - flow events (`ph:"s"` / `ph:"f"`, matched by `id`) draw causal
+//!   arrows from each publish to its first delivery, and from the
+//!   latest replay into a recovering process to each suppression of
+//!   that process's regenerated resends — the same pairings the causal
+//!   graph's `SequenceDeliver`/`ReplaySuppress` edges encode.
 //!
 //! All timestamps are virtual-time microseconds (the format's native
 //! unit), so the export is deterministic: same run, same bytes.
 
 use crate::json::{parse, Json, ObjBuilder, ParseError};
-use publishing_obs::span::{assemble, SpanLog, Stage};
+use publishing_obs::span::{assemble, MsgKey, SpanLog, Stage};
+use publishing_sim::time::SimTime;
+use std::collections::BTreeMap;
 
 /// One trace event in Chrome's Trace Event Format.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,12 +33,15 @@ pub struct TraceEvent {
     pub name: String,
     /// Category tag (`lifecycle`, `gap`, or `__metadata`).
     pub cat: String,
-    /// Phase: `M` metadata, `i` instant, `X` complete slice.
+    /// Phase: `M` metadata, `i` instant, `X` complete slice, `s`/`f`
+    /// flow start/finish.
     pub ph: char,
     /// Timestamp in virtual-time microseconds.
     pub ts: f64,
     /// Slice duration in microseconds (`X` events only).
     pub dur: Option<f64>,
+    /// Flow id pairing an `s` event with its `f` (flow events only).
+    pub id: Option<u64>,
     /// Process lane.
     pub pid: u64,
     /// Thread lane within the process.
@@ -63,6 +73,14 @@ impl ChromeTrace {
                     .field("tid", Json::Num(e.tid as f64));
                 if let Some(dur) = e.dur {
                     o = o.field("dur", Json::Num(dur));
+                }
+                if let Some(id) = e.id {
+                    o = o.field("id", Json::Num(id as f64));
+                }
+                if e.ph == 'f' {
+                    // Bind the flow finish to the enclosing slice/instant
+                    // so viewers draw the arrow to the event itself.
+                    o = o.field("bp", Json::Str("e".into()));
                 }
                 if !e.args.is_empty() {
                     o = o.field(
@@ -125,6 +143,7 @@ impl ChromeTrace {
                 ph: ph.chars().next().ok_or_else(|| bad("a phase char"))?,
                 ts: field_num("ts")?,
                 dur: e.get("dur").and_then(Json::as_f64),
+                id: e.get("id").and_then(Json::as_f64).map(|v| v as u64),
                 pid: field_num("pid")? as u64,
                 tid: field_num("tid")? as u64,
                 args,
@@ -161,6 +180,7 @@ pub fn from_spans(components: &[(String, &SpanLog)]) -> ChromeTrace {
             ph: 'M',
             ts: 0.0,
             dur: None,
+            id: None,
             pid: pid as u64,
             tid: 0,
             args: vec![("name".into(), name.clone())],
@@ -173,6 +193,7 @@ pub fn from_spans(components: &[(String, &SpanLog)]) -> ChromeTrace {
         ph: 'M',
         ts: 0.0,
         dur: None,
+        id: None,
         pid: lifecycle_pid,
         tid: 0,
         args: vec![("name".into(), "message lifecycles".into())],
@@ -186,6 +207,7 @@ pub fn from_spans(components: &[(String, &SpanLog)]) -> ChromeTrace {
                 ph: 'i',
                 ts: us(e.at),
                 dur: None,
+                id: None,
                 pid: pid as u64,
                 tid: e.subject,
                 args: vec![
@@ -218,10 +240,88 @@ pub fn from_spans(components: &[(String, &SpanLog)]) -> ChromeTrace {
                 ph: 'X',
                 ts: us(a),
                 dur: Some(us(b) - us(a)),
+                id: None,
                 pid: lifecycle_pid,
                 tid: lane as u64 * 3 + row,
                 args: vec![("msg".into(), key.to_string())],
             });
+        }
+    }
+
+    // Causal arrows. Locate each flow endpoint on the component lane
+    // that recorded it, so the arrow crosses lanes the way the message
+    // crossed components. Flow ids are assigned in emission order,
+    // which is deterministic (span keys iterate in `BTreeMap` order,
+    // suppressions in component-then-recording order).
+    struct Endpoint {
+        pid: u64,
+        tid: u64,
+        at: SimTime,
+    }
+    let mut first_publish: BTreeMap<MsgKey, Endpoint> = BTreeMap::new();
+    let mut first_deliver: BTreeMap<MsgKey, Endpoint> = BTreeMap::new();
+    let mut replays_by_reader: BTreeMap<u64, Vec<Endpoint>> = BTreeMap::new();
+    let mut suppresses: Vec<(MsgKey, Endpoint)> = Vec::new();
+    for (pid, (_, log)) in components.iter().enumerate() {
+        for e in log.events() {
+            let ep = || Endpoint {
+                pid: pid as u64,
+                tid: e.subject,
+                at: e.at,
+            };
+            match e.stage {
+                Stage::Publish => {
+                    first_publish.entry(e.key).or_insert_with(ep);
+                }
+                Stage::Deliver => {
+                    let cur = first_deliver.entry(e.key).or_insert_with(ep);
+                    if e.at < cur.at {
+                        *cur = ep();
+                    }
+                }
+                Stage::Replay => replays_by_reader.entry(e.subject).or_default().push(ep()),
+                Stage::Suppress => suppresses.push((e.key, ep())),
+                _ => {}
+            }
+        }
+    }
+    for v in replays_by_reader.values_mut() {
+        v.sort_by_key(|ep| ep.at);
+    }
+    let mut flow_id = 0u64;
+    let mut arrow = |events: &mut Vec<TraceEvent>, name: &str, from: &Endpoint, to: &Endpoint| {
+        if to.at < from.at {
+            return;
+        }
+        for (ph, ep) in [('s', from), ('f', to)] {
+            events.push(TraceEvent {
+                name: name.into(),
+                cat: "flow".into(),
+                ph,
+                ts: us(ep.at),
+                dur: None,
+                id: Some(flow_id),
+                pid: ep.pid,
+                tid: ep.tid,
+                args: Vec::new(),
+            });
+        }
+        flow_id += 1;
+    };
+    for (key, publish) in &first_publish {
+        if let Some(deliver) = first_deliver.get(key) {
+            arrow(&mut events, "send→deliver", publish, deliver);
+        }
+    }
+    for (key, sup) in &suppresses {
+        // The latest replay into the suppressed message's sender that
+        // precedes the suppression — the same pairing the causal graph's
+        // ReplaySuppress edge uses.
+        if let Some(replays) = replays_by_reader.get(&key.sender) {
+            let before = replays.partition_point(|r| r.at <= sup.at);
+            if before > 0 {
+                arrow(&mut events, "replay→suppress", &replays[before - 1], sup);
+            }
         }
     }
     ChromeTrace { events }
@@ -264,6 +364,50 @@ mod tests {
             .expect("deliver slice");
         assert_eq!(slice.ts, 100.0);
         assert_eq!(slice.dur, Some(300.0));
+    }
+
+    #[test]
+    fn flow_events_pair_send_deliver_and_replay_suppress() {
+        let (mut kernel, mut recorder) = sample_logs();
+        // Process 2 crashes; k is replayed into it, and its own answer
+        // (sender 2) is regenerated and suppressed.
+        let m = MsgKey { sender: 2, seq: 0 };
+        recorder.record(
+            SimTime::from_micros(900),
+            MsgKey { sender: 1, seq: 0 },
+            Stage::Replay,
+            2,
+            0,
+        );
+        kernel.record(SimTime::from_micros(950), m, Stage::Suppress, 1, 0);
+        let t = from_spans(&[("k".into(), &kernel), ("r".into(), &recorder)]);
+        assert_eq!(t.count_phase('s'), 2);
+        assert_eq!(t.count_phase('f'), 2);
+        let starts: Vec<&TraceEvent> = t.events.iter().filter(|e| e.ph == 's').collect();
+        let finishes: Vec<&TraceEvent> = t.events.iter().filter(|e| e.ph == 'f').collect();
+        // Each start pairs with a finish by id, never earlier in time.
+        for s in &starts {
+            let f = finishes
+                .iter()
+                .find(|f| f.id == s.id)
+                .expect("paired finish");
+            assert_eq!(f.name, s.name);
+            assert!(f.ts >= s.ts);
+        }
+        let sd = starts.iter().find(|e| e.name == "send→deliver").unwrap();
+        assert_eq!(sd.ts, 100.0); // at the publish
+        let rs = starts.iter().find(|e| e.name == "replay→suppress").unwrap();
+        assert_eq!(rs.ts, 900.0); // at the replay
+                                  // The serialized form carries the binding point on finishes.
+        assert!(t.to_json().contains("\"bp\":\"e\""));
+    }
+
+    #[test]
+    fn trace_json_is_byte_deterministic() {
+        let (kernel, recorder) = sample_logs();
+        let a = from_spans(&[("k".into(), &kernel), ("r".into(), &recorder)]).to_json();
+        let b = from_spans(&[("k".into(), &kernel), ("r".into(), &recorder)]).to_json();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! Schema compatibility for the `obs_report` JSON artifact.
+//!
+//! Version 1 reports carried no `schema` field — readers must treat its
+//! absence as version 1 and still find every v1 section. Version 2 adds
+//! `schema`, `spans_partial`, per-recovery `recovery_ms` /
+//! `critical_path_ms`, and the optional `critical_path` object; the
+//! parser in this crate must read both shapes.
+
+use publishing_obs::report::{ObsReport, REPORT_SCHEMA_VERSION};
+use publishing_perf::json::{parse, Json};
+
+/// A trimmed-down report rendered by the pre-v2 code: no `schema`, no
+/// `spans_partial`, no `critical_path`, recovery entries without the
+/// window fields.
+const V1_REPORT: &str = r#"{"at_ms":100.0,"spans_total":42,"span_fingerprint":"0x00000000deadbeef","shards":[{"shard":0,"live":true,"catching_up":false,"queue_depth":0,"known_processes":3,"recoveries_in_flight":0,"replay_lag":0,"gating_stalls":1,"published":10}],"recovery":[{"pid":17,"recovering":false,"messages_behind":2,"checkpoint_age_ms":5.5,"suppressed":0}],"sched":{"delivered":90,"scheduled":96,"pending":6,"peak_pending":14},"profile":{"kernel_cpu":10.0},"metrics":{"node/0/kernel/msgs_sent":7}}"#;
+
+/// Schema of a parsed report document: the explicit `schema` number, or
+/// 1 when the field is absent (the pre-versioning shape).
+fn schema_of(doc: &Json) -> u32 {
+    doc.get("schema").and_then(Json::as_f64).unwrap_or(1.0) as u32
+}
+
+#[test]
+fn v1_report_without_schema_field_still_reads() {
+    let doc = parse(V1_REPORT).expect("v1 artifact parses");
+    assert_eq!(schema_of(&doc), 1, "absent schema field means version 1");
+    // Every v1 section is still addressable.
+    assert_eq!(doc.get("spans_total").and_then(Json::as_f64), Some(42.0));
+    assert_eq!(
+        doc.get("span_fingerprint").and_then(Json::as_str),
+        Some("0x00000000deadbeef")
+    );
+    let recovery = doc
+        .get("recovery")
+        .and_then(Json::as_arr)
+        .expect("recovery array");
+    let first = recovery.first().expect("one recovery entry");
+    assert_eq!(first.get("pid").and_then(Json::as_f64), Some(17.0));
+    // v2-only fields are simply absent, not an error.
+    assert!(doc.get("spans_partial").is_none());
+    assert!(doc.get("critical_path").is_none());
+    assert!(first.get("recovery_ms").is_none());
+}
+
+#[test]
+fn v2_report_declares_schema_and_new_sections() {
+    let mut report = ObsReport {
+        at_ms: 100.0,
+        spans_total: 42,
+        ..Default::default()
+    };
+    report.latencies.partial = 3;
+    let doc = parse(&report.render_json()).expect("v2 artifact parses");
+    assert_eq!(schema_of(&doc), REPORT_SCHEMA_VERSION);
+    assert_eq!(doc.get("spans_partial").and_then(Json::as_f64), Some(3.0));
+    // Both shapes read through the same accessors.
+    assert_eq!(doc.get("spans_total").and_then(Json::as_f64), Some(42.0));
+}

@@ -72,6 +72,10 @@ pub struct ShardedWorld {
     rejoining: Vec<(usize, SimTime)>,
     n_nodes: u32,
     cutovers_published: u64,
+    /// Virtual instants of injected crashes, in injection order.
+    crashes: Vec<SimTime>,
+    /// Packed pid → virtual instant its recovery committed.
+    recovered: BTreeMap<u64, SimTime>,
 }
 
 impl ShardedWorld {
@@ -139,6 +143,8 @@ impl ShardedWorld {
             rejoining: Vec::new(),
             n_nodes: nodes,
             cutovers_published: 0,
+            crashes: Vec::new(),
+            recovered: BTreeMap::new(),
         };
         world.refresh_required();
         let watch: Vec<NodeId> = (0..nodes).map(NodeId).collect();
@@ -273,7 +279,9 @@ impl ShardedWorld {
                         self.apply_shard(now, j, follow);
                     }
                 }
-                RNAction::RecoveryDone { .. } => {}
+                RNAction::RecoveryDone { pid } => {
+                    self.recovered.insert(pid.as_u64(), now);
+                }
             }
         }
     }
@@ -541,6 +549,7 @@ impl ShardedWorld {
     /// sets are re-replicated and inherited recoveries re-queried.
     pub fn crash_shard(&mut self, idx: usize) {
         let now = self.now();
+        self.crashes.push(now);
         let (caps, resp) = self.snapshot_placement();
         self.shards[idx].crash();
         let st = self.shards[idx].station();
@@ -613,6 +622,7 @@ impl ShardedWorld {
     pub fn crash_process(&mut self, pid: ProcessId, reason: &str) {
         let now = self.now();
         if let Some(k) = self.kernels.get_mut(&pid.node.0) {
+            self.crashes.push(now);
             let actions = k.crash_process(now, pid.local, reason);
             self.apply_kernel(now, pid.node.0, actions);
         }
@@ -623,6 +633,7 @@ impl ShardedWorld {
     /// processes in parallel.
     pub fn crash_node(&mut self, node: u32) {
         if let Some(k) = self.kernels.get_mut(&node) {
+            self.crashes.push(self.sched.now());
             k.crash_node();
             self.lan.set_station_up(StationId(node), false);
         }
@@ -696,6 +707,29 @@ impl ShardedWorld {
     /// determinism oracle for the lifecycle trace.
     pub fn obs_fingerprint(&self) -> u64 {
         publishing_obs::span::combined_fingerprint(self.span_logs())
+    }
+
+    /// The happens-before DAG over every component's span log.
+    pub fn causal_graph(&self) -> publishing_obs::causal::CausalGraph {
+        publishing_obs::causal::CausalGraph::build(self.span_logs())
+    }
+
+    /// Virtual instants of every injected crash, in injection order.
+    pub fn crash_times(&self) -> &[SimTime] {
+        &self.crashes
+    }
+
+    /// Completed recoveries: packed pid → instant the manager committed.
+    pub fn recoveries_done(&self) -> &BTreeMap<u64, SimTime> {
+        &self.recovered
+    }
+
+    /// The measured crash→convergence window: first injected crash to
+    /// the last committed recovery. `None` until a recovery completes.
+    pub fn recovery_window(&self) -> Option<(SimTime, SimTime)> {
+        let crash = *self.crashes.first()?;
+        let converged = *self.recovered.values().max()?;
+        (converged >= crash).then_some((crash, converged))
     }
 
     /// Assembles per-message lifecycle spans from every component's log.
@@ -787,12 +821,38 @@ impl ShardedWorld {
         profile.charge("stable_store_io", disk_busy);
         profile.charge("medium_busy", self.lan.stats().busy.busy_time(now));
 
+        let mut metrics = self.collect_metrics();
+        let mut recovery = self.recovery_lags();
+        let graph = (!self.recovered.is_empty()).then(|| self.causal_graph());
+        if let Some(g) = &graph {
+            for lag in &mut recovery {
+                let Some(&done) = self.recovered.get(&lag.subject) else {
+                    continue;
+                };
+                let Some(&crash) = self.crashes.iter().filter(|&&c| c <= done).max() else {
+                    continue;
+                };
+                lag.recovery_ms = done.saturating_since(crash).as_millis_f64();
+                lag.critical_path_ms = g
+                    .critical_path(crash, done, Some(lag.subject))
+                    .map(|p| p.total().as_millis_f64())
+                    .unwrap_or(lag.recovery_ms);
+            }
+        }
+        let critical_path = self
+            .recovery_window()
+            .and_then(|(crash, converged)| graph.as_ref()?.critical_path(crash, converged, None));
+        if let Some(cp) = &critical_path {
+            cp.into_registry(&mut metrics);
+        }
+
         let spans = self.spans();
         let logs = self.span_logs();
         publishing_obs::report::ObsReport {
+            schema: publishing_obs::report::REPORT_SCHEMA_VERSION,
             at_ms: now.as_millis_f64(),
-            metrics: self.collect_metrics(),
-            recovery: self.recovery_lags(),
+            metrics,
+            recovery,
             shards: self.shard_health(),
             medium: Some(publishing_obs::probe::MediumHealth::from_lan(
                 self.lan.stats(),
@@ -805,6 +865,7 @@ impl ShardedWorld {
             queue_depths: self.queue_depths(),
             spans_total: logs.iter().map(|l| l.total()).sum(),
             span_fingerprint: self.obs_fingerprint(),
+            critical_path,
         }
     }
 

@@ -141,3 +141,55 @@ fn identical_runs_have_identical_obs_fingerprints() {
     assert_eq!(ra.span_fingerprint, rb.span_fingerprint);
     assert_eq!(ra.metrics.to_jsonl(), rb.metrics.to_jsonl());
 }
+
+#[test]
+fn critical_path_attribution_sums_to_measured_recovery_lag() {
+    let (w, _, _) = crash_recovery_run();
+    let (crash, converged) = w
+        .recovery_window()
+        .expect("a crash/recovery run has a recovery window");
+    let measured = converged.saturating_since(crash);
+    assert!(measured.as_millis_f64() > 0.0, "recovery takes time");
+
+    // The graph-level path telescopes exactly over the measured window.
+    let g = w.causal_graph();
+    g.validate()
+        .expect("causal graph is acyclic and consistent");
+    let cp = g
+        .critical_path(crash, converged, None)
+        .expect("critical path exists for a completed recovery");
+    assert!(!cp.segments.is_empty(), "path must carry segments");
+    assert_eq!(
+        cp.total(),
+        measured,
+        "segment durations must sum exactly to the crash→convergence window"
+    );
+
+    // The report carries the same path, and every recovered process's
+    // per-pid attribution telescopes to its own measured lag.
+    let report = w.obs_report();
+    assert_eq!(report.schema, publishing_obs::report::REPORT_SCHEMA_VERSION);
+    let rcp = report.critical_path.as_ref().expect("report carries path");
+    assert_eq!(rcp.total(), measured);
+    assert!(
+        report
+            .metrics
+            .gauge_value("critical_path/total_ms")
+            .is_some(),
+        "critical-path metrics filed in the registry"
+    );
+    let mut recovered_seen = 0;
+    for lag in &report.recovery {
+        if lag.recovery_ms > 0.0 {
+            recovered_seen += 1;
+            assert!(
+                (lag.critical_path_ms - lag.recovery_ms).abs() < 1e-6,
+                "pid {}: per-pid attribution {} must telescope to measured lag {}",
+                lag.subject,
+                lag.critical_path_ms,
+                lag.recovery_ms
+            );
+        }
+    }
+    assert!(recovered_seen > 0, "recovered pids carry recovery_ms");
+}
