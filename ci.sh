@@ -28,6 +28,9 @@ cargo run -q --release -p publishing-bench --bin obs_report -- --smoke > /dev/nu
 echo "==> chaos smoke run"
 cargo run -q --release -p publishing-bench --bin chaos -- --smoke > /dev/null
 
+echo "==> quorum smoke run (seeded leader-crash failover gate)"
+cargo run -q --release -p publishing-bench --bin quorum -- --smoke > /dev/null
+
 echo "==> perf bench smoke + regression gate vs perf/BENCH_1.json"
 rm -rf target/perf
 cargo run -q --release -p publishing-bench --bin bench -- --smoke --dir target/perf

@@ -1,6 +1,6 @@
-//! Chaos gate: seeded fault schedules against both recorder
-//! topologies, with automatic shrinking of any failure to a replayable
-//! minimal reproducer.
+//! Chaos gate: seeded fault schedules against the single, sharded, and
+//! quorum recorder topologies, with automatic shrinking of any failure
+//! to a replayable minimal reproducer.
 //!
 //! Usage: `chaos [--seed N] [--schedules K] [--smoke] [--schedule S]`
 //!
@@ -9,7 +9,7 @@
 //! - `--smoke` — small CI run (5 schedules per topology);
 //! - `--schedule S` — replay one schedule literal (as printed for a
 //!   minimized reproducer) instead of generating; runs on the single
-//!   world unless the literal contains sharded faults.
+//!   world unless the literal contains sharded or replica faults.
 //!
 //! Exit status is non-zero if any schedule fails its oracle; the
 //! failing schedule is shrunk first and the minimal reproducer printed
@@ -17,7 +17,7 @@
 
 use publishing_chaos::driver::Engine;
 use publishing_chaos::oracle::OracleOptions;
-use publishing_chaos::scenario::{Scenario, Topology, NODES, SHARDS};
+use publishing_chaos::scenario::{Scenario, Topology, NODES, REPLICAS, SHARDS};
 use publishing_chaos::schedule::{self, ChaosConfig, Fault, FaultSchedule};
 
 fn usage() -> ! {
@@ -29,6 +29,7 @@ fn run_suite(topology: Topology, seed: u64, schedules: u64) -> Result<(), String
     let name = match topology {
         Topology::Single => "single",
         Topology::Sharded => "sharded",
+        Topology::Quorum => "quorum",
     };
     let eng = Engine::new(Scenario::new(topology, seed), OracleOptions::default())
         .map_err(|e| format!("[{name}] baseline: {e}"))?;
@@ -37,8 +38,12 @@ fn run_suite(topology: Topology, seed: u64, schedules: u64) -> Result<(), String
             seed: seed.wrapping_mul(1000).wrapping_add(k),
             nodes: NODES,
             shards: match topology {
-                Topology::Single => 0,
                 Topology::Sharded => SHARDS,
+                _ => 0,
+            },
+            replicas: match topology {
+                Topology::Quorum => REPLICAS,
+                _ => 0,
             },
             procs: 4,
             horizon_ms: 1500,
@@ -67,11 +72,17 @@ fn run_suite(topology: Topology, seed: u64, schedules: u64) -> Result<(), String
 
 fn replay(lit: &str) -> Result<(), String> {
     let sched: FaultSchedule = lit.parse()?;
+    let quorum = sched
+        .faults
+        .iter()
+        .any(|f| matches!(f, Fault::CrashReplica { .. } | Fault::RestartReplica { .. }));
     let sharded = sched.faults.iter().any(|f| {
         matches!(f, Fault::AddShard { .. })
             || matches!(f, Fault::CrashRecorder { shard, .. } | Fault::RestartRecorder { shard, .. } if *shard > 0)
     });
-    let topology = if sharded {
+    let topology = if quorum {
+        Topology::Quorum
+    } else if sharded {
         Topology::Sharded
     } else {
         Topology::Single
@@ -124,6 +135,7 @@ fn main() {
     } else {
         run_suite(Topology::Single, seed, schedules)
             .and_then(|()| run_suite(Topology::Sharded, seed, schedules))
+            .and_then(|()| run_suite(Topology::Quorum, seed, schedules))
     };
     if let Err(e) = result {
         eprintln!("{e}");

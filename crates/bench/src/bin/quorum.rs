@@ -1,0 +1,145 @@
+//! Quorum gate: the replicated-recorder failover scenario as a CI
+//! check.
+//!
+//! Usage: `quorum [--seed N] [--schedules K] [--smoke]`
+//!
+//! Two parts, both judged by the chaos recovery oracle (which, on the
+//! quorum topology, folds in the consensus safety invariants — election
+//! safety, log matching, state-machine safety, and gap/duplicate
+//! freedom of the arrival sequence):
+//!
+//! 1. the **seeded leader-crash schedule** — a deterministic probe
+//!    finds which replica leads while commits are in flight, the
+//!    schedule kills exactly that replica mid-commit and then a
+//!    processing node, and the run must converge with a *different*
+//!    replica leading and the node's processes replayed by the
+//!    survivors;
+//! 2. `K` **generated schedules** (replica crash/restart storms, node
+//!    crashes, medium bursts) that must all pass the oracle.
+
+use publishing_chaos::driver::{run_schedule, Engine};
+use publishing_chaos::oracle::OracleOptions;
+use publishing_chaos::scenario::{Scenario, Topology, NODES, REPLICAS};
+use publishing_chaos::schedule::{self, ChaosConfig, Fault, FaultSchedule};
+use publishing_sim::time::SimTime;
+
+fn usage() -> ! {
+    eprintln!("usage: quorum [--seed N] [--schedules K] [--smoke]");
+    std::process::exit(2);
+}
+
+/// The committed acceptance scenario: crash the leader mid-commit,
+/// then a processing node; demand failover plus replica-served replay.
+fn leader_crash_gate(seed: u64) -> Result<(), String> {
+    let scenario = Scenario::new(Topology::Quorum, seed);
+    let crash_at = 250;
+    let old_leader = {
+        let mut probe = scenario.build();
+        probe.run_until_or_fault(SimTime::from_millis(crash_at));
+        probe
+            .quorum_leader()
+            .ok_or("no leader by the crash instant")? as u32
+    };
+    let sched = FaultSchedule {
+        workload_seed: seed,
+        horizon_ms: 1200,
+        faults: vec![
+            Fault::CrashReplica {
+                at_ms: crash_at,
+                group: 0,
+                idx: old_leader,
+            },
+            Fault::CrashNode {
+                at_ms: 400,
+                node: 2,
+            },
+        ],
+    };
+    let eng = Engine::new(scenario.clone(), OracleOptions::default())
+        .map_err(|e| format!("baseline: {e}"))?;
+    let failures = eng.run(&sched);
+    if !failures.is_empty() {
+        return Err(format!(
+            "leader-crash schedule {sched} failed its oracle:\n  {}",
+            failures.join("\n  ")
+        ));
+    }
+    let mut t = scenario.build();
+    run_schedule(t.as_mut(), &sched);
+    let new_leader = t.quorum_leader().ok_or("leaderless after heal")? as u32;
+    if new_leader == old_leader {
+        return Err(format!(
+            "replica {old_leader} still leads after its own crash"
+        ));
+    }
+    if t.recoveries_completed() == 0 {
+        return Err("node crash completed no recovery".into());
+    }
+    println!(
+        "leader-crash gate: replica {old_leader} crashed at {crash_at}ms, \
+         replica {new_leader} took over, {} recoveries completed",
+        t.recoveries_completed()
+    );
+    Ok(())
+}
+
+fn generated_gate(seed: u64, schedules: u64) -> Result<(), String> {
+    let eng = Engine::new(
+        Scenario::new(Topology::Quorum, seed),
+        OracleOptions::default(),
+    )
+    .map_err(|e| format!("baseline: {e}"))?;
+    for k in 0..schedules {
+        let sched = schedule::generate(&ChaosConfig {
+            seed: seed.wrapping_mul(1000).wrapping_add(k),
+            nodes: NODES,
+            shards: 0,
+            replicas: REPLICAS,
+            procs: 4,
+            horizon_ms: 1500,
+            max_faults: 7,
+        });
+        let failures = eng.run(&sched);
+        if failures.is_empty() {
+            println!("schedule {k}: ok ({} faults)", sched.faults.len());
+            continue;
+        }
+        println!("schedule {k}: FAILED");
+        for f in &failures {
+            println!("  - {f}");
+        }
+        let min = eng.shrink(&sched);
+        return Err(format!(
+            "minimal reproducer ({} faults), replay with:\n  \
+             chaos --schedule '{min}'",
+            min.faults.len()
+        ));
+    }
+    println!("{schedules} generated schedules passed");
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 17u64;
+    let mut schedules = 10u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => match it.next().map(|v| v.parse()) {
+                Some(Ok(v)) => seed = v,
+                _ => usage(),
+            },
+            "--schedules" => match it.next().map(|v| v.parse()) {
+                Some(Ok(v)) => schedules = v,
+                _ => usage(),
+            },
+            "--smoke" => schedules = 3,
+            _ => usage(),
+        }
+    }
+    if let Err(e) = leader_crash_gate(seed).and_then(|()| generated_gate(seed, schedules)) {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
+}

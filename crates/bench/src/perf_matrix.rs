@@ -20,7 +20,9 @@ use publishing_demos::programs::{self, PingClient};
 use publishing_demos::registry::ProgramRegistry;
 use publishing_perf::alloc;
 use publishing_perf::snapshot::{scenario_from_report, ScenarioSnapshot, Snapshot};
+use publishing_quorum::{QuorumConfig, QuorumWorld};
 use publishing_shard::ShardedWorld;
+use publishing_sim::fault::FaultPlan;
 use publishing_sim::time::SimTime;
 
 /// Scenario-matrix sizing: the smoke matrix is the CI gate (< 1 s), the
@@ -131,6 +133,7 @@ fn chaos_smoke(p: &MatrixParams) -> ScenarioSnapshot {
         seed: 42,
         nodes: NODES,
         shards: SHARDS,
+        replicas: 0,
         procs: 4,
         horizon_ms: p.chaos_horizon_ms,
         max_faults: p.chaos_faults,
@@ -144,6 +147,91 @@ fn chaos_smoke(p: &MatrixParams) -> ScenarioSnapshot {
     s
 }
 
+/// The quorum sequencing sweep: group size 1/3/5 × frame-loss rate,
+/// one ping/echo workload each. Per combination the snapshot carries
+/// the virtual completion time (consensus commit latency shows up
+/// directly here), the quorum-sequenced arrival count, and how many
+/// elections the group needed — the cost surface of replicated capture.
+fn quorum_sweep(p: &MatrixParams) -> ScenarioSnapshot {
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    let mut last_report = None;
+    let mut output_fp = 0u64;
+    for &replicas in &[1usize, 3, 5] {
+        for &loss_pct in &[0u32, 10] {
+            let pings = p.pings;
+            let mut reg = ProgramRegistry::new();
+            programs::register_standard(&mut reg);
+            reg.register("pinger", move || {
+                let mut c = PingClient::new(pings);
+                c.think_ns = 2_000_000;
+                Box::new(c)
+            });
+            let mut w = QuorumWorld::with_config(
+                QuorumConfig {
+                    nodes: 3,
+                    replicas,
+                    seed: 42,
+                    ..QuorumConfig::default()
+                },
+                reg,
+                Box::new(publishing_net::bus::PerfectBus::new(
+                    publishing_net::lan::LanConfig::default(),
+                )),
+            );
+            w.lan
+                .set_faults(FaultPlan::new().with_frame_loss(f64::from(loss_pct) / 100.0));
+            let mut clients = Vec::new();
+            for i in 0..p.pairs {
+                let server = w.spawn(2, "echo", vec![]).expect("echo registered");
+                let client = w
+                    .spawn(i % 2, "pinger", vec![Link::to(server, Channel::DEFAULT, 7)])
+                    .expect("pinger registered");
+                clients.push(client);
+            }
+            w.run_until(p.horizon);
+            let done_at = clients
+                .iter()
+                .filter_map(|&c| {
+                    w.outputs
+                        .iter()
+                        .filter(|o| o.pid == c && o.bytes == b"done")
+                        .map(|o| o.at)
+                        .next()
+                })
+                .max();
+            let key = format!("r{replicas}_loss{loss_pct}");
+            entries.push((
+                format!("{key}/done_ms"),
+                done_at.map_or(-1.0, |t| t.as_millis_f64()),
+            ));
+            entries.push((format!("{key}/sequenced"), w.sequenced_total() as f64));
+            entries.push((
+                format!("{key}/elections"),
+                w.quorum_health().iter().map(|h| h.elections).sum::<u64>() as f64,
+            ));
+            assert!(
+                w.quorum_invariant_failures().is_empty(),
+                "quorum invariants must hold in the sweep"
+            );
+            output_fp ^= w
+                .output_fingerprint()
+                .rotate_left((replicas as u32) * 7 + loss_pct);
+            last_report = Some(w.obs_report());
+        }
+    }
+    // The report-derived metrics come from the largest combination
+    // (5 replicas, lossy medium) — the worst case the gate watches.
+    let mut s = scenario_from_report(
+        "quorum_sweep",
+        &last_report.expect("the sweep ran at least one combination"),
+    );
+    for (k, v) in entries {
+        s.virt(k, v);
+    }
+    s.fingerprint("output", output_fp);
+    s
+}
+
 /// Runs the whole matrix and assembles the snapshot.
 pub fn run_matrix(smoke: bool) -> Snapshot {
     let p = MatrixParams::new(smoke);
@@ -152,5 +240,6 @@ pub fn run_matrix(smoke: bool) -> Snapshot {
     snap.scenarios.push(metered(|| crash_replay(&p)));
     snap.scenarios.push(metered(|| rebalance(&p)));
     snap.scenarios.push(metered(|| chaos_smoke(&p)));
+    snap.scenarios.push(metered(|| quorum_sweep(&p)));
     snap
 }

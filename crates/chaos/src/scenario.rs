@@ -15,6 +15,7 @@ use publishing_demos::programs::{self, PingClient};
 use publishing_demos::registry::ProgramRegistry;
 use publishing_obs::registry::MetricsRegistry;
 use publishing_obs::span::check_replay_prefix;
+use publishing_quorum::{QuorumConfig, QuorumWorld};
 use publishing_shard::ShardedWorld;
 use publishing_sim::event::FaultClock;
 use publishing_sim::fault::FaultPlan;
@@ -29,6 +30,8 @@ pub enum Topology {
     Single,
     /// A sharded recorder tier ([`ShardedWorld`]).
     Sharded,
+    /// A replicated recorder quorum ([`QuorumWorld`]).
+    Quorum,
 }
 
 /// A deterministic workload: `pairs` ping/echo FIFO pairs exchanging
@@ -51,6 +54,8 @@ pub struct Scenario {
 pub const NODES: u32 = 3;
 /// Shards in the sharded scenario.
 pub const SHARDS: u32 = 3;
+/// Quorum replicas in the quorum scenario.
+pub const REPLICAS: u32 = 3;
 
 impl Scenario {
     /// A small default scenario for `topology`.
@@ -127,6 +132,41 @@ impl Scenario {
                     injected: BTreeMap::new(),
                 })
             }
+            Topology::Quorum => {
+                let mut w = QuorumWorld::with_config(
+                    QuorumConfig {
+                        nodes: NODES,
+                        replicas: REPLICAS as usize,
+                        seed: self.workload_seed,
+                        ..QuorumConfig::default()
+                    },
+                    self.registry(),
+                    Box::new(publishing_net::bus::PerfectBus::new(
+                        publishing_net::lan::LanConfig::default(),
+                    )),
+                );
+                let mut procs = Vec::new();
+                let mut clients = Vec::new();
+                for i in 0..self.pairs {
+                    let server = w.spawn(2, "echo", vec![]).expect("echo");
+                    let client = w
+                        .spawn(
+                            i % 2,
+                            "chaos-pinger",
+                            vec![Link::to(server, Channel::DEFAULT, 7)],
+                        )
+                        .expect("pinger");
+                    procs.push(server);
+                    procs.push(client);
+                    clients.push(client);
+                }
+                Box::new(QuorumTarget {
+                    w,
+                    procs,
+                    clients,
+                    injected: BTreeMap::new(),
+                })
+            }
         }
     }
 }
@@ -183,6 +223,11 @@ pub trait ChaosWorld {
     /// The happens-before DAG over the current span logs.
     fn causal_graph(&self) -> publishing_obs::causal::CausalGraph {
         publishing_obs::causal::CausalGraph::from_event_lists(&self.span_events())
+    }
+    /// The index of the current quorum leader, for targets with a
+    /// consensus tier (`None` elsewhere, or while leaderless).
+    fn quorum_leader(&self) -> Option<usize> {
+        None
     }
 }
 
@@ -502,6 +547,197 @@ impl ChaosWorld for ShardedTarget {
             .iter()
             .map(|l| l.events().cloned().collect())
             .collect()
+    }
+}
+
+/// [`ChaosWorld`] over the [`QuorumWorld`].
+struct QuorumTarget {
+    w: QuorumWorld,
+    procs: Vec<ProcessId>,
+    clients: Vec<ProcessId>,
+    injected: BTreeMap<&'static str, u64>,
+}
+
+impl QuorumTarget {
+    /// True if crashing one more replica still leaves a strict majority
+    /// of the group alive. Chaos that silences the quorum entirely
+    /// proves nothing — consensus only promises progress with a
+    /// majority, so the injector honors that precondition and the
+    /// oracle then gets to demand full convergence.
+    fn can_lose_one(&self) -> bool {
+        let n = self.w.replica_count();
+        let live = self.w.live_replicas();
+        live >= 1 && (live - 1) * 2 > n
+    }
+
+    fn crash_replica_guarded(&mut self, idx: usize) {
+        if self.w.replicas[idx].is_up() && self.can_lose_one() {
+            self.w.crash_replica(idx);
+        }
+    }
+}
+
+impl ChaosWorld for QuorumTarget {
+    fn set_fault_clock(&mut self, clock: FaultClock) {
+        self.w.set_fault_clock(clock);
+    }
+
+    fn run_until_or_fault(&mut self, deadline: SimTime) -> Option<SimTime> {
+        self.w.run_until_or_fault(deadline)
+    }
+
+    fn inject(&mut self, fault: &Fault) {
+        *self.injected.entry(fault.kind()).or_insert(0) += 1;
+        match fault {
+            Fault::CrashProcess { victim, .. } => {
+                let pid = self.procs[*victim as usize % self.procs.len()];
+                self.w.crash_process(pid, "chaos");
+            }
+            Fault::CrashNode { node, .. } => self.w.crash_node(node % NODES),
+            Fault::CrashReplica { idx, .. } => {
+                let idx = *idx as usize % self.w.replica_count();
+                self.crash_replica_guarded(idx);
+            }
+            Fault::RestartReplica { idx, .. } => {
+                let idx = *idx as usize % self.w.replica_count();
+                if !self.w.replicas[idx].is_up() {
+                    self.w.restart_replica(idx);
+                }
+            }
+            // Single/sharded recorder faults address the same tier here:
+            // a recorder crash is a replica crash.
+            Fault::CrashRecorder { shard, .. } => {
+                let idx = *shard as usize % self.w.replica_count();
+                self.crash_replica_guarded(idx);
+            }
+            Fault::RestartRecorder { shard, .. } => {
+                let idx = *shard as usize % self.w.replica_count();
+                if !self.w.replicas[idx].is_up() {
+                    self.w.restart_replica(idx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn set_medium_faults(&mut self, plan: FaultPlan) {
+        self.w.lan.set_faults(plan);
+    }
+
+    fn set_disk_faults(&mut self, faults: DiskFaults) {
+        for r in &mut self.w.replicas {
+            r.set_disk_faults(faults.clone());
+        }
+    }
+
+    fn heal(&mut self) {
+        for i in 0..self.w.replica_count() {
+            if !self.w.replicas[i].is_up() {
+                self.w.restart_replica(i);
+            }
+        }
+        self.w.lan.set_faults(FaultPlan::new());
+        self.set_disk_faults(DiskFaults::default());
+    }
+
+    fn output_fingerprint(&self) -> u64 {
+        self.w.output_fingerprint()
+    }
+
+    fn obs_fingerprint(&self) -> u64 {
+        self.w.obs_fingerprint()
+    }
+
+    fn client_outputs(&self) -> Vec<(ProcessId, Vec<String>)> {
+        self.clients
+            .iter()
+            .map(|&c| (c, self.w.outputs_of(c)))
+            .collect()
+    }
+
+    fn convergence_failures(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let health = self.w.quorum_health();
+        for h in &health {
+            if !h.live {
+                out.push(format!("replica {} still down", h.replica));
+            }
+        }
+        if self.w.leader().is_none() {
+            out.push("quorum is leaderless".into());
+        }
+        for h in &health {
+            if h.leader && h.replication_lag != 0 {
+                out.push(format!(
+                    "leader {}: replication lag {} has not drained",
+                    h.replica, h.replication_lag
+                ));
+            }
+        }
+        for l in self.w.recovery_lags() {
+            if l.recovering {
+                out.push(format!("pid {} still marked recovering", l.subject));
+            }
+        }
+        // The consensus safety oracles ride along with convergence:
+        // election safety, state-machine safety, log matching, and
+        // gap/duplicate freedom of the arrival sequence.
+        out.extend(self.w.quorum_invariant_failures());
+        out
+    }
+
+    fn replay_prefix_failures(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (node, k) in &self.w.kernels {
+            for pid in &self.procs {
+                if let Err(e) = check_replay_prefix(k.spans(), pid.as_u64()) {
+                    out.push(format!("node {node}, subject {pid}: {e}"));
+                }
+            }
+        }
+        out
+    }
+
+    fn suppression_failures(&self) -> Vec<String> {
+        suppression_check(
+            self.w.kernels.values().map(|k| k.spans()),
+            &self.procs,
+            self.recoveries_completed(),
+        )
+    }
+
+    fn recoveries_completed(&self) -> u64 {
+        self.w.recoveries_completed()
+    }
+
+    fn metrics(&self) -> MetricsRegistry {
+        let mut reg = self.w.collect_metrics();
+        let recorders: Vec<_> = self
+            .w
+            .replicas
+            .iter()
+            .map(|r| r.recorder_node().recorder())
+            .collect();
+        chaos_metrics(&mut reg, &self.injected, &recorders);
+        reg
+    }
+
+    fn obs_report(&self) -> publishing_obs::report::ObsReport {
+        let mut report = self.w.obs_report();
+        report.metrics = self.metrics();
+        report
+    }
+
+    fn span_events(&self) -> Vec<Vec<publishing_obs::span::SpanEvent>> {
+        self.w
+            .span_logs()
+            .iter()
+            .map(|l| l.events().cloned().collect())
+            .collect()
+    }
+
+    fn quorum_leader(&self) -> Option<usize> {
+        self.w.leader()
     }
 }
 

@@ -47,6 +47,27 @@ pub enum Fault {
         /// Shard index (ignored by the single-recorder world).
         shard: u32,
     },
+    /// Crash one replica of a recorder quorum group (quorum world
+    /// only). The target guards liveness: a crash that would drop the
+    /// group below a strict majority is a no-op.
+    CrashReplica {
+        /// Injection time (ms).
+        at_ms: u64,
+        /// Quorum group id (single-group worlds use 0).
+        group: u32,
+        /// Replica index within the group (mod the group size).
+        idx: u32,
+    },
+    /// Restart a previously crashed quorum replica; it rejoins as a
+    /// follower and catches up from the leader's log or a snapshot.
+    RestartReplica {
+        /// Injection time (ms).
+        at_ms: u64,
+        /// Quorum group id (single-group worlds use 0).
+        group: u32,
+        /// Replica index within the group (mod the group size).
+        idx: u32,
+    },
     /// Admit a brand-new shard mid-run (rebalance; no-op on the
     /// single-recorder world).
     AddShard {
@@ -106,6 +127,8 @@ impl Fault {
             | Fault::CrashNode { at_ms, .. }
             | Fault::CrashRecorder { at_ms, .. }
             | Fault::RestartRecorder { at_ms, .. }
+            | Fault::CrashReplica { at_ms, .. }
+            | Fault::RestartReplica { at_ms, .. }
             | Fault::AddShard { at_ms }
             | Fault::Loss { at_ms, .. }
             | Fault::Corrupt { at_ms, .. }
@@ -122,6 +145,8 @@ impl Fault {
             | Fault::CrashNode { at_ms, .. }
             | Fault::CrashRecorder { at_ms, .. }
             | Fault::RestartRecorder { at_ms, .. }
+            | Fault::CrashReplica { at_ms, .. }
+            | Fault::RestartReplica { at_ms, .. }
             | Fault::AddShard { at_ms }
             | Fault::Loss { at_ms, .. }
             | Fault::Corrupt { at_ms, .. }
@@ -139,6 +164,8 @@ impl Fault {
             Fault::CrashNode { .. } => "crash_node",
             Fault::CrashRecorder { .. } => "crash_recorder",
             Fault::RestartRecorder { .. } => "restart_recorder",
+            Fault::CrashReplica { .. } => "crash_replica",
+            Fault::RestartReplica { .. } => "restart_replica",
             Fault::AddShard { .. } => "add_shard",
             Fault::Loss { .. } => "loss",
             Fault::Corrupt { .. } => "corrupt",
@@ -180,6 +207,12 @@ impl fmt::Display for Fault {
             Fault::CrashRecorder { at_ms, shard } => write!(f, "crash_recorder@{at_ms}ms#{shard}"),
             Fault::RestartRecorder { at_ms, shard } => {
                 write!(f, "restart_recorder@{at_ms}ms#{shard}")
+            }
+            Fault::CrashReplica { at_ms, group, idx } => {
+                write!(f, "crash_replica@{at_ms}ms#{group}.{idx}")
+            }
+            Fault::RestartReplica { at_ms, group, idx } => {
+                write!(f, "restart_replica@{at_ms}ms#{group}.{idx}")
             }
             Fault::AddShard { at_ms } => write!(f, "add_shard@{at_ms}ms"),
             Fault::Loss {
@@ -275,6 +308,20 @@ impl FromStr for Fault {
                 idx.parse().map_err(|e| format!("{name}: {e}"))?,
             ))
         };
+        // `@Tms#G.I` — group-qualified replica index.
+        let grouped = |rest: &str, name: &str| -> Result<(u64, u32, u32), String> {
+            let (at, gi) = rest
+                .split_once('#')
+                .ok_or_else(|| format!("{name}: expected @Tms#G.I"))?;
+            let (g, i) = gi
+                .split_once('.')
+                .ok_or_else(|| format!("{name}: expected @Tms#G.I"))?;
+            Ok((
+                parse_ms(at, name)?,
+                g.parse().map_err(|e| format!("{name}: {e}"))?,
+                i.parse().map_err(|e| format!("{name}: {e}"))?,
+            ))
+        };
         match name {
             "crash_process" => {
                 let (at_ms, victim) = indexed(rest)?;
@@ -291,6 +338,14 @@ impl FromStr for Fault {
             "restart_recorder" => {
                 let (at_ms, shard) = indexed(rest)?;
                 Ok(Fault::RestartRecorder { at_ms, shard })
+            }
+            "crash_replica" => {
+                let (at_ms, group, idx) = grouped(rest, name)?;
+                Ok(Fault::CrashReplica { at_ms, group, idx })
+            }
+            "restart_replica" => {
+                let (at_ms, group, idx) = grouped(rest, name)?;
+                Ok(Fault::RestartReplica { at_ms, group, idx })
             }
             "add_shard" => Ok(Fault::AddShard {
                 at_ms: parse_ms(rest, name)?,
@@ -370,6 +425,9 @@ pub struct ChaosConfig {
     /// world: recorder faults then always address index 0 and
     /// `add_shard` is never generated).
     pub shards: u32,
+    /// Quorum-replica count of the target scenario (0 for worlds
+    /// without a recorder quorum: replica faults are never generated).
+    pub replicas: u32,
     /// Spawned-process count (victim space for process crashes).
     pub procs: u32,
     /// Injection horizon (ms).
@@ -385,6 +443,7 @@ impl Default for ChaosConfig {
             seed: 1,
             nodes: 3,
             shards: 0,
+            replicas: 0,
             procs: 4,
             horizon_ms: 1500,
             max_faults: 7,
@@ -409,7 +468,11 @@ pub fn generate(cfg: &ChaosConfig) -> FaultSchedule {
     let mut added_shard = false;
     while faults.len() < n {
         let t = rng.range(50, horizon * 6 / 10);
-        let kind = rng.below(if cfg.shards > 0 { 8 } else { 6 });
+        let kind = rng.below(if cfg.shards > 0 || cfg.replicas > 0 {
+            8
+        } else {
+            6
+        });
         match kind {
             0 => {
                 faults.push(Fault::CrashProcess {
@@ -425,7 +488,7 @@ pub fn generate(cfg: &ChaosConfig) -> FaultSchedule {
                 });
                 push_follow_up(&mut rng, &mut faults, cfg, t, horizon);
             }
-            2 => push_recorder_cycle(&mut rng, &mut faults, cfg, t, horizon),
+            2 => push_tier_cycle(&mut rng, &mut faults, cfg, t, horizon),
             3 => faults.push(Fault::Loss {
                 at_ms: t,
                 dur_ms: rng.range(20, 200),
@@ -454,12 +517,12 @@ pub fn generate(cfg: &ChaosConfig) -> FaultSchedule {
                     }
                 }
             }
-            6 if !added_shard => {
+            6 if cfg.shards > 0 && !added_shard => {
                 added_shard = true;
                 faults.push(Fault::AddShard { at_ms: t });
                 push_follow_up(&mut rng, &mut faults, cfg, t, horizon);
             }
-            _ => push_recorder_cycle(&mut rng, &mut faults, cfg, t, horizon),
+            _ => push_tier_cycle(&mut rng, &mut faults, cfg, t, horizon),
         }
     }
     faults.sort_by_key(Fault::at_ms);
@@ -468,6 +531,50 @@ pub fn generate(cfg: &ChaosConfig) -> FaultSchedule {
         horizon_ms: horizon,
         faults,
     }
+}
+
+/// A crash/restart pair for the scenario's recorder tier: a quorum
+/// replica when the scenario has one, else the recorder (or one shard).
+fn push_tier_cycle(
+    rng: &mut DetRng,
+    faults: &mut Vec<Fault>,
+    cfg: &ChaosConfig,
+    t: u64,
+    horizon: u64,
+) {
+    if cfg.replicas > 0 {
+        push_replica_cycle(rng, faults, cfg, t, horizon);
+    } else {
+        push_recorder_cycle(rng, faults, cfg, t, horizon);
+    }
+}
+
+/// A crash/restart pair for one quorum replica. Like recorder cycles,
+/// every crash is paired with a restart before the horizon, so group
+/// liveness never depends on the end-of-run heal alone — and the
+/// crash-during-election timing (a restart landing while the previous
+/// crash's election is still settling) falls out of the follow-up bias.
+fn push_replica_cycle(
+    rng: &mut DetRng,
+    faults: &mut Vec<Fault>,
+    cfg: &ChaosConfig,
+    t: u64,
+    horizon: u64,
+) {
+    let idx = rng.below(cfg.replicas.max(1) as u64) as u32;
+    let up = (t + rng.range(20, 150))
+        .min(horizon.saturating_sub(1))
+        .max(t + 1);
+    faults.push(Fault::CrashReplica {
+        at_ms: t,
+        group: 0,
+        idx,
+    });
+    faults.push(Fault::RestartReplica {
+        at_ms: up,
+        group: 0,
+        idx,
+    });
 }
 
 /// A crash/restart pair for the recorder (or one shard).
@@ -509,7 +616,7 @@ fn push_follow_up(
             at_ms: t2,
             node: rng.below(cfg.nodes.max(1) as u64) as u32,
         }),
-        _ => push_recorder_cycle(rng, faults, cfg, t2, horizon),
+        _ => push_tier_cycle(rng, faults, cfg, t2, horizon),
     }
 }
 
@@ -523,12 +630,33 @@ mod tests {
             let s = generate(&ChaosConfig {
                 seed,
                 shards: if seed % 2 == 0 { 3 } else { 0 },
+                replicas: if seed % 3 == 0 { 3 } else { 0 },
                 ..ChaosConfig::default()
             });
             let lit = s.to_string();
             let back: FaultSchedule = lit.parse().expect("parses");
             assert_eq!(s, back, "literal: {lit}");
         }
+    }
+
+    #[test]
+    fn replica_fault_literal_round_trips() {
+        let f = Fault::CrashReplica {
+            at_ms: 120,
+            group: 2,
+            idx: 1,
+        };
+        assert_eq!(f.to_string(), "crash_replica@120ms#2.1");
+        assert_eq!("crash_replica@120ms#2.1".parse::<Fault>(), Ok(f));
+        assert_eq!(
+            "restart_replica@40ms#0.2".parse::<Fault>(),
+            Ok(Fault::RestartReplica {
+                at_ms: 40,
+                group: 0,
+                idx: 2,
+            })
+        );
+        assert!("crash_replica@40ms#2".parse::<Fault>().is_err());
     }
 
     #[test]
@@ -575,5 +703,39 @@ mod tests {
                 .count();
             assert_eq!(crashes, restarts, "seed {seed}: {s}");
         }
+    }
+
+    #[test]
+    fn replica_crashes_are_paired_with_restarts() {
+        let mut any = false;
+        for seed in 0..30u64 {
+            let s = generate(&ChaosConfig {
+                seed,
+                replicas: 3,
+                ..ChaosConfig::default()
+            });
+            let crashes = s
+                .faults
+                .iter()
+                .filter(|f| matches!(f, Fault::CrashReplica { .. }))
+                .count();
+            let restarts = s
+                .faults
+                .iter()
+                .filter(|f| matches!(f, Fault::RestartReplica { .. }))
+                .count();
+            assert_eq!(crashes, restarts, "seed {seed}: {s}");
+            any |= crashes > 0;
+            assert!(
+                !s.faults.iter().any(|f| matches!(
+                    f,
+                    Fault::AddShard { .. }
+                        | Fault::CrashRecorder { .. }
+                        | Fault::RestartRecorder { .. }
+                )),
+                "seed {seed}: quorum scenarios get replica faults, not shard ones: {s}"
+            );
+        }
+        assert!(any, "the generator never produced a replica fault");
     }
 }

@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 use publishing_chaos::driver::run_schedule;
-use publishing_chaos::scenario::{Scenario, Topology, NODES, SHARDS};
+use publishing_chaos::scenario::{Scenario, Topology, NODES, REPLICAS, SHARDS};
 use publishing_chaos::schedule::{self, ChaosConfig};
 
 fn config(topology: Topology, seed: u64, max_faults: usize) -> ChaosConfig {
@@ -14,8 +14,12 @@ fn config(topology: Topology, seed: u64, max_faults: usize) -> ChaosConfig {
         seed,
         nodes: NODES,
         shards: match topology {
-            Topology::Single => 0,
             Topology::Sharded => SHARDS,
+            _ => 0,
+        },
+        replicas: match topology {
+            Topology::Quorum => REPLICAS,
+            _ => 0,
         },
         procs: 4,
         horizon_ms: 800,
@@ -71,5 +75,12 @@ proptest! {
     fn crash_schedule_graphs_are_acyclic_and_consistent(seed in 0u64..10_000) {
         check_schedule(Topology::Single, seed, 6);
         check_schedule(Topology::Sharded, seed, 6);
+    }
+
+    /// The quorum world under replica-crash storms: the causal graph
+    /// must stay acyclic and total through elections and failover.
+    #[test]
+    fn quorum_schedule_graphs_are_acyclic_and_consistent(seed in 0u64..10_000) {
+        check_schedule(Topology::Quorum, seed, 4);
     }
 }

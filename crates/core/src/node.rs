@@ -98,6 +98,14 @@ pub struct RecorderNode {
     next_token: u64,
     checkpoint_requested: HashSet<ProcessId>,
     up: bool,
+    /// When set (quorum mode), observed destination acks are queued in
+    /// `observed_acks` for the consensus layer to propose instead of
+    /// being sequenced locally on the spot.
+    defer_sequencing: bool,
+    observed_acks: Vec<(SimTime, MessageId, ProcessId)>,
+    /// Whether this node drives the checkpoint-request policy (only the
+    /// quorum leader does; a lone recorder always does).
+    checkpoint_duty: bool,
 }
 
 impl RecorderNode {
@@ -117,7 +125,39 @@ impl RecorderNode {
             next_token: 0,
             checkpoint_requested: HashSet::new(),
             up: true,
+            defer_sequencing: false,
+            observed_acks: Vec::new(),
+            checkpoint_duty: true,
         }
+    }
+
+    /// Switches ack handling into quorum mode: observed destination acks
+    /// are queued for the consensus layer ([`RecorderNode::take_observed_acks`])
+    /// instead of assigning arrival sequences immediately.
+    pub fn set_deferred_sequencing(&mut self, defer: bool) {
+        self.defer_sequencing = defer;
+        self.recorder.set_external_sequencing(defer);
+    }
+
+    /// Drains the acks observed since the last call (quorum mode only).
+    pub fn take_observed_acks(&mut self) -> Vec<(SimTime, MessageId, ProcessId)> {
+        std::mem::take(&mut self.observed_acks)
+    }
+
+    /// Enables or disables the checkpoint-request policy tick (only the
+    /// quorum leader exercises this §5 recorder duty).
+    pub fn set_checkpoint_duty(&mut self, duty: bool) {
+        self.checkpoint_duty = duty;
+    }
+
+    /// Applies one committed quorum log entry: publishes `msg` at the
+    /// arrival sequence the replicated log assigned it and schedules the
+    /// resulting store IO.
+    pub fn apply_committed(&mut self, now: SimTime, seq: u64, msg: &Message) -> Vec<RNAction> {
+        let mut out = Vec::new();
+        let ios = self.recorder.apply_sequenced_at(now, seq, msg);
+        self.schedule_ios(ios, &mut out);
+        out
     }
 
     /// Returns the node id.
@@ -267,11 +307,20 @@ impl RecorderNode {
             Wire::Ack {
                 msg_id, dst_pid, ..
             } => {
-                let ios = self.recorder.on_ack(now, *msg_id, *dst_pid);
-                self.schedule_ios(ios, &mut out);
+                if self.defer_sequencing {
+                    // Quorum mode: arrival-seq assignment waits for the
+                    // replicated log to commit the entry.
+                    if !dst_pid.is_kernel() {
+                        self.observed_acks.push((now, *msg_id, *dst_pid));
+                    }
+                } else {
+                    let ios = self.recorder.on_ack(now, *msg_id, *dst_pid);
+                    self.schedule_ios(ios, &mut out);
+                }
             }
-            // Datagrams and epoch notices are never published.
-            Wire::Datagram { .. } | Wire::EpochNotice { .. } => {}
+            // Datagrams, epoch notices, and quorum traffic (consensus
+            // metadata, not process messages) are never published.
+            Wire::Datagram { .. } | Wire::EpochNotice { .. } | Wire::Quorum { .. } => {}
         }
         if frame.dst.accepts(self.station()) {
             let actions = self.transport.on_wire(now, wire);
@@ -391,6 +440,9 @@ impl RecorderNode {
     }
 
     fn policy_tick(&mut self, now: SimTime, out: &mut Vec<RNAction>) {
+        if !self.checkpoint_duty {
+            return;
+        }
         let due: Vec<ProcessId> = self
             .recorder
             .known_pids()
@@ -520,6 +572,7 @@ impl RecorderNode {
         self.recorder.crash();
         self.timers.clear();
         self.checkpoint_requested.clear();
+        self.observed_acks.clear();
     }
 
     /// Restarts the recorder (§3.3.4): rebuild from stable storage,

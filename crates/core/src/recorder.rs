@@ -277,6 +277,10 @@ pub struct Recorder {
     /// When set, the recorder only tracks processes the filter accepts
     /// (a shard's slice of the destination space). `None` = track all.
     owner: Option<PidFilter>,
+    /// Quorum mode: arrival sequences are assigned by a replicated log
+    /// ([`Recorder::apply_sequenced_at`]), never locally — restart must
+    /// not drain the pending buffer into self-assigned sequences.
+    external_sequencing: bool,
     stats: RecorderStats,
     spans: SpanLog,
 }
@@ -297,9 +301,18 @@ impl Recorder {
             restart_number: 0,
             publish_cost,
             owner: None,
+            external_sequencing: false,
             stats: RecorderStats::default(),
             spans: SpanLog::default(),
         }
+    }
+
+    /// Switches the recorder into quorum mode: arrival sequences are
+    /// assigned by the replicated log via
+    /// [`Recorder::apply_sequenced_at`], and restart leaves the pending
+    /// buffer for the log to publish rather than self-sequencing it.
+    pub fn set_external_sequencing(&mut self, on: bool) {
+        self.external_sequencing = on;
     }
 
     /// Installs (or clears) the ownership filter. A sharded tier sets
@@ -417,9 +430,71 @@ impl Recorder {
         self.sequence_message(now, msg)
     }
 
+    /// Looks up a captured-but-unsequenced message by id (the quorum
+    /// leader reads these out of the battery-backed buffer to build
+    /// replication proposals).
+    pub fn pending_message(&self, id: MessageId) -> Option<&Message> {
+        self.pending_ids
+            .get(&id)
+            .and_then(|cap| self.pending.get(cap))
+    }
+
+    /// Whether a message id has already been sequenced (published).
+    pub fn is_sequenced(&self, id: MessageId) -> bool {
+        self.sequenced.contains(&id)
+    }
+
+    /// Next arrival sequence the destination would be assigned (0 for an
+    /// unknown process). Quorum leaders seed their proposal counters from
+    /// this after taking office.
+    pub fn next_arrival_seq(&self, pid: ProcessId) -> u64 {
+        self.db.get(&pid).map(|e| e.next_arrival_seq).unwrap_or(0)
+    }
+
+    /// Publishes a message at a *fixed* arrival sequence decided by the
+    /// replicated log (quorum commit path). Idempotent: re-applying an
+    /// entry after a crash, or applying one whose store record already
+    /// survived, is a no-op — so replaying a committed prefix over a
+    /// rebuilt recorder can fill durability gaps without ever double-
+    /// assigning a sequence.
+    pub fn apply_sequenced_at(&mut self, now: SimTime, seq: u64, msg: &Message) -> Vec<StoreIo> {
+        let id = msg.header.id;
+        let dst = msg.header.to;
+        if dst.is_kernel() || !self.owns(dst) {
+            return Vec::new();
+        }
+        if self.sequenced.contains(&id) {
+            self.stats.duplicates.inc();
+            return Vec::new();
+        }
+        if let Some(e) = self.db.get(&dst) {
+            if e.arrivals.iter().any(|&(s, _)| s == seq) {
+                // The slot is already occupied (rebuilt from a durable
+                // record whose id matches under log matching).
+                self.stats.duplicates.inc();
+                return Vec::new();
+            }
+        }
+        if let Some(cap) = self.pending_ids.remove(&id) {
+            self.pending.remove(&cap);
+        }
+        self.sequence_message_at(now, Some(seq), msg.clone())
+    }
+
     /// Assigns the next arrival sequence for the message's destination
     /// and appends it to the stable store.
     fn sequence_message(&mut self, now: SimTime, msg: Message) -> Vec<StoreIo> {
+        self.sequence_message_at(now, None, msg)
+    }
+
+    /// Publishes `msg` at `fixed_seq` (quorum commit) or at the entry's
+    /// next arrival sequence (standalone recorder).
+    fn sequence_message_at(
+        &mut self,
+        now: SimTime,
+        fixed_seq: Option<u64>,
+        msg: Message,
+    ) -> Vec<StoreIo> {
         let msg_id = msg.header.id;
         let dst_pid = msg.header.to;
         self.sequenced.insert(msg_id);
@@ -429,9 +504,23 @@ impl Recorder {
             .db
             .entry(dst_pid)
             .or_insert_with(|| ProcessEntry::new(now, dst_pid, String::new()));
-        let seq = entry.next_arrival_seq;
-        entry.next_arrival_seq += 1;
-        entry.arrivals.push((seq, msg_id));
+        let seq = match fixed_seq {
+            Some(s) => {
+                entry.next_arrival_seq = entry.next_arrival_seq.max(s + 1);
+                s
+            }
+            None => {
+                let s = entry.next_arrival_seq;
+                entry.next_arrival_seq += 1;
+                s
+            }
+        };
+        // Keep arrivals sorted by seq: a quorum re-apply can commit a seq
+        // below records already rebuilt from the durable store.
+        match entry.arrivals.binary_search_by_key(&seq, |&(s, _)| s) {
+            Ok(_) => {}
+            Err(pos) => entry.arrivals.insert(pos, (seq, msg_id)),
+        }
         entry.estimator.on_message(len);
         entry.bytes_since_checkpoint += len as u64;
         self.spans
@@ -895,18 +984,33 @@ impl Recorder {
         // whose destination never actually received them are simply
         // delivered on the destination's next recovery — the reliable-
         // message guarantee.
-        let drained: Vec<Message> = std::mem::take(&mut self.pending).into_values().collect();
-        self.pending_ids.clear();
-        let mut pending_ios = Vec::new();
-        for msg in drained {
-            if self.sequenced.contains(&msg.header.id) {
-                continue;
+        if self.external_sequencing {
+            // Quorum mode: arrival sequences come only from the
+            // replicated log. Survivors stay in the battery-backed
+            // buffer until a committed entry publishes them (or a
+            // committed entry already did — drop those).
+            let sequenced = &self.sequenced;
+            self.pending
+                .retain(|_, m| !sequenced.contains(&m.header.id));
+            self.pending_ids = self
+                .pending
+                .iter()
+                .map(|(cap, m)| (m.header.id, *cap))
+                .collect();
+        } else {
+            let drained: Vec<Message> = std::mem::take(&mut self.pending).into_values().collect();
+            self.pending_ids.clear();
+            let mut pending_ios = Vec::new();
+            for msg in drained {
+                if self.sequenced.contains(&msg.header.id) {
+                    continue;
+                }
+                if self.db.contains_key(&msg.header.to) {
+                    pending_ios.extend(self.sequence_message(now, msg));
+                }
             }
-            if self.db.contains_key(&msg.header.to) {
-                pending_ios.extend(self.sequence_message(now, msg));
-            }
+            self.drained_ios = pending_ios;
         }
-        self.drained_ios = pending_ios;
         self.db.keys().copied().collect()
     }
 

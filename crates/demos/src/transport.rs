@@ -75,12 +75,25 @@ pub enum Wire {
         /// Its current incarnation.
         incarnation: u32,
     },
+    /// Consensus traffic between the replicas of a recorder quorum
+    /// group. Opaque to the transport (the quorum crate owns the payload
+    /// codec); never published and never gated on recorder capture —
+    /// consensus heartbeats retransmit on their own schedule.
+    Quorum {
+        /// Sending replica's node.
+        src_node: NodeId,
+        /// Recorder group the message belongs to.
+        group: u32,
+        /// Encoded quorum protocol message.
+        payload: Vec<u8>,
+    },
 }
 
 const TAG_DATA: u8 = 1;
 const TAG_ACK: u8 = 2;
 const TAG_DATAGRAM: u8 = 3;
 const TAG_EPOCH: u8 = 4;
+const TAG_QUORUM: u8 = 5;
 
 impl Encode for Wire {
     fn encode(&self, e: &mut Encoder) {
@@ -124,6 +137,13 @@ impl Encode for Wire {
                 incarnation,
             } => {
                 e.u8(TAG_EPOCH).u32(src_node.0).u32(*incarnation);
+            }
+            Wire::Quorum {
+                src_node,
+                group,
+                payload,
+            } => {
+                e.u8(TAG_QUORUM).u32(src_node.0).u32(*group).bytes(payload);
             }
         }
     }
@@ -173,6 +193,16 @@ impl Decode for Wire {
                 Ok(Wire::EpochNotice {
                     src_node,
                     incarnation,
+                })
+            }
+            TAG_QUORUM => {
+                let src_node = NodeId(d.u32()?);
+                let group = d.u32()?;
+                let payload = d.bytes()?;
+                Ok(Wire::Quorum {
+                    src_node,
+                    group,
+                    payload,
                 })
             }
             tag => Err(CodecError::InvalidTag { what: "wire", tag }),
@@ -468,6 +498,9 @@ impl Transport {
                 src_node,
                 incarnation,
             } => self.reset_peer(now, src_node, incarnation),
+            // Quorum traffic is consumed by the quorum layer, not the
+            // transport endpoint.
+            Wire::Quorum { .. } => Vec::new(),
         }
     }
 
@@ -641,6 +674,11 @@ mod tests {
             Wire::EpochNotice {
                 src_node: NodeId(2),
                 incarnation: 4,
+            },
+            Wire::Quorum {
+                src_node: NodeId(3),
+                group: 7,
+                payload: vec![1, 2, 3, 4],
             },
         ] {
             let buf = wire.encode_to_vec();

@@ -194,6 +194,65 @@ impl MediumHealth {
     }
 }
 
+/// Consensus picture of one recorder-quorum replica: role, term, and
+/// how far its log and state machine trail the group's commit point.
+/// `replication_lag` on the leader is the worst follower's log lag —
+/// the election-to-replication health signal the quorum observatory
+/// charts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QuorumHealth {
+    /// Replica index within the group.
+    pub replica: u32,
+    /// Whether the replica's host is up.
+    pub live: bool,
+    /// Whether the replica currently leads the group.
+    pub leader: bool,
+    /// Current consensus term.
+    pub term: u64,
+    /// Elections this replica has started (candidacies).
+    pub elections: u64,
+    /// Highest committed log index.
+    pub commit_index: u64,
+    /// Highest log index applied to the recorder.
+    pub applied_index: u64,
+    /// Entries the slowest follower trails the leader by (leader only;
+    /// zero elsewhere).
+    pub replication_lag: u64,
+    /// Log entries compacted into the snapshot floor.
+    pub compacted: u64,
+}
+
+impl QuorumHealth {
+    /// Files the probe under `quorum/<i>/health/...`.
+    pub fn into_registry(&self, reg: &mut MetricsRegistry) {
+        let p = format!("quorum/{}/health", self.replica);
+        reg.gauge(format!("{p}/live"), if self.live { 1.0 } else { 0.0 });
+        reg.gauge(format!("{p}/leader"), if self.leader { 1.0 } else { 0.0 });
+        reg.counter(format!("{p}/term"), self.term);
+        reg.counter(format!("{p}/elections"), self.elections);
+        reg.counter(format!("{p}/commit_index"), self.commit_index);
+        reg.counter(format!("{p}/applied_index"), self.applied_index);
+        reg.counter(format!("{p}/replication_lag"), self.replication_lag);
+        reg.counter(format!("{p}/compacted"), self.compacted);
+    }
+
+    /// One text line for the run report.
+    pub fn render(&self) -> String {
+        format!(
+            "replica {} {}{} term={} elections={} commit={} applied={} lag={} compacted={}",
+            self.replica,
+            if self.live { "up" } else { "DOWN" },
+            if self.leader { " LEADER" } else { "" },
+            self.term,
+            self.elections,
+            self.commit_index,
+            self.applied_index,
+            self.replication_lag,
+            self.compacted
+        )
+    }
+}
+
 /// Event-queue picture of the world's discrete-event scheduler: how
 /// much work flowed through the queue and how deep it ever got. The
 /// high-water mark is the "peak queue depth" the perf observatory
@@ -307,6 +366,31 @@ mod tests {
         assert_eq!(reg.counter_value("shard/2/health/replay_lag"), Some(0));
         assert_eq!(reg.gauge_value("shard/2/health/live"), Some(1.0));
         assert!(h.render().contains("shard 2 up"));
+    }
+
+    #[test]
+    fn quorum_health_registry_paths() {
+        let h = QuorumHealth {
+            replica: 1,
+            live: true,
+            leader: true,
+            term: 3,
+            elections: 2,
+            commit_index: 40,
+            applied_index: 38,
+            replication_lag: 5,
+            compacted: 16,
+        };
+        let mut reg = MetricsRegistry::new();
+        h.into_registry(&mut reg);
+        assert_eq!(reg.counter_value("quorum/1/health/term"), Some(3));
+        assert_eq!(
+            reg.counter_value("quorum/1/health/replication_lag"),
+            Some(5)
+        );
+        assert_eq!(reg.gauge_value("quorum/1/health/leader"), Some(1.0));
+        assert!(h.render().contains("LEADER"));
+        assert!(h.render().contains("commit=40"));
     }
 
     #[test]

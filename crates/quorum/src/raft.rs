@@ -1,0 +1,1470 @@
+//! The sans-IO Raft-style consensus core for a recorder group.
+//!
+//! One `RaftCore` runs inside each replica of a recorder quorum group.
+//! It owns the replicated **arrival log**: every committed `Sequence`
+//! entry fixes one message's arrival sequence for its destination, so
+//! the §3.2 sequencing decision is quorum-durable before any replica
+//! publishes the message to its stable store. The core is sans-IO in
+//! the same style as the transport and recovery manager: inputs are
+//! [`RaftCore::on_msg`], [`RaftCore::tick`], and [`RaftCore::propose`];
+//! outputs are [`RaftOut`] values the replica turns into LAN frames and
+//! recorder applies.
+//!
+//! Durability model, mirroring the paper's recorder (§3.3.4):
+//!
+//! - **Term and vote** live in a [`DurableCell`] — two-slot NVRAM with
+//!   write-through semantics. `persist_hard` returns only when the
+//!   record is settled, so a vote message is never emitted before the
+//!   vote it promises is durable (election safety holds across crashes).
+//! - **The log itself is battery-backed**, the same durability class as
+//!   the recorder's pending capture buffer: a replica crash loses no
+//!   accepted entries. What a crash *does* lose is volatile apply
+//!   progress — the recorder's un-flushed store pages — so a restarted
+//!   replica rewinds `applied` to its snapshot floor and re-applies the
+//!   committed prefix through the idempotent
+//!   `Recorder::apply_sequenced_at` path.
+//!
+//! Compaction drops applied entries and leans on the recorder's own
+//! stable store as the snapshot: a follower too far behind receives a
+//! [`QMsg::Snapshot`] whose image is the leader's exported process
+//! database (checkpoint images included), not a replay of old entries.
+
+use publishing_demos::message::Message;
+use publishing_sim::codec::{CodecError, Decode, Decoder, Encode, Encoder};
+use publishing_sim::rng::DetRng;
+use publishing_sim::time::{SimDuration, SimTime};
+use publishing_stable::cell::DurableCell;
+use std::collections::BTreeSet;
+
+/// Index of a replica within its group (0-based, stable across crashes).
+pub type ReplicaId = u32;
+
+/// Raft role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Accepting appends from the current leader.
+    Follower,
+    /// Soliciting votes after an election timeout.
+    Candidate,
+    /// Sequencing arrivals and replicating the log.
+    Leader,
+}
+
+/// One operation in the replicated arrival log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// A no-op the leader commits on taking office; committing it proves
+    /// leadership for the term and pins every earlier entry committed.
+    Noop,
+    /// Assign `msg` the arrival sequence `seq` at its destination. The
+    /// sequence is chosen by the proposing leader and fixed by commit —
+    /// every replica applies the identical (destination, seq, message)
+    /// triple, which is the §3.2 guarantee made quorum-durable.
+    Sequence {
+        /// The arrival sequence being assigned.
+        seq: u64,
+        /// The acknowledged message being published.
+        msg: Message,
+    },
+}
+
+const OP_NOOP: u8 = 1;
+const OP_SEQUENCE: u8 = 2;
+
+impl Encode for Op {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            Op::Noop => {
+                e.u8(OP_NOOP);
+            }
+            Op::Sequence { seq, msg } => {
+                e.u8(OP_SEQUENCE).u64(*seq);
+                msg.encode(e);
+            }
+        }
+    }
+}
+
+impl Decode for Op {
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match d.u8()? {
+            OP_NOOP => Ok(Op::Noop),
+            OP_SEQUENCE => {
+                let seq = d.u64()?;
+                let msg = Message::decode(d)?;
+                Ok(Op::Sequence { seq, msg })
+            }
+            tag => Err(CodecError::InvalidTag { what: "op", tag }),
+        }
+    }
+}
+
+/// One replicated log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Term the entry was proposed in.
+    pub term: u64,
+    /// The operation.
+    pub op: Op,
+}
+
+impl Encode for LogEntry {
+    fn encode(&self, e: &mut Encoder) {
+        e.u64(self.term);
+        self.op.encode(e);
+    }
+}
+
+impl Decode for LogEntry {
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let term = d.u64()?;
+        let op = Op::decode(d)?;
+        Ok(LogEntry { term, op })
+    }
+}
+
+/// A quorum protocol message, carried as the payload of
+/// `Wire::Quorum` frames between the group's replicas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QMsg {
+    /// Candidate solicits a vote.
+    RequestVote {
+        /// Candidate's term.
+        term: u64,
+        /// The candidate.
+        candidate: ReplicaId,
+        /// Index of the candidate's last log entry.
+        last_index: u64,
+        /// Term of the candidate's last log entry.
+        last_term: u64,
+    },
+    /// Vote response.
+    VoteReply {
+        /// Voter's current term.
+        term: u64,
+        /// The voter.
+        from: ReplicaId,
+        /// Whether the ballot was granted.
+        granted: bool,
+    },
+    /// Log replication / heartbeat.
+    Append {
+        /// Leader's term.
+        term: u64,
+        /// The leader.
+        leader: ReplicaId,
+        /// Index of the entry preceding `entries`.
+        prev_index: u64,
+        /// Term of the entry preceding `entries`.
+        prev_term: u64,
+        /// Entries to append (empty = heartbeat).
+        entries: Vec<LogEntry>,
+        /// Leader's commit index.
+        commit: u64,
+    },
+    /// Append response.
+    AppendReply {
+        /// Follower's current term.
+        term: u64,
+        /// The follower.
+        from: ReplicaId,
+        /// Whether `prev` matched and the entries were accepted.
+        ok: bool,
+        /// On success: the follower's new match index. On rejection: a
+        /// back-off hint (the follower's best guess at where logs agree).
+        index: u64,
+    },
+    /// Full-state catch-up for a follower whose next entry was compacted
+    /// away. `image` is the leader's exported process database — the
+    /// recorder checkpoint images double as the consensus snapshot.
+    Snapshot {
+        /// Leader's term.
+        term: u64,
+        /// The leader.
+        leader: ReplicaId,
+        /// Log index the snapshot covers through.
+        index: u64,
+        /// Term of the entry at `index`.
+        snap_term: u64,
+        /// Encoded `Vec<ProcessExport>` (see `codec` module).
+        image: Vec<u8>,
+    },
+    /// Snapshot installation response.
+    SnapshotReply {
+        /// Follower's current term.
+        term: u64,
+        /// The follower.
+        from: ReplicaId,
+        /// The follower's match index after installation.
+        index: u64,
+    },
+}
+
+const QM_REQUEST_VOTE: u8 = 1;
+const QM_VOTE_REPLY: u8 = 2;
+const QM_APPEND: u8 = 3;
+const QM_APPEND_REPLY: u8 = 4;
+const QM_SNAPSHOT: u8 = 5;
+const QM_SNAPSHOT_REPLY: u8 = 6;
+
+impl Encode for QMsg {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            QMsg::RequestVote {
+                term,
+                candidate,
+                last_index,
+                last_term,
+            } => {
+                e.u8(QM_REQUEST_VOTE)
+                    .u64(*term)
+                    .u32(*candidate)
+                    .u64(*last_index)
+                    .u64(*last_term);
+            }
+            QMsg::VoteReply {
+                term,
+                from,
+                granted,
+            } => {
+                e.u8(QM_VOTE_REPLY).u64(*term).u32(*from).bool(*granted);
+            }
+            QMsg::Append {
+                term,
+                leader,
+                prev_index,
+                prev_term,
+                entries,
+                commit,
+            } => {
+                e.u8(QM_APPEND)
+                    .u64(*term)
+                    .u32(*leader)
+                    .u64(*prev_index)
+                    .u64(*prev_term)
+                    .u64(*commit)
+                    .seq(entries, |e, ent| ent.encode(e));
+            }
+            QMsg::AppendReply {
+                term,
+                from,
+                ok,
+                index,
+            } => {
+                e.u8(QM_APPEND_REPLY)
+                    .u64(*term)
+                    .u32(*from)
+                    .bool(*ok)
+                    .u64(*index);
+            }
+            QMsg::Snapshot {
+                term,
+                leader,
+                index,
+                snap_term,
+                image,
+            } => {
+                e.u8(QM_SNAPSHOT)
+                    .u64(*term)
+                    .u32(*leader)
+                    .u64(*index)
+                    .u64(*snap_term)
+                    .bytes(image);
+            }
+            QMsg::SnapshotReply { term, from, index } => {
+                e.u8(QM_SNAPSHOT_REPLY).u64(*term).u32(*from).u64(*index);
+            }
+        }
+    }
+}
+
+impl Decode for QMsg {
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match d.u8()? {
+            QM_REQUEST_VOTE => Ok(QMsg::RequestVote {
+                term: d.u64()?,
+                candidate: d.u32()?,
+                last_index: d.u64()?,
+                last_term: d.u64()?,
+            }),
+            QM_VOTE_REPLY => Ok(QMsg::VoteReply {
+                term: d.u64()?,
+                from: d.u32()?,
+                granted: d.bool()?,
+            }),
+            QM_APPEND => {
+                let term = d.u64()?;
+                let leader = d.u32()?;
+                let prev_index = d.u64()?;
+                let prev_term = d.u64()?;
+                let commit = d.u64()?;
+                let entries = d.seq(LogEntry::decode)?;
+                Ok(QMsg::Append {
+                    term,
+                    leader,
+                    prev_index,
+                    prev_term,
+                    entries,
+                    commit,
+                })
+            }
+            QM_APPEND_REPLY => Ok(QMsg::AppendReply {
+                term: d.u64()?,
+                from: d.u32()?,
+                ok: d.bool()?,
+                index: d.u64()?,
+            }),
+            QM_SNAPSHOT => Ok(QMsg::Snapshot {
+                term: d.u64()?,
+                leader: d.u32()?,
+                index: d.u64()?,
+                snap_term: d.u64()?,
+                image: d.bytes()?,
+            }),
+            QM_SNAPSHOT_REPLY => Ok(QMsg::SnapshotReply {
+                term: d.u64()?,
+                from: d.u32()?,
+                index: d.u64()?,
+            }),
+            tag => Err(CodecError::InvalidTag { what: "qmsg", tag }),
+        }
+    }
+}
+
+/// An effect the core asks its replica to carry out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RaftOut {
+    /// Send `msg` to group member `to`.
+    Send {
+        /// Destination replica.
+        to: ReplicaId,
+        /// The protocol message.
+        msg: QMsg,
+    },
+    /// A follower's next entry was compacted away: build a snapshot of
+    /// the recorder state and hand it back via
+    /// [`RaftCore::snapshot_built`].
+    NeedSnapshot {
+        /// The lagging follower.
+        to: ReplicaId,
+    },
+    /// Install the snapshot image over the local recorder, then call
+    /// [`RaftCore::snapshot_installed`].
+    ApplySnapshot {
+        /// The sending leader.
+        leader: ReplicaId,
+        /// Log index the snapshot covers through.
+        index: u64,
+        /// Term of the entry at `index`.
+        snap_term: u64,
+        /// Encoded `Vec<ProcessExport>`.
+        image: Vec<u8>,
+    },
+    /// This replica won the election for its current term.
+    BecameLeader,
+    /// This replica lost leadership (saw a higher term).
+    SteppedDown,
+}
+
+/// Consensus pacing. Defaults sit well inside the chaos driver's grace
+/// window: elections resolve in a few hundred virtual milliseconds.
+#[derive(Debug, Clone)]
+pub struct RaftConfig {
+    /// Leader heartbeat interval.
+    pub heartbeat: SimDuration,
+    /// Minimum election timeout.
+    pub election_min: SimDuration,
+    /// Randomized extra election timeout, in milliseconds.
+    pub election_jitter_ms: u64,
+    /// Max entries per Append.
+    pub max_batch: usize,
+    /// Compact applied entries once the log exceeds this length.
+    pub compact_threshold: usize,
+}
+
+impl Default for RaftConfig {
+    fn default() -> Self {
+        RaftConfig {
+            heartbeat: SimDuration::from_millis(25),
+            election_min: SimDuration::from_millis(80),
+            election_jitter_ms: 80,
+            max_batch: 16,
+            compact_threshold: 256,
+        }
+    }
+}
+
+/// Counters the core maintains (observability).
+#[derive(Debug, Clone, Default)]
+pub struct RaftStats {
+    /// Elections this replica started.
+    pub elections_started: u64,
+    /// Elections this replica won.
+    pub elections_won: u64,
+    /// Ballots this replica granted.
+    pub votes_granted: u64,
+    /// Append rejections this replica issued (log repair events).
+    pub appends_rejected: u64,
+    /// Snapshots this replica shipped to lagging followers.
+    pub snapshots_sent: u64,
+    /// Times this replica stepped down from leadership.
+    pub step_downs: u64,
+}
+
+/// The consensus state machine for one replica.
+pub struct RaftCore {
+    id: ReplicaId,
+    n: u32,
+    cfg: RaftConfig,
+    rng: DetRng,
+    /// Durable term/vote (two-slot NVRAM cell).
+    cell: DurableCell,
+    term: u64,
+    voted_for: Option<ReplicaId>,
+    role: Role,
+    leader_hint: Option<ReplicaId>,
+    /// `log[i]` holds the entry at index `snap_index + 1 + i` (Raft
+    /// indices start at 1; 0 is the empty-log sentinel).
+    log: Vec<LogEntry>,
+    snap_index: u64,
+    snap_term: u64,
+    commit: u64,
+    applied: u64,
+    next_index: Vec<u64>,
+    match_index: Vec<u64>,
+    votes: BTreeSet<ReplicaId>,
+    election_deadline: SimTime,
+    heartbeat_due: SimTime,
+    stats: RaftStats,
+}
+
+impl RaftCore {
+    /// Creates the core for replica `id` of an `n`-member group.
+    pub fn new(id: ReplicaId, n: u32, seed: u64, cfg: RaftConfig) -> Self {
+        assert!(n >= 1 && id < n, "replica id within group");
+        let mut rng = DetRng::new(seed ^ 0x5175_6f72_756d_5261);
+        let rng = rng.fork(id as u64);
+        RaftCore {
+            id,
+            n,
+            cfg,
+            rng,
+            cell: DurableCell::new(),
+            term: 0,
+            voted_for: None,
+            role: Role::Follower,
+            leader_hint: None,
+            log: Vec::new(),
+            snap_index: 0,
+            snap_term: 0,
+            commit: 0,
+            applied: 0,
+            next_index: vec![1; n as usize],
+            match_index: vec![0; n as usize],
+            votes: BTreeSet::new(),
+            election_deadline: SimTime::ZERO,
+            heartbeat_due: SimTime::ZERO,
+            stats: RaftStats::default(),
+        }
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// Current role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Whether this replica currently leads the group.
+    pub fn is_leader(&self) -> bool {
+        self.role == Role::Leader
+    }
+
+    /// Current term.
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
+    /// Best guess at the current leader.
+    pub fn leader_hint(&self) -> Option<ReplicaId> {
+        self.leader_hint
+    }
+
+    /// Commit index.
+    pub fn commit_index(&self) -> u64 {
+        self.commit
+    }
+
+    /// Applied index.
+    pub fn applied_index(&self) -> u64 {
+        self.applied
+    }
+
+    /// Index of the last log entry.
+    pub fn last_index(&self) -> u64 {
+        self.snap_index + self.log.len() as u64
+    }
+
+    /// Entries currently retained in memory (post-compaction length).
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// The snapshot floor (entries at or below it have been compacted).
+    pub fn snap_index(&self) -> u64 {
+        self.snap_index
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &RaftStats {
+        &self.stats
+    }
+
+    /// Replication lag of the slowest *tracked* follower, in entries
+    /// (leader only; 0 otherwise).
+    pub fn worst_follower_lag(&self) -> u64 {
+        if self.role != Role::Leader {
+            return 0;
+        }
+        let last = self.last_index();
+        (0..self.n as usize)
+            .filter(|&p| p != self.id as usize)
+            .map(|p| last.saturating_sub(self.match_index[p]))
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn last_term(&self) -> u64 {
+        self.log.last().map(|e| e.term).unwrap_or(self.snap_term)
+    }
+
+    /// Term of the entry at `index`, if it is still resolvable.
+    fn term_at(&self, index: u64) -> Option<u64> {
+        if index == self.snap_index {
+            Some(self.snap_term)
+        } else if index > self.snap_index && index <= self.last_index() {
+            Some(self.log[(index - self.snap_index - 1) as usize].term)
+        } else {
+            None
+        }
+    }
+
+    fn entry_at(&self, index: u64) -> &LogEntry {
+        &self.log[(index - self.snap_index - 1) as usize]
+    }
+
+    /// Write-through persistence of term/vote: the record is settled
+    /// before any message promising it can be emitted, so a crash cannot
+    /// tear a vote the rest of the group already counted.
+    fn persist_hard(&mut self) {
+        let mut e = Encoder::new();
+        e.u64(self.term);
+        e.option(self.voted_for.as_ref(), |e, v| {
+            e.u32(*v);
+        });
+        self.cell.write(&e.finish());
+        self.cell.settle();
+    }
+
+    fn load_hard(&mut self) {
+        if let Some(buf) = self.cell.read() {
+            let mut d = Decoder::new(&buf);
+            if let (Ok(term), Ok(vote)) = (d.u64(), d.option(|d| d.u32())) {
+                self.term = self.term.max(term);
+                if self.term == term {
+                    self.voted_for = vote;
+                }
+            }
+        }
+    }
+
+    fn reset_election_deadline(&mut self, now: SimTime) {
+        let jitter = SimDuration::from_millis(self.rng.below(self.cfg.election_jitter_ms.max(1)));
+        self.election_deadline = now + self.cfg.election_min + jitter;
+    }
+
+    /// Begins operation (or resumes after [`RaftCore::restart`]).
+    pub fn start(&mut self, now: SimTime) -> Vec<RaftOut> {
+        self.reset_election_deadline(now);
+        self.heartbeat_due = now + self.cfg.heartbeat;
+        Vec::new()
+    }
+
+    /// Crash + restart: durable term/vote reload, battery-backed log
+    /// kept, volatile apply progress rewound to the snapshot floor so
+    /// the committed prefix is re-applied through the idempotent
+    /// recorder path.
+    pub fn restart(&mut self, now: SimTime) -> Vec<RaftOut> {
+        let was_leader = self.role == Role::Leader;
+        self.role = Role::Follower;
+        self.leader_hint = None;
+        self.votes.clear();
+        self.load_hard();
+        self.applied = self.snap_index;
+        self.reset_election_deadline(now);
+        if was_leader {
+            self.stats.step_downs += 1;
+        }
+        Vec::new()
+    }
+
+    /// Periodic driver: election timeout and leader heartbeats.
+    pub fn tick(&mut self, now: SimTime) -> Vec<RaftOut> {
+        let mut out = Vec::new();
+        match self.role {
+            Role::Leader => {
+                if now >= self.heartbeat_due {
+                    self.heartbeat_due = now + self.cfg.heartbeat;
+                    self.replicate_all(&mut out, true);
+                }
+            }
+            Role::Follower | Role::Candidate => {
+                if now >= self.election_deadline {
+                    self.start_election(now, &mut out);
+                }
+            }
+        }
+        self.maybe_compact();
+        out
+    }
+
+    fn start_election(&mut self, now: SimTime, out: &mut Vec<RaftOut>) {
+        self.term += 1;
+        self.voted_for = Some(self.id);
+        self.persist_hard();
+        self.role = Role::Candidate;
+        self.leader_hint = None;
+        self.votes.clear();
+        self.votes.insert(self.id);
+        self.stats.elections_started += 1;
+        self.reset_election_deadline(now);
+        if self.has_majority() {
+            self.become_leader(now, out);
+            return;
+        }
+        let (last_index, last_term) = (self.last_index(), self.last_term());
+        for to in self.peers() {
+            out.push(RaftOut::Send {
+                to,
+                msg: QMsg::RequestVote {
+                    term: self.term,
+                    candidate: self.id,
+                    last_index,
+                    last_term,
+                },
+            });
+        }
+    }
+
+    fn peers(&self) -> impl Iterator<Item = ReplicaId> + '_ {
+        (0..self.n).filter(move |&p| p != self.id)
+    }
+
+    fn has_majority(&self) -> bool {
+        self.votes.len() as u32 * 2 > self.n
+    }
+
+    fn become_leader(&mut self, now: SimTime, out: &mut Vec<RaftOut>) {
+        self.role = Role::Leader;
+        self.leader_hint = Some(self.id);
+        self.stats.elections_won += 1;
+        let next = self.last_index() + 1;
+        self.next_index = vec![next; self.n as usize];
+        self.match_index = vec![0; self.n as usize];
+        self.match_index[self.id as usize] = self.last_index();
+        out.push(RaftOut::BecameLeader);
+        // Committing a no-op in the new term proves leadership and pins
+        // every inherited entry committed (Raft §5.4.2: a leader may not
+        // count replicas for entries from earlier terms directly).
+        self.append_local(Op::Noop);
+        self.heartbeat_due = now + self.cfg.heartbeat;
+        self.replicate_all(out, true);
+    }
+
+    fn append_local(&mut self, op: Op) -> u64 {
+        self.log.push(LogEntry {
+            term: self.term,
+            op,
+        });
+        let idx = self.last_index();
+        self.match_index[self.id as usize] = idx;
+        if self.n == 1 {
+            self.commit = idx;
+        }
+        idx
+    }
+
+    /// Leader-only: appends `op` to the replicated log and starts
+    /// replicating it. Returns the entry's index, or `None` if this
+    /// replica is not the leader (the caller re-observes and retries via
+    /// the next leader).
+    pub fn propose(&mut self, op: Op, out: &mut Vec<RaftOut>) -> Option<u64> {
+        if self.role != Role::Leader {
+            return None;
+        }
+        let idx = self.append_local(op);
+        self.replicate_all(out, false);
+        Some(idx)
+    }
+
+    fn replicate_all(&mut self, out: &mut Vec<RaftOut>, force_empty: bool) {
+        for to in self.peers().collect::<Vec<_>>() {
+            self.replicate_one(to, out, force_empty);
+        }
+    }
+
+    fn replicate_one(&mut self, to: ReplicaId, out: &mut Vec<RaftOut>, force_empty: bool) {
+        let next = self.next_index[to as usize];
+        if next <= self.snap_index {
+            // The entries the follower needs were compacted away: ship
+            // the recorder state itself as the snapshot.
+            out.push(RaftOut::NeedSnapshot { to });
+            return;
+        }
+        let last = self.last_index();
+        if next > last && !force_empty {
+            return;
+        }
+        let prev_index = next - 1;
+        let Some(prev_term) = self.term_at(prev_index) else {
+            out.push(RaftOut::NeedSnapshot { to });
+            return;
+        };
+        let hi = last.min(prev_index + self.cfg.max_batch as u64);
+        let entries: Vec<LogEntry> = (next..=hi).map(|i| self.entry_at(i).clone()).collect();
+        out.push(RaftOut::Send {
+            to,
+            msg: QMsg::Append {
+                term: self.term,
+                leader: self.id,
+                prev_index,
+                prev_term,
+                entries,
+                commit: self.commit,
+            },
+        });
+    }
+
+    /// The replica built the snapshot image requested by
+    /// [`RaftOut::NeedSnapshot`]; ships it. The snapshot covers the
+    /// leader's applied prefix, so the leader compacts to `applied`
+    /// first — the image and the floor must agree.
+    pub fn snapshot_built(&mut self, to: ReplicaId, image: Vec<u8>, out: &mut Vec<RaftOut>) {
+        if self.role != Role::Leader {
+            return;
+        }
+        self.compact_to_applied();
+        self.stats.snapshots_sent += 1;
+        out.push(RaftOut::Send {
+            to,
+            msg: QMsg::Snapshot {
+                term: self.term,
+                leader: self.id,
+                index: self.snap_index,
+                snap_term: self.snap_term,
+                image,
+            },
+        });
+    }
+
+    /// The replica installed a snapshot delivered by
+    /// [`RaftOut::ApplySnapshot`]: adopt its floor and acknowledge.
+    pub fn snapshot_installed(
+        &mut self,
+        leader: ReplicaId,
+        index: u64,
+        snap_term: u64,
+    ) -> Vec<RaftOut> {
+        if index > self.snap_index {
+            self.log.clear();
+            self.snap_index = index;
+            self.snap_term = snap_term;
+            self.commit = self.commit.max(index);
+            self.applied = self.applied.max(index);
+        }
+        vec![RaftOut::Send {
+            to: leader,
+            msg: QMsg::SnapshotReply {
+                term: self.term,
+                from: self.id,
+                index: self.snap_index,
+            },
+        }]
+    }
+
+    fn compact_to_applied(&mut self) {
+        if self.applied <= self.snap_index {
+            return;
+        }
+        let keep = self.applied;
+        let term = self.term_at(keep).expect("applied entry resolvable");
+        self.log.drain(..(keep - self.snap_index) as usize);
+        self.snap_index = keep;
+        self.snap_term = term;
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.log.len() > self.cfg.compact_threshold && self.applied > self.snap_index {
+            self.compact_to_applied();
+        }
+    }
+
+    fn adopt_term(&mut self, term: u64, out: &mut Vec<RaftOut>) {
+        if term <= self.term {
+            return;
+        }
+        let was_leader = self.role == Role::Leader;
+        self.term = term;
+        self.voted_for = None;
+        self.persist_hard();
+        self.role = Role::Follower;
+        self.votes.clear();
+        if was_leader {
+            self.stats.step_downs += 1;
+            out.push(RaftOut::SteppedDown);
+        }
+    }
+
+    /// Handles one protocol message from a fellow replica.
+    pub fn on_msg(&mut self, now: SimTime, msg: QMsg) -> Vec<RaftOut> {
+        let mut out = Vec::new();
+        match msg {
+            QMsg::RequestVote {
+                term,
+                candidate,
+                last_index,
+                last_term,
+            } => {
+                self.adopt_term(term, &mut out);
+                let up_to_date = last_term > self.last_term()
+                    || (last_term == self.last_term() && last_index >= self.last_index());
+                let can_vote = self.voted_for.is_none() || self.voted_for == Some(candidate);
+                let granted = term == self.term && up_to_date && can_vote;
+                if granted && self.voted_for != Some(candidate) {
+                    self.voted_for = Some(candidate);
+                    self.persist_hard();
+                }
+                if granted {
+                    self.stats.votes_granted += 1;
+                    self.reset_election_deadline(now);
+                }
+                out.push(RaftOut::Send {
+                    to: candidate,
+                    msg: QMsg::VoteReply {
+                        term: self.term,
+                        from: self.id,
+                        granted,
+                    },
+                });
+            }
+            QMsg::VoteReply {
+                term,
+                from,
+                granted,
+            } => {
+                self.adopt_term(term, &mut out);
+                if self.role == Role::Candidate && term == self.term && granted {
+                    self.votes.insert(from);
+                    if self.has_majority() {
+                        self.become_leader(now, &mut out);
+                    }
+                }
+            }
+            QMsg::Append {
+                term,
+                leader,
+                prev_index,
+                prev_term,
+                entries,
+                commit,
+            } => {
+                self.adopt_term(term, &mut out);
+                if term < self.term {
+                    out.push(RaftOut::Send {
+                        to: leader,
+                        msg: QMsg::AppendReply {
+                            term: self.term,
+                            from: self.id,
+                            ok: false,
+                            index: 0,
+                        },
+                    });
+                    return out;
+                }
+                // Same-term candidate yields to the established leader.
+                self.role = Role::Follower;
+                self.leader_hint = Some(leader);
+                self.reset_election_deadline(now);
+                self.on_append(leader, prev_index, prev_term, entries, commit, &mut out);
+            }
+            QMsg::AppendReply {
+                term,
+                from,
+                ok,
+                index,
+            } => {
+                self.adopt_term(term, &mut out);
+                if self.role != Role::Leader || term != self.term {
+                    return out;
+                }
+                let f = from as usize;
+                if ok {
+                    if index > self.match_index[f] {
+                        self.match_index[f] = index;
+                    }
+                    self.next_index[f] = self.match_index[f] + 1;
+                    self.advance_commit();
+                    if self.next_index[f] <= self.last_index() {
+                        self.replicate_one(from, &mut out, false);
+                    }
+                } else {
+                    self.stats.appends_rejected += 1;
+                    let fallback = self.next_index[f].saturating_sub(1).max(1);
+                    self.next_index[f] = fallback.min(index + 1).max(1);
+                    self.replicate_one(from, &mut out, true);
+                }
+            }
+            QMsg::Snapshot {
+                term,
+                leader,
+                index,
+                snap_term,
+                image,
+            } => {
+                self.adopt_term(term, &mut out);
+                if term < self.term {
+                    return out;
+                }
+                self.role = Role::Follower;
+                self.leader_hint = Some(leader);
+                self.reset_election_deadline(now);
+                if index > self.snap_index {
+                    out.push(RaftOut::ApplySnapshot {
+                        leader,
+                        index,
+                        snap_term,
+                        image,
+                    });
+                } else {
+                    out.push(RaftOut::Send {
+                        to: leader,
+                        msg: QMsg::SnapshotReply {
+                            term: self.term,
+                            from: self.id,
+                            index: self.snap_index,
+                        },
+                    });
+                }
+            }
+            QMsg::SnapshotReply { term, from, index } => {
+                self.adopt_term(term, &mut out);
+                if self.role != Role::Leader || term != self.term {
+                    return out;
+                }
+                let f = from as usize;
+                if index > self.match_index[f] {
+                    self.match_index[f] = index;
+                }
+                self.next_index[f] = self.match_index[f].max(self.snap_index) + 1;
+                self.advance_commit();
+                if self.next_index[f] <= self.last_index() {
+                    self.replicate_one(from, &mut out, false);
+                }
+            }
+        }
+        out
+    }
+
+    fn on_append(
+        &mut self,
+        leader: ReplicaId,
+        mut prev_index: u64,
+        mut prev_term: u64,
+        mut entries: Vec<LogEntry>,
+        commit: u64,
+        out: &mut Vec<RaftOut>,
+    ) {
+        // Entries at or below our snapshot floor are already committed
+        // and applied here; skip them and anchor at the floor.
+        if prev_index < self.snap_index {
+            let skip = (self.snap_index - prev_index).min(entries.len() as u64);
+            entries.drain(..skip as usize);
+            prev_index = self.snap_index;
+            prev_term = self.snap_term;
+        }
+        let reply = |s: &Self, ok: bool, index: u64| QMsg::AppendReply {
+            term: s.term,
+            from: s.id,
+            ok,
+            index,
+        };
+        match self.term_at(prev_index) {
+            None => {
+                // We don't have prev at all: ask the leader to back off
+                // to our last index.
+                let hint = self.last_index();
+                out.push(RaftOut::Send {
+                    to: leader,
+                    msg: reply(self, false, hint),
+                });
+                return;
+            }
+            Some(t) if t != prev_term => {
+                // Conflict at prev: our entry is from a deposed leader.
+                let hint = prev_index.saturating_sub(1).max(self.snap_index);
+                out.push(RaftOut::Send {
+                    to: leader,
+                    msg: reply(self, false, hint),
+                });
+                return;
+            }
+            Some(_) => {}
+        }
+        // Append, resolving conflicts in the leader's favor (Raft log
+        // matching: a conflicting suffix belongs to a deposed leader and
+        // is unacknowledged by definition).
+        let mut idx = prev_index;
+        for entry in entries {
+            idx += 1;
+            match self.term_at(idx) {
+                Some(t) if t == entry.term => {} // already have it
+                Some(_) => {
+                    self.log.truncate((idx - self.snap_index - 1) as usize);
+                    self.log.push(entry);
+                }
+                None => self.log.push(entry),
+            }
+        }
+        let match_index = idx;
+        if commit > self.commit {
+            self.commit = commit.min(self.last_index());
+        }
+        out.push(RaftOut::Send {
+            to: leader,
+            msg: reply(self, true, match_index),
+        });
+    }
+
+    fn advance_commit(&mut self) {
+        let last = self.last_index();
+        let mut n = last;
+        while n > self.commit {
+            if self.term_at(n) == Some(self.term) {
+                let count = (0..self.n as usize)
+                    .filter(|&p| self.match_index[p] >= n)
+                    .count() as u32;
+                if count * 2 > self.n {
+                    self.commit = n;
+                    break;
+                }
+            }
+            n -= 1;
+        }
+    }
+
+    /// Drains committed-but-unapplied entries, advancing the applied
+    /// cursor. The caller applies them to the recorder in order; after a
+    /// restart this re-yields the committed prefix above the snapshot
+    /// floor (application is idempotent).
+    pub fn take_applicable(&mut self) -> Vec<(u64, LogEntry)> {
+        let mut out = Vec::new();
+        while self.applied < self.commit {
+            self.applied += 1;
+            out.push((self.applied, self.entry_at(self.applied).clone()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use publishing_demos::ids::{Channel, MessageId, ProcessId};
+    use publishing_demos::message::{Message, MessageHeader};
+
+    fn msg(seq: u64) -> Message {
+        Message {
+            header: MessageHeader {
+                id: MessageId {
+                    sender: ProcessId::new(1, 1),
+                    seq,
+                },
+                to: ProcessId::new(2, 1),
+                code: 0,
+                channel: Channel::DEFAULT,
+                deliver_to_kernel: false,
+            },
+            passed_link: None,
+            body: vec![seq as u8],
+        }
+    }
+
+    /// Perfect-network harness: runs ticks and delivers every Send
+    /// in-order until quiescent.
+    struct Net {
+        cores: Vec<RaftCore>,
+        /// Replicas currently partitioned away (drop all their traffic).
+        down: Vec<bool>,
+        /// Every entry each live replica has applied, in apply order.
+        applied: Vec<Vec<(u64, LogEntry)>>,
+    }
+
+    impl Net {
+        fn new(n: u32) -> Self {
+            let mut cores: Vec<RaftCore> = (0..n)
+                .map(|i| RaftCore::new(i, n, 7, RaftConfig::default()))
+                .collect();
+            for c in &mut cores {
+                c.start(SimTime::ZERO);
+            }
+            Net {
+                cores,
+                down: vec![false; n as usize],
+                applied: vec![Vec::new(); n as usize],
+            }
+        }
+
+        fn dispatch(&mut self, now: SimTime, from: ReplicaId, outs: Vec<RaftOut>) {
+            let mut queue: Vec<(ReplicaId, ReplicaId, QMsg)> = Vec::new();
+            let mut local: Vec<(ReplicaId, RaftOut)> = Vec::new();
+            for o in outs {
+                match o {
+                    RaftOut::Send { to, msg } => queue.push((from, to, msg)),
+                    other => local.push((from, other)),
+                }
+            }
+            for (at, o) in local {
+                self.handle_local(now, at, o, &mut queue);
+            }
+            while let Some((src, dst, m)) = queue.pop() {
+                if self.down[src as usize] || self.down[dst as usize] {
+                    continue;
+                }
+                let outs = self.cores[dst as usize].on_msg(now, m);
+                for o in outs {
+                    match o {
+                        RaftOut::Send { to, msg } => queue.push((dst, to, msg)),
+                        other => {
+                            let mut q2 = Vec::new();
+                            self.handle_local(now, dst, other, &mut q2);
+                            queue.extend(q2);
+                        }
+                    }
+                }
+            }
+        }
+
+        fn handle_local(
+            &mut self,
+            _now: SimTime,
+            at: ReplicaId,
+            o: RaftOut,
+            queue: &mut Vec<(ReplicaId, ReplicaId, QMsg)>,
+        ) {
+            match o {
+                RaftOut::NeedSnapshot { to } => {
+                    let mut outs = Vec::new();
+                    self.cores[at as usize].snapshot_built(to, Vec::new(), &mut outs);
+                    for o in outs {
+                        if let RaftOut::Send { to, msg } = o {
+                            queue.push((at, to, msg));
+                        }
+                    }
+                }
+                RaftOut::ApplySnapshot {
+                    leader,
+                    index,
+                    snap_term,
+                    ..
+                } => {
+                    let outs = self.cores[at as usize].snapshot_installed(leader, index, snap_term);
+                    for o in outs {
+                        if let RaftOut::Send { to, msg } = o {
+                            queue.push((at, to, msg));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        fn run(&mut self, from_ms: u64, to_ms: u64) {
+            for t in from_ms..to_ms {
+                let now = SimTime::from_millis(t);
+                for i in 0..self.cores.len() {
+                    if self.down[i] {
+                        continue;
+                    }
+                    let outs = self.cores[i].tick(now);
+                    self.dispatch(now, i as u32, outs);
+                    // A live host applies committed entries promptly.
+                    let newly = self.cores[i].take_applicable();
+                    self.applied[i].extend(newly);
+                }
+            }
+        }
+
+        fn leader(&self) -> Option<usize> {
+            self.cores.iter().position(|c| c.is_leader())
+        }
+    }
+
+    #[test]
+    fn single_replica_leads_itself() {
+        let mut net = Net::new(1);
+        net.run(0, 300);
+        assert_eq!(net.leader(), Some(0));
+        let mut out = Vec::new();
+        let idx = net.cores[0].propose(
+            Op::Sequence {
+                seq: 0,
+                msg: msg(1),
+            },
+            &mut out,
+        );
+        assert!(idx.is_some());
+        assert_eq!(net.cores[0].commit_index(), idx.unwrap());
+    }
+
+    #[test]
+    fn three_replicas_elect_exactly_one_leader() {
+        let mut net = Net::new(3);
+        net.run(0, 500);
+        let leaders: Vec<_> = net.cores.iter().filter(|c| c.is_leader()).collect();
+        assert_eq!(leaders.len(), 1, "exactly one leader");
+        // All replicas agree on the term and have committed the no-op.
+        let term = leaders[0].term();
+        for c in &net.cores {
+            assert_eq!(c.term(), term);
+            assert!(c.commit_index() >= 1, "no-op committed everywhere");
+        }
+    }
+
+    #[test]
+    fn committed_entries_apply_identically_everywhere() {
+        let mut net = Net::new(3);
+        net.run(0, 500);
+        let l = net.leader().expect("leader");
+        for i in 0..10u64 {
+            let mut out = Vec::new();
+            net.cores[l].propose(
+                Op::Sequence {
+                    seq: i,
+                    msg: msg(i + 1),
+                },
+                &mut out,
+            );
+            net.dispatch(SimTime::from_millis(500 + i), l as u32, out);
+        }
+        net.run(500, 600);
+        // Same committed prefix on every replica, in the same order.
+        let applied = &net.applied;
+        assert!(applied[0].len() >= 11, "noop + 10 entries");
+        assert_eq!(applied[0], applied[1]);
+        assert_eq!(applied[1], applied[2]);
+    }
+
+    #[test]
+    fn leader_failover_resumes_without_losing_committed_entries() {
+        let mut net = Net::new(3);
+        net.run(0, 500);
+        let l = net.leader().expect("leader");
+        for i in 0..5u64 {
+            let mut out = Vec::new();
+            net.cores[l].propose(
+                Op::Sequence {
+                    seq: i,
+                    msg: msg(i + 1),
+                },
+                &mut out,
+            );
+            net.dispatch(SimTime::from_millis(500 + i), l as u32, out);
+        }
+        net.run(500, 520);
+        let committed_before = net.cores[l].commit_index();
+        assert!(committed_before >= 6);
+        // Partition the leader away; a new one takes over.
+        net.down[l] = true;
+        net.run(520, 1000);
+        let l2 = net
+            .cores
+            .iter()
+            .position(|c| c.is_leader() && c.term() > net.cores[l].term())
+            .expect("new leader elected");
+        assert_ne!(l2, l);
+        // The new leader retained every committed entry.
+        assert!(net.cores[l2].last_index() >= committed_before);
+        let mut out = Vec::new();
+        net.cores[l2].propose(
+            Op::Sequence {
+                seq: 100,
+                msg: msg(100),
+            },
+            &mut out,
+        );
+        net.dispatch(SimTime::from_millis(1000), l2 as u32, out);
+        net.run(1000, 1100);
+        assert!(net.cores[l2].commit_index() > committed_before);
+    }
+
+    #[test]
+    fn deposed_leader_suffix_is_overwritten() {
+        let mut net = Net::new(3);
+        net.run(0, 500);
+        let l = net.leader().expect("leader");
+        // Leader appends locally while partitioned: these entries are
+        // never acknowledged and must be discarded after failover.
+        net.down[l] = true;
+        let mut sink = Vec::new();
+        net.cores[l].propose(
+            Op::Sequence {
+                seq: 50,
+                msg: msg(50),
+            },
+            &mut sink,
+        );
+        net.cores[l].propose(
+            Op::Sequence {
+                seq: 51,
+                msg: msg(51),
+            },
+            &mut sink,
+        );
+        net.run(500, 1000);
+        let l2 = net
+            .cores
+            .iter()
+            .position(|c| c.is_leader())
+            .expect("new leader");
+        assert_ne!(l2, l);
+        let mut out = Vec::new();
+        net.cores[l2].propose(
+            Op::Sequence {
+                seq: 1,
+                msg: msg(60),
+            },
+            &mut out,
+        );
+        net.dispatch(SimTime::from_millis(1000), l2 as u32, out);
+        net.run(1000, 1050);
+        // Heal: the old leader rejoins and its stale suffix is replaced.
+        net.down[l] = false;
+        net.run(1050, 1400);
+        assert!(!net.cores[l].is_leader());
+        let healed: Vec<_> = net.cores[l].take_applicable();
+        // Every applied entry on the healed replica matches the new
+        // leader's log (log matching).
+        for (idx, entry) in &healed {
+            assert_eq!(net.cores[l2].term_at(*idx), Some(entry.term));
+        }
+    }
+
+    #[test]
+    fn qmsg_codec_roundtrip() {
+        let samples = vec![
+            QMsg::RequestVote {
+                term: 3,
+                candidate: 1,
+                last_index: 7,
+                last_term: 2,
+            },
+            QMsg::VoteReply {
+                term: 3,
+                from: 2,
+                granted: true,
+            },
+            QMsg::Append {
+                term: 4,
+                leader: 0,
+                prev_index: 9,
+                prev_term: 3,
+                entries: vec![
+                    LogEntry {
+                        term: 4,
+                        op: Op::Noop,
+                    },
+                    LogEntry {
+                        term: 4,
+                        op: Op::Sequence {
+                            seq: 11,
+                            msg: msg(5),
+                        },
+                    },
+                ],
+                commit: 9,
+            },
+            QMsg::AppendReply {
+                term: 4,
+                from: 1,
+                ok: false,
+                index: 6,
+            },
+            QMsg::Snapshot {
+                term: 5,
+                leader: 2,
+                index: 40,
+                snap_term: 4,
+                image: vec![9, 8, 7],
+            },
+            QMsg::SnapshotReply {
+                term: 5,
+                from: 0,
+                index: 40,
+            },
+        ];
+        for m in samples {
+            let buf = m.encode_to_vec();
+            assert_eq!(QMsg::decode_all(&buf).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn compaction_triggers_snapshot_catchup() {
+        let cfg = RaftConfig {
+            compact_threshold: 8,
+            ..RaftConfig::default()
+        };
+        let mut cores: Vec<RaftCore> = (0..3)
+            .map(|i| RaftCore::new(i, 3, 7, cfg.clone()))
+            .collect();
+        for c in &mut cores {
+            c.start(SimTime::ZERO);
+        }
+        let mut net = Net {
+            cores,
+            down: vec![false; 3],
+            applied: vec![Vec::new(); 3],
+        };
+        net.run(0, 500);
+        let l = net.leader().expect("leader");
+        let lagger = (0..3).find(|&i| i != l).unwrap();
+        net.down[lagger] = true;
+        for i in 0..40u64 {
+            let mut out = Vec::new();
+            net.cores[l].propose(
+                Op::Sequence {
+                    seq: i,
+                    msg: msg(i + 1),
+                },
+                &mut out,
+            );
+            net.dispatch(SimTime::from_millis(500 + i), l as u32, out);
+        }
+        // Run long enough for ticks to compact the applied prefix.
+        net.run(540, 900);
+        assert!(
+            net.cores[l].snap_index() > 0,
+            "leader compacted its applied prefix"
+        );
+        // The lagging replica heals and catches up via snapshot.
+        net.down[lagger] = false;
+        net.run(900, 1400);
+        assert!(
+            net.cores[lagger].commit_index() >= net.cores[l].snap_index(),
+            "lagger caught up at least to the snapshot floor"
+        );
+    }
+}

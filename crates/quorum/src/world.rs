@@ -1,0 +1,969 @@
+//! The replicated-recorder world: processing nodes plus a quorum group
+//! of recorder replicas on one broadcast medium, driven by a single
+//! deterministic event loop.
+//!
+//! Structure mirrors the single-recorder world of `publishing-core`
+//! and the sharded world of `publishing-shard`, with the recorder tier
+//! replaced by a consensus group: every replica captures every frame
+//! (the medium replicates bytes for free, §3.2), the elected leader
+//! sequences arrivals through the replicated log, and the group
+//! survives the crash of any minority — including the leader, mid-
+//! commit — without losing or duplicating an arrival sequence.
+
+use crate::replica::{QAction, QuorumReplica, ReplicaConfig};
+use publishing_core::node::RecorderConfig;
+use publishing_demos::costs::CostModel;
+use publishing_demos::harness::OutputLine;
+use publishing_demos::ids::{MessageId, NodeId, ProcessId};
+use publishing_demos::kernel::{Kernel, KernelAction};
+use publishing_demos::link::Link;
+use publishing_demos::registry::{ProgramRegistry, UnknownProgram};
+use publishing_demos::transport::{TransportConfig, Wire};
+use publishing_net::bus::PerfectBus;
+use publishing_net::frame::{Frame, StationId};
+use publishing_net::lan::{Lan, LanAction, LanConfig, RecorderRouter};
+use publishing_sim::codec::Decode;
+use publishing_sim::event::Scheduler;
+use publishing_sim::time::SimTime;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// World events.
+#[derive(Debug)]
+enum QEv {
+    LanTimer(u64),
+    KernelTimer(u32, u64),
+    ReplicaTimer(usize, u64),
+    Deliver {
+        to: u32,
+        frame: Frame,
+        recorder_ok: bool,
+    },
+}
+
+/// Configuration for a [`QuorumWorld`].
+#[derive(Debug, Clone)]
+pub struct QuorumConfig {
+    /// Processing nodes (node ids `0..nodes`).
+    pub nodes: u32,
+    /// Quorum replicas (node ids `nodes..nodes+replicas`). Use an odd
+    /// count; 1 degenerates to the single-recorder world.
+    pub replicas: usize,
+    /// Deterministic seed for election-timeout randomization.
+    pub seed: u64,
+    /// Per-replica configuration template (the group id and the inner
+    /// recorder/raft settings).
+    pub replica: ReplicaConfig,
+}
+
+impl Default for QuorumConfig {
+    fn default() -> Self {
+        QuorumConfig {
+            nodes: 2,
+            replicas: 3,
+            seed: 0,
+            replica: ReplicaConfig::default(),
+        }
+    }
+}
+
+/// A recorder-consensus router: consensus, datagram, and kernel
+/// control traffic is never gated on capture (it must flow during
+/// elections and while replicas are down); everything else falls back
+/// to the live-replica required set.
+fn quorum_router() -> RecorderRouter {
+    Arc::new(|frame: &Frame| match Wire::decode_all(&frame.payload) {
+        Ok(Wire::Quorum { .. } | Wire::Datagram { .. } | Wire::EpochNotice { .. }) => {
+            Some(Vec::new())
+        }
+        Ok(Wire::Data { msg, .. }) if msg.header.to.is_kernel() => Some(Vec::new()),
+        Ok(Wire::Ack { dst_pid, .. }) if dst_pid.is_kernel() => Some(Vec::new()),
+        _ => None,
+    })
+}
+
+/// The running quorum world.
+pub struct QuorumWorld {
+    sched: Scheduler<QEv>,
+    /// The shared medium.
+    pub lan: Box<dyn Lan>,
+    /// Processing-node kernels by node id.
+    pub kernels: BTreeMap<u32, Kernel>,
+    /// The recorder quorum group, by replica index.
+    pub replicas: Vec<QuorumReplica>,
+    /// All process outputs, in emission order.
+    pub outputs: Vec<OutputLine>,
+    n_nodes: u32,
+    node_incarnations: BTreeMap<u32, u32>,
+    crashes: Vec<SimTime>,
+    recovered: BTreeMap<u64, SimTime>,
+    /// Leader observed for each term, with the election-safety
+    /// violations found while tracking.
+    term_leaders: BTreeMap<u64, u32>,
+    election_violations: Vec<String>,
+}
+
+impl QuorumWorld {
+    /// Builds a world with `nodes` processing nodes and a `replicas`-way
+    /// recorder quorum on the default perfect bus.
+    pub fn new(nodes: u32, replicas: usize, registry: ProgramRegistry) -> Self {
+        QuorumWorld::with_config(
+            QuorumConfig {
+                nodes,
+                replicas,
+                ..QuorumConfig::default()
+            },
+            registry,
+            Box::new(PerfectBus::new(LanConfig::default())),
+        )
+    }
+
+    /// Builds a world from a full configuration on a caller-supplied
+    /// medium. The medium must be fresh: stations are attached here.
+    pub fn with_config(
+        cfg: QuorumConfig,
+        registry: ProgramRegistry,
+        mut lan: Box<dyn Lan>,
+    ) -> Self {
+        assert!(cfg.replicas >= 1, "a quorum needs at least one replica");
+        lan.set_recorder_router(Some(quorum_router()));
+        let peer_nodes: Vec<NodeId> = (0..cfg.replicas as u32)
+            .map(|i| NodeId(cfg.nodes + i))
+            .collect();
+        let mut kernels = BTreeMap::new();
+        for n in 0..cfg.nodes {
+            let mut k = Kernel::new(
+                NodeId(n),
+                registry.clone(),
+                CostModel::zero(),
+                TransportConfig::default(),
+                true,
+            );
+            for r in &peer_nodes {
+                k.add_recorder(*r);
+            }
+            lan.attach(k.station());
+            kernels.insert(n, k);
+        }
+        let mut replicas = Vec::new();
+        for i in 0..cfg.replicas {
+            // Fork the seed per replica so election timeouts diverge.
+            let mut rc = cfg.replica.clone();
+            rc.node = RecorderConfig::default();
+            let rep = QuorumReplica::new(
+                i as u32,
+                peer_nodes.clone(),
+                cfg.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1)),
+                rc,
+            );
+            lan.attach(rep.station());
+            replicas.push(rep);
+        }
+        let mut world = QuorumWorld {
+            sched: Scheduler::new(),
+            lan,
+            kernels,
+            replicas,
+            outputs: Vec::new(),
+            n_nodes: cfg.nodes,
+            node_incarnations: BTreeMap::new(),
+            crashes: Vec::new(),
+            recovered: BTreeMap::new(),
+            term_leaders: BTreeMap::new(),
+            election_violations: Vec::new(),
+        };
+        world.refresh_required();
+        let watch: Vec<NodeId> = (0..cfg.nodes).map(NodeId).collect();
+        for i in 0..world.replicas.len() {
+            let actions = world.replicas[i].start(SimTime::ZERO, &watch);
+            world.apply_replica(SimTime::ZERO, i, actions);
+        }
+        world
+    }
+
+    /// Returns the current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// The number of replicas in the group.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The index of the current leader, if any replica is leading.
+    pub fn leader(&self) -> Option<usize> {
+        self.replicas.iter().position(|r| r.is_leader())
+    }
+
+    /// Live replicas (up hosts).
+    pub fn live_replicas(&self) -> usize {
+        self.replicas.iter().filter(|r| r.is_up()).count()
+    }
+
+    /// The capture gate follows group membership: every live replica
+    /// must capture a frame for it to count as published (§6.3's
+    /// "explicit act of the recovery layer" — here, of the consensus
+    /// layer). With no replica up, all publishable traffic suspends
+    /// (§3.3.4), so the required set falls back to the full group.
+    fn refresh_required(&mut self) {
+        let live: Vec<StationId> = self
+            .replicas
+            .iter()
+            .filter(|r| r.is_up())
+            .map(|r| r.station())
+            .collect();
+        if live.is_empty() {
+            let all: Vec<StationId> = self.replicas.iter().map(|r| r.station()).collect();
+            self.lan.set_required_recorders(all);
+        } else {
+            self.lan.set_required_recorders(live);
+        }
+    }
+
+    /// Spawns a program on a node with initial links.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownProgram`] if the image is not registered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    pub fn spawn(
+        &mut self,
+        node: u32,
+        program: &str,
+        links: Vec<Link>,
+    ) -> Result<ProcessId, UnknownProgram> {
+        let now = self.now();
+        let k = self.kernels.get_mut(&node).expect("node exists");
+        let (pid, actions) = k.spawn(now, program, links)?;
+        self.apply_kernel(now, node, actions);
+        Ok(pid)
+    }
+
+    fn apply_kernel(&mut self, now: SimTime, node: u32, actions: Vec<KernelAction>) {
+        for a in actions {
+            match a {
+                KernelAction::Transmit(frame) => {
+                    let lan_actions = self.lan.submit(now, frame);
+                    self.apply_lan(lan_actions);
+                }
+                KernelAction::SetTimer { at, token } => {
+                    self.sched.schedule_at(at, QEv::KernelTimer(node, token));
+                }
+                KernelAction::Output { pid, seq, bytes } => {
+                    self.outputs.push(OutputLine {
+                        at: now,
+                        pid,
+                        seq,
+                        bytes,
+                    });
+                }
+            }
+        }
+    }
+
+    fn apply_replica(&mut self, now: SimTime, idx: usize, actions: Vec<QAction>) {
+        for a in actions {
+            match a {
+                QAction::Transmit(frame) => {
+                    let lan_actions = self.lan.submit(now, frame);
+                    self.apply_lan(lan_actions);
+                }
+                QAction::SetTimer { at, token } => {
+                    self.sched.schedule_at(at, QEv::ReplicaTimer(idx, token));
+                }
+                QAction::RestartNode { node, .. } => {
+                    // Restart arbitration is consensus-derived: only the
+                    // group leader reboots processors. Everyone else
+                    // stands down and lets its watchdog keep checking.
+                    if !self.replicas[idx].is_leader() {
+                        self.replicas[idx].decline_node_restart(node);
+                        continue;
+                    }
+                    let inc = self.node_incarnations.entry(node.0).or_insert(0);
+                    *inc += 1;
+                    let incarnation = *inc;
+                    if let Some(k) = self.kernels.get_mut(&node.0) {
+                        k.restart_node(now, incarnation);
+                        self.lan.set_station_up(StationId(node.0), true);
+                    }
+                    // Every live replica resets transport numbering; the
+                    // leader alone announces NODE_RESTARTED and drives
+                    // recovery (its responsibility filter reads the
+                    // leader flag).
+                    let live: Vec<usize> = (0..self.replicas.len())
+                        .filter(|&j| self.replicas[j].is_up())
+                        .collect();
+                    for j in live {
+                        let follow = self.replicas[j].confirm_node_restarted(
+                            now,
+                            node,
+                            incarnation,
+                            j == idx,
+                        );
+                        self.apply_replica(now, j, follow);
+                    }
+                }
+                QAction::RecoveryDone { pid } => {
+                    self.recovered.insert(pid.as_u64(), now);
+                }
+            }
+        }
+        self.note_leadership(idx);
+    }
+
+    /// Election-safety tracking: record who leads each term; two
+    /// different leaders in one term is the canonical consensus bug.
+    fn note_leadership(&mut self, idx: usize) {
+        let r = &self.replicas[idx];
+        if !r.is_leader() {
+            return;
+        }
+        let term = r.raft().term();
+        let me = r.id();
+        match self.term_leaders.get(&term) {
+            Some(&prev) if prev != me => {
+                self.election_violations.push(format!(
+                    "election safety: term {term} led by replica {prev} and replica {me}"
+                ));
+            }
+            Some(_) => {}
+            None => {
+                self.term_leaders.insert(term, me);
+            }
+        }
+    }
+
+    fn apply_lan(&mut self, actions: Vec<LanAction>) {
+        for a in actions {
+            match a {
+                LanAction::Deliver {
+                    at,
+                    to,
+                    frame,
+                    recorder_ok,
+                } => {
+                    self.sched.schedule_at(
+                        at,
+                        QEv::Deliver {
+                            to: to.0,
+                            frame,
+                            recorder_ok,
+                        },
+                    );
+                }
+                LanAction::SetTimer { at, token } => {
+                    self.sched.schedule_at(at, QEv::LanTimer(token));
+                }
+                LanAction::TxOutcome { .. } => {}
+            }
+        }
+    }
+
+    /// Processes one event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((now, ev)) = self.sched.pop() else {
+            return false;
+        };
+        self.dispatch(now, ev);
+        true
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: QEv) {
+        match ev {
+            QEv::LanTimer(token) => {
+                let actions = self.lan.timer(now, token);
+                self.apply_lan(actions);
+            }
+            QEv::KernelTimer(node, token) => {
+                if let Some(k) = self.kernels.get_mut(&node) {
+                    let actions = k.on_timer(now, token);
+                    self.apply_kernel(now, node, actions);
+                }
+            }
+            QEv::ReplicaTimer(idx, token) => {
+                let actions = self.replicas[idx].on_timer(now, token);
+                self.apply_replica(now, idx, actions);
+            }
+            QEv::Deliver {
+                to,
+                frame,
+                recorder_ok,
+            } => {
+                if to < self.n_nodes {
+                    if let Some(k) = self.kernels.get_mut(&to) {
+                        let actions = k.on_frame(now, &frame, recorder_ok);
+                        self.apply_kernel(now, to, actions);
+                    }
+                } else if let Some(idx) = (to as usize).checked_sub(self.n_nodes as usize) {
+                    if idx < self.replicas.len() {
+                        let actions = self.replicas[idx].on_frame(now, &frame, recorder_ok);
+                        self.apply_replica(now, idx, actions);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs until `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.sched.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.sched.now() < deadline
+            && self
+                .sched
+                .peek_time()
+                .map(|t| t >= deadline)
+                .unwrap_or(true)
+        {
+            self.sched.advance_to(deadline);
+        }
+    }
+
+    /// Installs a fault clock: [`QuorumWorld::run_until_or_fault`]
+    /// pauses at each of its instants so a chaos driver can inject
+    /// faults.
+    pub fn set_fault_clock(&mut self, clock: publishing_sim::event::FaultClock) {
+        self.sched.set_fault_clock(clock);
+    }
+
+    /// Runs until `deadline` or the next fault-clock instant, whichever
+    /// comes first. Returns `Some(t)` when paused at a fault instant,
+    /// `None` once `deadline` is reached with no fault due before it.
+    pub fn run_until_or_fault(&mut self, deadline: SimTime) -> Option<SimTime> {
+        use publishing_sim::event::Tick;
+        loop {
+            let fault_due = self.sched.next_fault().map(|f| f <= deadline);
+            let event_due = self.sched.peek_time().map(|t| t <= deadline);
+            if fault_due != Some(true) && event_due != Some(true) {
+                if self.sched.now() < deadline {
+                    self.sched.advance_to(deadline);
+                }
+                return None;
+            }
+            match self.sched.pop_or_fault() {
+                Some(Tick::Fault(t)) => return Some(t),
+                Some(Tick::Event(now, ev)) => self.dispatch(now, ev),
+                None => return None,
+            }
+        }
+    }
+
+    /// Crashes a process (detected fault); the group leader's manager
+    /// recovers it transparently.
+    pub fn crash_process(&mut self, pid: ProcessId, reason: &str) {
+        let now = self.now();
+        if let Some(k) = self.kernels.get_mut(&pid.node.0) {
+            self.crashes.push(now);
+            let actions = k.crash_process(now, pid.local, reason);
+            self.apply_kernel(now, pid.node.0, actions);
+        }
+    }
+
+    /// Crashes a node; the leader's watchdog restarts it and replays
+    /// its processes from the replicated arrival log.
+    pub fn crash_node(&mut self, node: u32) {
+        if let Some(k) = self.kernels.get_mut(&node) {
+            self.crashes.push(self.sched.now());
+            k.crash_node();
+            self.lan.set_station_up(StationId(node), false);
+        }
+    }
+
+    /// Crashes one quorum replica. A minority crash leaves the group
+    /// live: the capture gate shrinks to the survivors and, if the
+    /// leader died, a new election begins within a few timeouts.
+    pub fn crash_replica(&mut self, idx: usize) {
+        if !self.replicas[idx].is_up() {
+            return;
+        }
+        self.crashes.push(self.now());
+        self.replicas[idx].crash();
+        self.lan.set_station_up(self.replicas[idx].station(), false);
+        self.refresh_required();
+    }
+
+    /// Restarts a crashed replica: recorder rebuild from stable
+    /// storage, rejoin as follower, catch up from the leader's log or a
+    /// snapshot.
+    pub fn restart_replica(&mut self, idx: usize) {
+        if self.replicas[idx].is_up() {
+            return;
+        }
+        let now = self.now();
+        self.lan.set_station_up(self.replicas[idx].station(), true);
+        let actions = self.replicas[idx].restart(now);
+        self.apply_replica(now, idx, actions);
+        self.refresh_required();
+    }
+
+    /// Deduplicated outputs of one process.
+    pub fn outputs_of(&self, pid: ProcessId) -> Vec<String> {
+        let mut by_seq: BTreeMap<u64, &OutputLine> = BTreeMap::new();
+        for o in self.outputs.iter().filter(|o| o.pid == pid) {
+            by_seq.entry(o.seq).or_insert(o);
+        }
+        by_seq
+            .values()
+            .map(|o| String::from_utf8_lossy(&o.bytes).into_owned())
+            .collect()
+    }
+
+    /// The raw (possibly duplicated) output lines of one process.
+    pub fn raw_outputs_of(&self, pid: ProcessId) -> Vec<String> {
+        self.outputs
+            .iter()
+            .filter(|o| o.pid == pid)
+            .map(|o| String::from_utf8_lossy(&o.bytes).into_owned())
+            .collect()
+    }
+
+    /// A fingerprint of every process's deduplicated output.
+    pub fn output_fingerprint(&self) -> u64 {
+        let mut per_pid: BTreeMap<ProcessId, BTreeMap<u64, &[u8]>> = BTreeMap::new();
+        for o in &self.outputs {
+            per_pid
+                .entry(o.pid)
+                .or_default()
+                .entry(o.seq)
+                .or_insert(&o.bytes);
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (pid, lines) in per_pid {
+            for (seq, bytes) in lines {
+                for b in pid
+                    .as_u64()
+                    .to_le_bytes()
+                    .iter()
+                    .chain(seq.to_le_bytes().iter())
+                    .chain(bytes.iter())
+                {
+                    h ^= *b as u64;
+                    h = h.wrapping_mul(0x1000_0000_01b3);
+                }
+            }
+        }
+        h
+    }
+
+    /// The quorum safety oracles, evaluated over the whole run:
+    ///
+    /// 1. **Election safety** — at most one leader per term (tracked
+    ///    continuously as leadership changes hands).
+    /// 2. **State-machine safety** — no replica ever applied the same
+    ///    arrival sequence with two different messages.
+    /// 3. **Log matching** — where two replicas both applied a
+    ///    sequence, they applied the same message.
+    /// 4. **Gap freedom** — the union of applied sequences per process
+    ///    is contiguous from zero: leadership changes neither skip nor
+    ///    double-assign an arrival number.
+    pub fn quorum_invariant_failures(&self) -> Vec<String> {
+        let mut out = self.election_violations.clone();
+        for r in &self.replicas {
+            out.extend(r.audit_violations().iter().cloned());
+        }
+        // Cross-replica agreement + union gap check.
+        let mut union: BTreeMap<ProcessId, BTreeMap<u64, (u32, MessageId)>> = BTreeMap::new();
+        for r in &self.replicas {
+            for (&pid, seqs) in r.applied_log() {
+                let u = union.entry(pid).or_default();
+                for (&seq, &id) in seqs {
+                    match u.get(&seq) {
+                        Some(&(other, prev)) if prev != id => {
+                            out.push(format!(
+                                "log matching: pid {pid:?} seq {seq} is {prev:?} on replica \
+                                 {other} but {id:?} on replica {}",
+                                r.id()
+                            ));
+                        }
+                        Some(_) => {}
+                        None => {
+                            u.insert(seq, (r.id(), id));
+                        }
+                    }
+                }
+            }
+        }
+        for (pid, seqs) in &union {
+            let n = seqs.len() as u64;
+            if n > 0 {
+                let (&first, _) = seqs.iter().next().expect("non-empty");
+                let (&last, _) = seqs.iter().next_back().expect("non-empty");
+                if first != 0 || last + 1 != n {
+                    out.push(format!(
+                        "gap freedom: pid {pid:?} applied {n} seqs spanning [{first}, {last}]"
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Total committed arrival sequences across the group (union over
+    /// replicas, deduplicated per pid × seq).
+    pub fn sequenced_total(&self) -> u64 {
+        let mut union: BTreeMap<ProcessId, BTreeMap<u64, MessageId>> = BTreeMap::new();
+        for r in &self.replicas {
+            for (&pid, seqs) in r.applied_log() {
+                union.entry(pid).or_default().extend(seqs.iter());
+            }
+        }
+        union.values().map(|s| s.len() as u64).sum()
+    }
+
+    /// Total completed recoveries across the group.
+    pub fn recoveries_completed(&self) -> u64 {
+        self.replicas
+            .iter()
+            .map(|r| r.recorder_node().manager().stats().completed.get())
+            .sum()
+    }
+
+    /// Every span log, in deterministic order: kernels by node id, then
+    /// replicas by index.
+    pub fn span_logs(&self) -> Vec<&publishing_obs::span::SpanLog> {
+        let mut logs: Vec<_> = self.kernels.values().map(|k| k.spans()).collect();
+        logs.extend(
+            self.replicas
+                .iter()
+                .map(|r| r.recorder_node().recorder().spans()),
+        );
+        logs
+    }
+
+    /// Order-sensitive fingerprint over every span log.
+    pub fn obs_fingerprint(&self) -> u64 {
+        publishing_obs::span::combined_fingerprint(self.span_logs())
+    }
+
+    /// The happens-before DAG over every component's span log.
+    pub fn causal_graph(&self) -> publishing_obs::causal::CausalGraph {
+        publishing_obs::causal::CausalGraph::build(self.span_logs())
+    }
+
+    /// Virtual instants of every injected crash, in injection order.
+    pub fn crash_times(&self) -> &[SimTime] {
+        &self.crashes
+    }
+
+    /// Completed recoveries: packed pid → instant the manager committed.
+    pub fn recoveries_done(&self) -> &BTreeMap<u64, SimTime> {
+        &self.recovered
+    }
+
+    /// The measured crash→convergence window.
+    pub fn recovery_window(&self) -> Option<(SimTime, SimTime)> {
+        let crash = *self.crashes.first()?;
+        let converged = *self.recovered.values().max()?;
+        (converged >= crash).then_some((crash, converged))
+    }
+
+    /// Assembles per-message lifecycle spans from every component's log.
+    pub fn spans(
+        &self,
+    ) -> BTreeMap<publishing_obs::span::MsgKey, publishing_obs::span::MessageSpan> {
+        publishing_obs::span::assemble(self.span_logs())
+    }
+
+    /// Point-in-time consensus health of every replica.
+    pub fn quorum_health(&self) -> Vec<publishing_obs::probe::QuorumHealth> {
+        self.replicas
+            .iter()
+            .map(|r| {
+                let raft = r.raft();
+                publishing_obs::probe::QuorumHealth {
+                    replica: r.id(),
+                    live: r.is_up(),
+                    leader: r.is_leader(),
+                    term: raft.term(),
+                    elections: raft.stats().elections_started,
+                    commit_index: raft.commit_index(),
+                    applied_index: raft.applied_index(),
+                    replication_lag: if r.is_up() {
+                        raft.worst_follower_lag()
+                    } else {
+                        0
+                    },
+                    compacted: raft.snap_index(),
+                }
+            })
+            .collect()
+    }
+
+    /// Recovery-lag probes for every process, read from the leader (or
+    /// the first live replica when leaderless).
+    pub fn recovery_lags(&self) -> Vec<publishing_obs::probe::RecoveryLag> {
+        let Some(idx) = self
+            .leader()
+            .or_else(|| self.replicas.iter().position(|r| r.is_up()))
+        else {
+            return Vec::new();
+        };
+        let suppressed =
+            publishing_core::obs::suppressed_by_sender(self.kernels.values().map(|k| k.spans()));
+        publishing_core::obs::recovery_lags(
+            self.replicas[idx].recorder_node().recorder(),
+            self.now(),
+            &suppressed,
+        )
+    }
+
+    /// Snapshots every component's instruments into one registry.
+    pub fn collect_metrics(&self) -> publishing_obs::registry::MetricsRegistry {
+        let now = self.now();
+        let mut reg = publishing_obs::registry::MetricsRegistry::new();
+        for k in self.kernels.values() {
+            publishing_core::obs::kernel_metrics(&mut reg, k);
+        }
+        for (i, r) in self.replicas.iter().enumerate() {
+            publishing_core::obs::recorder_node_metrics(
+                &mut reg,
+                &format!("quorum/{i}"),
+                r.recorder_node(),
+                now,
+            );
+        }
+        for h in self.quorum_health() {
+            h.into_registry(&mut reg);
+        }
+        publishing_obs::probe::MediumHealth::from_lan(self.lan.stats(), now)
+            .into_registry(&mut reg);
+        reg
+    }
+
+    /// Builds the full observability report for the run so far.
+    pub fn obs_report(&self) -> publishing_obs::report::ObsReport {
+        let now = self.now();
+        let horizon = now.saturating_since(SimTime::ZERO);
+        let mut profile = publishing_obs::profile::TimeProfile::new();
+        let mut kernel_cpu = publishing_sim::time::SimDuration::ZERO;
+        for k in self.kernels.values() {
+            kernel_cpu += k.stats().cpu_used;
+        }
+        profile.charge("kernel_cpu", kernel_cpu);
+        let mut publish_cpu = publishing_sim::time::SimDuration::ZERO;
+        let mut disk_busy = publishing_sim::time::SimDuration::ZERO;
+        for r in &self.replicas {
+            let rec = r.recorder_node().recorder();
+            publish_cpu += rec.stats().cpu_used;
+            let store = rec.store();
+            for i in 0..store.n_disks() {
+                disk_busy += store.disk_stats(i).busy.busy_time(now);
+            }
+        }
+        profile.charge("publish_cpu", publish_cpu);
+        profile.charge("stable_store_io", disk_busy);
+        profile.charge("medium_busy", self.lan.stats().busy.busy_time(now));
+
+        let mut metrics = self.collect_metrics();
+        let mut recovery = self.recovery_lags();
+        let graph = (!self.recovered.is_empty()).then(|| self.causal_graph());
+        if let Some(g) = &graph {
+            for lag in &mut recovery {
+                let Some(&done) = self.recovered.get(&lag.subject) else {
+                    continue;
+                };
+                let Some(&crash) = self.crashes.iter().filter(|&&c| c <= done).max() else {
+                    continue;
+                };
+                lag.recovery_ms = done.saturating_since(crash).as_millis_f64();
+                lag.critical_path_ms = g
+                    .critical_path(crash, done, Some(lag.subject))
+                    .map(|p| p.total().as_millis_f64())
+                    .unwrap_or(lag.recovery_ms);
+            }
+        }
+        let critical_path = self
+            .recovery_window()
+            .and_then(|(crash, converged)| graph.as_ref()?.critical_path(crash, converged, None));
+        if let Some(cp) = &critical_path {
+            cp.into_registry(&mut metrics);
+        }
+
+        let spans = self.spans();
+        let logs = self.span_logs();
+        publishing_obs::report::ObsReport {
+            schema: publishing_obs::report::REPORT_SCHEMA_VERSION,
+            at_ms: now.as_millis_f64(),
+            metrics,
+            recovery,
+            shards: Vec::new(),
+            medium: Some(publishing_obs::probe::MediumHealth::from_lan(
+                self.lan.stats(),
+                now,
+            )),
+            profile,
+            horizon,
+            latencies: publishing_obs::profile::stage_latencies(&spans),
+            sched: self.scheduler_probe(),
+            queue_depths: self.queue_depths(),
+            spans_total: logs.iter().map(|l| l.total()).sum(),
+            span_fingerprint: self.obs_fingerprint(),
+            critical_path,
+        }
+    }
+
+    /// Event-queue statistics of the world's scheduler.
+    pub fn scheduler_probe(&self) -> publishing_obs::probe::SchedulerProbe {
+        publishing_obs::probe::SchedulerProbe {
+            delivered: self.sched.delivered(),
+            scheduled: self.sched.scheduled(),
+            pending: self.sched.pending() as u64,
+            peak_pending: self.sched.peak_pending() as u64,
+        }
+    }
+
+    /// Pending-buffer depth distribution merged across every replica's
+    /// recorder.
+    pub fn queue_depths(&self) -> Option<publishing_sim::stats::LinearHistogram> {
+        let mut merged: Option<publishing_sim::stats::LinearHistogram> = None;
+        for r in &self.replicas {
+            let h = &r.recorder_node().recorder().stats().depth_hist;
+            match &mut merged {
+                Some(m) => m.merge(h),
+                None => merged = Some(h.clone()),
+            }
+        }
+        merged
+    }
+}
+
+impl core::fmt::Debug for QuorumWorld {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("QuorumWorld")
+            .field("nodes", &self.n_nodes)
+            .field("replicas", &self.replicas.len())
+            .field("leader", &self.leader())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use publishing_demos::ids::Channel;
+    use publishing_demos::programs::{self, PingClient};
+
+    fn registry() -> ProgramRegistry {
+        let mut reg = ProgramRegistry::new();
+        programs::register_standard(&mut reg);
+        reg.register("ping10", || Box::new(PingClient::new(10)));
+        reg
+    }
+
+    fn invariants_clean(w: &QuorumWorld) {
+        let fails = w.quorum_invariant_failures();
+        assert!(fails.is_empty(), "quorum invariants violated: {fails:?}");
+    }
+
+    #[test]
+    fn ping_completes_under_quorum_sequencing() {
+        let mut w = QuorumWorld::new(2, 3, registry());
+        let server = w.spawn(1, "echo", vec![]).unwrap();
+        let client = w
+            .spawn(0, "ping10", vec![Link::to(server, Channel::DEFAULT, 7)])
+            .unwrap();
+        w.run_until(SimTime::from_secs(5));
+        let out = w.outputs_of(client);
+        assert_eq!(out.len(), 11, "{out:?}");
+        assert_eq!(out.last().unwrap(), "done");
+        assert!(w.leader().is_some(), "a leader was elected");
+        assert!(w.sequenced_total() > 0, "arrivals were quorum-sequenced");
+        invariants_clean(&w);
+    }
+
+    #[test]
+    fn replicas_apply_identical_arrival_orders() {
+        let mut w = QuorumWorld::new(2, 3, registry());
+        let server = w.spawn(1, "echo", vec![]).unwrap();
+        let client = w
+            .spawn(0, "ping10", vec![Link::to(server, Channel::DEFAULT, 7)])
+            .unwrap();
+        w.run_until(SimTime::from_secs(5));
+        assert_eq!(w.outputs_of(client).len(), 11);
+        // Every live replica converges on the same applied log.
+        let logs: Vec<_> = w.replicas.iter().map(|r| r.applied_log()).collect();
+        assert!(!logs[0].is_empty());
+        assert_eq!(logs[0], logs[1]);
+        assert_eq!(logs[1], logs[2]);
+        invariants_clean(&w);
+    }
+
+    #[test]
+    fn leader_crash_fails_over_without_gaps_or_dups() {
+        let mut w = QuorumWorld::new(2, 3, registry());
+        let server = w.spawn(1, "echo", vec![]).unwrap();
+        let client = w
+            .spawn(0, "ping10", vec![Link::to(server, Channel::DEFAULT, 7)])
+            .unwrap();
+        // Let traffic start and a leader emerge, then kill it mid-run.
+        w.run_until(SimTime::from_millis(300));
+        let old = w.leader().expect("initial leader");
+        w.crash_replica(old);
+        w.run_until(SimTime::from_secs(12));
+        let new = w.leader().expect("new leader elected");
+        assert_ne!(new, old, "a surviving replica leads");
+        let out = w.outputs_of(client);
+        assert_eq!(out.len(), 11, "{out:?}");
+        invariants_clean(&w);
+    }
+
+    #[test]
+    fn crashed_replica_rejoins_and_catches_up() {
+        let mut w = QuorumWorld::new(2, 3, registry());
+        let server = w.spawn(1, "echo", vec![]).unwrap();
+        let client = w
+            .spawn(0, "ping10", vec![Link::to(server, Channel::DEFAULT, 7)])
+            .unwrap();
+        w.run_until(SimTime::from_millis(200));
+        let victim = (w.leader().expect("leader") + 1) % 3;
+        w.crash_replica(victim);
+        w.run_until(SimTime::from_secs(4));
+        w.restart_replica(victim);
+        w.run_until(SimTime::from_secs(10));
+        assert_eq!(w.outputs_of(client).len(), 11);
+        // The rejoined follower's applied log converges with the rest.
+        let leader = w.leader().expect("leader");
+        assert_eq!(
+            w.replicas[victim].applied_log(),
+            w.replicas[leader].applied_log()
+        );
+        invariants_clean(&w);
+    }
+
+    #[test]
+    fn node_crash_recovers_via_leader_replay() {
+        let mut w = QuorumWorld::new(2, 3, registry());
+        let server = w.spawn(1, "echo", vec![]).unwrap();
+        let client = w
+            .spawn(0, "ping10", vec![Link::to(server, Channel::DEFAULT, 7)])
+            .unwrap();
+        w.run_until(SimTime::from_millis(120));
+        w.crash_node(1);
+        w.run_until(SimTime::from_secs(30));
+        let out = w.outputs_of(client);
+        assert_eq!(out.len(), 11, "{out:?}");
+        assert!(w.recoveries_completed() >= 1, "leader drove recovery");
+        invariants_clean(&w);
+    }
+
+    #[test]
+    fn quorum_health_probe_reflects_leadership() {
+        let mut w = QuorumWorld::new(1, 3, registry());
+        w.run_until(SimTime::from_secs(1));
+        let health = w.quorum_health();
+        assert_eq!(health.len(), 3);
+        assert_eq!(health.iter().filter(|h| h.leader).count(), 1);
+        let term = health.iter().find(|h| h.leader).unwrap().term;
+        assert!(term >= 1);
+        let reg = w.collect_metrics();
+        assert!(reg.gauge_value("quorum/0/health/live").is_some());
+    }
+}

@@ -102,9 +102,11 @@ impl ShardRouter {
             let dst = match Wire::decode_all(&frame.payload) {
                 Ok(Wire::Data { msg, .. }) => msg.header.to,
                 Ok(Wire::Ack { dst_pid, .. }) => dst_pid,
-                // Datagrams and epoch notices are unguaranteed transport
-                // control and never published.
-                Ok(Wire::Datagram { .. } | Wire::EpochNotice { .. }) => return Some(Vec::new()),
+                // Datagrams, epoch notices, and quorum consensus traffic
+                // are unguaranteed transport control and never published.
+                Ok(Wire::Datagram { .. } | Wire::EpochNotice { .. } | Wire::Quorum { .. }) => {
+                    return Some(Vec::new())
+                }
                 // Not transport traffic: fall back to the global set.
                 Err(_) => return None,
             };

@@ -11,15 +11,19 @@
 //!   and the index rebuild used by recorder recovery (§3.3.4);
 //! - [`tmr`]: triple modular redundancy voting and the reliability
 //!   arithmetic behind making the recorder "a much lower probability
-//!   event than other parts of the system failing".
+//!   event than other parts of the system failing";
+//! - [`cell`]: a two-slot torn-write-safe cell for small critical state
+//!   (the quorum tier's term/vote record).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cell;
 pub mod disk;
 pub mod store;
 pub mod tmr;
 
+pub use cell::DurableCell;
 pub use disk::{Disk, DiskOp, DiskParams, DiskResult, DiskStats, IoToken};
 pub use store::{Checkpoint, MsgRecord, RecordKey, StableStore, StoreEvent, StoreIo, StoreStats};
 pub use tmr::{tmr_mtbf_hours, tmr_reliability, vote, TmrComponent, VoteOutcome};

@@ -152,6 +152,15 @@ proptest! {
     /// crash + rebuild, byte for byte — the recorder acks a publication
     /// to its sender as soon as the store holds it, so a lost record here
     /// would be a broken promise to a sender.
+    ///
+    /// The same run also checks checkpoint-image round-tripping under
+    /// torn writes: `latest_checkpoint` must always return exactly one
+    /// blob that was submitted for that process — never a torn prefix,
+    /// never a splice of two checkpoints — because the quorum snapshot
+    /// path ships these images verbatim to catching-up replicas, and a
+    /// replica installing a torn image would import garbage process
+    /// state. Blobs are multi-page and pairwise distinct so a splice or
+    /// truncation cannot masquerade as a valid image.
     #[test]
     fn crash_during_compaction_loses_no_acked_record(
         ops in proptest::collection::vec(arb_chaos_op(), 1..80),
@@ -172,6 +181,11 @@ proptest! {
         // happened).
         let mut next_seq: BTreeMap<u64, u64> = BTreeMap::new();
         let mut data: BTreeMap<u64, BTreeMap<u64, Vec<u8>>> = BTreeMap::new();
+        // Every checkpoint image ever submitted, per pid. The store's
+        // latest checkpoint must always be one of these, bytes and
+        // floor both — whole-image atomicity under torn page writes.
+        let mut submitted: BTreeMap<u64, Vec<(u64, Vec<u8>)>> = BTreeMap::new();
+        let mut blob_counter = 0u64;
         let mut now = SimTime::ZERO;
         let mut crashes = 0u32;
         for (i, op) in ops.into_iter().enumerate() {
@@ -193,7 +207,19 @@ proptest! {
                         .and_then(|m| m.keys().next().copied())
                         .unwrap_or(0);
                     let hi = (*next_seq.get(&pid).unwrap_or(&0)).min(lo + consume);
-                    let cp = Checkpoint { pid, upto_seq: hi, blob: vec![pid as u8; 64] };
+                    // Multi-page, pairwise-distinct image: a torn
+                    // prefix or a splice of two images can never equal
+                    // a submitted blob.
+                    blob_counter += 1;
+                    let len = 200 + ((blob_counter * 977) % 2800) as usize;
+                    let blob: Vec<u8> = (0..len)
+                        .map(|j| (blob_counter as u8).wrapping_add(j as u8))
+                        .collect();
+                    submitted
+                        .entry(pid)
+                        .or_default()
+                        .push((hi, blob.clone()));
+                    let cp = Checkpoint { pid, upto_seq: hi, blob };
                     outstanding.extend(store.write_checkpoint(now, cp));
                 }
                 ChaosOp::Compact => outstanding.extend(store.compact_one(now)),
@@ -237,6 +263,22 @@ proptest! {
                     );
                 }
             }
+            // Invariant: the latest checkpoint, if any, is EXACTLY one
+            // submitted image — floor and bytes — regardless of crashes
+            // and torn in-flight chunk writes.
+            for pid in 1u64..4 {
+                if let Some(cp) = store.latest_checkpoint(pid) {
+                    let known = submitted
+                        .get(&pid)
+                        .is_some_and(|v| v.iter().any(|(hi, b)| *hi == cp.upto_seq && *b == cp.blob));
+                    prop_assert!(
+                        known,
+                        "pid {}: latest checkpoint (floor {}, {} bytes) is not a \
+                         submitted image after op {} (crashes: {})",
+                        pid, cp.upto_seq, cp.blob.len(), i, crashes
+                    );
+                }
+            }
         }
 
         // One final crash + rebuild, whatever was in flight.
@@ -251,6 +293,18 @@ proptest! {
                 .collect();
             for (&seq, payload) in m {
                 prop_assert_eq!(got.get(&seq), Some(payload), "pid {} seq {} lost at end", pid, seq);
+            }
+        }
+        for pid in 1u64..4 {
+            if let Some(cp) = store.latest_checkpoint(pid) {
+                let known = submitted
+                    .get(&pid)
+                    .is_some_and(|v| v.iter().any(|(hi, b)| *hi == cp.upto_seq && *b == cp.blob));
+                prop_assert!(
+                    known,
+                    "pid {}: surviving checkpoint (floor {}, {} bytes) is torn or spliced",
+                    pid, cp.upto_seq, cp.blob.len()
+                );
             }
         }
     }
