@@ -31,6 +31,12 @@ cargo run -q --release -p publishing-bench --bin chaos -- --smoke > /dev/null
 echo "==> quorum smoke run (seeded leader-crash failover gate)"
 cargo run -q --release -p publishing-bench --bin quorum -- --smoke > /dev/null
 
+echo "==> quorum obs_report smoke (consensus report + watchdog exit-code gate)"
+cargo run -q --release -p publishing-bench --bin obs_report -- --smoke --topology quorum > /dev/null
+
+echo "==> quorum explain smoke (election hop on the recovery critical path)"
+cargo run -q --release -p publishing-bench --bin explain -- --quorum --smoke > /dev/null
+
 echo "==> perf bench smoke + regression gate vs perf/BENCH_1.json"
 rm -rf target/perf
 cargo run -q --release -p publishing-bench --bin bench -- --smoke --dir target/perf

@@ -18,7 +18,7 @@
 //!    event where they part ways, with its causal ancestors.
 //!
 //! Usage: `explain [--smoke] [--key NODE.LOCAL#SEQ] [--dot PATH]
-//! [--flow PATH] [--diff]`
+//! [--flow PATH] [--diff] [--quorum]`
 //!
 //! - `--key K` explains message `K` (default: the latest suppressed or
 //!   delivered message of the run);
@@ -30,15 +30,21 @@
 //! - `--smoke` runs the CI gate: the critical path must be non-empty
 //!   and its attribution must sum to the measured recovery lag, the
 //!   explain chain must be non-empty, and the DOT and flow exports must
-//!   be byte-identical across two runs.
+//!   be byte-identical across two runs;
+//! - `--quorum` switches to the replicated-recorder world and the
+//!   committed leader-crash schedule (leader replica dies at 250ms, the
+//!   server node at 400ms): the crash→convergence critical path must
+//!   then cross an election-gate edge, attributing part of the recovery
+//!   window to the leader failover itself.
 
 use publishing_demos::ids::Channel;
 use publishing_demos::link::Link;
 use publishing_demos::programs::{self, PingClient};
 use publishing_demos::registry::ProgramRegistry;
-use publishing_obs::causal::CausalGraph;
+use publishing_obs::causal::{CausalGraph, EdgeKind};
 use publishing_obs::span::{MsgKey, Stage};
 use publishing_perf::trace;
+use publishing_quorum::QuorumWorld;
 use publishing_shard::ShardedWorld;
 use publishing_sim::time::SimTime;
 
@@ -99,12 +105,110 @@ fn fail(msg: &str) -> ! {
     std::process::exit(1);
 }
 
+/// The committed leader-crash schedule of the `quorum` gate: traffic
+/// starts, the leader replica dies at 250ms (forcing an election), the
+/// server node dies at 400ms (forcing a replay under the new leader).
+fn run_quorum_scenario(horizon: SimTime) -> QuorumWorld {
+    let mut w = QuorumWorld::new(2, 3, registry(10));
+    let server = w.spawn(1, "echo", vec![]).expect("echo registered");
+    w.spawn(0, "pinger", vec![Link::to(server, Channel::DEFAULT, 7)])
+        .expect("pinger registered");
+    w.run_until(SimTime::from_millis(250));
+    if let Some(leader) = w.leader() {
+        w.crash_replica(leader);
+    }
+    w.run_until(SimTime::from_millis(400));
+    w.crash_node(1);
+    w.run_until(horizon);
+    w
+}
+
+/// Explains the leader-failover recovery of the quorum world: builds
+/// the happens-before DAG (including election-gate edges), attributes
+/// the crash→convergence critical path, and — under `--smoke` — gates
+/// on the election hop actually appearing in the attribution.
+fn run_quorum_mode(smoke: bool, dot_path: Option<&str>) {
+    let horizon = SimTime::from_secs(12);
+    let w = run_quorum_scenario(horizon);
+    let g = w.causal_graph();
+    if let Err(e) = g.validate() {
+        fail(&format!("quorum causal graph failed validation: {e}"));
+    }
+    let elect_gates = g
+        .edges()
+        .iter()
+        .filter(|e| e.kind == EdgeKind::ElectGate)
+        .count();
+    println!(
+        "causal graph: {} events, {} edges ({} election gates) over {} logs",
+        g.len(),
+        g.edges().len(),
+        elect_gates,
+        w.span_logs().len()
+    );
+    if smoke && elect_gates == 0 {
+        fail("failover run built no election-gate edges");
+    }
+
+    let Some((crash, conv)) = w.recovery_window() else {
+        fail("quorum run produced no recovery window");
+    };
+    let Some(cp) = g.critical_path(crash, conv, None) else {
+        fail("quorum run produced no critical path");
+    };
+    println!("\n{}", cp.render());
+    let measured = conv.saturating_since(crash);
+    if cp.total() != measured {
+        fail(&format!(
+            "critical-path attribution {:.3}ms does not sum to measured recovery lag {:.3}ms",
+            cp.total().as_millis_f64(),
+            measured.as_millis_f64()
+        ));
+    }
+    let election = cp
+        .by_stage()
+        .into_iter()
+        .find(|e| e.0 == "election")
+        .map(|e| e.1);
+    match election {
+        Some(d) => println!(
+            "election hop: {:.3}ms of the {:.3}ms crash→convergence window went to leader failover",
+            d.as_millis_f64(),
+            measured.as_millis_f64()
+        ),
+        None if smoke => fail("critical path did not attribute an election hop"),
+        None => println!("no election hop on the critical path"),
+    }
+
+    if let Some(path) = dot_path {
+        if let Err(e) = std::fs::write(path, g.to_dot()) {
+            fail(&format!("cannot write {path}: {e}"));
+        }
+        eprintln!("dot: {} nodes -> {path}", g.len());
+    }
+
+    if smoke {
+        let again = run_quorum_scenario(horizon);
+        if g.to_dot() != again.causal_graph().to_dot() {
+            fail("quorum DOT export is not byte-stable across two runs");
+        }
+        if w.recoveries_done().is_empty() {
+            fail("quorum smoke run completed no recoveries");
+        }
+        eprintln!(
+            "explain quorum smoke: all gates green ({} recoveries, election hop attributed)",
+            w.recoveries_done().len()
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage =
-        "usage: explain [--smoke] [--key NODE.LOCAL#SEQ] [--dot PATH] [--flow PATH] [--diff]";
+    let usage = "usage: explain [--smoke] [--key NODE.LOCAL#SEQ] [--dot PATH] [--flow PATH] \
+                 [--diff] [--quorum]";
     let mut smoke = false;
     let mut diff = false;
+    let mut quorum = false;
     let mut key: Option<MsgKey> = None;
     let mut dot_path: Option<String> = None;
     let mut flow_path: Option<String> = None;
@@ -113,6 +217,7 @@ fn main() {
         match args[i].as_str() {
             "--smoke" => smoke = true,
             "--diff" => diff = true,
+            "--quorum" => quorum = true,
             "--key" | "--dot" | "--flow" => {
                 let flag = args[i].clone();
                 i += 1;
@@ -138,6 +243,11 @@ fn main() {
             }
         }
         i += 1;
+    }
+
+    if quorum {
+        run_quorum_mode(smoke, dot_path.as_deref());
+        return;
     }
 
     let (pings, pairs, horizon) = if smoke {

@@ -232,6 +232,119 @@ fn quorum_sweep(p: &MatrixParams) -> ScenarioSnapshot {
     s
 }
 
+/// The observability-overhead scenario, in two halves.
+///
+/// **Storage**: every span event the steady-state world recorded is
+/// replayed, in order, into the legacy row-oriented ring and into the
+/// columnar store that replaced it, under the allocation meter. Both
+/// must agree on the fingerprint and on the happens-before DAG built
+/// from their event streams, and the columnar store must retain the
+/// same events in at least 3x less steady-state memory.
+///
+/// **Tracing tax**: the same workload runs once instrumented and once
+/// with spans disabled (capacity 0); the workload's outputs must be
+/// identical either way (observability never perturbs the run), and
+/// both run bodies are metered so the host section carries the
+/// allocation cost of keeping spans on.
+fn obs_overhead(p: &MatrixParams) -> ScenarioSnapshot {
+    use publishing_obs::causal::CausalGraph;
+    use publishing_obs::span::SpanLog;
+    use publishing_obs::RowSpanLog;
+
+    let alloc_on = alloc::snapshot();
+    let mut w = build_world(p);
+    w.run_until(p.horizon);
+    let grew_on = alloc::snapshot().since(alloc_on);
+
+    let logs = w.span_logs();
+    let events: Vec<Vec<_>> = logs.iter().map(|l| l.events().collect()).collect();
+    for l in &logs {
+        assert_eq!(
+            l.dropped(),
+            0,
+            "overhead workload must fit in the span ring"
+        );
+    }
+
+    let alloc_row = alloc::snapshot();
+    let mut rows: Vec<RowSpanLog> = Vec::new();
+    for stream in &events {
+        let mut log = RowSpanLog::new(publishing_obs::span::DEFAULT_SPAN_CAPACITY);
+        for e in stream {
+            log.record(e.at, e.key, e.stage, e.subject, e.aux);
+        }
+        rows.push(log);
+    }
+    let grew_row = alloc::snapshot().since(alloc_row);
+
+    let alloc_col = alloc::snapshot();
+    let mut cols: Vec<SpanLog> = Vec::new();
+    for stream in &events {
+        let mut log = SpanLog::new(publishing_obs::span::DEFAULT_SPAN_CAPACITY);
+        for e in stream {
+            log.record(e.at, e.key, e.stage, e.subject, e.aux);
+        }
+        cols.push(log);
+    }
+    let grew_col = alloc::snapshot().since(alloc_col);
+
+    let row_bytes: usize = rows.iter().map(|l| l.retained_bytes()).sum();
+    let col_bytes: usize = cols.iter().map(|l| l.retained_bytes()).sum();
+    for ((row, col), orig) in rows.iter().zip(&cols).zip(&logs) {
+        assert_eq!(row.fingerprint(), orig.fingerprint());
+        assert_eq!(col.fingerprint(), orig.fingerprint());
+    }
+    let row_events: Vec<Vec<_>> = rows.iter().map(|l| l.events().collect()).collect();
+    let col_events: Vec<Vec<_>> = cols.iter().map(|l| l.events().collect()).collect();
+    assert_eq!(
+        CausalGraph::from_event_lists(&row_events).to_dot(),
+        CausalGraph::from_event_lists(&col_events).to_dot(),
+        "row and columnar stores must reconstruct the same causal DAG"
+    );
+    let ratio = row_bytes as f64 / col_bytes as f64;
+    assert!(
+        ratio >= 3.0,
+        "columnar store must cut steady-state span memory 3x (got {ratio:.2}x)"
+    );
+
+    let alloc_off = alloc::snapshot();
+    let mut off = build_world(p);
+    off.set_span_capacity(0);
+    off.run_until(p.horizon);
+    let grew_off = alloc::snapshot().since(alloc_off);
+    assert_eq!(
+        w.output_fingerprint(),
+        off.output_fingerprint(),
+        "disabling span retention must not perturb the workload"
+    );
+    assert_eq!(
+        w.obs_fingerprint(),
+        off.obs_fingerprint(),
+        "fingerprints hash at record time, so they survive capacity 0"
+    );
+
+    let mut s = ScenarioSnapshot::new("obs_overhead");
+    s.fingerprint("output", w.output_fingerprint());
+    s.fingerprint("spans", w.obs_fingerprint());
+    s.virt("events_delivered", w.scheduler_probe().delivered as f64);
+    s.virt(
+        "events_per_virtual_sec",
+        w.scheduler_probe().delivered as f64 / p.horizon.as_secs_f64(),
+    );
+    s.virt(
+        "span_events",
+        events.iter().map(Vec::len).sum::<usize>() as f64,
+    );
+    s.virt("row_retained_bytes", row_bytes as f64);
+    s.virt("columnar_retained_bytes", col_bytes as f64);
+    s.virt("columnar_shrink_ratio", (ratio * 100.0).round() / 100.0);
+    s.host("instrumented_alloc_bytes", grew_on.bytes as f64);
+    s.host("disabled_alloc_bytes", grew_off.bytes as f64);
+    s.host("row_store_alloc_bytes", grew_row.bytes as f64);
+    s.host("columnar_store_alloc_bytes", grew_col.bytes as f64);
+    s
+}
+
 /// Runs the whole matrix and assembles the snapshot.
 pub fn run_matrix(smoke: bool) -> Snapshot {
     let p = MatrixParams::new(smoke);
@@ -241,5 +354,6 @@ pub fn run_matrix(smoke: bool) -> Snapshot {
     snap.scenarios.push(metered(|| rebalance(&p)));
     snap.scenarios.push(metered(|| chaos_smoke(&p)));
     snap.scenarios.push(metered(|| quorum_sweep(&p)));
+    snap.scenarios.push(metered(|| obs_overhead(&p)));
     snap
 }

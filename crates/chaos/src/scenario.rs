@@ -382,7 +382,7 @@ impl ChaosWorld for SingleTarget {
         self.w
             .span_logs()
             .iter()
-            .map(|l| l.events().cloned().collect())
+            .map(|l| l.events().collect())
             .collect()
     }
 }
@@ -545,7 +545,7 @@ impl ChaosWorld for ShardedTarget {
         self.w
             .span_logs()
             .iter()
-            .map(|l| l.events().cloned().collect())
+            .map(|l| l.events().collect())
             .collect()
     }
 }
@@ -683,6 +683,10 @@ impl ChaosWorld for QuorumTarget {
         // election safety, state-machine safety, log matching, and
         // gap/duplicate freedom of the arrival sequence.
         out.extend(self.w.quorum_invariant_failures());
+        // Plus everything the online watchdog flagged while the run
+        // was still in flight (arrival gaps or leaderless stalls that
+        // outlived their virtual-time deadlines, commit regressions).
+        out.extend(self.w.watchdog_violations().iter().cloned());
         out
     }
 
@@ -732,7 +736,7 @@ impl ChaosWorld for QuorumTarget {
         self.w
             .span_logs()
             .iter()
-            .map(|l| l.events().cloned().collect())
+            .map(|l| l.events().collect())
             .collect()
     }
 

@@ -180,6 +180,27 @@ impl RecorderNode {
         &self.recorder
     }
 
+    /// Records one consensus-layer lifecycle event (e.g. an election
+    /// win) into the recorder's span log. The quorum replica calls this
+    /// for transitions the recorder core itself never sees.
+    pub fn record_span(
+        &mut self,
+        now: SimTime,
+        key: publishing_obs::span::MsgKey,
+        stage: publishing_obs::span::Stage,
+        subject: u64,
+        aux: u64,
+    ) {
+        self.recorder
+            .spans_mut()
+            .record(now, key, stage, subject, aux);
+    }
+
+    /// Re-bounds the recorder's span ring (0 = fingerprint-only mode).
+    pub fn set_span_capacity(&mut self, capacity: usize) {
+        self.recorder.set_span_capacity(capacity);
+    }
+
     /// Read access to the recovery manager.
     pub fn manager(&self) -> &RecoveryManager {
         &self.manager

@@ -343,6 +343,20 @@ impl Recorder {
         &self.spans
     }
 
+    /// Mutable access to the span log, for consensus-layer events the
+    /// recorder core does not see (election wins) and for capacity /
+    /// sampling reconfiguration. Spans never influence behavior, so
+    /// callers cannot perturb the run through this.
+    pub fn spans_mut(&mut self) -> &mut SpanLog {
+        &mut self.spans
+    }
+
+    /// Re-bounds the span ring (0 = fingerprint-only mode; the
+    /// `obs_overhead` bench prices exactly this switch).
+    pub fn set_span_capacity(&mut self, capacity: usize) {
+        self.spans.set_capacity(capacity);
+    }
+
     /// Returns the number of captured-but-unsequenced messages in the
     /// battery-backed pending buffer (the shard-health queue depth).
     pub fn pending_depth(&self) -> usize {

@@ -603,6 +603,9 @@ impl World {
             spans_total: logs.iter().map(|l| l.total()).sum(),
             span_fingerprint: self.obs_fingerprint(),
             critical_path,
+            quorum: Vec::new(),
+            consensus: None,
+            watchdog: None,
         }
     }
 

@@ -241,6 +241,13 @@ impl Kernel {
         &self.spans
     }
 
+    /// Re-bounds the kernel's span ring (0 = fingerprint-only mode;
+    /// spans never influence behavior, so output fingerprints are
+    /// unchanged — the `obs_overhead` bench asserts exactly that).
+    pub fn set_span_capacity(&mut self, capacity: usize) {
+        self.spans.set_capacity(capacity);
+    }
+
     /// Returns the transport's counters.
     pub fn transport_stats(&self) -> &crate::transport::TransportStats {
         self.transport.stats()

@@ -57,6 +57,10 @@ pub enum EdgeKind {
     /// that process's regenerated resend (the replay drove the sender to
     /// regenerate the message the watermark then cut off).
     ReplaySuppress = 9,
+    /// A quorum election win → the sequencing/replay work the new leader
+    /// then performed: everything the group sequences after a failover
+    /// waited on the election that restored a leader.
+    ElectGate = 10,
 }
 
 impl EdgeKind {
@@ -73,6 +77,7 @@ impl EdgeKind {
             EdgeKind::PublishSuppress => "publish→suppress",
             EdgeKind::CheckpointFloor => "checkpoint-floor",
             EdgeKind::ReplaySuppress => "replay→suppress",
+            EdgeKind::ElectGate => "elect-gate",
         }
     }
 
@@ -88,6 +93,7 @@ impl EdgeKind {
             EdgeKind::PublishSuppress => "purple",
             EdgeKind::CheckpointFloor => "brown",
             EdgeKind::ReplaySuppress => "crimson",
+            EdgeKind::ElectGate => "goldenrod",
         }
     }
 }
@@ -120,10 +126,7 @@ impl CausalGraph {
     /// discipline [`crate::span::combined_fingerprint`] requires — so
     /// node order, DOT output, and query answers are deterministic.
     pub fn build<'a>(logs: impl IntoIterator<Item = &'a SpanLog>) -> CausalGraph {
-        let lists: Vec<Vec<SpanEvent>> = logs
-            .into_iter()
-            .map(|l| l.events().copied().collect())
-            .collect();
+        let lists: Vec<Vec<SpanEvent>> = logs.into_iter().map(|l| l.events().collect()).collect();
         CausalGraph::from_event_lists(&lists)
     }
 
@@ -261,6 +264,36 @@ impl CausalGraph {
                     }
                     _ => {}
                 }
+            }
+        }
+
+        // Election gates: after a quorum failover, every arrival the new
+        // leader sequences waited on the election that restored a leader
+        // in that replica's log, and every replay a kernel receives
+        // waited on the group's current leader existing at all (recovery
+        // is leader-driven), so link the latest same-log election to
+        // subsequent sequencing and the latest election anywhere to
+        // subsequent replays. The critical path can then attribute
+        // post-failover recovery time to the leader change.
+        let mut last_elect: BTreeMap<u32, usize> = BTreeMap::new();
+        let mut last_elect_any: Option<usize> = None;
+        for i in 0..g.nodes.len() {
+            match g.nodes[i].stage {
+                Stage::Elect => {
+                    last_elect.insert(g.log_of[i], i);
+                    last_elect_any = Some(i);
+                }
+                Stage::Sequence => {
+                    if let Some(&e) = last_elect.get(&g.log_of[i]) {
+                        add(&mut g, e, i, EdgeKind::ElectGate);
+                    }
+                }
+                Stage::Replay => {
+                    if let Some(e) = last_elect_any {
+                        add(&mut g, e, i, EdgeKind::ElectGate);
+                    }
+                }
+                _ => {}
             }
         }
 
@@ -561,6 +594,7 @@ pub fn stage_category(stage: Stage) -> &'static str {
         Stage::Suppress => "suppression",
         Stage::Capture | Stage::Sequence => "re_sequencing",
         Stage::Publish | Stage::Deliver => "delivery",
+        Stage::Elect => "election",
     }
 }
 
@@ -938,6 +972,56 @@ mod tests {
         );
         assert!(cp.render().contains("longest segments"));
         assert!(cp.top_segments(3).len() <= 3);
+    }
+
+    #[test]
+    fn critical_path_attributes_an_election_hop() {
+        // Leader crash at t=1000µs: captures keep landing while the
+        // group is leaderless, a new leader is elected at t=1400µs, it
+        // sequences the backlog, and the destination reads it.
+        let mut kernel = SpanLog::new(64);
+        let mut replica = SpanLog::new(64);
+        let dest = 42u64;
+        let station = 2u64 << 32; // the new leader's station identity
+        let k0 = key(1, 0);
+        kernel.record(SimTime::from_micros(900), k0, Stage::Publish, dest, 16);
+        replica.record(SimTime::from_micros(1100), k0, Stage::Capture, dest, 0);
+        replica.record(
+            SimTime::from_micros(1400),
+            MsgKey {
+                sender: station,
+                seq: 3,
+            },
+            Stage::Elect,
+            station,
+            3,
+        );
+        replica.record(SimTime::from_micros(1600), k0, Stage::Sequence, dest, 0);
+        kernel.record(SimTime::from_micros(1800), k0, Stage::Deliver, dest, 0);
+        let g = CausalGraph::build([&kernel, &replica]);
+        g.validate().expect("invariants hold");
+        assert!(
+            g.edges().iter().any(|e| e.kind == EdgeKind::ElectGate),
+            "election gates the post-failover sequencing"
+        );
+        let cp = g
+            .critical_path(
+                SimTime::from_micros(1000),
+                SimTime::from_micros(2000),
+                Some(dest),
+            )
+            .expect("path");
+        let by = cp.by_stage();
+        assert_eq!(
+            by.get("election").copied(),
+            Some(SimDuration::from_micros(400)),
+            "crash → elect window is attributed to the election"
+        );
+        assert!(cp
+            .segments
+            .iter()
+            .any(|s| s.kind == Some(EdgeKind::ElectGate)));
+        assert_eq!(cp.total(), SimDuration::from_micros(1000));
     }
 
     #[test]

@@ -19,10 +19,16 @@
 //!   existing `Counter`/`Summary`/`LogHistogram`/`Utilization`
 //!   instruments so benches and `paper_tables` share one source of truth;
 //! - [`probe`]: derived health probes — recovery lag, shard-tier health,
-//!   and medium utilization;
+//!   quorum-replica health, and medium utilization;
 //! - [`profile`]: virtual-time attribution per event category and
 //!   per-lifecycle-stage latency histograms;
-//! - [`report`]: the `obs_report` run artifact, rendered as text or JSON.
+//! - [`report`]: the `obs_report` run artifact, rendered as text or JSON;
+//! - [`store`]: the columnar (struct-of-arrays, delta-encoded, interned)
+//!   storage engine behind [`span::SpanLog`], plus the row-oriented
+//!   reference log it is verified against;
+//! - [`watchdog`]: the always-on invariant watchdog — online safety and
+//!   liveness oracles (arrival-seq gap freedom, commit-index
+//!   monotonicity, leaderless-stall deadlines) any world can feed.
 //!
 //! Dependency discipline: this crate sits *below* demos/core/shard (which
 //! all record into it), so it speaks only in packed `u64` process ids and
@@ -39,10 +45,14 @@ pub mod profile;
 pub mod registry;
 pub mod report;
 pub mod span;
+pub mod store;
+pub mod watchdog;
 
 pub use causal::{divergence_diff, CausalGraph, CriticalPath, Divergence, EdgeKind, Explanation};
-pub use probe::{MediumHealth, RecoveryLag, ShardHealth};
+pub use probe::{MediumHealth, QuorumHealth, RecoveryLag, ShardHealth};
 pub use profile::{StageLatencies, TimeProfile};
 pub use registry::{MetricValue, MetricsRegistry};
-pub use report::ObsReport;
+pub use report::{ConsensusStats, ObsReport, WatchdogSummary};
 pub use span::{MessageSpan, MsgKey, SpanEvent, SpanLog, Stage, DEFAULT_SPAN_CAPACITY};
+pub use store::{Interner, RowSpanLog, SampleSpec};
+pub use watchdog::{Watchdog, WatchdogConfig};

@@ -8,9 +8,9 @@
 //! JSON lines via [`MetricsRegistry::to_jsonl`].
 
 use crate::causal::CriticalPath;
-use crate::probe::{MediumHealth, RecoveryLag, SchedulerProbe, ShardHealth};
+use crate::probe::{MediumHealth, QuorumHealth, RecoveryLag, SchedulerProbe, ShardHealth};
 use crate::profile::{StageLatencies, TimeProfile};
-use crate::registry::{json_f64, MetricValue, MetricsRegistry};
+use crate::registry::{json_escape, json_f64, MetricValue, MetricsRegistry};
 use publishing_sim::stats::LinearHistogram;
 use publishing_sim::time::SimDuration;
 
@@ -21,7 +21,51 @@ use publishing_sim::time::SimDuration;
 /// - **2**: adds `schema`, the optional `critical_path` section
 ///   (recovery window, per-stage attribution, top segments), and
 ///   `spans_partial`.
-pub const REPORT_SCHEMA_VERSION: u32 = 2;
+/// - **3**: adds the optional consensus sections — `quorum`
+///   (per-replica health), `consensus` (commit-latency percentiles,
+///   replication lag, elections), and `watchdog` (online invariant
+///   checks and violations). All three are absent for worlds without
+///   a quorum topology, so v2 readers that ignore unknown keys keep
+///   working and v2 documents still parse.
+pub const REPORT_SCHEMA_VERSION: u32 = 3;
+
+/// Consensus-level aggregates for the quorum section (schema v3).
+#[derive(Debug, Clone, Default)]
+pub struct ConsensusStats {
+    /// Proposals whose commit latency was measured on the leader.
+    pub commits: u64,
+    /// Median proposal→apply latency on the leader, µs.
+    pub commit_p50_us: u64,
+    /// 99th-percentile proposal→apply latency on the leader, µs.
+    pub commit_p99_us: u64,
+    /// 95th-percentile follower replication lag, entries.
+    pub replication_lag_p95: f64,
+    /// Leader elections observed across the group.
+    pub elections: u64,
+}
+
+impl ConsensusStats {
+    /// One-line terminal rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "commits={} commit_p50={}us commit_p99={}us replication_lag_p95={:.1} elections={}",
+            self.commits,
+            self.commit_p50_us,
+            self.commit_p99_us,
+            self.replication_lag_p95,
+            self.elections
+        )
+    }
+}
+
+/// Outcome of the online invariant watchdog (schema v3).
+#[derive(Debug, Clone, Default)]
+pub struct WatchdogSummary {
+    /// Invariant evaluations performed over the run.
+    pub checks: u64,
+    /// Violations the watchdog surfaced, in detection order.
+    pub violations: Vec<String>,
+}
 
 /// A complete observability snapshot of one run.
 #[derive(Debug, Clone)]
@@ -57,6 +101,12 @@ pub struct ObsReport {
     /// Attributed crash→convergence critical path, when the run had a
     /// completed recovery.
     pub critical_path: Option<CriticalPath>,
+    /// Per-replica consensus health (empty for non-quorum worlds).
+    pub quorum: Vec<QuorumHealth>,
+    /// Consensus-level aggregates, when the world runs a quorum.
+    pub consensus: Option<ConsensusStats>,
+    /// Invariant-watchdog outcome, when the world runs one.
+    pub watchdog: Option<WatchdogSummary>,
 }
 
 impl Default for ObsReport {
@@ -76,6 +126,9 @@ impl Default for ObsReport {
             spans_total: 0,
             span_fingerprint: 0,
             critical_path: None,
+            quorum: Vec::new(),
+            consensus: None,
+            watchdog: None,
         }
     }
 }
@@ -117,6 +170,31 @@ impl ObsReport {
             s.push_str("\nrecovery critical path:\n  ");
             s.push_str(&cp.render().trim_end().replace('\n', "\n  "));
             s.push('\n');
+        }
+        if !self.quorum.is_empty() {
+            s.push_str("\nquorum health:\n");
+            for h in &self.quorum {
+                s.push_str("  ");
+                s.push_str(&h.render());
+                s.push('\n');
+            }
+        }
+        if let Some(c) = &self.consensus {
+            s.push_str("\nconsensus:\n  ");
+            s.push_str(&c.render());
+            s.push('\n');
+        }
+        if let Some(w) = &self.watchdog {
+            s.push_str(&format!(
+                "\nwatchdog: checks={} violations={}\n",
+                w.checks,
+                w.violations.len()
+            ));
+            for v in &w.violations {
+                s.push_str("  ! ");
+                s.push_str(v);
+                s.push('\n');
+            }
         }
         s.push_str("\nstage latencies:\n");
         s.push_str(&self.latencies.render());
@@ -224,6 +302,40 @@ impl ObsReport {
                 json_f64(h.summary().max().unwrap_or(0.0)),
             ));
         }
+        if !self.quorum.is_empty() {
+            s.push_str("\"quorum\":[");
+            for (i, h) in self.quorum.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"replica\":{},\"live\":{},\"leader\":{},\"term\":{},\"elections\":{},\"commit_index\":{},\"applied_index\":{},\"replication_lag\":{},\"compacted\":{}}}",
+                    h.replica, h.live, h.leader, h.term, h.elections,
+                    h.commit_index, h.applied_index, h.replication_lag, h.compacted
+                ));
+            }
+            s.push_str("],");
+        }
+        if let Some(c) = &self.consensus {
+            s.push_str(&format!(
+                "\"consensus\":{{\"commits\":{},\"commit_p50_us\":{},\"commit_p99_us\":{},\"replication_lag_p95\":{},\"elections\":{}}},",
+                c.commits, c.commit_p50_us, c.commit_p99_us,
+                json_f64(c.replication_lag_p95), c.elections
+            ));
+        }
+        if let Some(w) = &self.watchdog {
+            s.push_str(&format!(
+                "\"watchdog\":{{\"checks\":{},\"violations\":[",
+                w.checks
+            ));
+            for (i, v) in w.violations.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!("\"{}\"", json_escape(v)));
+            }
+            s.push_str("]},");
+        }
         s.push_str("\"profile\":{");
         for (i, (name, d)) in self.profile.iter().enumerate() {
             if i > 0 {
@@ -321,14 +433,41 @@ mod tests {
             depths.record(d);
         }
         report.queue_depths = Some(depths);
+        report.quorum.push(QuorumHealth {
+            replica: 1,
+            live: true,
+            leader: true,
+            term: 3,
+            elections: 2,
+            commit_index: 40,
+            applied_index: 40,
+            replication_lag: 1,
+            compacted: 8,
+        });
+        report.consensus = Some(ConsensusStats {
+            commits: 40,
+            commit_p50_us: 900,
+            commit_p99_us: 4200,
+            replication_lag_p95: 2.0,
+            elections: 2,
+        });
+        report.watchdog = Some(WatchdogSummary {
+            checks: 123,
+            violations: vec!["commit index went backwards 5 -> 3".into()],
+        });
         report
     }
 
     #[test]
     fn text_report_has_all_sections() {
         let text = sample().render_text();
-        assert!(text.contains("obs report v2 @ 100.000ms"));
+        assert!(text.contains("obs report v3 @ 100.000ms"));
         assert!(text.contains("partial=3"));
+        assert!(text.contains("quorum health:"));
+        assert!(text.contains("consensus:"));
+        assert!(text.contains("commit_p99=4200us"));
+        assert!(text.contains("watchdog: checks=123 violations=1"));
+        assert!(text.contains("! commit index went backwards"));
         assert!(text.contains("shard health:"));
         assert!(text.contains("recovery lag:"));
         assert!(text.contains("recovered_in=40.000ms"));
@@ -346,7 +485,10 @@ mod tests {
     fn json_report_is_well_formed_enough() {
         let json = sample().render_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
-        assert!(json.contains("\"schema\":2"));
+        assert!(json.contains("\"schema\":3"));
+        assert!(json.contains("\"quorum\":[{\"replica\":1,\"live\":true,\"leader\":true"));
+        assert!(json.contains("\"consensus\":{\"commits\":40,"));
+        assert!(json.contains("\"watchdog\":{\"checks\":123,\"violations\":["));
         assert!(json.contains("\"spans_total\":42"));
         assert!(json.contains("\"spans_partial\":3"));
         assert!(json.contains("\"critical_path\":{\"crash_at_ms\":50.0,"));

@@ -17,15 +17,46 @@
 //! adjacent events cannot alias. Two runs of the same seed must produce
 //! identical fingerprints; the test suites assert exactly that.
 
+use crate::store::{ColumnarStore, SampleSpec};
 use publishing_sim::time::SimTime;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 
 /// Default per-component span-log capacity (events retained; all events
 /// are fingerprinted regardless).
 pub const DEFAULT_SPAN_CAPACITY: usize = 65_536;
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+/// Folds one event into the running FNV-1a fingerprint. Every field is
+/// fixed-width and the monotone `seq` frames the event, so the hash is
+/// injective over event streams and independent of what storage later
+/// retains — the columnar store and the row-oriented reference log share
+/// this exact framing.
+pub(crate) fn fnv_fold_event(
+    mut h: u64,
+    seq: u64,
+    at: SimTime,
+    key: MsgKey,
+    stage: Stage,
+    subject: u64,
+    aux: u64,
+) -> u64 {
+    for b in seq
+        .to_le_bytes()
+        .iter()
+        .chain(at.as_nanos().to_le_bytes().iter())
+        .chain(key.sender.to_le_bytes().iter())
+        .chain(key.seq.to_le_bytes().iter())
+        .chain([stage as u8].iter())
+        .chain(subject.to_le_bytes().iter())
+        .chain(aux.to_le_bytes().iter())
+    {
+        h ^= *b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
 
 /// Identifies one message across the whole system: the packed sender
 /// process id (`ProcessId::as_u64()` in the demos crate) and the sender's
@@ -94,9 +125,16 @@ pub enum Stage {
     /// A durable checkpoint advanced the subject process's replay floor.
     /// `aux` = the new read floor.
     Checkpoint = 6,
+    /// A quorum replica won a recorder-group election and became the
+    /// sequencing leader. `key.sender` = the replica's station id,
+    /// `key.seq` and `aux` = the term won, `subject` = the station id.
+    Elect = 7,
 }
 
 impl Stage {
+    /// Number of stage variants (sampling tables are indexed by stage).
+    pub const COUNT: usize = 8;
+
     /// Stable short name, used in rendered reports.
     pub fn name(self) -> &'static str {
         match self {
@@ -107,6 +145,27 @@ impl Stage {
             Stage::Replay => "replay",
             Stage::Suppress => "suppress",
             Stage::Checkpoint => "checkpoint",
+            Stage::Elect => "elect",
+        }
+    }
+
+    /// Inverse of `stage as u8`, for the columnar store's packed rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a bit pattern no variant uses (packed rows only ever
+    /// hold discriminants written by [`SpanLog::record`]).
+    pub(crate) fn from_bits(bits: u8) -> Stage {
+        match bits {
+            0 => Stage::Publish,
+            1 => Stage::Capture,
+            2 => Stage::Sequence,
+            3 => Stage::Deliver,
+            4 => Stage::Replay,
+            5 => Stage::Suppress,
+            6 => Stage::Checkpoint,
+            7 => Stage::Elect,
+            other => unreachable!("no stage has discriminant {other}"),
         }
     }
 }
@@ -131,9 +190,17 @@ pub struct SpanEvent {
 }
 
 /// A bounded, fingerprinting log of lifecycle events for one component.
+///
+/// Storage is columnar ([`crate::store::ColumnarStore`]): retained rows
+/// are delta-encoded struct-of-arrays columns at ~18 bytes each instead
+/// of 56-byte structs, so the default capacity costs ~1.2 MB per
+/// component instead of ~3.7 MB. Reconstruction is exact, and the
+/// fingerprint is taken at record time over the caller's values, so it
+/// is independent of capacity, sampling, and the storage layout.
 #[derive(Debug)]
 pub struct SpanLog {
-    ring: VecDeque<SpanEvent>,
+    store: ColumnarStore,
+    sampling: SampleSpec,
     capacity: usize,
     total: u64,
     fnv: u64,
@@ -150,7 +217,8 @@ impl SpanLog {
     /// still counted and fingerprinted after eviction).
     pub fn new(capacity: usize) -> Self {
         SpanLog {
-            ring: VecDeque::new(),
+            store: ColumnarStore::default(),
+            sampling: SampleSpec::default(),
             capacity,
             total: 0,
             fnv: FNV_OFFSET,
@@ -161,37 +229,21 @@ impl SpanLog {
     pub fn record(&mut self, at: SimTime, key: MsgKey, stage: Stage, subject: u64, aux: u64) {
         let seq = self.total;
         self.total += 1;
-        // Every field is fixed-width, and the monotone `seq` frames the
-        // event, so the fingerprint is injective over event streams and
-        // independent of ring capacity.
-        let mut h = self.fnv;
-        for b in seq
-            .to_le_bytes()
-            .iter()
-            .chain(at.as_nanos().to_le_bytes().iter())
-            .chain(key.sender.to_le_bytes().iter())
-            .chain(key.seq.to_le_bytes().iter())
-            .chain([stage as u8].iter())
-            .chain(subject.to_le_bytes().iter())
-            .chain(aux.to_le_bytes().iter())
-        {
-            h ^= *b as u64;
-            h = h.wrapping_mul(FNV_PRIME);
+        self.fnv = fnv_fold_event(self.fnv, seq, at, key, stage, subject, aux);
+        if self.capacity == 0 || !self.sampling.admit(stage) {
+            return;
         }
-        self.fnv = h;
-        if self.capacity > 0 {
-            if self.ring.len() == self.capacity {
-                self.ring.pop_front();
-            }
-            self.ring.push_back(SpanEvent {
-                seq,
-                at,
-                key,
-                stage,
-                subject,
-                aux,
-            });
+        if self.store.len() == self.capacity {
+            self.store.pop_front();
         }
+        self.store.push(SpanEvent {
+            seq,
+            at,
+            key,
+            stage,
+            subject,
+            aux,
+        });
     }
 
     /// Returns the number of events ever recorded (including evicted).
@@ -204,20 +256,55 @@ impl SpanLog {
         self.fnv
     }
 
+    /// Events recorded but not retained — evicted by the ring, thinned
+    /// by sampling, or discarded by a zero capacity. All of them are
+    /// still counted and fingerprinted.
+    pub fn dropped(&self) -> u64 {
+        self.total - self.store.len() as u64
+    }
+
+    /// Retained event count.
+    pub fn retained(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Deterministic estimate of the bytes the retained events occupy
+    /// (columns + escapes + symbol table).
+    pub fn retained_bytes(&self) -> usize {
+        self.store.retained_bytes()
+    }
+
+    /// Re-bounds the ring. Shrinking (including to 0, the
+    /// fingerprint-only mode) evicts oldest-first immediately; counting
+    /// and fingerprinting are unaffected.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        while self.store.len() > capacity {
+            self.store.pop_front();
+        }
+    }
+
+    /// Keeps only every `n`-th event of `stage` from now on (`n <= 1`
+    /// restores keep-all). Sampling thins retention only; fingerprints
+    /// still cover every recorded event.
+    pub fn set_sampling(&mut self, stage: Stage, n: u32) {
+        self.sampling.set(stage, n);
+    }
+
     /// Returns the retained events, oldest first.
-    pub fn events(&self) -> impl Iterator<Item = &SpanEvent> {
-        self.ring.iter()
+    pub fn events(&self) -> impl Iterator<Item = SpanEvent> + '_ {
+        self.store.iter()
     }
 
     /// Returns retained events concerning one subject process, oldest
     /// first.
-    pub fn events_for(&self, subject: u64) -> impl Iterator<Item = &SpanEvent> {
-        self.ring.iter().filter(move |e| e.subject == subject)
+    pub fn events_for(&self, subject: u64) -> impl Iterator<Item = SpanEvent> + '_ {
+        self.store.iter().filter(move |e| e.subject == subject)
     }
 
     /// Returns retained events of one stage, oldest first.
-    pub fn events_in(&self, stage: Stage) -> impl Iterator<Item = &SpanEvent> {
-        self.ring.iter().filter(move |e| e.stage == stage)
+    pub fn events_in(&self, stage: Stage) -> impl Iterator<Item = SpanEvent> + '_ {
+        self.store.iter().filter(move |e| e.stage == stage)
     }
 }
 
@@ -249,18 +336,19 @@ impl MessageSpan {
 
 /// Merges several component logs into per-message spans.
 ///
-/// When any input log has evicted events (`total() >` retained count),
-/// spans whose retained stages are missing a prerequisite — capture,
-/// sequence, deliver, or suppress without the publish; sequence without
-/// the capture — are marked [`MessageSpan::partial`]: their early events
-/// fell off the ring, so stage gaps computed from them would be
-/// misleading. Without eviction no span is ever marked (a missing stage
-/// then means the transition genuinely has not happened yet).
+/// When any input log has dropped events ([`SpanLog::dropped`]: ring
+/// eviction or sampling), spans whose retained stages are missing a
+/// prerequisite — capture, sequence, deliver, or suppress without the
+/// publish; sequence without the capture — are marked
+/// [`MessageSpan::partial`]: their early events fell off the ring, so
+/// stage gaps computed from them would be misleading. Without drops no
+/// span is ever marked (a missing stage then means the transition
+/// genuinely has not happened yet).
 pub fn assemble<'a>(logs: impl IntoIterator<Item = &'a SpanLog>) -> BTreeMap<MsgKey, MessageSpan> {
     let mut spans: BTreeMap<MsgKey, MessageSpan> = BTreeMap::new();
     let mut evicted = false;
     for log in logs {
-        evicted |= log.total() > log.events().count() as u64;
+        evicted |= log.dropped() > 0;
         for e in log.events() {
             spans
                 .entry(e.key)
@@ -270,7 +358,7 @@ pub fn assemble<'a>(logs: impl IntoIterator<Item = &'a SpanLog>) -> BTreeMap<Msg
                     partial: false,
                 })
                 .events
-                .push(*e);
+                .push(e);
         }
     }
     for span in spans.values_mut() {

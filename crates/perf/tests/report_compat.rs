@@ -3,16 +3,24 @@
 //! Version 1 reports carried no `schema` field — readers must treat its
 //! absence as version 1 and still find every v1 section. Version 2 adds
 //! `schema`, `spans_partial`, per-recovery `recovery_ms` /
-//! `critical_path_ms`, and the optional `critical_path` object; the
-//! parser in this crate must read both shapes.
+//! `critical_path_ms`, and the optional `critical_path` object. Version
+//! 3 adds the consensus sections — `quorum`, `consensus`, `watchdog` —
+//! all optional: non-quorum reports omit them entirely, so v2 readers
+//! that ignore unknown keys keep working unchanged. The parser in this
+//! crate must read all three shapes.
 
 use publishing_obs::report::{ObsReport, REPORT_SCHEMA_VERSION};
+use publishing_obs::{ConsensusStats, WatchdogSummary};
 use publishing_perf::json::{parse, Json};
 
 /// A trimmed-down report rendered by the pre-v2 code: no `schema`, no
 /// `spans_partial`, no `critical_path`, recovery entries without the
 /// window fields.
 const V1_REPORT: &str = r#"{"at_ms":100.0,"spans_total":42,"span_fingerprint":"0x00000000deadbeef","shards":[{"shard":0,"live":true,"catching_up":false,"queue_depth":0,"known_processes":3,"recoveries_in_flight":0,"replay_lag":0,"gating_stalls":1,"published":10}],"recovery":[{"pid":17,"recovering":false,"messages_behind":2,"checkpoint_age_ms":5.5,"suppressed":0}],"sched":{"delivered":90,"scheduled":96,"pending":6,"peak_pending":14},"profile":{"kernel_cpu":10.0},"metrics":{"node/0/kernel/msgs_sent":7}}"#;
+
+/// A report rendered by the v2 code: `schema:2`, `spans_partial`, the
+/// recovery window fields — but none of the v3 consensus sections.
+const V2_REPORT: &str = r#"{"schema":2,"at_ms":100.0,"spans_total":42,"spans_partial":3,"span_fingerprint":"0x00000000deadbeef","shards":[{"shard":0,"live":true,"catching_up":false,"queue_depth":0,"known_processes":3,"recoveries_in_flight":0,"replay_lag":0,"gating_stalls":1,"published":10}],"recovery":[{"pid":17,"recovering":false,"messages_behind":2,"checkpoint_age_ms":5.5,"suppressed":0,"recovery_ms":12.5,"critical_path_ms":9.0}],"critical_path":{"crash_at_ms":50.0,"converged_at_ms":59.0,"total_ms":9.0,"by_stage":{"replay":9.0}},"sched":{"delivered":90,"scheduled":96,"pending":6,"peak_pending":14},"profile":{"kernel_cpu":10.0},"metrics":{"node/0/kernel/msgs_sent":7}}"#;
 
 /// Schema of a parsed report document: the explicit `schema` number, or
 /// 1 when the field is absent (the pre-versioning shape).
@@ -43,16 +51,86 @@ fn v1_report_without_schema_field_still_reads() {
 }
 
 #[test]
-fn v2_report_declares_schema_and_new_sections() {
+fn v2_report_still_reads_and_lacks_consensus_sections() {
+    let doc = parse(V2_REPORT).expect("v2 artifact parses");
+    assert_eq!(schema_of(&doc), 2, "canned v2 artifact declares schema 2");
+    // Every v2 section is still addressable.
+    assert_eq!(doc.get("spans_partial").and_then(Json::as_f64), Some(3.0));
+    let cp = doc.get("critical_path").expect("critical_path object");
+    assert_eq!(cp.get("total_ms").and_then(Json::as_f64), Some(9.0));
+    let recovery = doc
+        .get("recovery")
+        .and_then(Json::as_arr)
+        .expect("recovery array");
+    let first = recovery.first().expect("one recovery entry");
+    assert_eq!(first.get("recovery_ms").and_then(Json::as_f64), Some(12.5));
+    // v3-only sections are simply absent, not an error.
+    assert!(doc.get("quorum").is_none());
+    assert!(doc.get("consensus").is_none());
+    assert!(doc.get("watchdog").is_none());
+}
+
+#[test]
+fn current_report_declares_schema_and_new_sections() {
     let mut report = ObsReport {
         at_ms: 100.0,
         spans_total: 42,
         ..Default::default()
     };
     report.latencies.partial = 3;
-    let doc = parse(&report.render_json()).expect("v2 artifact parses");
+    let doc = parse(&report.render_json()).expect("current artifact parses");
     assert_eq!(schema_of(&doc), REPORT_SCHEMA_VERSION);
     assert_eq!(doc.get("spans_partial").and_then(Json::as_f64), Some(3.0));
     // Both shapes read through the same accessors.
     assert_eq!(doc.get("spans_total").and_then(Json::as_f64), Some(42.0));
+}
+
+#[test]
+fn v3_consensus_sections_are_optional_and_omitted_by_default() {
+    // A sharded (non-quorum) report renders no consensus sections at
+    // all — a v2 reader that ignores unknown keys sees nothing new
+    // beyond the schema bump.
+    let report = ObsReport {
+        at_ms: 100.0,
+        ..Default::default()
+    };
+    let doc = parse(&report.render_json()).expect("default artifact parses");
+    assert!(doc.get("quorum").is_none());
+    assert!(doc.get("consensus").is_none());
+    assert!(doc.get("watchdog").is_none());
+}
+
+#[test]
+fn v3_consensus_sections_render_when_populated() {
+    let mut report = ObsReport {
+        at_ms: 100.0,
+        ..Default::default()
+    };
+    report.consensus = Some(ConsensusStats {
+        commits: 40,
+        commit_p50_us: 900,
+        commit_p99_us: 4200,
+        replication_lag_p95: 2.0,
+        elections: 2,
+    });
+    report.watchdog = Some(WatchdogSummary {
+        checks: 123,
+        violations: vec!["commit index moved backwards".into()],
+    });
+    let doc = parse(&report.render_json()).expect("quorum artifact parses");
+    assert_eq!(schema_of(&doc), REPORT_SCHEMA_VERSION);
+    let consensus = doc.get("consensus").expect("consensus object");
+    assert_eq!(consensus.get("commits").and_then(Json::as_f64), Some(40.0));
+    assert_eq!(
+        consensus.get("commit_p99_us").and_then(Json::as_f64),
+        Some(4200.0)
+    );
+    let watchdog = doc.get("watchdog").expect("watchdog object");
+    assert_eq!(watchdog.get("checks").and_then(Json::as_f64), Some(123.0));
+    let violations = watchdog
+        .get("violations")
+        .and_then(Json::as_arr)
+        .expect("violations array");
+    assert_eq!(violations.len(), 1);
+    assert_eq!(violations[0].as_str(), Some("commit index moved backwards"));
 }

@@ -18,7 +18,9 @@ use publishing_core::node::{RNAction, RecorderConfig, RecorderNode};
 use publishing_demos::ids::{MessageId, NodeId, ProcessId};
 use publishing_demos::transport::Wire;
 use publishing_net::frame::{Destination, Frame, StationId};
+use publishing_obs::span::{MsgKey, Stage};
 use publishing_sim::codec::{Decode, Encode};
+use publishing_sim::stats::{LinearHistogram, LogHistogram};
 use publishing_sim::time::{SimDuration, SimTime};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -118,6 +120,16 @@ pub struct QuorumReplica {
     /// message — the state-machine-safety check.
     applied_log: BTreeMap<ProcessId, BTreeMap<u64, MessageId>>,
     audit_violations: Vec<String>,
+    /// When each still-uncommitted log entry this replica proposed was
+    /// proposed (log index → propose time). Volatile: cleared on crash,
+    /// so a restart's idempotent re-apply never charges phantom
+    /// latencies.
+    proposed_at: BTreeMap<u64, SimTime>,
+    /// Proposal → quorum-durable commit latency, in virtual-time µs.
+    commit_latency_us: LogHistogram,
+    /// Worst follower replication lag (log entries), sampled each
+    /// consensus tick while this replica leads.
+    replication_lag: LinearHistogram,
     up: bool,
 }
 
@@ -152,8 +164,20 @@ impl QuorumReplica {
             tick_epoch: 0,
             applied_log: BTreeMap::new(),
             audit_violations: Vec::new(),
+            proposed_at: BTreeMap::new(),
+            commit_latency_us: LogHistogram::new(),
+            replication_lag: LinearHistogram::new(0.0, 64.0, 16),
             up: true,
         }
+    }
+
+    /// The packed identity Elect spans use for this replica (node in
+    /// the high half, local 0 — rendered `node.0`). Only process pids
+    /// destined by sequenced messages otherwise appear as subjects in a
+    /// replica's span log, so election program-order chains never mix
+    /// with message lifecycles.
+    fn span_identity(&self) -> u64 {
+        (self.node.node().0 as u64) << 32
     }
 
     /// This replica's id within the group.
@@ -206,6 +230,23 @@ impl QuorumReplica {
     /// applying (a sequence re-applied with a different message).
     pub fn audit_violations(&self) -> &[String] {
         &self.audit_violations
+    }
+
+    /// Proposal → quorum-durable commit latency of entries this replica
+    /// proposed, in virtual-time microseconds.
+    pub fn commit_latency_us(&self) -> &LogHistogram {
+        &self.commit_latency_us
+    }
+
+    /// Worst follower replication lag (entries), sampled per consensus
+    /// tick while leading.
+    pub fn replication_lag_hist(&self) -> &LinearHistogram {
+        &self.replication_lag
+    }
+
+    /// Re-bounds the inner recorder's span ring (0 = fingerprint-only).
+    pub fn set_span_capacity(&mut self, capacity: usize) {
+        self.node.set_span_capacity(capacity);
     }
 
     /// Applies a disk-fault regime to the replica's store.
@@ -285,6 +326,21 @@ impl QuorumReplica {
                     self.proposed_next.clear();
                     self.leader_flag.store(true, Ordering::Relaxed);
                     self.node.set_checkpoint_duty(true);
+                    // The election win is a lifecycle event: everything
+                    // the group sequences from here on waited on it, so
+                    // the causal explorer can attribute failover time.
+                    let me = self.span_identity();
+                    let term = self.raft.term();
+                    self.node.record_span(
+                        now,
+                        MsgKey {
+                            sender: me,
+                            seq: term,
+                        },
+                        Stage::Elect,
+                        me,
+                        term,
+                    );
                 }
                 RaftOut::SteppedDown => {
                     self.term_settled = false;
@@ -300,7 +356,11 @@ impl QuorumReplica {
     }
 
     fn drain_commits(&mut self, now: SimTime, out: &mut Vec<QAction>) {
-        for (_idx, entry) in self.raft.take_applicable() {
+        for (idx, entry) in self.raft.take_applicable() {
+            if let Some(proposed) = self.proposed_at.remove(&idx) {
+                self.commit_latency_us
+                    .record(now.saturating_since(proposed).as_nanos() / 1_000);
+            }
             match entry.op {
                 Op::Noop => {
                     if self.raft.is_leader() && entry.term == self.raft.term() {
@@ -362,7 +422,9 @@ impl QuorumReplica {
             let next = self.proposed_next.entry(dst).or_insert(seeded);
             let seq = *next;
             *next += 1;
-            self.raft.propose(Op::Sequence { seq, msg }, &mut routs);
+            if let Some(idx) = self.raft.propose(Op::Sequence { seq, msg }, &mut routs) {
+                self.proposed_at.insert(idx, now);
+            }
         }
         // Proposals only generate Sends (plus possible snapshot needs);
         // re-enter the effect loop without re-proposing.
@@ -433,6 +495,10 @@ impl QuorumReplica {
             }
             let routs = self.raft.tick(now);
             self.process(now, routs, &mut out);
+            if self.raft.is_leader() {
+                self.replication_lag
+                    .record(self.raft.worst_follower_lag() as f64);
+            }
             out.push(QAction::SetTimer {
                 at: now + self.tick,
                 token: TICK_TOKEN | self.tick_epoch,
@@ -478,6 +544,7 @@ impl QuorumReplica {
         self.term_settled = false;
         self.tick_epoch += 1;
         self.proposed_next.clear();
+        self.proposed_at.clear();
         self.acked.clear();
         self.acked_ids.clear();
         self.node.crash();

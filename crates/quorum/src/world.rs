@@ -22,11 +22,15 @@ use publishing_demos::transport::{TransportConfig, Wire};
 use publishing_net::bus::PerfectBus;
 use publishing_net::frame::{Frame, StationId};
 use publishing_net::lan::{Lan, LanAction, LanConfig, RecorderRouter};
+use publishing_obs::watchdog::{Watchdog, WatchdogConfig};
 use publishing_sim::codec::Decode;
 use publishing_sim::event::Scheduler;
-use publishing_sim::time::SimTime;
-use std::collections::BTreeMap;
+use publishing_sim::time::{SimDuration, SimTime};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+
+/// Virtual-time cadence of the online invariant watchdog.
+const WATCHDOG_PERIOD: SimDuration = SimDuration::from_millis(25);
 
 /// World events.
 #[derive(Debug)]
@@ -101,6 +105,10 @@ pub struct QuorumWorld {
     /// violations found while tracking.
     term_leaders: BTreeMap<u64, u32>,
     election_violations: Vec<String>,
+    /// Online invariant watchdog, evaluated every [`WATCHDOG_PERIOD`]
+    /// of virtual time as events dispatch.
+    watchdog: Watchdog,
+    next_watchdog_scan: SimTime,
 }
 
 impl QuorumWorld {
@@ -171,6 +179,8 @@ impl QuorumWorld {
             recovered: BTreeMap::new(),
             term_leaders: BTreeMap::new(),
             election_violations: Vec::new(),
+            watchdog: Watchdog::new(WatchdogConfig::default()),
+            next_watchdog_scan: SimTime::ZERO,
         };
         world.refresh_required();
         let watch: Vec<NodeId> = (0..cfg.nodes).map(NodeId).collect();
@@ -406,6 +416,50 @@ impl QuorumWorld {
                 }
             }
         }
+        if now >= self.next_watchdog_scan {
+            self.watchdog_scan(now);
+            self.next_watchdog_scan = now + WATCHDOG_PERIOD;
+        }
+    }
+
+    /// One watchdog pass over the group's observable state: the union
+    /// of applied arrival sequences per process (gap freedom with a
+    /// virtual-time deadline), every live replica's commit index
+    /// (monotonicity), and the leadership view (ack-gating stall:
+    /// a live majority must elect a leader within the deadline).
+    fn watchdog_scan(&mut self, now: SimTime) {
+        let mut union: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+        for r in self.replicas.iter().filter(|r| r.is_up()) {
+            for (&pid, seqs) in r.applied_log() {
+                union
+                    .entry(pid.as_u64())
+                    .or_default()
+                    .extend(seqs.keys().copied());
+            }
+        }
+        for (pid, seqs) in &union {
+            self.watchdog
+                .scan_arrival_seqs(now, *pid, seqs.iter().copied());
+        }
+        let mut has_leader = false;
+        for r in self.replicas.iter().filter(|r| r.is_up()) {
+            self.watchdog
+                .observe_commit_index(now, r.id(), r.raft().commit_index());
+            has_leader |= r.is_leader();
+        }
+        let majority_live = self.live_replicas() * 2 > self.replicas.len();
+        self.watchdog
+            .observe_leadership(now, majority_live, has_leader);
+    }
+
+    /// The online invariant watchdog's state so far.
+    pub fn watchdog(&self) -> &Watchdog {
+        &self.watchdog
+    }
+
+    /// Violations the watchdog has surfaced so far, in detection order.
+    pub fn watchdog_violations(&self) -> &[String] {
+        self.watchdog.violations()
     }
 
     /// Runs until `deadline`.
@@ -486,6 +540,9 @@ impl QuorumWorld {
         }
         self.crashes.push(self.now());
         self.replicas[idx].crash();
+        // Commit index is volatile state: the restarted replica will
+        // re-learn it from the leader, so the monotonicity floor resets.
+        self.watchdog.reset_replica(self.replicas[idx].id());
         self.lan.set_station_up(self.replicas[idx].station(), false);
         self.refresh_required();
     }
@@ -499,6 +556,7 @@ impl QuorumWorld {
         }
         let now = self.now();
         self.lan.set_station_up(self.replicas[idx].station(), true);
+        self.watchdog.reset_replica(self.replicas[idx].id());
         let actions = self.replicas[idx].restart(now);
         self.apply_replica(now, idx, actions);
         self.refresh_required();
@@ -729,10 +787,19 @@ impl QuorumWorld {
                 r.recorder_node(),
                 now,
             );
+            reg.histogram(
+                &format!("quorum/{i}/consensus/commit_latency_us"),
+                r.commit_latency_us(),
+            );
+            reg.linear_histogram(
+                &format!("quorum/{i}/consensus/replication_lag"),
+                r.replication_lag_hist(),
+            );
         }
         for h in self.quorum_health() {
             h.into_registry(&mut reg);
         }
+        self.watchdog.into_registry(&mut reg);
         publishing_obs::probe::MediumHealth::from_lan(self.lan.stats(), now)
             .into_registry(&mut reg);
         reg
@@ -789,6 +856,25 @@ impl QuorumWorld {
 
         let spans = self.spans();
         let logs = self.span_logs();
+        let quorum = self.quorum_health();
+        let mut commit = publishing_sim::stats::LogHistogram::new();
+        for r in &self.replicas {
+            commit.merge(r.commit_latency_us());
+        }
+        let consensus = publishing_obs::report::ConsensusStats {
+            commits: commit.summary().count(),
+            commit_p50_us: commit.quantile(0.5),
+            commit_p99_us: commit.quantile(0.99),
+            replication_lag_p95: self
+                .replication_lag()
+                .map(|h| h.quantile(0.95))
+                .unwrap_or(0.0),
+            elections: quorum.iter().map(|h| h.elections).sum(),
+        };
+        let watchdog = publishing_obs::report::WatchdogSummary {
+            checks: self.watchdog.checks(),
+            violations: self.watchdog.violations().to_vec(),
+        };
         publishing_obs::report::ObsReport {
             schema: publishing_obs::report::REPORT_SCHEMA_VERSION,
             at_ms: now.as_millis_f64(),
@@ -807,6 +893,36 @@ impl QuorumWorld {
             spans_total: logs.iter().map(|l| l.total()).sum(),
             span_fingerprint: self.obs_fingerprint(),
             critical_path,
+            quorum,
+            consensus: Some(consensus),
+            watchdog: Some(watchdog),
+        }
+    }
+
+    /// Follower replication-lag distribution merged across replicas
+    /// (samples are taken on the leader, once per consensus tick).
+    pub fn replication_lag(&self) -> Option<publishing_sim::stats::LinearHistogram> {
+        let mut merged: Option<publishing_sim::stats::LinearHistogram> = None;
+        for r in &self.replicas {
+            let h = r.replication_lag_hist();
+            match &mut merged {
+                Some(m) => m.merge(h),
+                None => merged = Some(h.clone()),
+            }
+        }
+        merged
+    }
+
+    /// Caps every component span log (kernels and replicas) at
+    /// `capacity` retained events. `0` keeps fingerprints and totals
+    /// but retains nothing — the spans-disabled configuration of the
+    /// overhead benchmark.
+    pub fn set_span_capacity(&mut self, capacity: usize) {
+        for k in self.kernels.values_mut() {
+            k.set_span_capacity(capacity);
+        }
+        for r in &mut self.replicas {
+            r.set_span_capacity(capacity);
         }
     }
 
@@ -952,6 +1068,55 @@ mod tests {
         assert_eq!(out.len(), 11, "{out:?}");
         assert!(w.recoveries_completed() >= 1, "leader drove recovery");
         invariants_clean(&w);
+    }
+
+    #[test]
+    fn watchdog_runs_clean_and_report_has_consensus_sections() {
+        let mut w = QuorumWorld::new(2, 3, registry());
+        let server = w.spawn(1, "echo", vec![]).unwrap();
+        let _client = w
+            .spawn(0, "ping10", vec![Link::to(server, Channel::DEFAULT, 7)])
+            .unwrap();
+        w.run_until(SimTime::from_secs(5));
+        assert!(w.watchdog().checks() > 0, "watchdog scanned");
+        assert!(w.watchdog().is_clean(), "{:?}", w.watchdog_violations());
+        let report = w.obs_report();
+        assert_eq!(report.quorum.len(), 3);
+        let c = report.consensus.as_ref().unwrap();
+        assert!(c.commits > 0, "leader measured commit latencies");
+        assert!(c.commit_p50_us > 0);
+        assert!(report.watchdog.as_ref().unwrap().checks > 0);
+        let json = report.render_json();
+        assert!(json.contains("\"quorum\":[{\"replica\":0"));
+        assert!(json.contains("\"consensus\":{\"commits\":"));
+        assert!(json.contains("\"watchdog\":{\"checks\":"));
+        assert!(json.contains("quorum/0/consensus/commit_latency_us"));
+    }
+
+    #[test]
+    fn failover_records_election_spans() {
+        use publishing_obs::span::Stage;
+        let mut w = QuorumWorld::new(2, 3, registry());
+        let server = w.spawn(1, "echo", vec![]).unwrap();
+        let client = w
+            .spawn(0, "ping10", vec![Link::to(server, Channel::DEFAULT, 7)])
+            .unwrap();
+        w.run_until(SimTime::from_millis(300));
+        let old = w.leader().expect("initial leader");
+        w.crash_replica(old);
+        w.run_until(SimTime::from_secs(12));
+        assert_eq!(w.outputs_of(client).len(), 11);
+        let elects: usize = w
+            .span_logs()
+            .iter()
+            .map(|l| l.events().filter(|e| e.stage == Stage::Elect).count())
+            .sum();
+        assert!(
+            elects >= 2,
+            "both the initial election and the failover left tenure spans, got {elects}"
+        );
+        // The failover run still satisfies the online watchdog.
+        assert!(w.watchdog().is_clean(), "{:?}", w.watchdog_violations());
     }
 
     #[test]

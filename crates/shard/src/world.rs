@@ -709,6 +709,19 @@ impl ShardedWorld {
         publishing_obs::span::combined_fingerprint(self.span_logs())
     }
 
+    /// Caps every component span log (kernels and shard recorders) at
+    /// `capacity` retained events. `0` keeps fingerprints and totals
+    /// but retains nothing — the spans-disabled configuration of the
+    /// overhead benchmark.
+    pub fn set_span_capacity(&mut self, capacity: usize) {
+        for k in self.kernels.values_mut() {
+            k.set_span_capacity(capacity);
+        }
+        for s in &mut self.shards {
+            s.set_span_capacity(capacity);
+        }
+    }
+
     /// The happens-before DAG over every component's span log.
     pub fn causal_graph(&self) -> publishing_obs::causal::CausalGraph {
         publishing_obs::causal::CausalGraph::build(self.span_logs())
@@ -866,6 +879,9 @@ impl ShardedWorld {
             spans_total: logs.iter().map(|l| l.total()).sum(),
             span_fingerprint: self.obs_fingerprint(),
             critical_path,
+            quorum: Vec::new(),
+            consensus: None,
+            watchdog: None,
         }
     }
 

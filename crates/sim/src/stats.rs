@@ -177,6 +177,16 @@ impl LogHistogram {
         &self.summary
     }
 
+    /// Folds another histogram into this one bucket-by-bucket (the
+    /// summaries combine via [`Summary::merge`]), so per-replica
+    /// latency histograms aggregate into a group-wide one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.summary.merge(&other.summary);
+    }
+
     /// Estimates the `q`-quantile (0 ≤ q ≤ 1) from bucket boundaries.
     ///
     /// The estimate is the upper bound of the bucket containing the
