@@ -37,6 +37,12 @@ cargo run -q --release -p publishing-bench --bin obs_report -- --smoke --topolog
 echo "==> quorum explain smoke (election hop on the recovery critical path)"
 cargo run -q --release -p publishing-bench --bin explain -- --quorum --smoke > /dev/null
 
+echo "==> workload smoke run (capacity-knee determinism gate)"
+cargo run -q --release -p publishing-bench --bin workload -- --smoke > /dev/null
+
+echo "==> capacity smoke run (knee table over canonical shapes)"
+cargo run -q --release -p publishing-bench --bin capacity -- --smoke > /dev/null
+
 echo "==> perf bench smoke + regression gate vs perf/BENCH_1.json"
 rm -rf target/perf
 cargo run -q --release -p publishing-bench --bin bench -- --smoke --dir target/perf

@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use publishing_bench::scenarios;
 use publishing_core::node_recovery::{run_workload, NodeUnit};
+use publishing_demos::driver::{LONG_BYTES, SHORT_BYTES};
 use publishing_queueing::{figure_5_5, max_users, ShardedTier, SystemConfig};
 use publishing_sim::rng::DetRng;
 use publishing_sim::time::SimTime;
@@ -117,7 +118,7 @@ fn bench_substrate(c: &mut Criterion) {
     use publishing_net::crc::crc32;
     use publishing_sim::codec::{Decode, Encode};
     let mut g = c.benchmark_group("substrate");
-    let data = vec![0xA5u8; 1024];
+    let data = vec![0xA5u8; LONG_BYTES];
     g.bench_function("crc32_1k", |b| b.iter(|| black_box(crc32(&data))));
     let msg = publishing_demos::message::Message {
         header: publishing_demos::message::MessageHeader {
@@ -131,7 +132,7 @@ fn bench_substrate(c: &mut Criterion) {
             deliver_to_kernel: false,
         },
         passed_link: None,
-        body: vec![0; 128],
+        body: vec![0; SHORT_BYTES],
     };
     g.bench_function("message_encode_decode", |b| {
         b.iter(|| {

@@ -345,6 +345,51 @@ fn obs_overhead(p: &MatrixParams) -> ScenarioSnapshot {
     s
 }
 
+/// The workload-engine capacity scenario: the Fig 5.5 knee search on
+/// the paper's ethernet, one knee per recorder topology, every searched
+/// point chaos-validated. The knees are deterministic integers gated
+/// exactly (zero allowance) by the `capacity_users` comparator rule, so
+/// any change that shrinks sustainable users fails CI. Smoke caps the
+/// search bracket; the single-recorder knee sits well inside either cap,
+/// so both modes converge on the same numbers for it.
+fn capacity(smoke: bool) -> ScenarioSnapshot {
+    use publishing_chaos::Medium;
+    use publishing_obs::slo::SloSpec;
+    use publishing_workload::capacity::topology_name;
+    use publishing_workload::{find_knee, SearchParams, WorkloadSpec};
+
+    let base = WorkloadSpec::default();
+    let params = SearchParams {
+        max_users: if smoke { 64 } else { 256 },
+        chaos: true,
+        medium: Medium::Ethernet,
+    };
+    let mut s = ScenarioSnapshot::new("capacity");
+    let mut fp = 0u64;
+    let mut delivered_total = 0u64;
+    for (i, topo) in [Topology::Single, Topology::Sharded, Topology::Quorum]
+        .into_iter()
+        .enumerate()
+    {
+        let knee = find_knee("default", topo, &base, &SloSpec::default(), &params);
+        let name = topology_name(topo);
+        s.virt(format!("{name}_capacity_users"), f64::from(knee.knee_users));
+        s.virt(format!("{name}_trials"), knee.trials.len() as f64);
+        if let Some(t) = knee.knee_trial() {
+            s.virt(format!("{name}_knee_offered"), t.offered as f64);
+            s.virt(format!("{name}_knee_delivered"), t.delivered as f64);
+        }
+        delivered_total += knee.trials.iter().map(|t| t.delivered).sum::<u64>();
+        fp ^= (u64::from(knee.knee_users) << 32 | knee.trials.len() as u64)
+            .rotate_left(i as u32 * 21);
+    }
+    // Everything every searched point drained, so the bench driver's
+    // did-any-work check holds for this scenario too.
+    s.virt("events_delivered", delivered_total as f64);
+    s.fingerprint("knees", fp);
+    s
+}
+
 /// Runs the whole matrix and assembles the snapshot.
 pub fn run_matrix(smoke: bool) -> Snapshot {
     let p = MatrixParams::new(smoke);
@@ -355,5 +400,6 @@ pub fn run_matrix(smoke: bool) -> Snapshot {
     snap.scenarios.push(metered(|| chaos_smoke(&p)));
     snap.scenarios.push(metered(|| quorum_sweep(&p)));
     snap.scenarios.push(metered(|| obs_overhead(&p)));
+    snap.scenarios.push(metered(|| capacity(smoke)));
     snap
 }

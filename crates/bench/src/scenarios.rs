@@ -7,6 +7,7 @@
 use publishing_core::node::RecorderConfig;
 use publishing_core::world::{World, WorldBuilder};
 use publishing_demos::costs::CostModel;
+use publishing_demos::driver::SHORT_BYTES;
 use publishing_demos::ids::{Channel, ChannelSet, LinkId, NodeId, ProcessId};
 use publishing_demos::kernel::{decode_ctl, encode_ctl};
 use publishing_demos::link::Link;
@@ -400,7 +401,7 @@ pub fn token_ring_run(stations: u32, recorder: u32, sends: u32) -> RingRun {
         let frame = Frame::new(
             StationId(from),
             Destination::Station(StationId(to)),
-            vec![0; 128],
+            vec![0; SHORT_BYTES],
         );
         let actions = ring.submit(now, frame);
         let mut strip = now;

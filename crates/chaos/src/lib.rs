@@ -38,5 +38,7 @@ pub mod shrink;
 
 pub use driver::Engine;
 pub use oracle::OracleOptions;
-pub use scenario::{Scenario, Topology};
+pub use scenario::{
+    Medium, PingEcho, PlanLink, PlanSpawn, Scenario, Topology, WorkloadSource, NODES,
+};
 pub use schedule::{ChaosConfig, Fault, FaultSchedule};

@@ -1,11 +1,13 @@
-//! Chaos scenarios: the workload under test and the two target worlds.
+//! Chaos scenarios: the workload under test and the target worlds.
 //!
-//! A [`Scenario`] describes a deterministic workload — independent
-//! ping/echo FIFO pairs, so every client's deduplicated output is
-//! pinned regardless of loss-induced interleaving — and builds it on
-//! either the single-recorder [`World`] or the [`ShardedWorld`]. The
-//! [`ChaosWorld`] trait is the narrow waist the driver and oracle see:
-//! run-to-fault, inject, heal, and the invariant probes.
+//! A [`Scenario`] names a topology and a [`WorkloadSource`] supplies the
+//! load: a program registry plus a spawn plan. The default source is
+//! independent ping/echo FIFO pairs — every client's deduplicated
+//! output is pinned regardless of loss-induced interleaving — and the
+//! workload engine plugs in phase-compiled publish drivers through the
+//! same hook. The [`ChaosWorld`] trait is the narrow waist the driver
+//! and oracle see: run-to-fault, inject, heal, and the invariant
+//! probes.
 
 use crate::schedule::Fault;
 use publishing_core::world::{World, WorldBuilder};
@@ -13,6 +15,8 @@ use publishing_demos::ids::{Channel, ProcessId};
 use publishing_demos::link::Link;
 use publishing_demos::programs::{self, PingClient};
 use publishing_demos::registry::ProgramRegistry;
+use publishing_net::ethernet::Ethernet;
+use publishing_net::lan::{Lan, LanConfig};
 use publishing_obs::registry::MetricsRegistry;
 use publishing_obs::span::check_replay_prefix;
 use publishing_quorum::{QuorumConfig, QuorumWorld};
@@ -34,9 +38,21 @@ pub enum Topology {
     Quorum,
 }
 
-/// A deterministic workload: `pairs` ping/echo FIFO pairs exchanging
-/// `pings` round-trips, with think times derived from the workload
-/// seed.
+/// Which broadcast medium the target world runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Medium {
+    /// The idealized [`publishing_net::bus::PerfectBus`] (default).
+    #[default]
+    Perfect,
+    /// The paper's 1983 experimental ethernet: `LanConfig::default()`'s
+    /// 10 Mb/s + 1.6 ms interpacket gap, with contention.
+    Ethernet,
+}
+
+/// A deterministic workload: by default `pairs` ping/echo FIFO pairs
+/// exchanging `pings` round-trips, with think times derived from the
+/// workload seed. [`Scenario::build_with`] accepts any other
+/// [`WorkloadSource`].
 #[derive(Debug, Clone)]
 pub struct Scenario {
     /// Target topology.
@@ -47,6 +63,8 @@ pub struct Scenario {
     pub pairs: u32,
     /// Round-trips per pair.
     pub pings: u64,
+    /// Broadcast medium under the recorder tier.
+    pub medium: Medium,
 }
 
 /// Processing nodes in every scenario (the recorder tier sits above
@@ -65,42 +83,61 @@ impl Scenario {
             workload_seed,
             pairs: 2,
             pings: 8,
+            medium: Medium::Perfect,
         }
     }
 
-    fn registry(&self) -> ProgramRegistry {
-        let mut reg = ProgramRegistry::new();
-        programs::register_standard(&mut reg);
-        let pings = self.pings;
-        let think_ns = 1_500_000 + (self.workload_seed % 5) * 250_000;
-        reg.register("chaos-pinger", move || {
-            let mut p = PingClient::new(pings);
-            p.think_ns = think_ns;
-            Box::new(p)
-        });
-        reg
+    /// The scenario on the paper's 1983 ethernet instead of the perfect
+    /// bus.
+    pub fn on_ethernet(mut self) -> Self {
+        self.medium = Medium::Ethernet;
+        self
     }
 
-    /// Builds a fresh target world with the workload spawned.
+    /// A fresh instance of the configured medium.
+    fn medium_box(&self) -> Box<dyn Lan> {
+        match self.medium {
+            Medium::Perfect => Box::new(publishing_net::bus::PerfectBus::new(LanConfig::default())),
+            Medium::Ethernet => Box::new(Ethernet::acknowledging(LanConfig::default())),
+        }
+    }
+
+    /// The default ping/echo workload source for this scenario.
+    pub fn default_source(&self) -> PingEcho {
+        PingEcho {
+            topology: self.topology,
+            pairs: self.pairs,
+            pings: self.pings,
+            seed: self.workload_seed,
+        }
+    }
+
+    /// Builds a fresh target world with the default ping/echo workload
+    /// spawned.
     pub fn build(&self) -> Box<dyn ChaosWorld> {
+        self.build_with(&self.default_source())
+    }
+
+    /// Builds a fresh target world with `source`'s workload spawned —
+    /// the pluggable load-driver hook: the workload engine compiles a
+    /// spec into a [`WorkloadSource`] and every topology runs it through
+    /// the same spawn path the default ping/echo load uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan names an unregistered program or links to a
+    /// spawn at or after itself.
+    pub fn build_with(&self, source: &dyn WorkloadSource) -> Box<dyn ChaosWorld> {
+        let plan = source.plan();
         match self.topology {
             Topology::Single => {
-                let mut w = WorldBuilder::new(NODES).registry(self.registry()).build();
-                let mut procs = Vec::new();
-                let mut clients = Vec::new();
-                for i in 0..self.pairs {
-                    let server = w.spawn(1 + i % 2, "echo", vec![]).expect("echo");
-                    let client = w
-                        .spawn(
-                            0,
-                            "chaos-pinger",
-                            vec![Link::to(server, Channel::DEFAULT, 7)],
-                        )
-                        .expect("pinger");
-                    procs.push(server);
-                    procs.push(client);
-                    clients.push(client);
-                }
+                let mut w = WorldBuilder::new(NODES)
+                    .registry(source.registry())
+                    .medium(self.medium_box())
+                    .build();
+                let (procs, clients) = spawn_plan(&plan, |node, prog, links| {
+                    w.spawn(node, prog, links).expect("spawn")
+                });
                 Box::new(SingleTarget {
                     w,
                     procs,
@@ -109,22 +146,15 @@ impl Scenario {
                 })
             }
             Topology::Sharded => {
-                let mut w = ShardedWorld::new(NODES, SHARDS as usize, self.registry());
-                let mut procs = Vec::new();
-                let mut clients = Vec::new();
-                for i in 0..self.pairs {
-                    let server = w.spawn(2, "echo", vec![]).expect("echo");
-                    let client = w
-                        .spawn(
-                            i % 2,
-                            "chaos-pinger",
-                            vec![Link::to(server, Channel::DEFAULT, 7)],
-                        )
-                        .expect("pinger");
-                    procs.push(server);
-                    procs.push(client);
-                    clients.push(client);
-                }
+                let mut w = ShardedWorld::with_medium(
+                    NODES,
+                    SHARDS as usize,
+                    source.registry(),
+                    self.medium_box(),
+                );
+                let (procs, clients) = spawn_plan(&plan, |node, prog, links| {
+                    w.spawn(node, prog, links).expect("spawn")
+                });
                 Box::new(ShardedTarget {
                     w,
                     procs,
@@ -140,26 +170,12 @@ impl Scenario {
                         seed: self.workload_seed,
                         ..QuorumConfig::default()
                     },
-                    self.registry(),
-                    Box::new(publishing_net::bus::PerfectBus::new(
-                        publishing_net::lan::LanConfig::default(),
-                    )),
+                    source.registry(),
+                    self.medium_box(),
                 );
-                let mut procs = Vec::new();
-                let mut clients = Vec::new();
-                for i in 0..self.pairs {
-                    let server = w.spawn(2, "echo", vec![]).expect("echo");
-                    let client = w
-                        .spawn(
-                            i % 2,
-                            "chaos-pinger",
-                            vec![Link::to(server, Channel::DEFAULT, 7)],
-                        )
-                        .expect("pinger");
-                    procs.push(server);
-                    procs.push(client);
-                    clients.push(client);
-                }
+                let (procs, clients) = spawn_plan(&plan, |node, prog, links| {
+                    w.spawn(node, prog, links).expect("spawn")
+                });
                 Box::new(QuorumTarget {
                     w,
                     procs,
@@ -168,6 +184,127 @@ impl Scenario {
                 })
             }
         }
+    }
+}
+
+/// A link in a spawn plan, pointing at an earlier spawn by plan index.
+/// Resolved to the spawned [`ProcessId`] at build time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanLink {
+    /// Index into the plan of the spawn this link targets.
+    pub target: usize,
+    /// Channel the link sends on.
+    pub channel: Channel,
+    /// Link code the receiver sees.
+    pub code: u32,
+}
+
+/// One process in a workload's spawn plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanSpawn {
+    /// Processing node (taken modulo [`NODES`]).
+    pub node: u32,
+    /// Registered program name.
+    pub program: String,
+    /// Initial links, each to an earlier spawn in the plan.
+    pub links: Vec<PlanLink>,
+    /// Whether this spawn's deduplicated output feeds the baseline
+    /// oracle (its last line must be `"done"` for the chaos engine).
+    pub client: bool,
+}
+
+/// A pluggable source of scenario load: the programs to register and
+/// the processes to spawn. Implementations must be deterministic —
+/// the chaos engine builds the same source several times (baseline
+/// twice, then every faulted run) and demands identical behavior.
+pub trait WorkloadSource {
+    /// The program registry the workload needs (including everything
+    /// recovery must re-instantiate by name).
+    fn registry(&self) -> ProgramRegistry;
+    /// The spawn plan, in spawn order.
+    fn plan(&self) -> Vec<PlanSpawn>;
+}
+
+/// Spawns a plan through a world's spawn function, resolving plan links
+/// to pids. Returns `(procs, clients)`.
+fn spawn_plan(
+    plan: &[PlanSpawn],
+    mut spawn: impl FnMut(u32, &str, Vec<Link>) -> ProcessId,
+) -> (Vec<ProcessId>, Vec<ProcessId>) {
+    let mut pids: Vec<ProcessId> = Vec::with_capacity(plan.len());
+    let mut clients = Vec::new();
+    for (i, s) in plan.iter().enumerate() {
+        let links: Vec<Link> = s
+            .links
+            .iter()
+            .map(|l| {
+                assert!(l.target < i, "plan link must point at an earlier spawn");
+                Link::to(pids[l.target], l.channel, l.code)
+            })
+            .collect();
+        let pid = spawn(s.node % NODES, &s.program, links);
+        pids.push(pid);
+        if s.client {
+            clients.push(pid);
+        }
+    }
+    (pids, clients)
+}
+
+/// The default workload: independent ping/echo FIFO pairs. Placement
+/// mirrors the historical per-topology layout so existing seeds and
+/// shrunk reproducer literals keep their meaning.
+#[derive(Debug, Clone)]
+pub struct PingEcho {
+    /// Target topology (placement differs per tier).
+    pub topology: Topology,
+    /// Ping/echo pairs.
+    pub pairs: u32,
+    /// Round-trips per pair.
+    pub pings: u64,
+    /// Seed feeding ping think time.
+    pub seed: u64,
+}
+
+impl WorkloadSource for PingEcho {
+    fn registry(&self) -> ProgramRegistry {
+        let mut reg = ProgramRegistry::new();
+        programs::register_standard(&mut reg);
+        let pings = self.pings;
+        let think_ns = 1_500_000 + (self.seed % 5) * 250_000;
+        reg.register("chaos-pinger", move || {
+            let mut p = PingClient::new(pings);
+            p.think_ns = think_ns;
+            Box::new(p)
+        });
+        reg
+    }
+
+    fn plan(&self) -> Vec<PlanSpawn> {
+        let mut plan = Vec::new();
+        for i in 0..self.pairs {
+            let (server_node, client_node) = match self.topology {
+                Topology::Single => (1 + i % 2, 0),
+                Topology::Sharded | Topology::Quorum => (2, i % 2),
+            };
+            plan.push(PlanSpawn {
+                node: server_node,
+                program: "echo".into(),
+                links: vec![],
+                client: false,
+            });
+            plan.push(PlanSpawn {
+                node: client_node,
+                program: "chaos-pinger".into(),
+                links: vec![PlanLink {
+                    target: plan.len() - 1,
+                    channel: Channel::DEFAULT,
+                    code: 7,
+                }],
+                client: true,
+            });
+        }
+        plan
     }
 }
 

@@ -215,8 +215,15 @@ impl RecoveryManager {
                 outstanding: None,
             },
         );
+        // Offset each node's watchdog phase: nodes are watched in a batch
+        // at startup, and un-staggered pings would hit a broadcast medium
+        // at the same instant every interval — a guaranteed CSMA/CD
+        // collision convoy that persists for the life of the run.
+        let phase = SimDuration::from_nanos(
+            self.cfg.ping_interval.as_nanos() / 8 * (u64::from(node.0) % 8),
+        );
         self.timer(
-            now + self.cfg.ping_interval,
+            now + self.cfg.ping_interval + phase,
             TimerKind::Ping(node),
             &mut out,
         );

@@ -606,6 +606,7 @@ impl World {
             quorum: Vec::new(),
             consensus: None,
             watchdog: None,
+            workload: None,
         }
     }
 

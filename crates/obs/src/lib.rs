@@ -44,6 +44,7 @@ pub mod probe;
 pub mod profile;
 pub mod registry;
 pub mod report;
+pub mod slo;
 pub mod span;
 pub mod store;
 pub mod watchdog;
@@ -52,7 +53,8 @@ pub use causal::{divergence_diff, CausalGraph, CriticalPath, Divergence, EdgeKin
 pub use probe::{MediumHealth, QuorumHealth, RecoveryLag, ShardHealth};
 pub use profile::{StageLatencies, TimeProfile};
 pub use registry::{MetricValue, MetricsRegistry};
-pub use report::{ConsensusStats, ObsReport, WatchdogSummary};
+pub use report::{ConsensusStats, ObsReport, WatchdogSummary, WorkloadStats};
+pub use slo::SloSpec;
 pub use span::{MessageSpan, MsgKey, SpanEvent, SpanLog, Stage, DEFAULT_SPAN_CAPACITY};
 pub use store::{Interner, RowSpanLog, SampleSpec};
 pub use watchdog::{Watchdog, WatchdogConfig};

@@ -27,7 +27,11 @@ use publishing_sim::time::SimDuration;
 ///   checks and violations). All three are absent for worlds without
 ///   a quorum topology, so v2 readers that ignore unknown keys keep
 ///   working and v2 documents still parse.
-pub const REPORT_SCHEMA_VERSION: u32 = 3;
+/// - **4**: adds the optional `workload` section — offered load vs.
+///   goodput and the SLO violations the run tripped — populated by
+///   runs driven through the workload engine and absent everywhere
+///   else, so v3 documents still parse and v3 readers keep working.
+pub const REPORT_SCHEMA_VERSION: u32 = 4;
 
 /// Consensus-level aggregates for the quorum section (schema v3).
 #[derive(Debug, Clone, Default)]
@@ -65,6 +69,44 @@ pub struct WatchdogSummary {
     pub checks: u64,
     /// Violations the watchdog surfaced, in detection order.
     pub violations: Vec<String>,
+}
+
+/// Offered-load accounting for workload-driven runs (schema v4).
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadStats {
+    /// Messages the load drivers offered over the run.
+    pub offered: u64,
+    /// Messages the subject sinks acknowledged receiving.
+    pub delivered: u64,
+    /// Offered messages per logical second of driver horizon.
+    pub offered_per_sec: f64,
+    /// SLO predicates the run violated, in evaluation order (empty =
+    /// the run met its objectives).
+    pub slo_violations: Vec<String>,
+}
+
+impl WorkloadStats {
+    /// Delivered fraction of the offered load, 0–1 (1.0 when nothing
+    /// was offered).
+    pub fn goodput(&self) -> f64 {
+        if self.offered == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.offered as f64
+        }
+    }
+
+    /// One-line terminal rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "offered={} ({:.1}/s) delivered={} goodput={:.1}% slo_violations={}",
+            self.offered,
+            self.offered_per_sec,
+            self.delivered,
+            self.goodput() * 100.0,
+            self.slo_violations.len()
+        )
+    }
 }
 
 /// A complete observability snapshot of one run.
@@ -107,6 +149,9 @@ pub struct ObsReport {
     pub consensus: Option<ConsensusStats>,
     /// Invariant-watchdog outcome, when the world runs one.
     pub watchdog: Option<WatchdogSummary>,
+    /// Offered-load accounting, when the run was driven by the
+    /// workload engine.
+    pub workload: Option<WorkloadStats>,
 }
 
 impl Default for ObsReport {
@@ -129,6 +174,7 @@ impl Default for ObsReport {
             quorum: Vec::new(),
             consensus: None,
             watchdog: None,
+            workload: None,
         }
     }
 }
@@ -191,6 +237,16 @@ impl ObsReport {
                 w.violations.len()
             ));
             for v in &w.violations {
+                s.push_str("  ! ");
+                s.push_str(v);
+                s.push('\n');
+            }
+        }
+        if let Some(wl) = &self.workload {
+            s.push_str("\nworkload:\n  ");
+            s.push_str(&wl.render());
+            s.push('\n');
+            for v in &wl.slo_violations {
                 s.push_str("  ! ");
                 s.push_str(v);
                 s.push('\n');
@@ -336,6 +392,22 @@ impl ObsReport {
             }
             s.push_str("]},");
         }
+        if let Some(wl) = &self.workload {
+            s.push_str(&format!(
+                "\"workload\":{{\"offered\":{},\"delivered\":{},\"offered_per_sec\":{},\"goodput\":{},\"slo_violations\":[",
+                wl.offered,
+                wl.delivered,
+                json_f64(wl.offered_per_sec),
+                json_f64(wl.goodput())
+            ));
+            for (i, v) in wl.slo_violations.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!("\"{}\"", json_escape(v)));
+            }
+            s.push_str("]},");
+        }
         s.push_str("\"profile\":{");
         for (i, (name, d)) in self.profile.iter().enumerate() {
             if i > 0 {
@@ -455,19 +527,28 @@ mod tests {
             checks: 123,
             violations: vec!["commit index went backwards 5 -> 3".into()],
         });
+        report.workload = Some(WorkloadStats {
+            offered: 200,
+            delivered: 180,
+            offered_per_sec: 500.0,
+            slo_violations: vec!["deliver p99 9000us > 5000us".into()],
+        });
         report
     }
 
     #[test]
     fn text_report_has_all_sections() {
         let text = sample().render_text();
-        assert!(text.contains("obs report v3 @ 100.000ms"));
+        assert!(text.contains("obs report v4 @ 100.000ms"));
         assert!(text.contains("partial=3"));
         assert!(text.contains("quorum health:"));
         assert!(text.contains("consensus:"));
         assert!(text.contains("commit_p99=4200us"));
         assert!(text.contains("watchdog: checks=123 violations=1"));
         assert!(text.contains("! commit index went backwards"));
+        assert!(text.contains("workload:"));
+        assert!(text.contains("offered=200 (500.0/s) delivered=180 goodput=90.0% slo_violations=1"));
+        assert!(text.contains("! deliver p99 9000us > 5000us"));
         assert!(text.contains("shard health:"));
         assert!(text.contains("recovery lag:"));
         assert!(text.contains("recovered_in=40.000ms"));
@@ -485,7 +566,9 @@ mod tests {
     fn json_report_is_well_formed_enough() {
         let json = sample().render_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
-        assert!(json.contains("\"schema\":3"));
+        assert!(json.contains("\"schema\":4"));
+        assert!(json.contains("\"workload\":{\"offered\":200,\"delivered\":180,"));
+        assert!(json.contains("\"slo_violations\":[\"deliver p99 9000us > 5000us\"]"));
         assert!(json.contains("\"quorum\":[{\"replica\":1,\"live\":true,\"leader\":true"));
         assert!(json.contains("\"consensus\":{\"commits\":40,"));
         assert!(json.contains("\"watchdog\":{\"checks\":123,\"violations\":["));

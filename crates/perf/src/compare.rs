@@ -42,6 +42,15 @@ pub struct Rule {
 pub fn default_rules() -> Vec<Rule> {
     vec![
         Rule {
+            // Capacity knees are deterministic integers found by a
+            // seeded binary search: any drop in sustainable users is a
+            // real regression, so the allowance is exactly zero.
+            suffix: "capacity_users",
+            direction: Direction::LowerIsWorse,
+            rel: 0.0,
+            abs: 0.0,
+        },
+        Rule {
             suffix: "events_per_virtual_sec",
             direction: Direction::LowerIsWorse,
             rel: 0.10,
@@ -277,6 +286,32 @@ mod tests {
         assert_eq!(ok.exit_code(), 0, "{}", ok.render());
         let bad = compare(&prev, &snap(&[("deliver_us_p99", 200.0)]), &default_rules());
         assert_eq!(bad.exit_code(), 1);
+    }
+
+    #[test]
+    fn capacity_knee_gates_exactly() {
+        // The knee is a deterministic integer: a drop of even one user
+        // fails, growth and equality pass.
+        let prev = snap(&[("single_capacity_users", 28.0)]);
+        let same = compare(
+            &prev,
+            &snap(&[("single_capacity_users", 28.0)]),
+            &default_rules(),
+        );
+        assert_eq!(same.exit_code(), 0, "{}", same.render());
+        let up = compare(
+            &prev,
+            &snap(&[("single_capacity_users", 29.0)]),
+            &default_rules(),
+        );
+        assert_eq!(up.exit_code(), 0, "{}", up.render());
+        let down = compare(
+            &prev,
+            &snap(&[("single_capacity_users", 27.0)]),
+            &default_rules(),
+        );
+        assert_eq!(down.exit_code(), 1);
+        assert!(down.render().contains("REGRESSION"));
     }
 
     #[test]

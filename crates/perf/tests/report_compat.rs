@@ -6,10 +6,13 @@
 //! `critical_path_ms`, and the optional `critical_path` object. Version
 //! 3 adds the consensus sections — `quorum`, `consensus`, `watchdog` —
 //! all optional: non-quorum reports omit them entirely, so v2 readers
-//! that ignore unknown keys keep working unchanged. The parser in this
-//! crate must read all three shapes.
+//! that ignore unknown keys keep working unchanged. Version 4 adds the
+//! optional `workload` section (offered load vs. goodput plus the SLO
+//! violations the run tripped), again omitted when a run was not driven
+//! through the workload engine. The parser in this crate must read all
+//! four shapes.
 
-use publishing_obs::report::{ObsReport, REPORT_SCHEMA_VERSION};
+use publishing_obs::report::{ObsReport, WorkloadStats, REPORT_SCHEMA_VERSION};
 use publishing_obs::{ConsensusStats, WatchdogSummary};
 use publishing_perf::json::{parse, Json};
 
@@ -21,6 +24,10 @@ const V1_REPORT: &str = r#"{"at_ms":100.0,"spans_total":42,"span_fingerprint":"0
 /// A report rendered by the v2 code: `schema:2`, `spans_partial`, the
 /// recovery window fields — but none of the v3 consensus sections.
 const V2_REPORT: &str = r#"{"schema":2,"at_ms":100.0,"spans_total":42,"spans_partial":3,"span_fingerprint":"0x00000000deadbeef","shards":[{"shard":0,"live":true,"catching_up":false,"queue_depth":0,"known_processes":3,"recoveries_in_flight":0,"replay_lag":0,"gating_stalls":1,"published":10}],"recovery":[{"pid":17,"recovering":false,"messages_behind":2,"checkpoint_age_ms":5.5,"suppressed":0,"recovery_ms":12.5,"critical_path_ms":9.0}],"critical_path":{"crash_at_ms":50.0,"converged_at_ms":59.0,"total_ms":9.0,"by_stage":{"replay":9.0}},"sched":{"delivered":90,"scheduled":96,"pending":6,"peak_pending":14},"profile":{"kernel_cpu":10.0},"metrics":{"node/0/kernel/msgs_sent":7}}"#;
+
+/// A report rendered by the v3 code: consensus sections present,
+/// `schema:3` — but no `workload` section.
+const V3_REPORT: &str = r#"{"schema":3,"at_ms":100.0,"spans_total":42,"spans_partial":0,"span_fingerprint":"0x00000000deadbeef","shards":[],"recovery":[],"quorum":[{"replica":0,"role":"leader","term":2,"commit_index":40,"log_len":41,"match_floor":40}],"consensus":{"commits":40,"commit_p50_us":900,"commit_p99_us":4200,"replication_lag_p95":2.0,"elections":2},"watchdog":{"checks":123,"violations":[]},"sched":{"delivered":90,"scheduled":96,"pending":6,"peak_pending":14},"profile":{"kernel_cpu":10.0},"metrics":{"node/0/kernel/msgs_sent":7}}"#;
 
 /// Schema of a parsed report document: the explicit `schema` number, or
 /// 1 when the field is absent (the pre-versioning shape).
@@ -98,6 +105,60 @@ fn v3_consensus_sections_are_optional_and_omitted_by_default() {
     assert!(doc.get("quorum").is_none());
     assert!(doc.get("consensus").is_none());
     assert!(doc.get("watchdog").is_none());
+}
+
+#[test]
+fn v3_report_still_reads_and_lacks_workload_section() {
+    let doc = parse(V3_REPORT).expect("v3 artifact parses");
+    assert_eq!(schema_of(&doc), 3, "canned v3 artifact declares schema 3");
+    // Every v3 section is still addressable.
+    let consensus = doc.get("consensus").expect("consensus object");
+    assert_eq!(consensus.get("commits").and_then(Json::as_f64), Some(40.0));
+    let quorum = doc
+        .get("quorum")
+        .and_then(Json::as_arr)
+        .expect("quorum array");
+    assert_eq!(quorum[0].get("role").and_then(Json::as_str), Some("leader"));
+    // The v4-only section is simply absent, not an error.
+    assert!(doc.get("workload").is_none());
+}
+
+#[test]
+fn v4_workload_section_is_optional_and_omitted_by_default() {
+    // A run not driven through the workload engine renders no workload
+    // section at all — a v3 reader that ignores unknown keys sees
+    // nothing new beyond the schema bump.
+    let report = ObsReport {
+        at_ms: 100.0,
+        ..Default::default()
+    };
+    let doc = parse(&report.render_json()).expect("default artifact parses");
+    assert!(doc.get("workload").is_none());
+}
+
+#[test]
+fn v4_workload_section_renders_when_populated() {
+    let mut report = ObsReport {
+        at_ms: 100.0,
+        ..Default::default()
+    };
+    report.workload = Some(WorkloadStats {
+        offered: 200,
+        delivered: 180,
+        offered_per_sec: 500.0,
+        slo_violations: vec!["deliver p99 262144us > 150000us".into()],
+    });
+    let doc = parse(&report.render_json()).expect("workload artifact parses");
+    assert_eq!(schema_of(&doc), REPORT_SCHEMA_VERSION);
+    let wl = doc.get("workload").expect("workload object");
+    assert_eq!(wl.get("offered").and_then(Json::as_f64), Some(200.0));
+    assert_eq!(wl.get("delivered").and_then(Json::as_f64), Some(180.0));
+    assert_eq!(wl.get("goodput").and_then(Json::as_f64), Some(0.9));
+    let violations = wl
+        .get("slo_violations")
+        .and_then(Json::as_arr)
+        .expect("violations array");
+    assert_eq!(violations.len(), 1);
 }
 
 #[test]

@@ -12,12 +12,11 @@
 
 use publishing_sim::rng::DetRng;
 
-/// Short (system-call) message size in bytes.
-pub const SHORT_BYTES: usize = 128;
-/// Long (I/O) message size in bytes.
-pub const LONG_BYTES: usize = 1024;
-/// Checkpoint fragment size in bytes (Figure 5.1's checkpoint messages).
-pub const CHECKPOINT_BYTES: usize = 1024;
+// The size constants live with the shared load-driver sampling in
+// `publishing_demos::driver`; re-exported here so the analytic model
+// and the simulated drivers can never disagree about the conversion
+// rule.
+pub use publishing_demos::driver::{CHECKPOINT_BYTES, LONG_BYTES, SHORT_BYTES};
 
 /// The Figure 5.3 process state-size distribution: a right-skewed spread
 /// over 4 KB–64 KB (most UNIX processes small, a heavy tail of big ones).

@@ -896,6 +896,7 @@ impl QuorumWorld {
             quorum,
             consensus: Some(consensus),
             watchdog: Some(watchdog),
+            workload: None,
         }
     }
 

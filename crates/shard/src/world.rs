@@ -882,6 +882,7 @@ impl ShardedWorld {
             quorum: Vec::new(),
             consensus: None,
             watchdog: None,
+            workload: None,
         }
     }
 

@@ -1,0 +1,121 @@
+//! Compiling a [`WorkloadSpec`] into a chaos-pluggable
+//! [`WorkloadSource`].
+//!
+//! The compiled form is a program registry — one `wl-sink-<k>` entry
+//! per subject and one `wl-gen-<g>` entry per generator cohort, each
+//! factory capturing its spec clone so recovery can re-instantiate the
+//! exact program by name — plus a spawn plan: sinks first (so generator
+//! links can point at them) on the last processing node, generators
+//! after on the remaining nodes. The placement is deliberate: nodes
+//! have one CPU each, so generators must not share a node (their pacing
+//! compute would serialize) and sinks get a node whose CPU is idle
+//! unless a stall phase deliberately burns it. Every spawn is a chaos
+//! *client*: its deduplicated output ends in `done` and feeds the
+//! baseline oracle, so a searched operating point is validated by the
+//! same machinery as every chaos schedule.
+
+use crate::drivers::{LoadGen, SubjectSink, DATA_CODE};
+use crate::spec::WorkloadSpec;
+use publishing_chaos::{PlanLink, PlanSpawn, WorkloadSource, NODES};
+use publishing_demos::ids::Channel;
+use publishing_demos::programs;
+use publishing_demos::registry::ProgramRegistry;
+
+/// A spec compiled to registry + plan, ready for
+/// [`publishing_chaos::Scenario::build_with`].
+#[derive(Debug, Clone)]
+pub struct CompiledWorkload {
+    /// The offered-load description being compiled.
+    pub spec: WorkloadSpec,
+}
+
+impl CompiledWorkload {
+    /// Compiles `spec` (validating it first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`WorkloadSpec::validate`] — compile
+    /// targets come from parsed literals or presets, both already valid.
+    pub fn new(spec: WorkloadSpec) -> Self {
+        spec.validate().expect("invalid workload spec");
+        CompiledWorkload { spec }
+    }
+}
+
+impl WorkloadSource for CompiledWorkload {
+    fn registry(&self) -> ProgramRegistry {
+        let mut reg = ProgramRegistry::new();
+        programs::register_standard(&mut reg);
+        for k in 0..self.spec.subjects {
+            let spec = self.spec.clone();
+            reg.register(format!("wl-sink-{k}"), move || {
+                Box::new(SubjectSink::new(spec.clone(), k))
+            });
+        }
+        for g in 0..self.spec.generators() {
+            let spec = self.spec.clone();
+            reg.register(format!("wl-gen-{g}"), move || {
+                Box::new(LoadGen::new(spec.clone(), g))
+            });
+        }
+        reg
+    }
+
+    fn plan(&self) -> Vec<PlanSpawn> {
+        let gens = self.spec.generators();
+        let mut plan = Vec::with_capacity((self.spec.subjects + gens) as usize);
+        for k in 0..self.spec.subjects {
+            plan.push(PlanSpawn {
+                node: NODES - 1,
+                program: format!("wl-sink-{k}"),
+                links: vec![],
+                client: true,
+            });
+        }
+        for g in 0..gens {
+            plan.push(PlanSpawn {
+                node: g % (NODES - 1),
+                program: format!("wl-gen-{g}"),
+                links: (0..self.spec.subjects)
+                    .map(|k| PlanLink {
+                        target: k as usize,
+                        channel: Channel::DEFAULT,
+                        code: DATA_CODE,
+                    })
+                    .collect(),
+                client: true,
+            });
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_spawns_sinks_then_linked_generators() {
+        let c = CompiledWorkload::new(WorkloadSpec::default());
+        let plan = c.plan();
+        assert_eq!(plan.len(), 4, "2 sinks + 2 generators");
+        assert!(plan[..2].iter().all(|s| s.links.is_empty()));
+        assert!(plan[..2].iter().all(|s| s.node == NODES - 1));
+        for (g, s) in plan[2..].iter().enumerate() {
+            assert_eq!(s.program, format!("wl-gen-{g}"));
+            assert_eq!(s.node, g as u32, "one generator per node");
+            assert_eq!(s.links.len(), 2);
+            assert!(s.links.iter().all(|l| l.target < 2));
+            assert!(s.client);
+        }
+    }
+
+    #[test]
+    fn registry_builds_every_planned_program() {
+        let c = CompiledWorkload::new(WorkloadSpec::default());
+        let reg = c.registry();
+        for s in c.plan() {
+            assert!(reg.instantiate(&s.program).is_ok(), "{}", s.program);
+        }
+    }
+}

@@ -1,0 +1,693 @@
+//! The workload DSL: a compact, round-trippable literal for offered
+//! load.
+//!
+//! A [`WorkloadSpec`] is a header — user count, subject count, seed,
+//! per-user publish rate, tick, horizon, and message-size mix — plus a
+//! list of composable [`Phase`] tokens modulating that base load over
+//! logical time: diurnal curves, flash crowds, hotspot (Zipf) subject
+//! skew, stalled receivers, and checkpoint storms. Like
+//! [`publishing_chaos::FaultSchedule`], a spec prints as a
+//! whitespace-separated literal and parses back to an identical value,
+//! so any searched operating point is a string a human can paste back
+//! in:
+//!
+//! ```text
+//! users=12 subjects=4 seed=7 rate=25/s tick=20ms horizon=400ms \
+//!   mix=92%x128/1024 diurnal@0ms+400ms~200ms=40..100% \
+//!   flash@120ms+60ms=300% zipf@0ms+400ms=120 stall@150ms+80ms#1 \
+//!   storm@200ms+40ms=2
+//! ```
+//!
+//! All times are logical milliseconds (the drivers track them by
+//! charging one tick of virtual CPU per iteration, because programs
+//! cannot read a clock); rates and percentages are integers so literals
+//! round-trip exactly.
+
+use publishing_demos::driver::MessageMix;
+use std::fmt;
+use std::str::FromStr;
+
+/// One load-modulating phase over `[at_ms, at_ms + dur_ms)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// `diurnal@Ams+Dms~Pms=LO..HI%`: the rate multiplier follows a
+    /// triangle wave between `lo_pct` and `hi_pct` percent of base with
+    /// period `period_ms` — the compressed day/night curve.
+    Diurnal {
+        /// Window start (logical ms).
+        at_ms: u64,
+        /// Window length (ms).
+        dur_ms: u64,
+        /// Wave period (ms).
+        period_ms: u64,
+        /// Multiplier at the trough, percent of base rate.
+        lo_pct: u32,
+        /// Multiplier at the crest, percent of base rate.
+        hi_pct: u32,
+    },
+    /// `flash@Ams+Dms=M%`: a flash crowd multiplying the rate by
+    /// `pct`% (typically > 100) for the window.
+    Flash {
+        /// Window start (ms).
+        at_ms: u64,
+        /// Window length (ms).
+        dur_ms: u64,
+        /// Rate multiplier in percent.
+        pct: u32,
+    },
+    /// `zipf@Ams+Dms=T`: hotspot subject skew — subjects are drawn
+    /// Zipf(θ) with θ = `theta_centi`/100 instead of uniformly for the
+    /// window (the last active skew wins when windows overlap).
+    Zipf {
+        /// Window start (ms).
+        at_ms: u64,
+        /// Window length (ms).
+        dur_ms: u64,
+        /// Skew exponent in centi-units (120 = θ 1.20).
+        theta_centi: u32,
+    },
+    /// `stall@Ams+Dms#K`: subject sink `K` turns slow for the window,
+    /// charging a full tick of CPU per message it drains.
+    Stall {
+        /// Window start (ms).
+        at_ms: u64,
+        /// Window length (ms).
+        dur_ms: u64,
+        /// Sink index (mod the subject count).
+        sink: u32,
+    },
+    /// `storm@Ams+Dms=B`: a checkpoint storm — every driver publishes
+    /// `burst` extra checkpoint-sized messages per tick in the window.
+    Storm {
+        /// Window start (ms).
+        at_ms: u64,
+        /// Window length (ms).
+        dur_ms: u64,
+        /// Extra checkpoint messages per driver tick.
+        burst: u32,
+    },
+}
+
+impl Phase {
+    fn window(&self) -> (u64, u64) {
+        match *self {
+            Phase::Diurnal { at_ms, dur_ms, .. }
+            | Phase::Flash { at_ms, dur_ms, .. }
+            | Phase::Zipf { at_ms, dur_ms, .. }
+            | Phase::Stall { at_ms, dur_ms, .. }
+            | Phase::Storm { at_ms, dur_ms, .. } => (at_ms, dur_ms),
+        }
+    }
+
+    /// True if the phase's window covers logical instant `t_ms`.
+    pub fn active(&self, t_ms: u64) -> bool {
+        let (at, dur) = self.window();
+        at <= t_ms && t_ms < at + dur
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Phase::Diurnal {
+                at_ms,
+                dur_ms,
+                period_ms,
+                lo_pct,
+                hi_pct,
+            } => write!(
+                f,
+                "diurnal@{at_ms}ms+{dur_ms}ms~{period_ms}ms={lo_pct}..{hi_pct}%"
+            ),
+            Phase::Flash { at_ms, dur_ms, pct } => write!(f, "flash@{at_ms}ms+{dur_ms}ms={pct}%"),
+            Phase::Zipf {
+                at_ms,
+                dur_ms,
+                theta_centi,
+            } => write!(f, "zipf@{at_ms}ms+{dur_ms}ms={theta_centi}"),
+            Phase::Stall {
+                at_ms,
+                dur_ms,
+                sink,
+            } => {
+                write!(f, "stall@{at_ms}ms+{dur_ms}ms#{sink}")
+            }
+            Phase::Storm {
+                at_ms,
+                dur_ms,
+                burst,
+            } => write!(f, "storm@{at_ms}ms+{dur_ms}ms={burst}"),
+        }
+    }
+}
+
+fn parse_ms(s: &str, what: &str) -> Result<u64, String> {
+    s.strip_suffix("ms")
+        .ok_or_else(|| format!("{what}: expected <n>ms, got {s:?}"))?
+        .parse()
+        .map_err(|e| format!("{what}: {e}"))
+}
+
+impl FromStr for Phase {
+    type Err = String;
+
+    fn from_str(tok: &str) -> Result<Self, String> {
+        let (name, rest) = tok
+            .split_once('@')
+            .ok_or_else(|| format!("phase {tok:?}: missing '@'"))?;
+        let (at, rest) = rest
+            .split_once('+')
+            .ok_or_else(|| format!("{name}: expected @Ams+Dms…"))?;
+        let at_ms = parse_ms(at, name)?;
+        match name {
+            "diurnal" => {
+                let (dur, rest) = rest
+                    .split_once('~')
+                    .ok_or_else(|| format!("{name}: expected +Dms~Pms=LO..HI%"))?;
+                let (period, range) = rest
+                    .split_once('=')
+                    .ok_or_else(|| format!("{name}: expected ~Pms=LO..HI%"))?;
+                let (lo, hi) = range
+                    .strip_suffix('%')
+                    .and_then(|r| r.split_once(".."))
+                    .ok_or_else(|| format!("{name}: expected =LO..HI%"))?;
+                let period_ms = parse_ms(period, name)?;
+                if period_ms == 0 {
+                    return Err(format!("{name}: zero period"));
+                }
+                Ok(Phase::Diurnal {
+                    at_ms,
+                    dur_ms: parse_ms(dur, name)?,
+                    period_ms,
+                    lo_pct: lo.parse().map_err(|e| format!("{name}: {e}"))?,
+                    hi_pct: hi.parse().map_err(|e| format!("{name}: {e}"))?,
+                })
+            }
+            "flash" => {
+                let (dur, pct) = rest
+                    .split_once('=')
+                    .ok_or_else(|| format!("{name}: expected +Dms=M%"))?;
+                Ok(Phase::Flash {
+                    at_ms,
+                    dur_ms: parse_ms(dur, name)?,
+                    pct: pct
+                        .strip_suffix('%')
+                        .ok_or_else(|| format!("{name}: expected M%"))?
+                        .parse()
+                        .map_err(|e| format!("{name}: {e}"))?,
+                })
+            }
+            "zipf" => {
+                let (dur, theta) = rest
+                    .split_once('=')
+                    .ok_or_else(|| format!("{name}: expected +Dms=T"))?;
+                Ok(Phase::Zipf {
+                    at_ms,
+                    dur_ms: parse_ms(dur, name)?,
+                    theta_centi: theta.parse().map_err(|e| format!("{name}: {e}"))?,
+                })
+            }
+            "stall" => {
+                let (dur, sink) = rest
+                    .split_once('#')
+                    .ok_or_else(|| format!("{name}: expected +Dms#K"))?;
+                Ok(Phase::Stall {
+                    at_ms,
+                    dur_ms: parse_ms(dur, name)?,
+                    sink: sink.parse().map_err(|e| format!("{name}: {e}"))?,
+                })
+            }
+            "storm" => {
+                let (dur, burst) = rest
+                    .split_once('=')
+                    .ok_or_else(|| format!("{name}: expected +Dms=B"))?;
+                Ok(Phase::Storm {
+                    at_ms,
+                    dur_ms: parse_ms(dur, name)?,
+                    burst: burst.parse().map_err(|e| format!("{name}: {e}"))?,
+                })
+            }
+            other => Err(format!("unknown phase kind {other:?}")),
+        }
+    }
+}
+
+/// A complete offered-load description; see the module docs for the
+/// literal grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// Concurrent users (one publish driver each).
+    pub users: u32,
+    /// Subjects (one sink process each); drivers pick a subject per
+    /// message, uniformly unless a `zipf` phase is active.
+    pub subjects: u32,
+    /// Seed feeding every driver's sample stream.
+    pub seed: u64,
+    /// Base publish rate per user, messages per logical second.
+    pub rate_per_sec: u32,
+    /// Driver tick (ms of virtual CPU charged per iteration).
+    pub tick_ms: u64,
+    /// Logical end of the offered load; drivers then flush and finish.
+    pub horizon_ms: u64,
+    /// Message-size mix.
+    pub mix: MessageMix,
+    /// Load-modulating phases.
+    pub phases: Vec<Phase>,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        // rate=5/s is the paper's mean operating point (4.2 short +
+        // 0.35 long messages per user-second, §5.3) rounded to the
+        // integer grid the literal uses.
+        WorkloadSpec {
+            users: 4,
+            subjects: 2,
+            seed: 1,
+            rate_per_sec: 5,
+            tick_ms: 50,
+            horizon_ms: 400,
+            mix: MessageMix::paper(),
+            phases: Vec::new(),
+        }
+    }
+}
+
+/// Generator processes a compiled workload spawns (one per processing
+/// node outside the sink node). Like the paper's §5.3 user simulators,
+/// each generator models a *cohort* of `users / GENERATORS` users —
+/// one process per node can pace with virtual CPU without co-located
+/// generators queueing behind each other's compute.
+pub const GENERATORS: u32 = 2;
+
+impl WorkloadSpec {
+    /// The spec at a different user count (the capacity search's knob).
+    pub fn with_users(mut self, users: u32) -> Self {
+        self.users = users;
+        self
+    }
+
+    /// Generator processes this spec compiles to.
+    pub fn generators(&self) -> u32 {
+        GENERATORS.min(self.users)
+    }
+
+    /// Users simulated by generator `gen` (users are dealt round-robin:
+    /// generator `g` takes users `g, g+G, g+2G, …`).
+    pub fn cohort(&self, gen: u32) -> u32 {
+        let g = self.generators();
+        (self.users + g - 1 - gen) / g
+    }
+
+    /// The rate multiplier at logical instant `t_ms`, in percent of the
+    /// base rate: active diurnal and flash phases multiply together.
+    pub fn multiplier_pct(&self, t_ms: u64) -> u64 {
+        let mut pct: u64 = 100;
+        for p in &self.phases {
+            if !p.active(t_ms) {
+                continue;
+            }
+            match *p {
+                Phase::Diurnal {
+                    at_ms,
+                    period_ms,
+                    lo_pct,
+                    hi_pct,
+                    ..
+                } => {
+                    // Triangle wave in integer per-mill units.
+                    let pos = (t_ms - at_ms) % period_ms;
+                    let mill = pos * 1000 / period_ms;
+                    let tri = if mill < 500 {
+                        2 * mill
+                    } else {
+                        2 * (1000 - mill)
+                    };
+                    let lo = lo_pct.min(hi_pct) as u64;
+                    let hi = lo_pct.max(hi_pct) as u64;
+                    pct = pct * (lo + (hi - lo) * tri / 1000) / 100;
+                }
+                Phase::Flash { pct: m, .. } => pct = pct * m as u64 / 100,
+                _ => {}
+            }
+        }
+        pct
+    }
+
+    /// The subject-skew exponent active at `t_ms` (centi-units), if any.
+    pub fn zipf_at(&self, t_ms: u64) -> Option<u32> {
+        self.phases
+            .iter()
+            .filter(|p| p.active(t_ms))
+            .filter_map(|p| match *p {
+                Phase::Zipf { theta_centi, .. } => Some(theta_centi),
+                _ => None,
+            })
+            .next_back()
+    }
+
+    /// True if sink `sink` is inside a stall window at `t_ms`.
+    pub fn stalled(&self, sink: u32, t_ms: u64) -> bool {
+        self.phases.iter().any(|p| {
+            p.active(t_ms)
+                && matches!(*p, Phase::Stall { sink: s, .. } if s % self.subjects.max(1) == sink)
+        })
+    }
+
+    /// Extra checkpoint messages per driver tick at `t_ms`.
+    pub fn storm_burst(&self, t_ms: u64) -> u32 {
+        self.phases
+            .iter()
+            .filter(|p| p.active(t_ms))
+            .map(|p| match *p {
+                Phase::Storm { burst, .. } => burst,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Validates the parts the drivers depend on.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.users == 0 {
+            return Err("users must be >= 1".into());
+        }
+        if self.subjects == 0 {
+            return Err("subjects must be >= 1".into());
+        }
+        if self.rate_per_sec == 0 {
+            return Err("rate must be >= 1/s".into());
+        }
+        if self.tick_ms == 0 {
+            return Err("tick must be >= 1ms".into());
+        }
+        if self.horizon_ms < self.tick_ms {
+            return Err("horizon must cover at least one tick".into());
+        }
+        if self.mix.short_bytes < 8 || self.mix.long_bytes < 8 {
+            return Err("mix sizes must be >= 8 bytes (body header)".into());
+        }
+        if self.mix.short_pct > 100 {
+            return Err("mix short percentage > 100%".into());
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "users={} subjects={} seed={} rate={}/s tick={}ms horizon={}ms mix={}%x{}/{}",
+            self.users,
+            self.subjects,
+            self.seed,
+            self.rate_per_sec,
+            self.tick_ms,
+            self.horizon_ms,
+            self.mix.short_pct,
+            self.mix.short_bytes,
+            self.mix.long_bytes
+        )?;
+        for p in &self.phases {
+            write!(f, " {p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for WorkloadSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let mut users = None;
+        let mut subjects = None;
+        let mut seed = None;
+        let mut rate = None;
+        let mut tick = None;
+        let mut horizon = None;
+        let mut mix = None;
+        let mut phases = Vec::new();
+        for tok in s.split_whitespace() {
+            if let Some(v) = tok.strip_prefix("users=") {
+                users = Some(v.parse().map_err(|e| format!("users: {e}"))?);
+            } else if let Some(v) = tok.strip_prefix("subjects=") {
+                subjects = Some(v.parse().map_err(|e| format!("subjects: {e}"))?);
+            } else if let Some(v) = tok.strip_prefix("seed=") {
+                seed = Some(v.parse().map_err(|e| format!("seed: {e}"))?);
+            } else if let Some(v) = tok.strip_prefix("rate=") {
+                let v = v
+                    .strip_suffix("/s")
+                    .ok_or_else(|| format!("rate: expected <n>/s, got {v:?}"))?;
+                rate = Some(v.parse().map_err(|e| format!("rate: {e}"))?);
+            } else if let Some(v) = tok.strip_prefix("tick=") {
+                tick = Some(parse_ms(v, "tick")?);
+            } else if let Some(v) = tok.strip_prefix("horizon=") {
+                horizon = Some(parse_ms(v, "horizon")?);
+            } else if let Some(v) = tok.strip_prefix("mix=") {
+                let (pct, sizes) = v
+                    .split_once('x')
+                    .ok_or_else(|| format!("mix: expected P%xS/L, got {v:?}"))?;
+                let short_pct = pct
+                    .strip_suffix('%')
+                    .ok_or_else(|| format!("mix: expected P%, got {pct:?}"))?
+                    .parse()
+                    .map_err(|e| format!("mix: {e}"))?;
+                let (short, long) = sizes
+                    .split_once('/')
+                    .ok_or_else(|| format!("mix: expected S/L, got {sizes:?}"))?;
+                mix = Some(MessageMix {
+                    short_pct,
+                    short_bytes: short.parse().map_err(|e| format!("mix: {e}"))?,
+                    long_bytes: long.parse().map_err(|e| format!("mix: {e}"))?,
+                });
+            } else {
+                phases.push(tok.parse()?);
+            }
+        }
+        let spec = WorkloadSpec {
+            users: users.ok_or("missing users=")?,
+            subjects: subjects.ok_or("missing subjects=")?,
+            seed: seed.ok_or("missing seed=")?,
+            rate_per_sec: rate.ok_or("missing rate=")?,
+            tick_ms: tick.ok_or("missing tick=")?,
+            horizon_ms: horizon.ok_or("missing horizon=")?,
+            mix: mix.ok_or("missing mix=")?,
+            phases,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+/// The four canonical shapes the capacity bin sweeps: each is the
+/// default operating point with one stressor applied.
+pub fn canonical_shapes(seed: u64) -> Vec<(&'static str, WorkloadSpec)> {
+    let base = WorkloadSpec {
+        seed,
+        ..WorkloadSpec::default()
+    };
+    let h = base.horizon_ms;
+    vec![
+        (
+            "diurnal",
+            WorkloadSpec {
+                phases: vec![Phase::Diurnal {
+                    at_ms: 0,
+                    dur_ms: h,
+                    period_ms: h / 2,
+                    lo_pct: 40,
+                    hi_pct: 130,
+                }],
+                ..base.clone()
+            },
+        ),
+        (
+            "hotspot",
+            WorkloadSpec {
+                phases: vec![Phase::Zipf {
+                    at_ms: 0,
+                    dur_ms: h,
+                    theta_centi: 120,
+                }],
+                ..base.clone()
+            },
+        ),
+        (
+            "flash_crowd",
+            WorkloadSpec {
+                phases: vec![Phase::Flash {
+                    at_ms: h / 4,
+                    dur_ms: h / 4,
+                    pct: 300,
+                }],
+                ..base.clone()
+            },
+        ),
+        (
+            "stalled_receiver",
+            WorkloadSpec {
+                phases: vec![Phase::Stall {
+                    at_ms: h / 4,
+                    dur_ms: h / 2,
+                    sink: 1,
+                }],
+                ..base
+            },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_literal_round_trips() {
+        let spec = WorkloadSpec::default();
+        let lit = spec.to_string();
+        assert_eq!(
+            lit,
+            "users=4 subjects=2 seed=1 rate=5/s tick=50ms horizon=400ms mix=92%x128/1024"
+        );
+        assert_eq!(lit.parse::<WorkloadSpec>().unwrap(), spec);
+    }
+
+    #[test]
+    fn cohorts_deal_users_round_robin() {
+        let spec = WorkloadSpec::default().with_users(5);
+        assert_eq!(spec.generators(), 2);
+        assert_eq!(spec.cohort(0), 3, "users 0, 2, 4");
+        assert_eq!(spec.cohort(1), 2, "users 1, 3");
+        let one = WorkloadSpec::default().with_users(1);
+        assert_eq!(one.generators(), 1);
+        assert_eq!(one.cohort(0), 1);
+    }
+
+    #[test]
+    fn all_phase_kinds_round_trip() {
+        let lit = "users=12 subjects=4 seed=7 rate=25/s tick=20ms horizon=400ms \
+                   mix=92%x128/1024 diurnal@0ms+400ms~200ms=40..100% flash@120ms+60ms=300% \
+                   zipf@0ms+400ms=120 stall@150ms+80ms#1 storm@200ms+40ms=2";
+        let spec: WorkloadSpec = lit.parse().unwrap();
+        assert_eq!(spec.phases.len(), 5);
+        let printed = spec.to_string();
+        assert_eq!(printed.parse::<WorkloadSpec>().unwrap(), spec);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("users=4".parse::<WorkloadSpec>().is_err());
+        assert!(
+            "users=0 subjects=2 seed=1 rate=25/s tick=20ms horizon=400ms mix=92%x128/1024"
+                .parse::<WorkloadSpec>()
+                .is_err()
+        );
+        assert!(
+            "users=4 subjects=2 seed=1 rate=25/s tick=20ms horizon=400ms mix=92%x128/1024 zap@1ms+2ms=3"
+                .parse::<WorkloadSpec>()
+                .is_err()
+        );
+        assert!(
+            "users=4 subjects=2 seed=1 rate=25 tick=20ms horizon=400ms mix=92%x128/1024"
+                .parse::<WorkloadSpec>()
+                .is_err()
+        );
+        assert!(
+            "users=4 subjects=2 seed=1 rate=25/s tick=20ms horizon=400ms mix=92%x128/1024 diurnal@0ms+400ms~0ms=40..100%"
+                .parse::<WorkloadSpec>()
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn multiplier_composes_phases() {
+        let spec = WorkloadSpec {
+            phases: vec![
+                Phase::Flash {
+                    at_ms: 100,
+                    dur_ms: 100,
+                    pct: 300,
+                },
+                Phase::Flash {
+                    at_ms: 150,
+                    dur_ms: 100,
+                    pct: 200,
+                },
+            ],
+            ..WorkloadSpec::default()
+        };
+        assert_eq!(spec.multiplier_pct(50), 100);
+        assert_eq!(spec.multiplier_pct(120), 300);
+        assert_eq!(spec.multiplier_pct(160), 600, "overlap multiplies");
+        assert_eq!(spec.multiplier_pct(220), 200);
+        assert_eq!(spec.multiplier_pct(260), 100);
+    }
+
+    #[test]
+    fn diurnal_wave_peaks_mid_period() {
+        let spec = WorkloadSpec {
+            phases: vec![Phase::Diurnal {
+                at_ms: 0,
+                dur_ms: 400,
+                period_ms: 200,
+                lo_pct: 40,
+                hi_pct: 100,
+            }],
+            ..WorkloadSpec::default()
+        };
+        assert_eq!(spec.multiplier_pct(0), 40, "trough at phase start");
+        assert_eq!(spec.multiplier_pct(100), 100, "crest half a period in");
+        assert_eq!(spec.multiplier_pct(200), 40, "back at the trough");
+        assert!(spec.multiplier_pct(50) > 40 && spec.multiplier_pct(50) < 100);
+    }
+
+    #[test]
+    fn stall_and_storm_and_zipf_windows() {
+        let spec = WorkloadSpec {
+            subjects: 3,
+            phases: vec![
+                Phase::Stall {
+                    at_ms: 100,
+                    dur_ms: 50,
+                    sink: 4, // wraps to sink 1 over 3 subjects
+                },
+                Phase::Storm {
+                    at_ms: 200,
+                    dur_ms: 50,
+                    burst: 2,
+                },
+                Phase::Zipf {
+                    at_ms: 0,
+                    dur_ms: 400,
+                    theta_centi: 90,
+                },
+                Phase::Zipf {
+                    at_ms: 100,
+                    dur_ms: 100,
+                    theta_centi: 150,
+                },
+            ],
+            ..WorkloadSpec::default()
+        };
+        assert!(spec.stalled(1, 120));
+        assert!(!spec.stalled(0, 120));
+        assert!(!spec.stalled(1, 160));
+        assert_eq!(spec.storm_burst(220), 2);
+        assert_eq!(spec.storm_burst(120), 0);
+        assert_eq!(spec.zipf_at(50), Some(90));
+        assert_eq!(spec.zipf_at(150), Some(150), "last active skew wins");
+        assert_eq!(spec.zipf_at(300), Some(90));
+    }
+
+    #[test]
+    fn canonical_shapes_parse_back() {
+        for (name, spec) in canonical_shapes(42) {
+            let lit = spec.to_string();
+            assert_eq!(lit.parse::<WorkloadSpec>().unwrap(), spec, "{name}: {lit}");
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for the workload DSL: any spec the grammar can
+//! express must print to a literal that parses back to the identical
+//! value (print → parse identity), and parsing is total — arbitrary
+//! token soup either parses or errors, never panics.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use publishing_demos::driver::MessageMix;
+use publishing_workload::{Phase, WorkloadSpec};
+
+fn arb_phase() -> impl Strategy<Value = Phase> {
+    let at = 0u64..1_000;
+    let dur = 1u64..1_000;
+    prop_oneof![
+        (at.clone(), dur.clone(), 1u64..500, 0u32..300, 0u32..300).prop_map(
+            |(at_ms, dur_ms, period_ms, lo_pct, hi_pct)| Phase::Diurnal {
+                at_ms,
+                dur_ms,
+                period_ms,
+                lo_pct,
+                hi_pct,
+            }
+        ),
+        (at.clone(), dur.clone(), 1u32..1_000).prop_map(|(at_ms, dur_ms, pct)| Phase::Flash {
+            at_ms,
+            dur_ms,
+            pct,
+        }),
+        (at.clone(), dur.clone(), 1u32..300).prop_map(|(at_ms, dur_ms, theta_centi)| {
+            Phase::Zipf {
+                at_ms,
+                dur_ms,
+                theta_centi,
+            }
+        }),
+        (at.clone(), dur.clone(), 0u32..16).prop_map(|(at_ms, dur_ms, sink)| Phase::Stall {
+            at_ms,
+            dur_ms,
+            sink,
+        }),
+        (at, dur, 1u32..8).prop_map(|(at_ms, dur_ms, burst)| Phase::Storm {
+            at_ms,
+            dur_ms,
+            burst,
+        }),
+    ]
+}
+
+fn arb_mix() -> impl Strategy<Value = MessageMix> {
+    (0u8..=100, 8u32..2_000, 8u32..20_000).prop_map(|(short_pct, short_bytes, long_bytes)| {
+        MessageMix {
+            short_pct,
+            short_bytes,
+            long_bytes,
+        }
+    })
+}
+
+fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        1u32..500,
+        1u32..16,
+        any::<u64>(),
+        1u32..200,
+        1u64..100,
+        // Horizons start at 100 ms and ticks top out at 99 ms, so every
+        // generated spec passes validate().
+        (1u64..20).prop_map(|n| n * 100),
+        arb_mix(),
+        vec(arb_phase(), 0..6),
+    )
+        .prop_map(
+            |(users, subjects, seed, rate_per_sec, tick_ms, horizon_ms, mix, phases)| {
+                WorkloadSpec {
+                    users,
+                    subjects,
+                    seed,
+                    rate_per_sec,
+                    tick_ms,
+                    horizon_ms,
+                    mix,
+                    phases,
+                }
+            },
+        )
+}
+
+proptest! {
+    /// print → parse identity over the full grammar: header fields,
+    /// message mix, and every phase kind in any order.
+    #[test]
+    fn literal_round_trips(spec in arb_spec()) {
+        spec.validate().expect("generated specs are valid");
+        let lit = spec.to_string();
+        let back: WorkloadSpec = lit.parse().unwrap_or_else(|e| {
+            panic!("own literal rejected: {lit:?}: {e}")
+        });
+        prop_assert_eq!(&back, &spec);
+        // And printing the parse is a fixed point.
+        prop_assert_eq!(back.to_string(), lit);
+    }
+
+    /// The parser is total on token soup: arbitrary strings built from
+    /// grammar-adjacent fragments either parse or return Err, and any
+    /// accepted value survives its own round trip.
+    #[test]
+    fn parser_is_total(toks in vec(
+        prop_oneof![
+            Just("users=4".to_string()),
+            Just("subjects=2".to_string()),
+            Just("seed=1".to_string()),
+            Just("rate=5/s".to_string()),
+            Just("tick=50ms".to_string()),
+            Just("horizon=400ms".to_string()),
+            Just("mix=92%x128/1024".to_string()),
+            Just("flash@1ms+2ms=300%".to_string()),
+            Just("zipf@0ms".to_string()),
+            Just("diurnal@".to_string()),
+            Just("storm@1ms+2ms=x".to_string()),
+            "[a-z=@+%#~0-9]{0,12}".prop_map(|s| s),
+        ],
+        0..10,
+    )) {
+        let s = toks.join(" ");
+        if let Ok(spec) = s.parse::<WorkloadSpec>() {
+            let lit = spec.to_string();
+            prop_assert_eq!(lit.parse::<WorkloadSpec>().unwrap(), spec);
+        }
+    }
+}
