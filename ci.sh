@@ -43,6 +43,12 @@ cargo run -q --release -p publishing-bench --bin workload -- --smoke > /dev/null
 echo "==> capacity smoke run (knee table over canonical shapes)"
 cargo run -q --release -p publishing-bench --bin capacity -- --smoke > /dev/null
 
+echo "==> lens smoke run (utilization attribution + what-if determinism gate)"
+mkdir -p target/perf
+cargo run -q --release -p publishing-bench --bin lens -- --smoke > target/perf/lens_a.txt
+cargo run -q --release -p publishing-bench --bin lens -- --smoke > target/perf/lens_b.txt
+diff target/perf/lens_a.txt target/perf/lens_b.txt
+
 echo "==> perf bench smoke + regression gate vs perf/BENCH_1.json"
 rm -rf target/perf
 cargo run -q --release -p publishing-bench --bin bench -- --smoke --dir target/perf

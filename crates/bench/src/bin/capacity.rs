@@ -2,13 +2,15 @@
 //! across workload shapes and recorder topologies.
 //!
 //! Usage: `capacity [--seed N] [--smoke] [--medium M] [--max-users U]
-//!                  [--spec S] [--topology T] [--no-chaos]`
+//!                  [--spec S] [--topology T] [--no-chaos] [--json]`
 //!
 //! - `--seed N` — base seed for the canonical shapes (default 1);
 //! - `--smoke` — quick run: two shapes, `--max-users 32`;
 //! - `--medium M` — `ethernet` (the paper's, default) or `perfect`;
 //! - `--max-users U` — search ceiling (default 256);
 //! - `--no-chaos` — skip the per-point fault-schedule validation;
+//! - `--json` — emit the sweep as one JSON object (shape × topology ×
+//!   knee × the binding resource the utilization ledger named);
 //! - `--spec S` — run a single trial of one workload literal instead of
 //!   the shape sweep, print its verdict and report, and exit non-zero
 //!   if the point is not sustained;
@@ -30,7 +32,8 @@ use publishing_workload::{canonical_shapes, find_knee, run_trial, SearchParams, 
 fn usage() -> ! {
     eprintln!(
         "usage: capacity [--seed N] [--smoke] [--medium ethernet|perfect] \
-         [--max-users U] [--no-chaos] [--spec S] [--topology single|sharded|quorum]"
+         [--max-users U] [--no-chaos] [--json] [--spec S] \
+         [--topology single|sharded|quorum]"
     );
     std::process::exit(2);
 }
@@ -88,6 +91,65 @@ fn run_spec(literal: &str, topology: Topology, params: &SearchParams) -> Result<
     }
 }
 
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Sweeps `shapes` × the three topologies, emitting one JSON object:
+/// shape × topology × knee × the binding resource the utilization
+/// ledger named for it.
+fn sweep_json(shapes: &[(&'static str, WorkloadSpec)], params: &SearchParams) {
+    let mut rows = Vec::new();
+    for (name, spec) in shapes {
+        for topo in [Topology::Single, Topology::Sharded, Topology::Quorum] {
+            let knee = find_knee(name, topo, spec, &SloSpec::default(), params);
+            let clauses = knee
+                .failing_trial()
+                .map(|t| {
+                    t.rejected_by()
+                        .iter()
+                        .map(|c| json_str(c))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                })
+                .unwrap_or_default();
+            rows.push(format!(
+                "{{\"shape\":{},\"topology\":{},\"knee_users\":{},\"binding\":{},\"rejected_by\":[{}],\"trials\":{}}}",
+                json_str(name),
+                json_str(topology_name(topo)),
+                knee.knee_users,
+                knee.binding
+                    .as_deref()
+                    .map(json_str)
+                    .unwrap_or_else(|| "null".into()),
+                clauses,
+                knee.trials.len(),
+            ));
+        }
+    }
+    println!(
+        "{{\"medium\":{},\"max_users\":{},\"chaos\":{},\"knees\":[{}]}}",
+        json_str(match params.medium {
+            Medium::Perfect => "perfect",
+            Medium::Ethernet => "ethernet",
+        }),
+        params.max_users,
+        params.chaos,
+        rows.join(",")
+    );
+}
+
 /// Sweeps `shapes` × the three topologies and prints the knee table.
 fn sweep(shapes: &[(&'static str, WorkloadSpec)], params: &SearchParams) {
     println!(
@@ -100,8 +162,8 @@ fn sweep(shapes: &[(&'static str, WorkloadSpec)], params: &SearchParams) {
         if params.chaos { "on" } else { "off" }
     );
     println!(
-        "{:<18} {:<8} {:>5} {:>7} {:>9} {:>10} {:>8}",
-        "shape", "topology", "knee", "trials", "offered", "delivered", "goodput"
+        "{:<18} {:<8} {:>5} {:>7} {:>9} {:>10} {:>8} {:<14}",
+        "shape", "topology", "knee", "trials", "offered", "delivered", "goodput", "binding"
     );
     for (name, spec) in shapes {
         for topo in [Topology::Single, Topology::Sharded, Topology::Quorum] {
@@ -118,14 +180,15 @@ fn sweep(shapes: &[(&'static str, WorkloadSpec)], params: &SearchParams) {
                 })
                 .unwrap_or((0, 0, 0.0));
             println!(
-                "{:<18} {:<8} {:>5} {:>7} {:>9} {:>10} {:>8.3}",
+                "{:<18} {:<8} {:>5} {:>7} {:>9} {:>10} {:>8.3} {:<14}",
                 name,
                 topology_name(topo),
                 knee.knee_users,
                 knee.trials.len(),
                 offered,
                 delivered,
-                goodput
+                goodput,
+                knee.binding.as_deref().unwrap_or("-")
             );
         }
     }
@@ -135,6 +198,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed = 1u64;
     let mut smoke = false;
+    let mut json = false;
     let mut literal = None;
     let mut topology = Topology::Single;
     let mut params = SearchParams::default();
@@ -156,6 +220,7 @@ fn main() {
                 _ => usage(),
             },
             "--no-chaos" => params.chaos = false,
+            "--json" => json = true,
             "--spec" => match it.next() {
                 Some(v) => literal = Some(v.clone()),
                 None => usage(),
@@ -183,5 +248,9 @@ fn main() {
         params.max_users = params.max_users.min(32);
         shapes.truncate(2);
     }
-    sweep(&shapes, &params);
+    if json {
+        sweep_json(&shapes, &params);
+    } else {
+        sweep(&shapes, &params);
+    }
 }

@@ -363,6 +363,7 @@ fn capacity(smoke: bool) -> ScenarioSnapshot {
         max_users: if smoke { 64 } else { 256 },
         chaos: true,
         medium: Medium::Ethernet,
+        ..SearchParams::default()
     };
     let mut s = ScenarioSnapshot::new("capacity");
     let mut fp = 0u64;
@@ -390,6 +391,85 @@ fn capacity(smoke: bool) -> ScenarioSnapshot {
     s
 }
 
+/// The capacity-lens scenario: the knee search plus the full lens pass
+/// — utilization attribution, queueing cross-validation, and the
+/// confirmed what-if matrix — on both media. Knees, binding names, and
+/// cross-validation verdicts are deterministic, so the comparator gates
+/// them exactly (`lens_knee` may not shrink, `xval_divergences` may not
+/// grow); the host section is the lens tax on top of the search itself.
+/// Both modes run the same sizing: this scenario gates the lens
+/// *machinery*, while the full-scale knees belong to `capacity`.
+fn lens_overhead(_smoke: bool) -> ScenarioSnapshot {
+    use publishing_chaos::Medium;
+    use publishing_obs::slo::SloSpec;
+    use publishing_workload::{find_knee, run_whatif, SearchParams, WorkloadSpec};
+
+    // The same loaded point `lens --smoke` profiles: heavy enough that
+    // both media knee inside the bracket (a capped bracket is not a
+    // knee and would poison the what-if predictions).
+    let spec = WorkloadSpec {
+        subjects: 2,
+        rate_per_sec: 100,
+        horizon_ms: 400,
+        ..WorkloadSpec::default()
+    };
+    let slo = SloSpec::default();
+    let mut s = ScenarioSnapshot::new("lens_overhead");
+    let mut fp = 0u64;
+    let mut delivered_total = 0u64;
+    for (i, medium) in [Medium::Perfect, Medium::Ethernet].into_iter().enumerate() {
+        let name = match medium {
+            Medium::Perfect => "perfect",
+            Medium::Ethernet => "ethernet",
+        };
+        let params = SearchParams {
+            max_users: 12,
+            chaos: false,
+            medium,
+            ..SearchParams::default()
+        };
+        let knee = find_knee("lens", Topology::Single, &spec, &slo, &params);
+        let whatif = run_whatif("lens", Topology::Single, &spec, &slo, &params, &knee, true);
+        let sat = knee
+            .failing_trial()
+            .or_else(|| knee.knee_trial())
+            .expect("the lens bracket always runs trials");
+        let util = sat
+            .report
+            .utilization
+            .as_ref()
+            .expect("every world attaches the utilization ledger");
+        let binding = knee.binding.clone().unwrap_or_default();
+        assert!(
+            !binding.is_empty(),
+            "the lens must name a binding resource past the knee"
+        );
+        let divergences = util.xval.iter().filter(|r| !r.ok).count();
+        s.virt(format!("{name}_lens_knee"), f64::from(knee.knee_users));
+        s.virt(format!("{name}_whatif_rows"), whatif.rows.len() as f64);
+        s.virt(format!("{name}_xval_rows"), util.xval.len() as f64);
+        s.virt(format!("{name}_xval_divergences"), divergences as f64);
+        for row in &whatif.rows {
+            s.virt(
+                format!("{name}_{}_predicted", row.knob),
+                f64::from(row.predicted_knee),
+            );
+            if let Some(c) = row.confirmed_knee {
+                s.virt(format!("{name}_{}_confirmed", row.knob), f64::from(c));
+            }
+        }
+        delivered_total += knee.trials.iter().map(|t| t.delivered).sum::<u64>();
+        for (j, b) in binding.bytes().enumerate() {
+            fp ^= u64::from(b).rotate_left((i * 29 + j * 7) as u32);
+        }
+        fp ^= (u64::from(knee.knee_users) << 24 | whatif.rows.len() as u64)
+            .rotate_left(i as u32 * 17);
+    }
+    s.virt("events_delivered", delivered_total as f64);
+    s.fingerprint("lens", fp);
+    s
+}
+
 /// Runs the whole matrix and assembles the snapshot.
 pub fn run_matrix(smoke: bool) -> Snapshot {
     let p = MatrixParams::new(smoke);
@@ -401,5 +481,6 @@ pub fn run_matrix(smoke: bool) -> Snapshot {
     snap.scenarios.push(metered(|| quorum_sweep(&p)));
     snap.scenarios.push(metered(|| obs_overhead(&p)));
     snap.scenarios.push(metered(|| capacity(smoke)));
+    snap.scenarios.push(metered(|| lens_overhead(smoke)));
     snap
 }

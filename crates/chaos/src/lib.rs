@@ -39,6 +39,6 @@ pub mod shrink;
 pub use driver::Engine;
 pub use oracle::OracleOptions;
 pub use scenario::{
-    Medium, PingEcho, PlanLink, PlanSpawn, Scenario, Topology, WorkloadSource, NODES,
+    Medium, PingEcho, PlanLink, PlanSpawn, Scenario, Topology, Tuning, WorkloadSource, NODES,
 };
 pub use schedule::{ChaosConfig, Fault, FaultSchedule};

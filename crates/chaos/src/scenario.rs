@@ -11,10 +11,12 @@
 
 use crate::schedule::Fault;
 use publishing_core::world::{World, WorldBuilder};
+use publishing_demos::costs::CostModel;
 use publishing_demos::ids::{Channel, ProcessId};
 use publishing_demos::link::Link;
 use publishing_demos::programs::{self, PingClient};
 use publishing_demos::registry::ProgramRegistry;
+use publishing_demos::transport::TransportConfig;
 use publishing_net::ethernet::Ethernet;
 use publishing_net::lan::{Lan, LanConfig};
 use publishing_obs::registry::MetricsRegistry;
@@ -65,6 +67,31 @@ pub struct Scenario {
     pub pings: u64,
     /// Broadcast medium under the recorder tier.
     pub medium: Medium,
+    /// Physical-constant knobs (costs, wire speed, transport window)
+    /// the what-if profiler turns; identity by default.
+    pub tuning: Tuning,
+}
+
+/// The scenario's physical constants — the knobs the what-if profiler
+/// turns to apply a virtual speedup without touching protocol logic.
+#[derive(Debug, Clone)]
+pub struct Tuning {
+    /// Node CPU cost model (zero by default, as everywhere else).
+    pub costs: CostModel,
+    /// Medium timing/bandwidth configuration.
+    pub lan: LanConfig,
+    /// Guaranteed-transport parameters (window width, retry pacing).
+    pub transport: TransportConfig,
+}
+
+impl Default for Tuning {
+    fn default() -> Self {
+        Tuning {
+            costs: CostModel::zero(),
+            lan: LanConfig::default(),
+            transport: TransportConfig::default(),
+        }
+    }
 }
 
 /// Processing nodes in every scenario (the recorder tier sits above
@@ -84,6 +111,7 @@ impl Scenario {
             pairs: 2,
             pings: 8,
             medium: Medium::Perfect,
+            tuning: Tuning::default(),
         }
     }
 
@@ -94,11 +122,19 @@ impl Scenario {
         self
     }
 
+    /// The scenario with explicit physical-constant knobs.
+    pub fn tuned(mut self, tuning: Tuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
     /// A fresh instance of the configured medium.
     fn medium_box(&self) -> Box<dyn Lan> {
         match self.medium {
-            Medium::Perfect => Box::new(publishing_net::bus::PerfectBus::new(LanConfig::default())),
-            Medium::Ethernet => Box::new(Ethernet::acknowledging(LanConfig::default())),
+            Medium::Perfect => Box::new(publishing_net::bus::PerfectBus::new(
+                self.tuning.lan.clone(),
+            )),
+            Medium::Ethernet => Box::new(Ethernet::acknowledging(self.tuning.lan.clone())),
         }
     }
 
@@ -134,6 +170,8 @@ impl Scenario {
                 let mut w = WorldBuilder::new(NODES)
                     .registry(source.registry())
                     .medium(self.medium_box())
+                    .costs(self.tuning.costs.clone())
+                    .transport(self.tuning.transport.clone())
                     .build();
                 let (procs, clients) = spawn_plan(&plan, |node, prog, links| {
                     w.spawn(node, prog, links).expect("spawn")
@@ -146,11 +184,13 @@ impl Scenario {
                 })
             }
             Topology::Sharded => {
-                let mut w = ShardedWorld::with_medium(
+                let mut w = ShardedWorld::with_tuning(
                     NODES,
                     SHARDS as usize,
                     source.registry(),
                     self.medium_box(),
+                    self.tuning.costs.clone(),
+                    self.tuning.transport.clone(),
                 );
                 let (procs, clients) = spawn_plan(&plan, |node, prog, links| {
                     w.spawn(node, prog, links).expect("spawn")
@@ -168,6 +208,8 @@ impl Scenario {
                         nodes: NODES,
                         replicas: REPLICAS as usize,
                         seed: self.workload_seed,
+                        costs: self.tuning.costs.clone(),
+                        transport: self.tuning.transport.clone(),
                         ..QuorumConfig::default()
                     },
                     source.registry(),

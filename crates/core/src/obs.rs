@@ -14,9 +14,12 @@
 use std::collections::BTreeMap;
 
 use publishing_demos::kernel::Kernel;
+use publishing_net::lan::Lan;
 use publishing_obs::probe::RecoveryLag;
 use publishing_obs::registry::MetricsRegistry;
 use publishing_obs::span::SpanLog;
+use publishing_obs::util::{UtilizationReport, XvalRow};
+use publishing_sim::ledger::{ResourceKind, ResourceUsage, Timeline, BIN_NS};
 use publishing_sim::time::SimTime;
 
 use crate::manager::RecoveryManager;
@@ -115,6 +118,214 @@ pub fn recorder_node_metrics(
         reg.counter(format!("{p}/bytes_read"), d.bytes_read.get());
         reg.gauge(format!("{p}/utilization"), d.busy.utilization(now));
         reg.summary(&format!("{p}/response_ms"), &d.response_ms);
+    }
+}
+
+/// Assembles the typed resource-utilization ledger for one topology:
+/// the shared medium, every node's CPU (split into protocol vs. program
+/// time), every guaranteed-transport channel plus the aggregated
+/// receive budget of each destination, and each recorder's publishing
+/// CPU and disks. Both world drivers (and the sharded/quorum tiers)
+/// call this so every topology ranks resources with identical rules.
+///
+/// Rows whose timeline never saw a busy span and whose meter counted
+/// nothing are skipped — a zero cost model produces no CPU rows rather
+/// than a wall of idle entries. The medium row is always present so
+/// the report states its utilization even when idle.
+pub fn utilization_report<'a>(
+    kernels: impl IntoIterator<Item = &'a Kernel>,
+    recorders: impl IntoIterator<Item = (u32, &'a Recorder)>,
+    lan: &dyn Lan,
+    now: SimTime,
+) -> UtilizationReport {
+    let window = now.saturating_since(SimTime::ZERO);
+    let window_s = window.as_millis_f64() / 1000.0;
+    let mut resources = Vec::new();
+    let mut xval = Vec::new();
+
+    let stats = lan.stats();
+    let medium_tl = stats.busy.timeline_as_of(now);
+    resources.push(ResourceUsage::from_timeline(
+        ResourceKind::Medium,
+        "medium".into(),
+        0,
+        0,
+        &medium_tl,
+        window,
+        0.0,
+        0,
+        stats.submitted.get(),
+        stats.collisions.get(),
+    ));
+    // Utilization law ρ = λ·S for the medium: λ from the submit counter,
+    // S from the *configured* bandwidth and interpacket gap applied to
+    // the mean observed frame — an analytic prediction fully independent
+    // of the busy-time integrator it is checked against. Exact only
+    // while the medium is uncontended: collisions and backoff occupy
+    // wire time the service-demand product cannot see, so contention
+    // shows up as a flagged divergence (which is the point).
+    if let Some(cfg) = lan.config() {
+        let submitted = stats.submitted.get();
+        if !medium_tl.is_empty() && submitted > 0 && window_s > 0.0 {
+            let mean_bytes = stats.wire_bytes.get() as f64 / submitted as f64;
+            let service_s = cfg.frame_time(mean_bytes as usize).as_millis_f64() / 1000.0;
+            let lambda = submitted as f64 / window_s;
+            xval.push(XvalRow::check(
+                "medium",
+                "utilization",
+                publishing_queueing::xval::utilization_law(lambda, service_s),
+                medium_tl.busy_total().as_millis_f64() / window.as_millis_f64(),
+                0.25,
+            ));
+        }
+    }
+
+    // Per-destination receive budget: merged inbound-channel timelines,
+    // summed occupancy (concurrent senders queue independently).
+    let mut recv: BTreeMap<u32, (Timeline, f64, u64, u64, u32)> = BTreeMap::new();
+    for k in kernels {
+        let n = k.node().0;
+        let s = k.stats();
+        // The run queue waits on the node's single CPU, which the ledger
+        // splits into protocol and program time; both rows carry it.
+        let run_q = k.run_queue_gauge().mean_over(now, window);
+        let run_peak = k.run_queue_gauge().peak();
+        let proto = k.cpu_proto_timeline();
+        if !proto.is_empty() {
+            resources.push(ResourceUsage::from_timeline(
+                ResourceKind::NodeCpuProto,
+                format!("cpu{n}:proto"),
+                n,
+                0,
+                proto,
+                window,
+                run_q,
+                run_peak,
+                s.msgs_sent.get() + s.msgs_received.get(),
+                0,
+            ));
+        }
+        let prog = k.cpu_prog_timeline();
+        if !prog.is_empty() {
+            resources.push(ResourceUsage::from_timeline(
+                ResourceKind::NodeCpuProg,
+                format!("cpu{n}:prog"),
+                n,
+                0,
+                prog,
+                window,
+                run_q,
+                run_peak,
+                s.activations.get(),
+                0,
+            ));
+        }
+        for (dst, m) in k.channel_meters() {
+            let tl = m.busy.timeline_as_of(now);
+            if tl.is_empty() && m.completed == 0 {
+                continue;
+            }
+            let mean_q = m.level.mean_over(now, window);
+            let peak_q = m.level.peak();
+            resources.push(ResourceUsage::from_timeline(
+                ResourceKind::Transport,
+                format!("xport {n}->{}", dst.0),
+                n,
+                dst.0,
+                &tl,
+                window,
+                mean_q,
+                peak_q,
+                m.completed,
+                0,
+            ));
+            // Little's law L = λ·W per channel: throughput and sojourn
+            // come from per-message accounting, occupancy from the
+            // level-gauge integral — two independent meters that must
+            // agree on any stable channel.
+            if m.completed > 0 && window_s > 0.0 {
+                let lambda = m.completed as f64 / window_s;
+                let sojourn_s = m.mean_sojourn_ms() / 1000.0;
+                xval.push(XvalRow::check(
+                    format!("xport {n}->{}", dst.0),
+                    "little",
+                    publishing_queueing::xval::littles_law(lambda, sojourn_s),
+                    m.level.mean_over(now, window),
+                    0.10,
+                ));
+            }
+            let e = recv.entry(dst.0).or_default();
+            e.0.merge(&tl);
+            e.1 += mean_q;
+            e.2 += peak_q;
+            e.3 += m.completed;
+            e.4 += 1;
+        }
+    }
+    for (dst, (tl, mean_q, peak_q, completed, channels)) in recv {
+        // With a single inbound channel the xport row already *is* the
+        // destination's receive budget; only aggregates add information.
+        if channels < 2 {
+            continue;
+        }
+        resources.push(ResourceUsage::from_timeline(
+            ResourceKind::Transport,
+            format!("recv {dst}"),
+            dst,
+            dst,
+            &tl,
+            window,
+            mean_q,
+            peak_q,
+            completed,
+            0,
+        ));
+    }
+
+    for (idx, rec) in recorders {
+        let s = rec.stats();
+        let tl = rec.cpu_timeline();
+        if !tl.is_empty() {
+            resources.push(ResourceUsage::from_timeline(
+                ResourceKind::RecorderCpu,
+                format!("rec{idx}:cpu"),
+                idx,
+                0,
+                tl,
+                window,
+                s.depth_hist.summary().mean(),
+                s.depth_hist.summary().max().unwrap_or(0.0) as u64,
+                s.captured.get(),
+                0,
+            ));
+        }
+        let store = rec.store();
+        for d in 0..store.n_disks() {
+            let ds = store.disk_stats(d);
+            let tl = ds.busy.timeline_as_of(now);
+            if tl.is_empty() {
+                continue;
+            }
+            resources.push(ResourceUsage::from_timeline(
+                ResourceKind::Disk,
+                format!("rec{idx}:disk{d}"),
+                idx,
+                d as u32,
+                &tl,
+                window,
+                0.0,
+                0,
+                ds.writes.get() + ds.reads.get(),
+                0,
+            ));
+        }
+    }
+
+    UtilizationReport {
+        window_ms: window.as_millis_f64(),
+        bin_ms: BIN_NS as f64 / 1e6,
+        resources,
+        xval,
     }
 }
 

@@ -22,6 +22,7 @@ use publishing_demos::message::Message;
 use publishing_demos::protocol::{CheckpointDeposit, ReadOrderNotice};
 use publishing_obs::span::{MsgKey, SpanLog, Stage};
 use publishing_sim::codec::{CodecError, Decode, Decoder, Encode, Encoder};
+use publishing_sim::ledger::Timeline;
 use publishing_sim::stats::{Counter, LinearHistogram};
 use publishing_sim::time::{SimDuration, SimTime};
 use publishing_stable::disk::DiskParams;
@@ -283,6 +284,8 @@ pub struct Recorder {
     external_sequencing: bool,
     stats: RecorderStats,
     spans: SpanLog,
+    cpu_busy_until: SimTime,
+    cpu_timeline: Timeline,
 }
 
 impl Recorder {
@@ -304,6 +307,8 @@ impl Recorder {
             external_sequencing: false,
             stats: RecorderStats::default(),
             spans: SpanLog::default(),
+            cpu_busy_until: SimTime::ZERO,
+            cpu_timeline: Timeline::new(),
         }
     }
 
@@ -396,8 +401,20 @@ impl Recorder {
         }
     }
 
-    fn charge(&mut self) {
-        self.stats.cpu_used += self.publish_cost.per_message();
+    /// Charges the per-message publishing CPU as a serially occupying
+    /// busy span, so the ledger can see when the recorder's processor —
+    /// not just how much of it — was consumed.
+    fn charge(&mut self, now: SimTime) {
+        let c = self.publish_cost.per_message();
+        self.stats.cpu_used += c;
+        let start = self.cpu_busy_until.max(now);
+        self.cpu_busy_until = start + c;
+        self.cpu_timeline.add_busy(start, self.cpu_busy_until);
+    }
+
+    /// Busy timeline of the recorder's publishing CPU.
+    pub fn cpu_timeline(&self) -> &Timeline {
+        &self.cpu_timeline
     }
 
     /// Captures a process-destined data message seen on the wire.
@@ -415,7 +432,7 @@ impl Recorder {
             self.stats.duplicates.inc();
             return;
         }
-        self.charge();
+        self.charge(now);
         self.stats.captured.inc();
         let cap = self.next_capture;
         self.next_capture += 1;

@@ -607,6 +607,13 @@ impl World {
             consensus: None,
             watchdog: None,
             workload: None,
+            utilization: Some(crate::obs::utilization_report(
+                self.kernels.values(),
+                [(0, self.recorder.recorder())],
+                self.lan.as_ref(),
+                now,
+            )),
+            whatif: None,
         }
     }
 

@@ -67,6 +67,24 @@ impl CostModel {
         }
     }
 
+    /// Returns this model with every charge multiplied by `factor`
+    /// (< 1 = a faster CPU). The what-if profiler's "protocol CPU ×k"
+    /// knob; scaling the zero model is a no-op by construction.
+    pub fn scaled(&self, factor: f64) -> CostModel {
+        assert!(factor >= 0.0, "cost factor must be non-negative");
+        let s = |d: SimDuration| d.mul_f64(factor);
+        CostModel {
+            kernel_call: s(self.kernel_call),
+            activation_base: s(self.activation_base),
+            net_send: s(self.net_send),
+            net_receive: s(self.net_receive),
+            net_per_byte: s(self.net_per_byte),
+            local_delivery: s(self.local_delivery),
+            process_create: s(self.process_create),
+            checkpoint_per_byte: s(self.checkpoint_per_byte),
+        }
+    }
+
     /// CPU to send one message of `bytes` over the network.
     pub fn send_cost(&self, bytes: usize) -> SimDuration {
         self.net_send + self.net_per_byte.saturating_mul(bytes as u64)
@@ -102,6 +120,20 @@ mod tests {
         let c = CostModel::default();
         assert!(c.send_cost(1024) > c.send_cost(128));
         assert!(c.checkpoint_cost(65536) > c.checkpoint_cost(4096));
+    }
+
+    #[test]
+    fn scaled_model_multiplies_every_charge() {
+        let c = CostModel::default();
+        let half = c.scaled(0.5);
+        assert_eq!(half.net_send, SimDuration::from_micros(6_500));
+        assert_eq!(half.send_cost(0).as_nanos() * 2, c.send_cost(0).as_nanos());
+        assert_eq!(half.kernel_call.as_nanos() * 2, c.kernel_call.as_nanos());
+        // Scaling zero stays zero.
+        assert_eq!(
+            CostModel::zero().scaled(0.5).send_cost(1024),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

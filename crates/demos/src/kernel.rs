@@ -35,6 +35,7 @@ use crate::transport::{TAction, Transport, TransportConfig, Wire};
 use publishing_net::frame::{Destination, Frame, StationId};
 use publishing_obs::span::{SpanLog, Stage};
 use publishing_sim::codec::{Decode, Encode, Encoder};
+use publishing_sim::ledger::{LevelGauge, Timeline};
 use publishing_sim::stats::Counter;
 use publishing_sim::time::{SimDuration, SimTime};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -158,6 +159,9 @@ pub struct Kernel {
     up: bool,
     stats: KernelStats,
     spans: SpanLog,
+    proto_cpu: Timeline,
+    prog_cpu: Timeline,
+    run_gauge: LevelGauge,
 }
 
 impl Kernel {
@@ -195,6 +199,9 @@ impl Kernel {
             up: true,
             stats: KernelStats::default(),
             spans: SpanLog::default(),
+            proto_cpu: Timeline::new(),
+            prog_cpu: Timeline::new(),
+            run_gauge: LevelGauge::new(),
         }
     }
 
@@ -253,6 +260,31 @@ impl Kernel {
         self.transport.stats()
     }
 
+    /// Busy timeline of this node's *protocol* CPU: the serially
+    /// occupying network send/receive charges of [`CostModel`].
+    pub fn cpu_proto_timeline(&self) -> &Timeline {
+        &self.proto_cpu
+    }
+
+    /// Busy timeline of this node's *program* CPU: process activations
+    /// (activation base plus modeled compute).
+    pub fn cpu_prog_timeline(&self) -> &Timeline {
+        &self.prog_cpu
+    }
+
+    /// Occupancy gauge over the dispatcher's run queue — processes ready
+    /// but waiting for the CPU.
+    pub fn run_queue_gauge(&self) -> &LevelGauge {
+        &self.run_gauge
+    }
+
+    /// Per-destination guaranteed-transport channel meters (sender side).
+    pub fn channel_meters(
+        &self,
+    ) -> &std::collections::BTreeMap<NodeId, crate::transport::ChannelMeter> {
+        self.transport.channel_meters()
+    }
+
     /// Returns this node's transport incarnation.
     pub fn incarnation(&self) -> u32 {
         self.transport.incarnation()
@@ -306,7 +338,9 @@ impl Kernel {
     /// makes Figure 5.7's real time track its CPU time.
     fn charge_busy(&mut self, now: SimTime, d: SimDuration) {
         self.stats.cpu_used += d;
-        self.cpu_busy_until = self.cpu_busy_until.max(now) + d;
+        let start = self.cpu_busy_until.max(now);
+        self.cpu_busy_until = start + d;
+        self.proto_cpu.add_busy(start, self.cpu_busy_until);
     }
 
     // ------------------------------------------------------------------
@@ -581,6 +615,7 @@ impl Kernel {
     // ------------------------------------------------------------------
 
     fn try_dispatch(&mut self, now: SimTime, out: &mut Vec<KernelAction>) {
+        self.run_gauge.set(now, self.run_queue.len() as u64);
         if !self.up || self.active.is_some() {
             return;
         }
@@ -612,8 +647,10 @@ impl Kernel {
                 continue;
             }
             self.run_activation(now, local, out);
+            self.run_gauge.set(now, self.run_queue.len() as u64);
             return;
         }
+        self.run_gauge.set(now, self.run_queue.len() as u64);
     }
 
     fn schedule_done(
@@ -638,6 +675,7 @@ impl Kernel {
         );
         self.active = Some(local);
         self.cpu_busy_until = now + cost;
+        self.prog_cpu.add_busy(now, self.cpu_busy_until);
         let token = self.new_timer(TimerKind::Done(done_id));
         out.push(KernelAction::SetTimer {
             at: now + cost,

@@ -48,4 +48,4 @@ pub use process::{Process, ProcessImage, RunState};
 pub use program::{Ctx, Effect, Program, Received, SyscallError};
 pub use queue::{MessageQueue, ReadInfo};
 pub use registry::{ProgramRegistry, UnknownProgram};
-pub use transport::{TAction, Transport, TransportConfig, TransportStats, Wire};
+pub use transport::{ChannelMeter, TAction, Transport, TransportConfig, TransportStats, Wire};

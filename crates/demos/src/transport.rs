@@ -20,7 +20,8 @@
 use crate::ids::{MessageId, NodeId, ProcessId};
 use crate::message::Message;
 use publishing_sim::codec::{CodecError, Decode, Decoder, Encode, Encoder};
-use publishing_sim::stats::Counter;
+use publishing_sim::ledger::LevelGauge;
+use publishing_sim::stats::{Counter, Utilization};
 use publishing_sim::time::{SimDuration, SimTime};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
@@ -302,6 +303,52 @@ struct InState {
     reorder: BTreeMap<u64, Message>,
 }
 
+/// Capacity instrumentation for one sender→receiver channel.
+///
+/// The channel is *busy* while any guaranteed message is queued or
+/// unacknowledged — under the thesis' stop-and-wait window this is the
+/// receiving node's ingest budget (one message per round trip per
+/// sender), which is the resource that saturates first on the perfect
+/// bus. The level gauge integrates queue + in-flight occupancy (Little's
+/// `L`) and the sojourn accumulator measures accept→ack time (`W`), so
+/// the queueing cross-validation can check `L = λW` from the ledger.
+#[derive(Debug, Default)]
+pub struct ChannelMeter {
+    /// Busy while the channel has queued or unacknowledged messages.
+    pub busy: Utilization,
+    /// Queue + in-flight occupancy over time.
+    pub level: LevelGauge,
+    /// Accepted messages whose ack has arrived.
+    pub completed: u64,
+    /// Total accept→ack sojourn, ns.
+    pub sojourn_ns: u128,
+    /// Accept times of messages still in the send queue (parallel to
+    /// `OutState::queue`).
+    enq_queue: VecDeque<SimTime>,
+    /// Accept times of messages in flight, by tseq.
+    enq_inflight: BTreeMap<u64, SimTime>,
+}
+
+impl ChannelMeter {
+    /// Mean accept→ack sojourn in milliseconds, 0 if nothing completed.
+    pub fn mean_sojourn_ms(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        (self.sojourn_ns as f64 / self.completed as f64) / 1e6
+    }
+
+    /// Re-marks busy/idle from the channel's current occupancy.
+    fn set_level(&mut self, now: SimTime, level: u64) {
+        self.level.set(now, level);
+        if level > 0 {
+            self.busy.set_busy(now);
+        } else {
+            self.busy.set_idle(now);
+        }
+    }
+}
+
 /// The per-node transport state machine.
 pub struct Transport {
     node: NodeId,
@@ -312,6 +359,8 @@ pub struct Transport {
     timers: HashMap<u64, (NodeId, u64)>,
     next_token: u64,
     stats: TransportStats,
+    meters: BTreeMap<NodeId, ChannelMeter>,
+    last_now: SimTime,
 }
 
 impl Transport {
@@ -326,6 +375,8 @@ impl Transport {
             timers: HashMap::new(),
             next_token: 0,
             stats: TransportStats::default(),
+            meters: BTreeMap::new(),
+            last_now: SimTime::ZERO,
         }
     }
 
@@ -339,19 +390,33 @@ impl Transport {
         &self.stats
     }
 
+    /// Returns the per-destination channel meters (sender side).
+    pub fn channel_meters(&self) -> &BTreeMap<NodeId, ChannelMeter> {
+        &self.meters
+    }
+
     /// Clears all state and bumps the incarnation — the node restarted.
+    /// Meter history survives (capacity, not correctness, state); the
+    /// in-progress occupancy drops to zero as of the last observed time.
     pub fn restart(&mut self, incarnation: u32) {
         assert!(incarnation > self.incarnation, "incarnation must increase");
         self.incarnation = incarnation;
         self.out.clear();
         self.inc.clear();
         self.timers.clear();
+        let now = self.last_now;
+        for meter in self.meters.values_mut() {
+            meter.enq_queue.clear();
+            meter.enq_inflight.clear();
+            meter.set_level(now, 0);
+        }
     }
 
     /// Notes that `peer` restarted with `new_epoch`: outstanding and
     /// queued traffic to it is renumbered from 1 under the new epoch and
     /// retransmitted.
     pub fn reset_peer(&mut self, now: SimTime, peer: NodeId, new_epoch: u32) -> Vec<TAction> {
+        self.last_now = now;
         let mut actions = Vec::new();
         let out = self.out.entry(peer).or_insert_with(OutState::new);
         if out.epoch >= new_epoch {
@@ -361,6 +426,13 @@ impl Transport {
         let inflight = std::mem::take(&mut out.inflight);
         for (_, inf) in inflight.into_iter().rev() {
             out.queue.push_front(inf.msg);
+        }
+        // Re-queue the matching accept timestamps in the same order so
+        // sojourn accounting follows the messages through renumbering.
+        let meter = self.meters.entry(peer).or_default();
+        let stamps = std::mem::take(&mut meter.enq_inflight);
+        for (_, t) in stamps.into_iter().rev() {
+            meter.enq_queue.push_front(t);
         }
         out.epoch = new_epoch;
         out.next_tseq = 1;
@@ -376,12 +448,18 @@ impl Transport {
         msg: Message,
     ) -> Vec<TAction> {
         self.stats.sent.inc();
+        self.last_now = now;
         let mut actions = Vec::new();
         self.out
             .entry(dst_node)
             .or_insert_with(OutState::new)
             .queue
             .push_back(msg);
+        self.meters
+            .entry(dst_node)
+            .or_default()
+            .enq_queue
+            .push_back(now);
         self.pump(now, dst_node, &mut actions);
         actions
     }
@@ -403,12 +481,16 @@ impl Transport {
         let Some(out) = self.out.get_mut(&dst_node) else {
             return;
         };
+        let meter = self.meters.entry(dst_node).or_default();
         while out.inflight.len() < self.cfg.window {
             let Some(msg) = out.queue.pop_front() else {
                 break;
             };
             let tseq = out.next_tseq;
             out.next_tseq += 1;
+            if let Some(t) = meter.enq_queue.pop_front() {
+                meter.enq_inflight.insert(tseq, t);
+            }
             let wire = Wire::Data {
                 src_node: self.node,
                 incarnation: self.incarnation,
@@ -435,6 +517,8 @@ impl Transport {
                 token,
             });
         }
+        let level = (out.inflight.len() + out.queue.len()) as u64;
+        meter.set_level(now, level);
     }
 
     /// Handles a retransmission timer.
@@ -588,6 +672,12 @@ impl Transport {
         }
         if out.inflight.remove(&tseq).is_some() {
             self.stats.acked.inc();
+            self.last_now = now;
+            let meter = self.meters.entry(acker).or_default();
+            if let Some(t) = meter.enq_inflight.remove(&tseq) {
+                meter.completed += 1;
+                meter.sojourn_ns += u128::from(now.saturating_since(t).as_nanos());
+            }
             self.pump(now, acker, &mut actions);
         }
         actions
@@ -750,6 +840,52 @@ mod tests {
         let out2 = a.send_guaranteed(SimTime::ZERO, NodeId(2), m2);
         // Window 1: the second message waits for the first's ack.
         assert!(payload_of(&out2).is_empty());
+    }
+
+    #[test]
+    fn channel_meter_tracks_occupancy_and_sojourn() {
+        let (mut a, mut b) = transports();
+        let m1 = msg(ProcessId::new(1, 1), ProcessId::new(2, 1), 1, b"1");
+        let m2 = msg(ProcessId::new(1, 1), ProcessId::new(2, 1), 2, b"2");
+        let out = a.send_guaranteed(SimTime::ZERO, NodeId(2), m1);
+        a.send_guaranteed(SimTime::ZERO, NodeId(2), m2);
+        let meter = &a.channel_meters()[&NodeId(2)];
+        assert!(meter.busy.is_busy());
+        assert_eq!(meter.level.level(), 2);
+        // Ack the first at t=10ms: one completes (sojourn 10ms), the
+        // second is pumped and stays in flight.
+        let wire = Wire::decode_all(&payload_of(&out)[0]).unwrap();
+        let back = b.on_wire(SimTime::from_millis(5), wire);
+        let ack = Wire::decode_all(&payload_of(&back)[0]).unwrap();
+        let out2 = a.on_wire(SimTime::from_millis(10), ack);
+        assert_eq!(payload_of(&out2).len(), 1);
+        let meter = &a.channel_meters()[&NodeId(2)];
+        assert_eq!(meter.completed, 1);
+        assert!((meter.mean_sojourn_ms() - 10.0).abs() < 1e-9);
+        assert_eq!(meter.level.level(), 1);
+        assert!(meter.busy.is_busy());
+        // Ack the second at t=30ms: channel drains and goes idle.
+        let wire2 = Wire::decode_all(&payload_of(&out2)[0]).unwrap();
+        let back2 = b.on_wire(SimTime::from_millis(20), wire2);
+        let ack2 = Wire::decode_all(&payload_of(&back2)[0]).unwrap();
+        a.on_wire(SimTime::from_millis(30), ack2);
+        let meter = &a.channel_meters()[&NodeId(2)];
+        assert_eq!(meter.completed, 2);
+        assert!(!meter.busy.is_busy());
+        assert_eq!(
+            meter.busy.busy_time(SimTime::from_millis(30)),
+            SimDuration::from_millis(30)
+        );
+        // Little's law consistency on this toy run: both messages were
+        // accepted at t=0, acked at 10ms and 30ms → W = 20ms mean, and
+        // L = λW = (2/30)(20) = 4/3.
+        assert!((meter.mean_sojourn_ms() - 20.0).abs() < 1e-9);
+        let l = meter
+            .level
+            .mean_over(SimTime::from_millis(30), SimDuration::from_millis(30));
+        let lam = 2.0 / 30.0;
+        let w = meter.mean_sojourn_ms();
+        assert!((l - lam * w).abs() < 1e-9, "L={l} λW={}", lam * w);
     }
 
     #[test]

@@ -26,6 +26,14 @@ pub struct PerfectBus {
     faults: FaultPlan,
     rng: DetRng,
     stats: LanStats,
+    /// Accounting cursor: the virtual time at which a serial wire would
+    /// finish every frame submitted so far. Delivery timing ignores it
+    /// (the bus is contention-free); it exists so the busy ledger
+    /// charges each frame its serialization time back-to-back, making
+    /// measured wire utilization equal the λ·S utilization law exactly
+    /// and giving the queueing cross-validation its contention-free
+    /// baseline.
+    wire_free_at: SimTime,
 }
 
 impl PerfectBus {
@@ -40,6 +48,7 @@ impl PerfectBus {
             faults: FaultPlan::new(),
             rng,
             stats: LanStats::default(),
+            wire_free_at: SimTime::ZERO,
         }
     }
 
@@ -91,8 +100,17 @@ impl Lan for PerfectBus {
 
     fn submit(&mut self, now: SimTime, frame: Frame) -> Vec<LanAction> {
         self.stats.submitted.inc();
+        self.stats.wire_bytes.add(frame.wire_bytes() as u64);
         let sender = frame.src;
         let tx_done = now + self.cfg.frame_time(frame.wire_bytes());
+        let ser_start = if self.wire_free_at > now {
+            self.wire_free_at
+        } else {
+            now
+        };
+        let ser_end = ser_start + self.cfg.frame_time(frame.wire_bytes());
+        self.stats.busy.add_span(ser_start, ser_end);
+        self.wire_free_at = ser_end;
         let receivers = self.live_receivers(&frame);
         let required = route_required(self.router.as_ref(), &frame, || self.required_recorders());
         let mut actions = DeliveryFanout {
@@ -117,6 +135,10 @@ impl Lan for PerfectBus {
 
     fn stats(&self) -> &LanStats {
         &self.stats
+    }
+
+    fn config(&self) -> Option<&LanConfig> {
+        Some(&self.cfg)
     }
 }
 

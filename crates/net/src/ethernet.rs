@@ -372,6 +372,7 @@ impl Lan for Ethernet {
             return out;
         }
         self.stats.submitted.inc();
+        self.stats.wire_bytes.add(frame.wire_bytes() as u64);
         st.backlog.push_back(frame);
         self.try_start(now, src, &mut out);
         out
@@ -397,6 +398,10 @@ impl Lan for Ethernet {
 
     fn stats(&self) -> &LanStats {
         &self.stats
+    }
+
+    fn config(&self) -> Option<&LanConfig> {
+        Some(&self.cfg)
     }
 }
 

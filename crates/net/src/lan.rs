@@ -56,6 +56,20 @@ impl LanConfig {
         let ns = bits.saturating_mul(1_000_000_000) / self.bandwidth_bps;
         self.interpacket + SimDuration::from_nanos(ns)
     }
+
+    /// Returns this configuration with the wire sped up by `factor`
+    /// (> 1 = faster): bandwidth multiplied, the fixed per-frame
+    /// interface delay divided. Contention constants (slot and ack
+    /// slots, backoff) are physical-layer round-trip properties and are
+    /// left untouched. This is the what-if profiler's "wire speed ×k"
+    /// knob.
+    pub fn scaled(&self, factor: f64) -> LanConfig {
+        assert!(factor > 0.0, "wire-speed factor must be positive");
+        let mut cfg = self.clone();
+        cfg.bandwidth_bps = ((self.bandwidth_bps as f64) * factor).max(1.0) as u64;
+        cfg.interpacket = self.interpacket.mul_f64(1.0 / factor);
+        cfg
+    }
 }
 
 /// An action a medium asks its driver to execute.
@@ -117,6 +131,10 @@ pub struct LanStats {
     pub recorder_blocked: Counter,
     /// Transmissions abandoned after too many collisions.
     pub aborted: Counter,
+    /// Wire bytes submitted (headers included) — with `submitted`, the
+    /// mean frame size the queueing cross-validation's utilization-law
+    /// prediction needs.
+    pub wire_bytes: Counter,
     /// Busy-time integrator for the shared medium.
     pub busy: Utilization,
     /// Per-station counts of gating stalls attributed to the required
@@ -188,6 +206,14 @@ pub trait Lan {
 
     /// Returns the medium's counters.
     fn stats(&self) -> &LanStats;
+
+    /// Returns the medium's timing configuration, when it has one (all
+    /// built-in media do). The capacity lens reads the bandwidth and
+    /// interpacket constants here to compute the analytic service time
+    /// its queueing cross-validation predicts utilization from.
+    fn config(&self) -> Option<&LanConfig> {
+        None
+    }
 }
 
 /// Shared per-delivery fault and recorder-gating logic used by all media.
@@ -318,6 +344,22 @@ mod tests {
         assert_eq!(
             t_large,
             SimDuration::from_micros(1_600) + SimDuration::from_nanos(819_200)
+        );
+    }
+
+    #[test]
+    fn scaled_config_speeds_up_the_wire() {
+        let base = LanConfig::default();
+        let fast = base.scaled(2.0);
+        assert_eq!(fast.bandwidth_bps, 20_000_000);
+        assert_eq!(fast.interpacket, SimDuration::from_micros(800));
+        // Contention constants are untouched.
+        assert_eq!(fast.slot_time, base.slot_time);
+        assert_eq!(fast.ack_slot, base.ack_slot);
+        // Frame time halves exactly for a doubling.
+        assert_eq!(
+            fast.frame_time(1024).as_nanos() * 2,
+            base.frame_time(1024).as_nanos()
         );
     }
 

@@ -76,6 +76,7 @@ impl Lan for StarHub {
             return out;
         }
         self.stats.submitted.inc();
+        self.stats.wire_bytes.add(frame.wire_bytes() as u64);
         let link_time = self.cfg.frame_time(frame.wire_bytes());
         let at_hub = now + link_time;
         out.push(LanAction::TxOutcome {
@@ -169,6 +170,10 @@ impl Lan for StarHub {
 
     fn stats(&self) -> &LanStats {
         &self.stats
+    }
+
+    fn config(&self) -> Option<&LanConfig> {
+        Some(&self.cfg)
     }
 }
 

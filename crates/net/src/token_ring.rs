@@ -287,6 +287,7 @@ impl Lan for TokenRing {
             return out;
         }
         self.stats.submitted.inc();
+        self.stats.wire_bytes.add(frame.wire_bytes() as u64);
         self.backlog
             .get_mut(&frame.src)
             .expect("attached")
@@ -309,6 +310,10 @@ impl Lan for TokenRing {
 
     fn stats(&self) -> &LanStats {
         &self.stats
+    }
+
+    fn config(&self) -> Option<&LanConfig> {
+        Some(&self.cfg)
     }
 }
 

@@ -23,6 +23,9 @@
 //! - [`profile`]: virtual-time attribution per event category and
 //!   per-lifecycle-stage latency histograms;
 //! - [`report`]: the `obs_report` run artifact, rendered as text or JSON;
+//! - [`util`]: the capacity-lens sections — the typed resource
+//!   utilization ledger with binding-resource ranking, queueing-model
+//!   cross-validation rows, and what-if (virtual speedup) results;
 //! - [`store`]: the columnar (struct-of-arrays, delta-encoded, interned)
 //!   storage engine behind [`span::SpanLog`], plus the row-oriented
 //!   reference log it is verified against;
@@ -47,6 +50,7 @@ pub mod report;
 pub mod slo;
 pub mod span;
 pub mod store;
+pub mod util;
 pub mod watchdog;
 
 pub use causal::{divergence_diff, CausalGraph, CriticalPath, Divergence, EdgeKind, Explanation};
@@ -57,4 +61,5 @@ pub use report::{ConsensusStats, ObsReport, WatchdogSummary, WorkloadStats};
 pub use slo::SloSpec;
 pub use span::{MessageSpan, MsgKey, SpanEvent, SpanLog, Stage, DEFAULT_SPAN_CAPACITY};
 pub use store::{Interner, RowSpanLog, SampleSpec};
+pub use util::{UtilizationReport, WhatIfReport, WhatIfRow, XvalRow};
 pub use watchdog::{Watchdog, WatchdogConfig};

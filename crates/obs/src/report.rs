@@ -31,7 +31,13 @@ use publishing_sim::time::SimDuration;
 ///   goodput and the SLO violations the run tripped — populated by
 ///   runs driven through the workload engine and absent everywhere
 ///   else, so v3 documents still parse and v3 readers keep working.
-pub const REPORT_SCHEMA_VERSION: u32 = 4;
+/// - **5**: adds the optional capacity-lens sections — `utilization`
+///   (the typed per-resource busy/queue ledger, binding-resource call,
+///   and queueing-model cross-validation rows) and `whatif` (the
+///   virtual-speedup profiler's knee predictions). Both are absent
+///   unless the run was metered, so v4 documents still parse and v4
+///   readers keep working.
+pub const REPORT_SCHEMA_VERSION: u32 = 5;
 
 /// Consensus-level aggregates for the quorum section (schema v3).
 #[derive(Debug, Clone, Default)]
@@ -152,6 +158,11 @@ pub struct ObsReport {
     /// Offered-load accounting, when the run was driven by the
     /// workload engine.
     pub workload: Option<WorkloadStats>,
+    /// Per-resource utilization ledger, when the world meters one.
+    pub utilization: Option<crate::util::UtilizationReport>,
+    /// What-if (virtual speedup) profiler results, when a lens run
+    /// produced them.
+    pub whatif: Option<crate::util::WhatIfReport>,
 }
 
 impl Default for ObsReport {
@@ -175,6 +186,8 @@ impl Default for ObsReport {
             consensus: None,
             watchdog: None,
             workload: None,
+            utilization: None,
+            whatif: None,
         }
     }
 }
@@ -251,6 +264,14 @@ impl ObsReport {
                 s.push_str(v);
                 s.push('\n');
             }
+        }
+        if let Some(u) = &self.utilization {
+            s.push_str("\nresource utilization:\n");
+            s.push_str(&u.render());
+        }
+        if let Some(w) = &self.whatif {
+            s.push_str("\nwhat-if profiler:\n");
+            s.push_str(&w.render());
         }
         s.push_str("\nstage latencies:\n");
         s.push_str(&self.latencies.render());
@@ -408,6 +429,77 @@ impl ObsReport {
             }
             s.push_str("]},");
         }
+        if let Some(u) = &self.utilization {
+            s.push_str(&format!(
+                "\"utilization\":{{\"window_ms\":{},\"bin_ms\":{},\"binding\":{},\"resources\":[",
+                json_f64(u.window_ms),
+                json_f64(u.bin_ms),
+                match u.binding() {
+                    Some(r) => format!("\"{}\"", json_escape(&r.name)),
+                    None => "null".into(),
+                }
+            ));
+            for (i, r) in u.resources.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"kind\":\"{}\",\"name\":\"{}\",\"index\":{},\"peer\":{},\"busy_ms\":{},\"util\":{},\"active_util\":{},\"peak_util\":{},\"mean_queue\":{},\"peak_queue\":{},\"events\":{},\"contention\":{},\"saturated\":{}}}",
+                    r.kind.label(),
+                    json_escape(&r.name),
+                    r.index,
+                    r.peer,
+                    json_f64(r.busy_ms),
+                    json_f64(r.util),
+                    json_f64(r.active_util),
+                    json_f64(r.peak_util),
+                    json_f64(r.mean_queue),
+                    r.peak_queue,
+                    r.events,
+                    r.contention,
+                    r.saturated()
+                ));
+            }
+            s.push_str("],\"xval\":[");
+            for (i, row) in u.xval.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"resource\":\"{}\",\"law\":\"{}\",\"predicted\":{},\"measured\":{},\"tolerance\":{},\"ok\":{}}}",
+                    json_escape(&row.resource),
+                    json_escape(&row.law),
+                    json_f64(row.predicted),
+                    json_f64(row.measured),
+                    json_f64(row.tolerance),
+                    row.ok
+                ));
+            }
+            s.push_str("]},");
+        }
+        if let Some(w) = &self.whatif {
+            s.push_str(&format!(
+                "\"whatif\":{{\"baseline_knee\":{},\"rows\":[",
+                w.baseline_knee
+            ));
+            for (i, row) in w.rows.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"knob\":\"{}\",\"multiplier\":{},\"predicted_knee\":{},\"confirmed_knee\":{},\"binding_after\":\"{}\"}}",
+                    json_escape(&row.knob),
+                    json_f64(row.multiplier),
+                    row.predicted_knee,
+                    match row.confirmed_knee {
+                        Some(k) => k.to_string(),
+                        None => "null".into(),
+                    },
+                    json_escape(&row.binding_after)
+                ));
+            }
+            s.push_str("]},");
+        }
         s.push_str("\"profile\":{");
         for (i, (name, d)) in self.profile.iter().enumerate() {
             if i > 0 {
@@ -533,13 +625,49 @@ mod tests {
             offered_per_sec: 500.0,
             slo_violations: vec!["deliver p99 9000us > 5000us".into()],
         });
+        report.utilization = Some(crate::util::UtilizationReport {
+            window_ms: 100.0,
+            bin_ms: 16.78,
+            resources: vec![publishing_sim::ledger::ResourceUsage {
+                kind: publishing_sim::ledger::ResourceKind::Transport,
+                name: "xport 0->2".into(),
+                index: 0,
+                peer: 2,
+                busy_ms: 95.0,
+                window_ms: 100.0,
+                util: 0.95,
+                active_util: 0.95,
+                peak_util: 0.98,
+                mean_queue: 7.5,
+                peak_queue: 12,
+                events: 88,
+                contention: 0,
+            }],
+            xval: vec![crate::util::XvalRow::check(
+                "medium",
+                "utilization",
+                0.50,
+                0.52,
+                0.20,
+            )],
+        });
+        report.whatif = Some(crate::util::WhatIfReport {
+            baseline_knee: 141,
+            rows: vec![crate::util::WhatIfRow {
+                knob: "sink_recv".into(),
+                multiplier: 0.5,
+                predicted_knee: 280,
+                confirmed_knee: Some(270),
+                binding_after: "medium".into(),
+            }],
+        });
         report
     }
 
     #[test]
     fn text_report_has_all_sections() {
         let text = sample().render_text();
-        assert!(text.contains("obs report v4 @ 100.000ms"));
+        assert!(text.contains("obs report v5 @ 100.000ms"));
         assert!(text.contains("partial=3"));
         assert!(text.contains("quorum health:"));
         assert!(text.contains("consensus:"));
@@ -549,6 +677,13 @@ mod tests {
         assert!(text.contains("workload:"));
         assert!(text.contains("offered=200 (500.0/s) delivered=180 goodput=90.0% slo_violations=1"));
         assert!(text.contains("! deliver p99 9000us > 5000us"));
+        assert!(text.contains("resource utilization:"));
+        assert!(text.contains("binding=xport 0->2"));
+        assert!(text.contains("<-- saturated"));
+        assert!(text.contains("queueing cross-validation:"));
+        assert!(text.contains("what-if profiler:"));
+        assert!(text.contains("baseline_knee=141"));
+        assert!(text.contains("sink_recv x0.50: predicted_knee=280 confirmed=270"));
         assert!(text.contains("shard health:"));
         assert!(text.contains("recovery lag:"));
         assert!(text.contains("recovered_in=40.000ms"));
@@ -566,7 +701,14 @@ mod tests {
     fn json_report_is_well_formed_enough() {
         let json = sample().render_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
-        assert!(json.contains("\"schema\":4"));
+        assert!(json.contains("\"schema\":5"));
+        assert!(json.contains("\"utilization\":{\"window_ms\":100.0,"));
+        assert!(json.contains("\"binding\":\"xport 0->2\""));
+        assert!(json.contains("\"kind\":\"transport\",\"name\":\"xport 0->2\""));
+        assert!(json.contains("\"saturated\":true"));
+        assert!(json.contains("\"xval\":[{\"resource\":\"medium\",\"law\":\"utilization\""));
+        assert!(json.contains("\"whatif\":{\"baseline_knee\":141,"));
+        assert!(json.contains("\"confirmed_knee\":270"));
         assert!(json.contains("\"workload\":{\"offered\":200,\"delivered\":180,"));
         assert!(json.contains("\"slo_violations\":[\"deliver p99 9000us > 5000us\"]"));
         assert!(json.contains("\"quorum\":[{\"replica\":1,\"live\":true,\"leader\":true"));

@@ -51,6 +51,23 @@ pub fn default_rules() -> Vec<Rule> {
             abs: 0.0,
         },
         Rule {
+            // Lens knees are the same deterministic searches at the
+            // lens scenario's fixed operating point: zero allowance.
+            suffix: "lens_knee",
+            direction: Direction::LowerIsWorse,
+            rel: 0.0,
+            abs: 0.0,
+        },
+        Rule {
+            // The queueing cross-validation must stay clean: a model
+            // row drifting outside tolerance is a ledger bug, not
+            // noise.
+            suffix: "xval_divergences",
+            direction: Direction::HigherIsWorse,
+            rel: 0.0,
+            abs: 0.0,
+        },
+        Rule {
             suffix: "events_per_virtual_sec",
             direction: Direction::LowerIsWorse,
             rel: 0.10,
@@ -312,6 +329,37 @@ mod tests {
         );
         assert_eq!(down.exit_code(), 1);
         assert!(down.render().contains("REGRESSION"));
+    }
+
+    #[test]
+    fn lens_rules_gate_knee_and_divergence_exactly() {
+        // Lens knees gate like capacity knees: any shrink fails.
+        let prev = snap(&[
+            ("perfect_lens_knee", 6.0),
+            ("perfect_xval_divergences", 0.0),
+        ]);
+        let same = compare(&prev, &prev, &default_rules());
+        assert_eq!(same.exit_code(), 0, "{}", same.render());
+        let knee_down = compare(
+            &prev,
+            &snap(&[
+                ("perfect_lens_knee", 5.0),
+                ("perfect_xval_divergences", 0.0),
+            ]),
+            &default_rules(),
+        );
+        assert_eq!(knee_down.exit_code(), 1);
+        // A queueing-model row drifting outside tolerance is a bug.
+        let diverged = compare(
+            &prev,
+            &snap(&[
+                ("perfect_lens_knee", 6.0),
+                ("perfect_xval_divergences", 1.0),
+            ]),
+            &default_rules(),
+        );
+        assert_eq!(diverged.exit_code(), 1);
+        assert!(diverged.render().contains("REGRESSION"));
     }
 
     #[test]

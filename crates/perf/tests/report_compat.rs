@@ -9,8 +9,12 @@
 //! that ignore unknown keys keep working unchanged. Version 4 adds the
 //! optional `workload` section (offered load vs. goodput plus the SLO
 //! violations the run tripped), again omitted when a run was not driven
-//! through the workload engine. The parser in this crate must read all
-//! four shapes.
+//! through the workload engine. Version 5 adds the optional capacity-
+//! lens sections — `utilization` (the per-resource busy ledger with the
+//! binding resource named, plus the queueing cross-validation rows) and
+//! `whatif` (the virtual-speedup sensitivity matrix) — omitted unless a
+//! ledger or profiler populated them. The parser in this crate must
+//! read all five shapes.
 
 use publishing_obs::report::{ObsReport, WorkloadStats, REPORT_SCHEMA_VERSION};
 use publishing_obs::{ConsensusStats, WatchdogSummary};
@@ -28,6 +32,10 @@ const V2_REPORT: &str = r#"{"schema":2,"at_ms":100.0,"spans_total":42,"spans_par
 /// A report rendered by the v3 code: consensus sections present,
 /// `schema:3` — but no `workload` section.
 const V3_REPORT: &str = r#"{"schema":3,"at_ms":100.0,"spans_total":42,"spans_partial":0,"span_fingerprint":"0x00000000deadbeef","shards":[],"recovery":[],"quorum":[{"replica":0,"role":"leader","term":2,"commit_index":40,"log_len":41,"match_floor":40}],"consensus":{"commits":40,"commit_p50_us":900,"commit_p99_us":4200,"replication_lag_p95":2.0,"elections":2},"watchdog":{"checks":123,"violations":[]},"sched":{"delivered":90,"scheduled":96,"pending":6,"peak_pending":14},"profile":{"kernel_cpu":10.0},"metrics":{"node/0/kernel/msgs_sent":7}}"#;
+
+/// A report rendered by the v4 code: `workload` present, `schema:4` —
+/// but none of the v5 capacity-lens sections.
+const V4_REPORT: &str = r#"{"schema":4,"at_ms":100.0,"spans_total":42,"spans_partial":0,"span_fingerprint":"0x00000000deadbeef","shards":[],"recovery":[],"workload":{"offered":200,"delivered":180,"goodput":0.9,"offered_per_sec":500,"slo_violations":["deliver p99 262144us > 150000us"]},"sched":{"delivered":90,"scheduled":96,"pending":6,"peak_pending":14},"profile":{"kernel_cpu":10.0},"metrics":{"node/0/kernel/msgs_sent":7}}"#;
 
 /// Schema of a parsed report document: the explicit `schema` number, or
 /// 1 when the field is absent (the pre-versioning shape).
@@ -159,6 +167,104 @@ fn v4_workload_section_renders_when_populated() {
         .and_then(Json::as_arr)
         .expect("violations array");
     assert_eq!(violations.len(), 1);
+}
+
+#[test]
+fn v4_report_still_reads_and_lacks_lens_sections() {
+    let doc = parse(V4_REPORT).expect("v4 artifact parses");
+    assert_eq!(schema_of(&doc), 4, "canned v4 artifact declares schema 4");
+    // Every v4 section is still addressable.
+    let wl = doc.get("workload").expect("workload object");
+    assert_eq!(wl.get("offered").and_then(Json::as_f64), Some(200.0));
+    assert_eq!(wl.get("goodput").and_then(Json::as_f64), Some(0.9));
+    // The v5-only sections are simply absent, not an error.
+    assert!(doc.get("utilization").is_none());
+    assert!(doc.get("whatif").is_none());
+}
+
+#[test]
+fn v5_lens_sections_are_optional_and_omitted_by_default() {
+    // A run with no utilization ledger or what-if profiler attached
+    // renders neither section — a v4 reader that ignores unknown keys
+    // sees nothing new beyond the schema bump.
+    let report = ObsReport {
+        at_ms: 100.0,
+        ..Default::default()
+    };
+    let doc = parse(&report.render_json()).expect("default artifact parses");
+    assert!(doc.get("utilization").is_none());
+    assert!(doc.get("whatif").is_none());
+}
+
+#[test]
+fn v5_lens_sections_render_when_populated() {
+    use publishing_obs::{UtilizationReport, WhatIfReport, WhatIfRow, XvalRow};
+    use publishing_sim::ledger::{ResourceKind, ResourceUsage};
+    let mut report = ObsReport {
+        at_ms: 100.0,
+        ..Default::default()
+    };
+    report.utilization = Some(UtilizationReport {
+        window_ms: 100.0,
+        bin_ms: 16.78,
+        resources: vec![ResourceUsage {
+            kind: ResourceKind::Transport,
+            name: "xport 0->2".into(),
+            index: 0,
+            peer: 2,
+            busy_ms: 95.0,
+            window_ms: 100.0,
+            util: 0.95,
+            active_util: 0.95,
+            peak_util: 0.98,
+            mean_queue: 7.5,
+            peak_queue: 12,
+            events: 88,
+            contention: 0,
+        }],
+        xval: vec![XvalRow::check("medium", "utilization", 0.50, 0.52, 0.20)],
+    });
+    report.whatif = Some(WhatIfReport {
+        baseline_knee: 141,
+        rows: vec![WhatIfRow {
+            knob: "sink_recv".into(),
+            multiplier: 0.5,
+            predicted_knee: 280,
+            confirmed_knee: Some(270),
+            binding_after: "medium".into(),
+        }],
+    });
+    let doc = parse(&report.render_json()).expect("lens artifact parses");
+    assert_eq!(schema_of(&doc), REPORT_SCHEMA_VERSION);
+    let util = doc.get("utilization").expect("utilization object");
+    assert_eq!(
+        util.get("binding").and_then(Json::as_str),
+        Some("xport 0->2")
+    );
+    let resources = util
+        .get("resources")
+        .and_then(Json::as_arr)
+        .expect("resources array");
+    assert!(!resources.is_empty());
+    assert_eq!(
+        resources[0].get("kind").and_then(Json::as_str),
+        Some("transport")
+    );
+    let xval = util.get("xval").and_then(Json::as_arr).expect("xval array");
+    assert!(xval.iter().all(|row| row.get("ok").is_some()));
+    let whatif = doc.get("whatif").expect("whatif object");
+    assert_eq!(
+        whatif.get("baseline_knee").and_then(Json::as_f64),
+        Some(141.0)
+    );
+    let rows = whatif
+        .get("rows")
+        .and_then(Json::as_arr)
+        .expect("whatif rows");
+    assert_eq!(
+        rows[0].get("knob").and_then(Json::as_str),
+        Some("sink_recv")
+    );
 }
 
 #[test]

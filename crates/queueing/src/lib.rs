@@ -13,7 +13,10 @@
 //!   115-user capacity computation;
 //! - [`sharded`]: the model extended to N recorder stations — the
 //!   user-capacity curve versus shard count, and the point where the
-//!   unsharded broadcast medium becomes the binding resource.
+//!   unsharded broadcast medium becomes the binding resource;
+//! - [`xval`]: the distribution-free identities (utilization law,
+//!   Little's law) the capacity lens uses to cross-validate measured
+//!   utilizations against this model.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,6 +25,7 @@ pub mod ch5;
 pub mod sharded;
 pub mod solver;
 pub mod workload;
+pub mod xval;
 
 pub use ch5::{
     build_network, figure_5_5, max_users, max_users_with_unrecoverable, operating_points, HwParams,
@@ -32,3 +36,4 @@ pub use sharded::{
 };
 pub use solver::{Flow, OpenNetwork, Station};
 pub use workload::{ProcessTraffic, StateSizes, CHECKPOINT_BYTES, LONG_BYTES, SHORT_BYTES};
+pub use xval::{frame_service_s, littles_law, utilization_law};

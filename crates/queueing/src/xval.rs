@@ -1,0 +1,71 @@
+//! Cross-validation laws: the analytic predictions the capacity lens
+//! checks measured utilizations against.
+//!
+//! The Chapter 5 model predicted resource requirements before the
+//! system existed; here the direction reverses — the DES *measures*
+//! per-resource busy time and occupancy, and these pure functions say
+//! what an open queueing network would predict for the same offered
+//! load, so drift between the simulator and the model is caught
+//! automatically:
+//!
+//! - the **utilization law** ρ = λ·S: a station serving λ jobs/sec at
+//!   S seconds each is busy a fraction ρ of the time (exact for any
+//!   single-server station, no distributional assumptions);
+//! - **Little's law** L = λ·W: time-average occupancy equals
+//!   throughput times mean sojourn (exact for any stable system).
+//!
+//! Both are distribution-free identities, so a measured value outside
+//! tolerance is a *metering bug or a model mismatch*, never stochastic
+//! noise — which is what makes them usable as an oracle check. The
+//! medium prediction is only exact on an uncontended medium: CSMA/CD
+//! collisions add busy time the service-demand product cannot see, so
+//! callers gate the medium row on the perfect bus.
+
+/// Predicted busy fraction of a single-server station: the utilization
+/// law ρ = λ·S, clamped to 1 (an overdriven station saturates).
+pub fn utilization_law(arrivals_per_sec: f64, service_s: f64) -> f64 {
+    (arrivals_per_sec * service_s).clamp(0.0, 1.0)
+}
+
+/// Predicted time-average occupancy: Little's law L = λ·W.
+pub fn littles_law(throughput_per_sec: f64, sojourn_s: f64) -> f64 {
+    throughput_per_sec * sojourn_s
+}
+
+/// Per-frame service time of a broadcast medium, seconds: transmission
+/// (payload at the configured bandwidth) plus the mandatory interpacket
+/// gap. This is the `S` the utilization law needs for the medium row.
+pub fn frame_service_s(frame_bytes: f64, bandwidth_bps: f64, interpacket_s: f64) -> f64 {
+    if bandwidth_bps <= 0.0 {
+        return 0.0;
+    }
+    frame_bytes * 8.0 / bandwidth_bps + interpacket_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_law_is_the_service_demand_product() {
+        assert_eq!(utilization_law(10.0, 0.05), 0.5);
+        // Overdriven stations saturate rather than exceed 1.
+        assert_eq!(utilization_law(100.0, 0.05), 1.0);
+        assert_eq!(utilization_law(0.0, 0.05), 0.0);
+    }
+
+    #[test]
+    fn littles_law_is_throughput_times_sojourn() {
+        // 4 jobs/sec spending 250 ms each → 1 resident on average.
+        assert!((littles_law(4.0, 0.25) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frame_service_includes_the_interpacket_gap() {
+        // 1983 ethernet: 10 Mb/s, 1.6 ms gap. A 1000-byte frame is
+        // 0.8 ms of wire time plus the gap.
+        let s = frame_service_s(1000.0, 10_000_000.0, 0.0016);
+        assert!((s - 0.0024).abs() < 1e-9);
+        assert_eq!(frame_service_s(1000.0, 0.0, 0.0016), 0.0);
+    }
+}

@@ -58,6 +58,10 @@ pub struct QuorumConfig {
     /// Per-replica configuration template (the group id and the inner
     /// recorder/raft settings).
     pub replica: ReplicaConfig,
+    /// Node CPU cost model (zero by default, as in protocol tests).
+    pub costs: CostModel,
+    /// Transport parameters for all processing nodes.
+    pub transport: TransportConfig,
 }
 
 impl Default for QuorumConfig {
@@ -67,6 +71,8 @@ impl Default for QuorumConfig {
             replicas: 3,
             seed: 0,
             replica: ReplicaConfig::default(),
+            costs: CostModel::zero(),
+            transport: TransportConfig::default(),
         }
     }
 }
@@ -109,6 +115,10 @@ pub struct QuorumWorld {
     /// of virtual time as events dispatch.
     watchdog: Watchdog,
     next_watchdog_scan: SimTime,
+    /// Busy-while-leaderless availability meter: charged whenever a
+    /// watchdog scan finds no leader, closed when one is observed.
+    leaderless: publishing_sim::ledger::Timeline,
+    leaderless_since: Option<SimTime>,
 }
 
 impl QuorumWorld {
@@ -143,8 +153,8 @@ impl QuorumWorld {
             let mut k = Kernel::new(
                 NodeId(n),
                 registry.clone(),
-                CostModel::zero(),
-                TransportConfig::default(),
+                cfg.costs.clone(),
+                cfg.transport.clone(),
                 true,
             );
             for r in &peer_nodes {
@@ -181,6 +191,8 @@ impl QuorumWorld {
             election_violations: Vec::new(),
             watchdog: Watchdog::new(WatchdogConfig::default()),
             next_watchdog_scan: SimTime::ZERO,
+            leaderless: publishing_sim::ledger::Timeline::new(),
+            leaderless_since: None,
         };
         world.refresh_required();
         let watch: Vec<NodeId> = (0..cfg.nodes).map(NodeId).collect();
@@ -450,6 +462,14 @@ impl QuorumWorld {
         let majority_live = self.live_replicas() * 2 > self.replicas.len();
         self.watchdog
             .observe_leadership(now, majority_live, has_leader);
+        match (self.leaderless_since, has_leader) {
+            (None, false) => self.leaderless_since = Some(now),
+            (Some(since), true) => {
+                self.leaderless.add_busy(since, now);
+                self.leaderless_since = None;
+            }
+            _ => {}
+        }
     }
 
     /// The online invariant watchdog's state so far.
@@ -875,6 +895,35 @@ impl QuorumWorld {
             checks: self.watchdog.checks(),
             violations: self.watchdog.violations().to_vec(),
         };
+        let mut utilization = publishing_core::obs::utilization_report(
+            self.kernels.values(),
+            self.replicas
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (i as u32, r.recorder_node().recorder())),
+            self.lan.as_ref(),
+            now,
+        );
+        let mut leaderless = self.leaderless.clone();
+        if let Some(since) = self.leaderless_since {
+            leaderless.add_busy(since, now);
+        }
+        if !leaderless.is_empty() {
+            utilization
+                .resources
+                .push(publishing_sim::ledger::ResourceUsage::from_timeline(
+                    publishing_sim::ledger::ResourceKind::Consensus,
+                    "consensus:leaderless".into(),
+                    0,
+                    0,
+                    &leaderless,
+                    horizon,
+                    0.0,
+                    0,
+                    consensus.elections,
+                    0,
+                ));
+        }
         publishing_obs::report::ObsReport {
             schema: publishing_obs::report::REPORT_SCHEMA_VERSION,
             at_ms: now.as_millis_f64(),
@@ -897,6 +946,8 @@ impl QuorumWorld {
             consensus: Some(consensus),
             watchdog: Some(watchdog),
             workload: None,
+            utilization: Some(utilization),
+            whatif: None,
         }
     }
 

@@ -98,7 +98,28 @@ impl ShardedWorld {
         nodes: u32,
         n_shards: usize,
         registry: ProgramRegistry,
+        lan: Box<dyn Lan>,
+    ) -> Self {
+        ShardedWorld::with_tuning(
+            nodes,
+            n_shards,
+            registry,
+            lan,
+            CostModel::zero(),
+            TransportConfig::default(),
+        )
+    }
+
+    /// Builds a world like [`ShardedWorld::with_medium`] with explicit
+    /// node CPU costs and transport parameters (the what-if profiler's
+    /// tuning knobs).
+    pub fn with_tuning(
+        nodes: u32,
+        n_shards: usize,
+        registry: ProgramRegistry,
         mut lan: Box<dyn Lan>,
+        costs: CostModel,
+        transport: TransportConfig,
     ) -> Self {
         let replication = 2.min(n_shards.max(1));
         let router = ShardRouter::new(ShardMap::new(n_shards as u32), replication);
@@ -109,8 +130,8 @@ impl ShardedWorld {
             let mut k = Kernel::new(
                 NodeId(n),
                 registry.clone(),
-                CostModel::zero(),
-                TransportConfig::default(),
+                costs.clone(),
+                transport.clone(),
                 true,
             );
             for r in &shard_nodes {
@@ -883,6 +904,16 @@ impl ShardedWorld {
             consensus: None,
             watchdog: None,
             workload: None,
+            utilization: Some(publishing_core::obs::utilization_report(
+                self.kernels.values(),
+                self.shards
+                    .iter()
+                    .enumerate()
+                    .map(|(i, rn)| (i as u32, rn.recorder())),
+                self.lan.as_ref(),
+                now,
+            )),
+            whatif: None,
         }
     }
 

@@ -11,6 +11,8 @@
 //! - [`codec`]: an explicit binary codec for checkpoints and wire messages;
 //! - [`stats`]: counters, summaries, histograms, and the time-weighted
 //!   utilization integrator behind Figure 5.5;
+//! - [`ledger`]: typed-resource busy timelines, queue-occupancy gauges,
+//!   and the binding-resource ranking behind the capacity lens;
 //! - [`trace`]: a bounded trace ring whose running fingerprint doubles as
 //!   the determinism oracle in the test suite;
 //! - [`fault`]: crash schedules and message-fault probabilities.
@@ -24,6 +26,7 @@
 pub mod codec;
 pub mod event;
 pub mod fault;
+pub mod ledger;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -32,6 +35,7 @@ pub mod trace;
 pub use codec::{CodecError, Decode, Decoder, Encode, Encoder};
 pub use event::{EventId, Scheduler};
 pub use fault::{Crash, CrashTarget, FaultPlan};
+pub use ledger::{LevelGauge, ResourceKind, ResourceUsage, Timeline};
 pub use rng::DetRng;
 pub use stats::{Counter, LinearHistogram, LogHistogram, Summary, Utilization};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,145 @@
+//! Property tests pinning the merge algebra of the measurement
+//! instruments: merge is associative on bucket counts, and total sample
+//! counts are conserved (ISSUE 9 satellite).
+
+use proptest::prelude::*;
+use publishing_sim::ledger::Timeline;
+use publishing_sim::stats::{LinearHistogram, LogHistogram};
+use publishing_sim::time::SimTime;
+
+fn log_hist(samples: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+fn lin_hist(samples: &[f64]) -> LinearHistogram {
+    let mut h = LinearHistogram::new(0.0, 1000.0, 16);
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+fn log_buckets(h: &LogHistogram) -> Vec<u64> {
+    (0..64).map(|i| h.bucket(i)).collect()
+}
+
+proptest! {
+    #[test]
+    fn log_merge_is_associative(
+        a in proptest::collection::vec(any::<u64>(), 0..50),
+        b in proptest::collection::vec(any::<u64>(), 0..50),
+        c in proptest::collection::vec(any::<u64>(), 0..50),
+    ) {
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c) on bucket counts and totals.
+        let (ha, hb, hc) = (log_hist(&a), log_hist(&b), log_hist(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(log_buckets(&left), log_buckets(&right));
+        prop_assert_eq!(left.summary().count(), right.summary().count());
+        for q in [0.5, 0.9, 0.99] {
+            prop_assert_eq!(left.quantile(q), right.quantile(q));
+        }
+    }
+
+    #[test]
+    fn log_merge_conserves_total_count(
+        a in proptest::collection::vec(any::<u64>(), 0..80),
+        b in proptest::collection::vec(any::<u64>(), 0..80),
+    ) {
+        let (ha, hb) = (log_hist(&a), log_hist(&b));
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        let total = (a.len() + b.len()) as u64;
+        prop_assert_eq!(merged.summary().count(), total);
+        // Bucket counts sum to the sample count: nothing lost, nothing
+        // double-counted.
+        prop_assert_eq!(log_buckets(&merged).iter().sum::<u64>(), total);
+    }
+
+    #[test]
+    fn linear_merge_is_associative_and_conserving(
+        ia in proptest::collection::vec(0u64..21_000, 0..50),
+        ib in proptest::collection::vec(0u64..21_000, 0..50),
+        ic in proptest::collection::vec(0u64..21_000, 0..50),
+    ) {
+        // Integer deci-units → f64 samples spanning below/inside/above
+        // the [0, 1000) histogram range.
+        let to_f = |v: &[u64]| v.iter().map(|&x| x as f64 / 10.0 - 100.0).collect::<Vec<_>>();
+        let (a, b, c) = (to_f(&ia), to_f(&ib), to_f(&ic));
+        let (ha, hb, hc) = (lin_hist(&a), lin_hist(&b), lin_hist(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left.counts(), right.counts());
+        let total = (a.len() + b.len() + c.len()) as u64;
+        prop_assert_eq!(left.summary().count(), total);
+        prop_assert_eq!(left.counts().iter().sum::<u64>(), total);
+    }
+
+    #[test]
+    fn linear_try_merge_mismatch_never_mutates(
+        ia in proptest::collection::vec(0u64..10_000, 0..40),
+        ib in proptest::collection::vec(0u64..10_000, 0..40),
+        buckets in 1usize..8,
+        ihi in 10u64..5_000,
+    ) {
+        let a: Vec<f64> = ia.iter().map(|&x| x as f64 / 10.0).collect();
+        let mut h = lin_hist(&a);
+        let before_counts = h.counts().to_vec();
+        let before_n = h.summary().count();
+        // A histogram with a guaranteed-different layout (16 vs <8
+        // buckets or a different range).
+        let mut other = LinearHistogram::new(0.0, ihi as f64 / 10.0, buckets);
+        for &s in &ib {
+            other.record(s as f64 / 10.0);
+        }
+        prop_assert!(!h.try_merge(&other));
+        prop_assert_eq!(h.counts(), &before_counts[..]);
+        prop_assert_eq!(h.summary().count(), before_n);
+    }
+
+    #[test]
+    fn timeline_merge_is_associative_and_conserving(
+        a in proptest::collection::vec((0u64..500, 0u64..100), 0..20),
+        b in proptest::collection::vec((0u64..500, 0u64..100), 0..20),
+        c in proptest::collection::vec((0u64..500, 0u64..100), 0..20),
+    ) {
+        let build = |spans: &[(u64, u64)]| {
+            let mut t = Timeline::new();
+            for &(start_ms, len_ms) in spans {
+                t.add_busy(
+                    SimTime::from_millis(start_ms),
+                    SimTime::from_millis(start_ms + len_ms),
+                );
+            }
+            t
+        };
+        let (ta, tb, tc) = (build(&a), build(&b), build(&c));
+        let mut left = ta.clone();
+        left.merge(&tb);
+        left.merge(&tc);
+        let mut bc = tb.clone();
+        bc.merge(&tc);
+        let mut right = ta.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left.bins(), right.bins());
+        // Busy time is conserved under merge.
+        let sum = ta.busy_total().as_nanos()
+            + tb.busy_total().as_nanos()
+            + tc.busy_total().as_nanos();
+        prop_assert_eq!(left.busy_total().as_nanos(), sum);
+    }
+}

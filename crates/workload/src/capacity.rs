@@ -16,7 +16,7 @@ use crate::compile::CompiledWorkload;
 use crate::spec::WorkloadSpec;
 use publishing_chaos::driver::run_schedule;
 use publishing_chaos::oracle::{self, Baseline, OracleOptions};
-use publishing_chaos::{FaultSchedule, Medium, Scenario, Topology};
+use publishing_chaos::{FaultSchedule, Medium, Scenario, Topology, Tuning};
 use publishing_obs::report::{ObsReport, WorkloadStats};
 use publishing_obs::slo::SloSpec;
 
@@ -32,6 +32,13 @@ pub struct SearchParams {
     /// Broadcast medium for the trials. The knee only exists on a
     /// finite medium; [`Medium::Ethernet`] is the paper's.
     pub medium: Medium,
+    /// Physical-constant knobs (costs, wire speed, transport window)
+    /// applied to every trial — identity by default; the what-if
+    /// profiler re-searches under a turned knob.
+    pub tuning: Tuning,
+    /// Emit a knee-search log line per probed point on stderr, naming
+    /// the SLO clause that rejected it.
+    pub verbose: bool,
 }
 
 impl Default for SearchParams {
@@ -40,8 +47,42 @@ impl Default for SearchParams {
             max_users: 256,
             chaos: true,
             medium: Medium::Ethernet,
+            tuning: Tuning::default(),
+            verbose: false,
         }
     }
+}
+
+/// Classifies an SLO-violation string into the clause that produced
+/// it, so knee-search logs and reports say *which objective* rejected
+/// a point, not just that one did.
+pub fn slo_clause(violation: &str) -> &'static str {
+    if violation.contains("deliver p99") || violation.contains("sequence p99") {
+        "latency"
+    } else if violation.contains("recovered in") {
+        "recovery"
+    } else if violation.contains("did not finish") {
+        "goodput"
+    } else if violation.contains("gating stalls") {
+        "gating"
+    } else if violation.contains("watchdog") {
+        "watchdog"
+    } else {
+        "other"
+    }
+}
+
+/// The distinct SLO clauses behind a violation list, in first-seen
+/// order (deterministic: violation order is fixed by [`SloSpec`]).
+pub fn rejecting_clauses(violations: &[String]) -> Vec<&'static str> {
+    let mut out: Vec<&'static str> = Vec::new();
+    for v in violations {
+        let c = slo_clause(v);
+        if !out.contains(&c) {
+            out.push(c);
+        }
+    }
+    out
 }
 
 /// One searched operating point, fully judged.
@@ -60,9 +101,27 @@ pub struct TrialOutcome {
     /// Whether the point is sustained: every driver finished, SLOs met,
     /// chaos oracle clean.
     pub pass: bool,
+    /// The binding resource the utilization ledger named for this
+    /// trial (`None` when nothing saturated).
+    pub binding: Option<String>,
     /// The fault-free run's observability report, with
     /// [`WorkloadStats`] attached for rendering.
     pub report: Box<ObsReport>,
+}
+
+impl TrialOutcome {
+    /// The distinct SLO clauses that rejected this point (empty for a
+    /// passing trial): fault-free violations first, then chaos.
+    pub fn rejected_by(&self) -> Vec<&'static str> {
+        let mut out = rejecting_clauses(&self.violations);
+        for c in rejecting_clauses(&self.chaos_failures) {
+            let c = if c == "other" { "chaos" } else { c };
+            if !out.contains(&c) {
+                out.push(c);
+            }
+        }
+        out
+    }
 }
 
 /// A (shape × topology) search result.
@@ -74,6 +133,11 @@ pub struct Knee {
     pub topology: Topology,
     /// Max sustainable users (0 = even one user missed the SLOs).
     pub knee_users: u32,
+    /// The binding resource at the knee: what the utilization ledger
+    /// named on the first failing point past the knee (where the
+    /// saturation actually shows), falling back to the knee trial.
+    /// `None` when the search never failed or nothing saturated.
+    pub binding: Option<String>,
     /// Every searched point, in search order.
     pub trials: Vec<TrialOutcome>,
 }
@@ -86,6 +150,14 @@ impl Knee {
             .filter(|t| t.pass)
             .max_by_key(|t| t.users)
     }
+
+    /// The lowest failing trial — the first point past the knee.
+    pub fn failing_trial(&self) -> Option<&TrialOutcome> {
+        self.trials
+            .iter()
+            .filter(|t| !t.pass)
+            .min_by_key(|t| t.users)
+    }
 }
 
 /// Short name for a topology (report keys, table rows).
@@ -97,9 +169,10 @@ pub fn topology_name(t: Topology) -> &'static str {
     }
 }
 
-fn scenario(topology: Topology, spec: &WorkloadSpec, medium: Medium) -> Scenario {
+fn scenario(topology: Topology, spec: &WorkloadSpec, medium: Medium, tuning: &Tuning) -> Scenario {
     let mut s = Scenario::new(topology, spec.seed);
     s.medium = medium;
+    s.tuning = tuning.clone();
     s
 }
 
@@ -142,8 +215,21 @@ pub fn run_trial(
     medium: Medium,
     schedule: Option<&FaultSchedule>,
 ) -> TrialOutcome {
+    run_trial_tuned(topology, spec, slo, medium, schedule, &Tuning::default())
+}
+
+/// [`run_trial`] with explicit physical-constant knobs — the what-if
+/// profiler's entry point for re-searching under a virtual speedup.
+pub fn run_trial_tuned(
+    topology: Topology,
+    spec: &WorkloadSpec,
+    slo: &SloSpec,
+    medium: Medium,
+    schedule: Option<&FaultSchedule>,
+    tuning: &Tuning,
+) -> TrialOutcome {
     let compiled = CompiledWorkload::new(spec.clone());
-    let scen = scenario(topology, spec, medium);
+    let scen = scenario(topology, spec, medium, tuning);
 
     // Fault-free run: offered/delivered accounting + SLO verdict.
     let mut world = scen.build_with(&compiled);
@@ -171,7 +257,7 @@ pub fn run_trial(
     // would conflate MAC-layer loss with recovery defects.
     let mut chaos_failures = Vec::new();
     if let Some(sched) = schedule {
-        let oracle_scen = scenario(topology, spec, Medium::Perfect);
+        let oracle_scen = scenario(topology, spec, Medium::Perfect, tuning);
         let baseline = if medium == Medium::Perfect {
             // The SLO run already is the fault-free perfect-bus run.
             Baseline {
@@ -207,6 +293,11 @@ pub fn run_trial(
         offered,
         delivered,
         pass: violations.is_empty() && chaos_failures.is_empty(),
+        binding: report
+            .utilization
+            .as_ref()
+            .and_then(|u| u.binding())
+            .map(|r| r.name.clone()),
         violations,
         chaos_failures,
         report: Box::new(report),
@@ -249,8 +340,39 @@ pub fn find_knee(
     let probe = |users: u32, trials: &mut Vec<TrialOutcome>| -> bool {
         let spec = base.clone().with_users(users);
         let sched = params.chaos.then(|| point_schedule(topology, &spec));
-        let t = run_trial(topology, &spec, slo, params.medium, sched.as_ref());
+        let t = run_trial_tuned(
+            topology,
+            &spec,
+            slo,
+            params.medium,
+            sched.as_ref(),
+            &params.tuning,
+        );
         let pass = t.pass;
+        if params.verbose {
+            if pass {
+                eprintln!(
+                    "knee[{shape}/{}] users={users}: PASS",
+                    topology_name(topology)
+                );
+            } else {
+                // Name the clause that rejected the point — "the SLO
+                // failed" hides whether latency, recovery, or goodput
+                // was the wall — plus the first concrete violation and
+                // the resource the ledger blames.
+                eprintln!(
+                    "knee[{shape}/{}] users={users}: FAIL clause={} binding={} ({})",
+                    topology_name(topology),
+                    t.rejected_by().join("+"),
+                    t.binding.as_deref().unwrap_or("none"),
+                    t.violations
+                        .first()
+                        .or_else(|| t.chaos_failures.first())
+                        .map(String::as_str)
+                        .unwrap_or("unspecified"),
+                );
+            }
+        }
         trials.push(t);
         pass
     };
@@ -282,10 +404,27 @@ pub fn find_knee(
         }
     }
 
+    // Attribute the knee: the first failing point past it carries the
+    // ledger's binding-resource verdict; fall back to the knee trial
+    // itself when nothing failed (search capped out while passing).
+    let binding = trials
+        .iter()
+        .filter(|t| !t.pass)
+        .min_by_key(|t| t.users)
+        .and_then(|t| t.binding.clone())
+        .or_else(|| {
+            trials
+                .iter()
+                .filter(|t| t.pass)
+                .max_by_key(|t| t.users)
+                .and_then(|t| t.binding.clone())
+        });
+
     Knee {
         shape: shape.to_string(),
         topology,
         knee_users: lo,
+        binding,
         trials,
     }
 }
@@ -338,6 +477,7 @@ mod tests {
                 max_users: 4,
                 chaos: false,
                 medium: Medium::Perfect,
+                ..SearchParams::default()
             },
         );
         assert_eq!(knee.knee_users, 0);
@@ -362,6 +502,7 @@ mod tests {
                 max_users: 4,
                 chaos: false,
                 medium: Medium::Perfect,
+                ..SearchParams::default()
             },
         );
         assert_eq!(knee.knee_users, 4, "perfect bus never degrades");

@@ -32,8 +32,13 @@ pub mod capacity;
 pub mod compile;
 pub mod drivers;
 pub mod spec;
+pub mod whatif;
 
-pub use capacity::{find_knee, run_trial, Knee, SearchParams, TrialOutcome};
+pub use capacity::{
+    find_knee, rejecting_clauses, run_trial, run_trial_tuned, slo_clause, topology_name, Knee,
+    SearchParams, TrialOutcome,
+};
 pub use compile::CompiledWorkload;
 pub use drivers::{LoadGen, SubjectSink};
 pub use spec::{canonical_shapes, Phase, WorkloadSpec};
+pub use whatif::{predict_knee, run_whatif, standard_knobs, WhatIfKnob};

@@ -20,6 +20,7 @@ fn smoke_params(medium: Medium) -> SearchParams {
         max_users: 16,
         chaos: true,
         medium,
+        ..SearchParams::default()
     }
 }
 
