@@ -44,10 +44,18 @@ echo "==> capacity smoke run (knee table over canonical shapes)"
 cargo run -q --release -p publishing-bench --bin capacity -- --smoke > /dev/null
 
 echo "==> lens smoke run (utilization attribution + what-if determinism gate)"
-mkdir -p target/perf
-cargo run -q --release -p publishing-bench --bin lens -- --smoke > target/perf/lens_a.txt
-cargo run -q --release -p publishing-bench --bin lens -- --smoke > target/perf/lens_b.txt
-diff target/perf/lens_a.txt target/perf/lens_b.txt
+# The lens gate gets its own directory: the bench step below recreates
+# target/perf from scratch and would clobber lens_a/lens_b.txt.
+rm -rf target/lens
+mkdir -p target/lens
+cargo run -q --release -p publishing-bench --bin lens -- --smoke > target/lens/lens_a.txt
+cargo run -q --release -p publishing-bench --bin lens -- --smoke > target/lens/lens_b.txt
+diff target/lens/lens_a.txt target/lens/lens_b.txt
+
+echo "==> forensics smoke run (self-diff emptiness + determinism gate)"
+cargo run -q --release -p publishing-bench --bin forensics -- --smoke > target/lens/forensics_a.txt
+cargo run -q --release -p publishing-bench --bin forensics -- --smoke > target/lens/forensics_b.txt
+diff target/lens/forensics_a.txt target/lens/forensics_b.txt
 
 echo "==> perf bench smoke + regression gate vs perf/BENCH_1.json"
 rm -rf target/perf
@@ -56,6 +64,6 @@ cargo run -q --release -p publishing-bench --bin obs_report -- --smoke --trace t
 
 echo "==> causal explorer smoke run (critical path, attribution, DOT/flow stability)"
 cargo run -q --release -p publishing-bench --bin explain -- --smoke --dot target/perf/causal.dot > /dev/null
-cargo run -q --release -p publishing-bench --bin bench_compare -- perf/BENCH_1.json target/perf/BENCH_1.json
+cargo run -q --release -p publishing-bench --bin bench_compare -- --explain perf/BENCH_1.json target/perf/BENCH_1.json
 
 echo "CI green."

@@ -1,6 +1,6 @@
 //! The CI perf-regression gate: diffs two `BENCH_<n>.json` snapshots.
 //!
-//! Usage: `bench_compare <prev.json> <new.json>`
+//! Usage: `bench_compare [--json] [--explain] <prev.json> <new.json>`
 //!
 //! Compares the newer snapshot against the older one under the default
 //! rule set (see `publishing_perf::compare::default_rules`): virtual
@@ -8,8 +8,18 @@
 //! regression, `1` at least one gated metric regressed, `2` the inputs
 //! are unreadable or not comparable (schema/mode mismatch, scenario
 //! lost).
+//!
+//! - `--json` prints the verdict as one machine-readable JSON document
+//!   instead of text (the exit-code contract is unchanged and also
+//!   embedded in the document);
+//! - `--explain` appends the regression-forensics diagnosis: per
+//!   violated rule, the top-ranked suspects from the snapshot's
+//!   attribution families (profile categories, ledger busy times,
+//!   critical-path stages, what-if knees, allocation meters), each
+//!   annotated with the standard what-if knob that would turn it.
 
-use publishing_perf::compare::{compare, default_rules};
+use publishing_bench::forensics_demo::annotate_remediation;
+use publishing_perf::forensics::{diff_snapshots, ForensicsOptions};
 use publishing_perf::snapshot::Snapshot;
 
 fn load(path: &str) -> Snapshot {
@@ -30,14 +40,45 @@ fn load(path: &str) -> Snapshot {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let [prev_path, new_path] = args.as_slice() else {
-        eprintln!("usage: bench_compare <prev.json> <new.json>");
+    let mut json = false;
+    let mut explain = false;
+    let mut paths: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--explain" => explain = true,
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag:?}; usage: bench_compare [--json] [--explain] <prev.json> <new.json>");
+                std::process::exit(2);
+            }
+            _ => paths.push(arg),
+        }
+    }
+    let [prev_path, new_path] = paths.as_slice() else {
+        eprintln!("usage: bench_compare [--json] [--explain] <prev.json> <new.json>");
         std::process::exit(2);
     };
     let prev = load(prev_path);
     let new = load(new_path);
-    let c = compare(&prev, &new, &default_rules());
-    print!("{}", c.render());
+    let (c, mut diagnosis) = diff_snapshots(prev_path, &prev, &new, &ForensicsOptions::default());
+    annotate_remediation(&mut diagnosis);
+    if json {
+        if explain && !diagnosis.is_empty() {
+            // One document: the verdict with the diagnosis grafted in.
+            let verdict = c.to_json();
+            let spliced = verdict
+                .strip_suffix('}')
+                .map(|head| format!("{head},\"forensics\":{}}}", diagnosis.to_json()))
+                .unwrap_or(verdict);
+            println!("{spliced}");
+        } else {
+            println!("{}", c.to_json());
+        }
+    } else {
+        print!("{}", c.render());
+        if explain {
+            print!("{}", diagnosis.render());
+        }
+    }
     std::process::exit(c.exit_code());
 }

@@ -1,0 +1,145 @@
+//! The regression-forensics driver: differential run attribution over a
+//! seeded A/B pair.
+//!
+//! Usage: `forensics [--smoke | --inject KNOB:MULT] [--json | --ndjson]`
+//!
+//! - `--smoke` (the CI gate): runs the baseline side once and diffs it
+//!   against *itself* at both granularities — snapshot-level
+//!   (comparator + attribution) and report-level (histogram bins,
+//!   ledger, critical-path alignment). The self-diff invariant demands
+//!   an empty diagnosis; exit `0` iff both levels are empty. The output
+//!   is deterministic, so CI runs the gate twice and diffs stdout.
+//! - `--inject KNOB:MULT` (default `proto_cpu:2.0`): runs the baseline
+//!   and a side with the named what-if knob applied at the given
+//!   multiplier, then prints the comparator verdict and the full
+//!   two-level diagnosis, suspects annotated with their remediation
+//!   knobs. Exits with the comparator's code, so a doubled protocol
+//!   CPU fails exactly like the CI bench gate would.
+//! - `--json` / `--ndjson` switch the diagnosis to machine-readable
+//!   output (one document / one finding per line).
+//!
+//! The injected side's crash report gets the report-level diagnosis
+//! attached ([`publishing_obs::report::ObsReport::forensics`]),
+//! exercising the optional
+//! `forensics` section of report schema v6.
+
+use publishing_bench::forensics_demo::{
+    annotate_remediation, baseline_tuning, injected_tuning, run_side,
+};
+use publishing_obs::forensics::ForensicsReport;
+use publishing_perf::alloc::CountingAlloc;
+use publishing_perf::forensics::{diff_reports, diff_snapshots, ForensicsOptions};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+enum Output {
+    Text,
+    Json,
+    Ndjson,
+}
+
+fn emit(report: &ForensicsReport, out: &Output) {
+    match out {
+        Output::Text => print!("{}", report.render()),
+        Output::Json => println!("{}", report.to_json()),
+        Output::Ndjson => print!("{}", report.to_ndjson()),
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: forensics [--smoke | --inject KNOB:MULT] [--json | --ndjson]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut inject = ("proto_cpu".to_string(), 2.0f64);
+    let mut out = Output::Text;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--inject" => {
+                i += 1;
+                let Some(spec) = args.get(i) else { usage() };
+                let Some((knob, mult)) = spec.split_once(':') else {
+                    usage()
+                };
+                let Ok(mult) = mult.parse::<f64>() else {
+                    usage()
+                };
+                inject = (knob.to_string(), mult);
+            }
+            "--json" => out = Output::Json,
+            "--ndjson" => out = Output::Ndjson,
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let opts = ForensicsOptions::default();
+    if smoke {
+        // Self-diff gate: one run, diffed against itself at both
+        // levels. Any finding is a broken invariant, not a datum.
+        let side = run_side(&baseline_tuning());
+        let (c, snap_diag) = diff_snapshots("self", &side.snapshot, &side.snapshot, &opts);
+        let trial_diag = diff_reports("self", &side.trial_report, &side.trial_report, &opts);
+        let crash_diag = diff_reports("self", &side.crash_report, &side.crash_report, &opts);
+        println!("forensics --smoke: self-diff across both granularities");
+        println!("comparator exit code: {}", c.exit_code());
+        emit(&snap_diag, &out);
+        emit(&trial_diag, &out);
+        emit(&crash_diag, &out);
+        let clean = c.exit_code() == 0
+            && snap_diag.is_empty()
+            && trial_diag.is_empty()
+            && crash_diag.is_empty();
+        println!("self-diff {}", if clean { "clean" } else { "VIOLATED" });
+        std::process::exit(i32::from(!clean));
+    }
+
+    let (knob, mult) = &inject;
+    let baseline = run_side(&baseline_tuning());
+    let injected = run_side(&injected_tuning(knob, *mult));
+
+    let (c, mut snap_diag) =
+        diff_snapshots("baseline", &baseline.snapshot, &injected.snapshot, &opts);
+    annotate_remediation(&mut snap_diag);
+    let mut trial_diag = diff_reports(
+        "baseline/trial",
+        &baseline.trial_report,
+        &injected.trial_report,
+        &opts,
+    );
+    annotate_remediation(&mut trial_diag);
+    let mut crash_diag = diff_reports(
+        "baseline/crash",
+        &baseline.crash_report,
+        &injected.crash_report,
+        &opts,
+    );
+    annotate_remediation(&mut crash_diag);
+
+    if matches!(out, Output::Text) {
+        println!("injected: {knob} x{mult}");
+        print!("{}", c.render());
+    }
+    emit(&snap_diag, &out);
+    emit(&trial_diag, &out);
+    emit(&crash_diag, &out);
+
+    // Attach the report-level diagnosis to the injected crash report and
+    // render it: the schema-v6 `forensics` section in the run artifact.
+    let mut annotated = injected.crash_report;
+    annotated.forensics = Some(crash_diag);
+    if matches!(out, Output::Text) {
+        let rendered = annotated.render_text();
+        if let Some(idx) = rendered.find("\nforensics:") {
+            print!("{}", &rendered[idx..]);
+        }
+    }
+
+    std::process::exit(c.exit_code());
+}

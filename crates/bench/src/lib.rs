@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod forensics_demo;
 pub mod perf_matrix;
 pub mod scenarios;
 

@@ -614,6 +614,7 @@ impl World {
                 now,
             )),
             whatif: None,
+            forensics: None,
         }
     }
 

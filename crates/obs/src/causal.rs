@@ -850,6 +850,174 @@ pub fn divergence_diff(baseline: &CausalGraph, run: &CausalGraph) -> Option<Dive
     None
 }
 
+/// How one hop of a [`PathAlignment`] maps across the two paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HopStatus {
+    /// The same stage category appears on both paths: compare durations.
+    Matched,
+    /// Work only the baseline path did (the run skipped this stage).
+    OnlyBaseline,
+    /// Work only the run path did (a new stage appeared).
+    OnlyRun,
+}
+
+impl HopStatus {
+    /// Stable lowercase label used in reports and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HopStatus::Matched => "matched",
+            HopStatus::OnlyBaseline => "only_baseline",
+            HopStatus::OnlyRun => "only_run",
+        }
+    }
+}
+
+/// One aligned hop of two critical paths: a category-matched segment
+/// pair with its slack delta, or a segment only one path has.
+#[derive(Debug, Clone)]
+pub struct AlignedHop {
+    /// How the hop maps across the two paths.
+    pub status: HopStatus,
+    /// Recovery-stage category of the hop.
+    pub category: &'static str,
+    /// Duration on the baseline path, ms (0.0 for [`HopStatus::OnlyRun`]).
+    pub baseline_ms: f64,
+    /// Duration on the run path, ms (0.0 for [`HopStatus::OnlyBaseline`]).
+    pub run_ms: f64,
+    /// The segment's label (run side when present, else baseline side).
+    pub label: String,
+}
+
+impl AlignedHop {
+    /// Per-hop slack delta: run duration minus baseline duration.
+    pub fn delta_ms(&self) -> f64 {
+        self.run_ms - self.baseline_ms
+    }
+}
+
+/// The full hop-by-hop alignment of two crash→convergence critical
+/// paths: [`divergence_diff`] extended from first-divergence-only to a
+/// total mapping. Two invariants hold by construction (and are pinned
+/// by proptests):
+///
+/// - **totality** — every segment of both paths is consumed by exactly
+///   one hop, so nothing truncation leaves behind is silently dropped;
+/// - **telescoping** — hop deltas sum to exactly
+///   `run.total() - baseline.total()`, because segment durations
+///   already telescope to each path's window.
+#[derive(Debug, Clone, Default)]
+pub struct PathAlignment {
+    /// The aligned hops, in path order.
+    pub hops: Vec<AlignedHop>,
+    /// Baseline path total, ms.
+    pub baseline_total_ms: f64,
+    /// Run path total, ms.
+    pub run_total_ms: f64,
+}
+
+impl PathAlignment {
+    /// Total slack delta: run total minus baseline total, ms.
+    pub fn delta_total_ms(&self) -> f64 {
+        self.run_total_ms - self.baseline_total_ms
+    }
+
+    /// `true` when every hop matched with zero slack delta — the
+    /// self-alignment invariant (virtual time is exact, so equality is
+    /// meaningful).
+    pub fn is_clean(&self) -> bool {
+        self.hops
+            .iter()
+            .all(|h| h.status == HopStatus::Matched && h.delta_ms() == 0.0)
+    }
+
+    /// Renders the alignment for a terminal.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "path alignment: baseline {:.3}ms -> run {:.3}ms ({:+.3}ms, {} hops)\n",
+            self.baseline_total_ms,
+            self.run_total_ms,
+            self.delta_total_ms(),
+            self.hops.len()
+        );
+        for h in &self.hops {
+            s.push_str(&format!(
+                "  {:<13} {:<16} {:>10.3}ms -> {:>10.3}ms ({:+.3}ms)  {}\n",
+                h.status.label(),
+                h.category,
+                h.baseline_ms,
+                h.run_ms,
+                h.delta_ms(),
+                h.label
+            ));
+        }
+        s
+    }
+}
+
+/// Aligns two critical paths hop by hop: a longest-common-subsequence
+/// over the segment *category* sequences pairs up the stages both
+/// recoveries went through (categories recur, so index-wise pairing
+/// would misattribute an inserted stage to everything after it), and
+/// the leftovers become [`HopStatus::OnlyBaseline`] /
+/// [`HopStatus::OnlyRun`] hops in path order.
+pub fn align_paths(baseline: &CriticalPath, run: &CriticalPath) -> PathAlignment {
+    let a = &baseline.segments;
+    let b = &run.segments;
+    // LCS table over category sequences. Paths are short (one segment
+    // per binding hop inside one recovery window), so O(n·m) is cheap.
+    let (n, m) = (a.len(), b.len());
+    let mut dp = vec![vec![0usize; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            dp[i][j] = if a[i].category == b[j].category {
+                dp[i + 1][j + 1] + 1
+            } else {
+                dp[i + 1][j].max(dp[i][j + 1])
+            };
+        }
+    }
+    let mut hops = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < n || j < m {
+        if i < n && j < m && a[i].category == b[j].category && dp[i][j] == dp[i + 1][j + 1] + 1 {
+            hops.push(AlignedHop {
+                status: HopStatus::Matched,
+                category: a[i].category,
+                baseline_ms: a[i].duration().as_millis_f64(),
+                run_ms: b[j].duration().as_millis_f64(),
+                label: b[j].label.clone(),
+            });
+            i += 1;
+            j += 1;
+        } else if j == m || (i < n && dp[i + 1][j] >= dp[i][j + 1]) {
+            // Ties advance the baseline first, so the order (and the
+            // rendered diff) is deterministic.
+            hops.push(AlignedHop {
+                status: HopStatus::OnlyBaseline,
+                category: a[i].category,
+                baseline_ms: a[i].duration().as_millis_f64(),
+                run_ms: 0.0,
+                label: a[i].label.clone(),
+            });
+            i += 1;
+        } else {
+            hops.push(AlignedHop {
+                status: HopStatus::OnlyRun,
+                category: b[j].category,
+                baseline_ms: 0.0,
+                run_ms: b[j].duration().as_millis_f64(),
+                label: b[j].label.clone(),
+            });
+            j += 1;
+        }
+    }
+    PathAlignment {
+        hops,
+        baseline_total_ms: baseline.total().as_millis_f64(),
+        run_total_ms: run.total().as_millis_f64(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1103,6 +1271,77 @@ mod tests {
         let d = divergence_diff(&baseline, &run).expect("diverges");
         assert!(d.index < baseline.len());
         assert!(d.render().contains("run:"));
+    }
+
+    #[test]
+    fn self_alignment_is_clean_and_total() {
+        let (kernel, recorder) = sample_logs();
+        let g = CausalGraph::build([&kernel, &recorder]);
+        let cp = g
+            .critical_path(SimTime::from_micros(1000), SimTime::from_micros(2000), None)
+            .expect("path");
+        let al = align_paths(&cp, &cp);
+        assert!(
+            al.is_clean(),
+            "self-alignment must be clean:\n{}",
+            al.render()
+        );
+        assert_eq!(al.hops.len(), cp.segments.len());
+        assert_eq!(al.delta_total_ms(), 0.0);
+        assert!(al.render().contains("matched"));
+    }
+
+    #[test]
+    fn alignment_attributes_an_inserted_stage_and_telescopes() {
+        let (kernel, recorder) = sample_logs();
+        let g = CausalGraph::build([&kernel, &recorder]);
+        let crash = SimTime::from_micros(1000);
+        let base = g
+            .critical_path(crash, SimTime::from_micros(2000), None)
+            .expect("path");
+        // The run's recovery takes a detour: same stages, but with an
+        // extra checkpoint_load hop spliced in and a longer commit tail.
+        let mut run = base.clone();
+        run.converged_at = SimTime::from_micros(2600);
+        let commit = run.segments.pop().expect("commit tail");
+        run.segments.push(Segment {
+            category: "checkpoint_load",
+            kind: None,
+            from: commit.from,
+            to: commit.from + SimDuration::from_micros(300),
+            label: "checkpoint 0.42#1 reloaded".into(),
+        });
+        run.segments.push(Segment {
+            category: "commit",
+            kind: None,
+            from: commit.from + SimDuration::from_micros(300),
+            to: run.converged_at,
+            label: commit.label.clone(),
+        });
+        let al = align_paths(&base, &run);
+        assert!(!al.is_clean());
+        // Totality: every segment of both paths is consumed exactly once.
+        let consumed_base = al
+            .hops
+            .iter()
+            .filter(|h| h.status != HopStatus::OnlyRun)
+            .count();
+        let consumed_run = al
+            .hops
+            .iter()
+            .filter(|h| h.status != HopStatus::OnlyBaseline)
+            .count();
+        assert_eq!(consumed_base, base.segments.len());
+        assert_eq!(consumed_run, run.segments.len());
+        // The inserted stage surfaces as an only_run hop of its category.
+        assert!(al
+            .hops
+            .iter()
+            .any(|h| h.status == HopStatus::OnlyRun && h.category == "checkpoint_load"));
+        // Telescoping: hop deltas sum to the total delta.
+        let sum: f64 = al.hops.iter().map(AlignedHop::delta_ms).sum();
+        assert!((sum - al.delta_total_ms()).abs() < 1e-9);
+        assert!((al.delta_total_ms() - 0.6).abs() < 1e-9);
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //!   with three query surfaces (explain a message's causal chain,
 //!   attribute a recovery's critical path, pinpoint the first divergent
 //!   event between two runs) and deterministic DOT export;
+//! - [`forensics`]: the differential-diagnosis types (ranked suspects
+//!   per finding) that regression forensics attaches to a report;
 //! - [`registry`]: a hierarchical, path-keyed metrics registry with
 //!   snapshot/delta semantics and JSON-lines export, populated from the
 //!   existing `Counter`/`Summary`/`LogHistogram`/`Utilization`
@@ -43,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod causal;
+pub mod forensics;
 pub mod probe;
 pub mod profile;
 pub mod registry;
@@ -53,7 +56,11 @@ pub mod store;
 pub mod util;
 pub mod watchdog;
 
-pub use causal::{divergence_diff, CausalGraph, CriticalPath, Divergence, EdgeKind, Explanation};
+pub use causal::{
+    align_paths, divergence_diff, AlignedHop, CausalGraph, CriticalPath, Divergence, EdgeKind,
+    Explanation, HopStatus, PathAlignment,
+};
+pub use forensics::{Finding, ForensicsReport, Suspect, SuspectKind};
 pub use probe::{MediumHealth, QuorumHealth, RecoveryLag, ShardHealth};
 pub use profile::{StageLatencies, TimeProfile};
 pub use registry::{MetricValue, MetricsRegistry};

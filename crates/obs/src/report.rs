@@ -37,7 +37,12 @@ use publishing_sim::time::SimDuration;
 ///   virtual-speedup profiler's knee predictions). Both are absent
 ///   unless the run was metered, so v4 documents still parse and v4
 ///   readers keep working.
-pub const REPORT_SCHEMA_VERSION: u32 = 5;
+/// - **6**: adds the optional `forensics` section — the differential
+///   diagnosis of this run against a named baseline (ranked suspects
+///   per finding: stages, resources, binding flips, critical-path
+///   hops, allocation deltas). Absent unless a forensics pass diffed
+///   the run, so v5 documents still parse and v5 readers keep working.
+pub const REPORT_SCHEMA_VERSION: u32 = 6;
 
 /// Consensus-level aggregates for the quorum section (schema v3).
 #[derive(Debug, Clone, Default)]
@@ -163,6 +168,9 @@ pub struct ObsReport {
     /// What-if (virtual speedup) profiler results, when a lens run
     /// produced them.
     pub whatif: Option<crate::util::WhatIfReport>,
+    /// Differential diagnosis against a baseline run, when a forensics
+    /// pass diffed this run.
+    pub forensics: Option<crate::forensics::ForensicsReport>,
 }
 
 impl Default for ObsReport {
@@ -188,6 +196,7 @@ impl Default for ObsReport {
             workload: None,
             utilization: None,
             whatif: None,
+            forensics: None,
         }
     }
 }
@@ -272,6 +281,11 @@ impl ObsReport {
         if let Some(w) = &self.whatif {
             s.push_str("\nwhat-if profiler:\n");
             s.push_str(&w.render());
+        }
+        if let Some(f) = &self.forensics {
+            s.push_str("\nforensics:\n  ");
+            s.push_str(&f.render().trim_end().replace('\n', "\n  "));
+            s.push('\n');
         }
         s.push_str("\nstage latencies:\n");
         s.push_str(&self.latencies.render());
@@ -500,6 +514,9 @@ impl ObsReport {
             }
             s.push_str("]},");
         }
+        if let Some(f) = &self.forensics {
+            s.push_str(&format!("\"forensics\":{},", f.to_json()));
+        }
         s.push_str("\"profile\":{");
         for (i, (name, d)) in self.profile.iter().enumerate() {
             if i > 0 {
@@ -661,13 +678,29 @@ mod tests {
                 binding_after: "medium".into(),
             }],
         });
+        report.forensics = Some(crate::forensics::ForensicsReport {
+            baseline: "BENCH_1".into(),
+            findings: vec![crate::forensics::Finding {
+                scenario: "steady_state".into(),
+                subject: "publish_to_deliver_us_p99".into(),
+                prev: 16384.0,
+                new: 32768.0,
+                suspects: vec![crate::forensics::Suspect {
+                    kind: crate::forensics::SuspectKind::Resource,
+                    name: "util_cpu_proto_busy_ms".into(),
+                    prev: 10.0,
+                    new: 20.0,
+                    detail: "what-if knob: proto_cpu".into(),
+                }],
+            }],
+        });
         report
     }
 
     #[test]
     fn text_report_has_all_sections() {
         let text = sample().render_text();
-        assert!(text.contains("obs report v5 @ 100.000ms"));
+        assert!(text.contains("obs report v6 @ 100.000ms"));
         assert!(text.contains("partial=3"));
         assert!(text.contains("quorum health:"));
         assert!(text.contains("consensus:"));
@@ -684,6 +717,9 @@ mod tests {
         assert!(text.contains("what-if profiler:"));
         assert!(text.contains("baseline_knee=141"));
         assert!(text.contains("sink_recv x0.50: predicted_knee=280 confirmed=270"));
+        assert!(text.contains("forensics:"));
+        assert!(text.contains("diff vs BENCH_1: 1 finding(s)"));
+        assert!(text.contains("#1 [resource] util_cpu_proto_busy_ms"));
         assert!(text.contains("shard health:"));
         assert!(text.contains("recovery lag:"));
         assert!(text.contains("recovered_in=40.000ms"));
@@ -701,7 +737,9 @@ mod tests {
     fn json_report_is_well_formed_enough() {
         let json = sample().render_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
-        assert!(json.contains("\"schema\":5"));
+        assert!(json.contains("\"schema\":6"));
+        assert!(json.contains("\"forensics\":{\"baseline\":\"BENCH_1\",\"findings\":[{"));
+        assert!(json.contains("\"kind\":\"resource\",\"name\":\"util_cpu_proto_busy_ms\""));
         assert!(json.contains("\"utilization\":{\"window_ms\":100.0,"));
         assert!(json.contains("\"binding\":\"xport 0->2\""));
         assert!(json.contains("\"kind\":\"transport\",\"name\":\"xport 0->2\""));

@@ -1,0 +1,167 @@
+//! Property tests pinning the critical-path alignment invariants that
+//! the regression-forensics differ leans on:
+//!
+//! - **totality** — every segment of both paths is consumed by exactly
+//!   one hop, even when one side's span log was truncated mid-run and
+//!   its recovery path therefore covers fewer stages;
+//! - **telescoping** — hop deltas sum to the total slack delta, so the
+//!   per-hop attribution always accounts for the whole regression;
+//! - **self-alignment** — a path aligned against itself is clean: all
+//!   hops matched, zero delta.
+
+use proptest::prelude::*;
+use publishing_obs::causal::{align_paths, CausalGraph, CriticalPath, HopStatus};
+use publishing_obs::span::{MsgKey, SpanEvent, SpanLog, Stage};
+use publishing_sim::time::SimTime;
+
+const STAGES: [Stage; 8] = [
+    Stage::Publish,
+    Stage::Capture,
+    Stage::Sequence,
+    Stage::Deliver,
+    Stage::Replay,
+    Stage::Suppress,
+    Stage::Checkpoint,
+    Stage::Elect,
+];
+
+#[derive(Debug, Clone)]
+struct Rec {
+    dt: u64,
+    sender: u64,
+    seq: u64,
+    stage: Stage,
+    subject: u64,
+}
+
+fn arb_rec() -> impl Strategy<Value = Rec> {
+    (
+        1u64..2_000_000,
+        0u64..4,
+        0u64..40,
+        0usize..STAGES.len(),
+        0u64..4,
+    )
+        .prop_map(|(dt, sender, seq, stage, subject)| Rec {
+            dt,
+            sender: sender + 1,
+            seq,
+            stage: STAGES[stage],
+            subject: subject + 1,
+        })
+}
+
+/// Replays the first `take` records into a span log and derives the
+/// crash→convergence critical path over the whole recorded window.
+/// Returns `None` when the truncated log is empty (no anchor event).
+fn path_of(recs: &[Rec], take: usize) -> Option<CriticalPath> {
+    let take = take.min(recs.len());
+    if take == 0 {
+        return None;
+    }
+    let mut log = SpanLog::new(take);
+    let mut at = 0u64;
+    for r in &recs[..take] {
+        at += r.dt;
+        log.record(
+            SimTime::from_nanos(at),
+            MsgKey {
+                sender: r.sender,
+                seq: r.seq,
+            },
+            r.stage,
+            r.subject,
+            0,
+        );
+    }
+    let events: Vec<SpanEvent> = log.events().collect();
+    let graph = CausalGraph::from_event_lists(&[events]);
+    graph.critical_path(
+        SimTime::from_nanos(0),
+        SimTime::from_nanos(at + 1_000),
+        None,
+    )
+}
+
+proptest! {
+    /// Any path aligned against itself is clean: every hop matched with
+    /// zero slack delta, and the alignment consumes both sides exactly.
+    #[test]
+    fn self_alignment_is_clean(recs in proptest::collection::vec(arb_rec(), 1..60)) {
+        let Some(p) = path_of(&recs, recs.len()) else { return };
+        let al = align_paths(&p, &p);
+        prop_assert!(al.is_clean(), "{}", al.render());
+        prop_assert_eq!(al.hops.len(), p.segments.len());
+        prop_assert_eq!(al.delta_total_ms(), 0.0);
+    }
+
+    /// Totality over truncation: aligning the full-history path against
+    /// a path built from a truncated span log must consume every
+    /// segment of both paths exactly once — nothing the truncation left
+    /// behind is silently dropped from the diff.
+    #[test]
+    fn alignment_is_total_over_truncated_logs(
+        recs in proptest::collection::vec(arb_rec(), 2..60),
+        cut in 1usize..60,
+    ) {
+        let Some(full) = path_of(&recs, recs.len()) else { return };
+        let Some(cutp) = path_of(&recs, cut) else { return };
+        let al = align_paths(&full, &cutp);
+        let consumes_baseline = al
+            .hops
+            .iter()
+            .filter(|h| h.status != HopStatus::OnlyRun)
+            .count();
+        let consumes_run = al
+            .hops
+            .iter()
+            .filter(|h| h.status != HopStatus::OnlyBaseline)
+            .count();
+        prop_assert_eq!(consumes_baseline, full.segments.len(), "{}", al.render());
+        prop_assert_eq!(consumes_run, cutp.segments.len(), "{}", al.render());
+        // Matched hops really pair identical categories.
+        for h in &al.hops {
+            if h.status == HopStatus::OnlyBaseline {
+                prop_assert_eq!(h.run_ms, 0.0);
+            }
+            if h.status == HopStatus::OnlyRun {
+                prop_assert_eq!(h.baseline_ms, 0.0);
+            }
+        }
+    }
+
+    /// Telescoping: per-hop deltas sum to the total slack delta, and
+    /// each side's hop durations sum to that side's path total (within
+    /// f64 summation noise — durations are integer nanoseconds
+    /// underneath).
+    #[test]
+    fn hop_deltas_telescope_to_the_total(
+        recs in proptest::collection::vec(arb_rec(), 2..60),
+        cut in 1usize..60,
+    ) {
+        let Some(full) = path_of(&recs, recs.len()) else { return };
+        let Some(cutp) = path_of(&recs, cut) else { return };
+        let al = align_paths(&full, &cutp);
+        let base_sum: f64 = al.hops.iter().map(|h| h.baseline_ms).sum();
+        let run_sum: f64 = al.hops.iter().map(|h| h.run_ms).sum();
+        let delta_sum: f64 = al.hops.iter().map(|h| h.delta_ms()).sum();
+        prop_assert!(
+            (base_sum - al.baseline_total_ms).abs() < 1e-6,
+            "baseline hops {} != total {}",
+            base_sum,
+            al.baseline_total_ms
+        );
+        prop_assert!(
+            (run_sum - al.run_total_ms).abs() < 1e-6,
+            "run hops {} != total {}",
+            run_sum,
+            al.run_total_ms
+        );
+        prop_assert!(
+            (delta_sum - al.delta_total_ms()).abs() < 1e-6,
+            "hop deltas {} != total delta {}",
+            delta_sum,
+            al.delta_total_ms()
+        );
+    }
+}

@@ -192,6 +192,50 @@ impl Comparison {
         ));
         s
     }
+
+    /// Serializes the verdict as one JSON document (`bench_compare
+    /// --json`). The exit-code contract is embedded so scripts need not
+    /// re-derive it.
+    pub fn to_json(&self) -> String {
+        use crate::json::{Json, ObjBuilder};
+        let deltas = Json::Arr(
+            self.deltas
+                .iter()
+                .map(|d| {
+                    ObjBuilder::new()
+                        .field("scenario", Json::Str(d.scenario.clone()))
+                        .field("metric", Json::Str(d.metric.clone()))
+                        .field("prev", Json::Num(d.prev))
+                        .field("new", Json::Num(d.new))
+                        .field("regression", Json::Bool(d.regression))
+                        .field("gated", Json::Bool(d.gated))
+                        .build()
+                })
+                .collect(),
+        );
+        ObjBuilder::new()
+            .field(
+                "incomparable",
+                match &self.incomparable {
+                    Some(why) => Json::Str(why.clone()),
+                    None => Json::Null,
+                },
+            )
+            .field("exit_code", Json::Num(self.exit_code() as f64))
+            .field("regressions", Json::Num(self.regressions().count() as f64))
+            .field("deltas", deltas)
+            .field(
+                "fingerprint_changes",
+                Json::Arr(
+                    self.fingerprint_changes
+                        .iter()
+                        .map(|f| Json::Str(f.clone()))
+                        .collect(),
+                ),
+            )
+            .build()
+            .write()
+    }
 }
 
 fn rule_for<'r>(rules: &'r [Rule], metric: &str) -> Option<&'r Rule> {
@@ -390,6 +434,41 @@ mod tests {
         let prev = snap(&[]);
         let new = Snapshot::new("smoke");
         assert_eq!(compare(&prev, &new, &default_rules()).exit_code(), 2);
+    }
+
+    #[test]
+    fn json_verdict_parses_and_carries_the_exit_code() {
+        use crate::json::parse;
+        let prev = snap(&[("events_per_virtual_sec", 1000.0)]);
+        let new = snap(&[("events_per_virtual_sec", 850.0)]);
+        let c = compare(&prev, &new, &default_rules());
+        let doc = parse(&c.to_json()).expect("valid json");
+        assert_eq!(
+            doc.get("exit_code").and_then(crate::json::Json::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            doc.get("regressions").and_then(crate::json::Json::as_f64),
+            Some(1.0)
+        );
+        let Some(crate::json::Json::Arr(deltas)) = doc.get("deltas") else {
+            panic!("deltas array");
+        };
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(
+            deltas[0].get("metric").and_then(crate::json::Json::as_str),
+            Some("events_per_virtual_sec")
+        );
+        let incomparable = compare(&prev, &Snapshot::new("full"), &default_rules());
+        let doc = parse(&incomparable.to_json()).expect("valid json");
+        assert_eq!(
+            doc.get("exit_code").and_then(crate::json::Json::as_f64),
+            Some(2.0)
+        );
+        assert!(doc
+            .get("incomparable")
+            .and_then(crate::json::Json::as_str)
+            .is_some());
     }
 
     #[test]

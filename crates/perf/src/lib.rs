@@ -12,6 +12,12 @@
 //! - [`compare`]: the regression comparator that diffs two snapshots
 //!   under per-metric direction and noise thresholds, and backs the CI
 //!   perf gate (nonzero exit on regression);
+//! - [`forensics`]: the regression-forensics engine that explains a
+//!   comparator verdict — ranked suspects per violated rule from the
+//!   snapshot's attribution families (profile categories, ledger busy
+//!   times, critical-path stages, what-if knees, allocation meters) and
+//!   a report-level differ over histograms, ledgers, and aligned
+//!   critical paths;
 //! - [`trace`]: the Chrome-trace (Perfetto JSON) exporter that turns
 //!   `publishing-obs` lifecycle span logs into per-component timelines
 //!   with per-message lifecycle slices, loadable in `chrome://tracing`
@@ -31,6 +37,7 @@
 
 pub mod alloc;
 pub mod compare;
+pub mod forensics;
 pub mod json;
 pub mod snapshot;
 pub mod trace;

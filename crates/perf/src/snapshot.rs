@@ -276,6 +276,26 @@ pub fn scenario_from_report(name: &str, report: &ObsReport) -> ScenarioSnapshot 
         }
     }
     s.virt("bytes_published", bytes);
+    // Attribution families for regression forensics: virtual-time cost
+    // per profile category, ledger busy time aggregated per resource
+    // kind, and the binding resource's identity (a fingerprint, so a
+    // flip shows up in the comparator as an informational change and in
+    // forensics as a first-ranked suspect).
+    for (category, d) in report.profile.iter() {
+        s.virt(format!("profile_{category}_ms"), d.as_millis_f64());
+    }
+    if let Some(u) = &report.utilization {
+        let mut busy_by_kind: BTreeMap<&'static str, f64> = BTreeMap::new();
+        for r in &u.resources {
+            *busy_by_kind.entry(r.kind.label()).or_insert(0.0) += r.busy_ms;
+        }
+        for (kind, busy) in busy_by_kind {
+            s.virt(format!("util_{kind}_busy_ms"), busy);
+        }
+        if let Some(b) = u.binding() {
+            s.fingerprints.insert("binding".into(), b.name.clone());
+        }
+    }
     s.fingerprint("spans", report.span_fingerprint);
     s
 }

@@ -13,8 +13,10 @@
 //! lens sections — `utilization` (the per-resource busy ledger with the
 //! binding resource named, plus the queueing cross-validation rows) and
 //! `whatif` (the virtual-speedup sensitivity matrix) — omitted unless a
-//! ledger or profiler populated them. The parser in this crate must
-//! read all five shapes.
+//! ledger or profiler populated them. Version 6 adds the optional
+//! `forensics` section — the differential diagnosis attached when a
+//! forensics pass diffed the run against a baseline — omitted otherwise.
+//! The parser in this crate must read all six shapes.
 
 use publishing_obs::report::{ObsReport, WorkloadStats, REPORT_SCHEMA_VERSION};
 use publishing_obs::{ConsensusStats, WatchdogSummary};
@@ -36,6 +38,10 @@ const V3_REPORT: &str = r#"{"schema":3,"at_ms":100.0,"spans_total":42,"spans_par
 /// A report rendered by the v4 code: `workload` present, `schema:4` —
 /// but none of the v5 capacity-lens sections.
 const V4_REPORT: &str = r#"{"schema":4,"at_ms":100.0,"spans_total":42,"spans_partial":0,"span_fingerprint":"0x00000000deadbeef","shards":[],"recovery":[],"workload":{"offered":200,"delivered":180,"goodput":0.9,"offered_per_sec":500,"slo_violations":["deliver p99 262144us > 150000us"]},"sched":{"delivered":90,"scheduled":96,"pending":6,"peak_pending":14},"profile":{"kernel_cpu":10.0},"metrics":{"node/0/kernel/msgs_sent":7}}"#;
+
+/// A report rendered by the v5 code: lens sections present, `schema:5`
+/// — but no `forensics` section.
+const V5_REPORT: &str = r#"{"schema":5,"at_ms":100.0,"spans_total":42,"spans_partial":0,"span_fingerprint":"0x00000000deadbeef","shards":[],"recovery":[],"utilization":{"window_ms":100.0,"bin_ms":16.78,"binding":"xport 0->2","resources":[{"kind":"transport","name":"xport 0->2","index":0,"peer":2,"busy_ms":95.0,"util":0.95,"active_util":0.95,"peak_util":0.98,"mean_queue":7.5,"peak_queue":12,"events":88,"contention":0}],"xval":[{"resource":"medium","quantity":"utilization","measured":0.5,"predicted":0.52,"rel_err":0.04,"tolerance":0.2,"ok":true}]},"whatif":{"baseline_knee":141,"rows":[{"knob":"sink_recv","multiplier":0.5,"predicted_knee":280,"confirmed_knee":270,"binding_after":"medium"}]},"sched":{"delivered":90,"scheduled":96,"pending":6,"peak_pending":14},"profile":{"kernel_cpu":10.0},"metrics":{"node/0/kernel/msgs_sent":7}}"#;
 
 /// Schema of a parsed report document: the explicit `schema` number, or
 /// 1 when the field is absent (the pre-versioning shape).
@@ -264,6 +270,88 @@ fn v5_lens_sections_render_when_populated() {
     assert_eq!(
         rows[0].get("knob").and_then(Json::as_str),
         Some("sink_recv")
+    );
+}
+
+#[test]
+fn v5_report_still_reads_and_lacks_forensics_section() {
+    let doc = parse(V5_REPORT).expect("v5 artifact parses");
+    assert_eq!(schema_of(&doc), 5, "canned v5 artifact declares schema 5");
+    // Every v5 section is still addressable.
+    let util = doc.get("utilization").expect("utilization object");
+    assert_eq!(
+        util.get("binding").and_then(Json::as_str),
+        Some("xport 0->2")
+    );
+    let whatif = doc.get("whatif").expect("whatif object");
+    assert_eq!(
+        whatif.get("baseline_knee").and_then(Json::as_f64),
+        Some(141.0)
+    );
+    // The v6-only section is simply absent, not an error.
+    assert!(doc.get("forensics").is_none());
+}
+
+#[test]
+fn v6_forensics_section_is_optional_and_omitted_by_default() {
+    // A run never diffed against a baseline renders no forensics
+    // section at all — a v5 reader that ignores unknown keys sees
+    // nothing new beyond the schema bump.
+    let report = ObsReport {
+        at_ms: 100.0,
+        ..Default::default()
+    };
+    let doc = parse(&report.render_json()).expect("default artifact parses");
+    assert!(doc.get("forensics").is_none());
+}
+
+#[test]
+fn v6_forensics_section_renders_when_populated() {
+    use publishing_obs::forensics::{Finding, ForensicsReport, Suspect, SuspectKind};
+    let mut report = ObsReport {
+        at_ms: 100.0,
+        ..Default::default()
+    };
+    report.forensics = Some(ForensicsReport {
+        baseline: "BENCH_1".into(),
+        findings: vec![Finding {
+            scenario: "ab_trial".into(),
+            subject: "publish_to_deliver_us_p99".into(),
+            prev: 262144.0,
+            new: 2097152.0,
+            suspects: vec![Suspect {
+                kind: SuspectKind::Resource,
+                name: "util_cpu_proto_busy_ms".into(),
+                prev: 5073.3,
+                new: 10146.6,
+                detail: "what-if knob: proto_cpu".into(),
+            }],
+        }],
+    });
+    let doc = parse(&report.render_json()).expect("forensics artifact parses");
+    assert_eq!(schema_of(&doc), REPORT_SCHEMA_VERSION);
+    let fx = doc.get("forensics").expect("forensics object");
+    assert_eq!(fx.get("baseline").and_then(Json::as_str), Some("BENCH_1"));
+    let findings = fx
+        .get("findings")
+        .and_then(Json::as_arr)
+        .expect("findings array");
+    assert_eq!(findings.len(), 1);
+    assert_eq!(
+        findings[0].get("subject").and_then(Json::as_str),
+        Some("publish_to_deliver_us_p99")
+    );
+    let suspects = findings[0]
+        .get("suspects")
+        .and_then(Json::as_arr)
+        .expect("suspects array");
+    assert_eq!(
+        suspects[0].get("kind").and_then(Json::as_str),
+        Some("resource")
+    );
+    assert_eq!(
+        suspects[0].get("delta").and_then(Json::as_f64),
+        Some(10146.6 - 5073.3)
     );
 }
 

@@ -948,6 +948,7 @@ impl QuorumWorld {
             workload: None,
             utilization: Some(utilization),
             whatif: None,
+            forensics: None,
         }
     }
 

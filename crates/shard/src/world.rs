@@ -914,6 +914,7 @@ impl ShardedWorld {
                 now,
             )),
             whatif: None,
+            forensics: None,
         }
     }
 

@@ -41,4 +41,4 @@ pub use capacity::{
 pub use compile::CompiledWorkload;
 pub use drivers::{LoadGen, SubjectSink};
 pub use spec::{canonical_shapes, Phase, WorkloadSpec};
-pub use whatif::{predict_knee, run_whatif, standard_knobs, WhatIfKnob};
+pub use whatif::{knob_for_kind, predict_knee, run_whatif, standard_knobs, WhatIfKnob};

@@ -114,6 +114,17 @@ pub fn standard_knobs() -> Vec<WhatIfKnob> {
     ]
 }
 
+/// The standard knob (if any) whose service multiplier touches `kind` —
+/// the remediation hint regression forensics attaches to a resource
+/// suspect, closing the loop from "this resource's busy time grew" back
+/// to the physical constant a what-if run can turn.
+pub fn knob_for_kind(kind: ResourceKind) -> Option<&'static str> {
+    standard_knobs()
+        .iter()
+        .find(|k| k.kinds.contains(&kind))
+        .map(|k| k.name)
+}
+
 /// Whether `r`'s whole-window utilization grew materially between the
 /// low-load probe and the knee — the test that separates capacity
 /// resources from self-paced ones. A resource absent at low load only
@@ -244,6 +255,16 @@ mod tests {
         assert_eq!(recv.transport.window, base.transport.window * 2);
         let cpu = standard_knobs()[2].apply(&base);
         assert_eq!(cpu.costs.net_receive, base.costs.net_receive.mul_f64(0.5));
+    }
+
+    #[test]
+    fn knob_for_kind_maps_the_protocol_cpu_and_wire() {
+        assert_eq!(knob_for_kind(ResourceKind::NodeCpuProto), Some("proto_cpu"));
+        assert_eq!(knob_for_kind(ResourceKind::NodeCpuProg), Some("proto_cpu"));
+        // The wire knob claims the medium first (matrix order).
+        assert_eq!(knob_for_kind(ResourceKind::Medium), Some("wire"));
+        assert_eq!(knob_for_kind(ResourceKind::Transport), Some("wire"));
+        assert_eq!(knob_for_kind(ResourceKind::Disk), None);
     }
 
     #[test]
